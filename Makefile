@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples artifacts clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/diamond.exe
+	dune exec examples/svd_story.exe
+	dune exec examples/pressure_sweep.exe
+
+# The reproduction artifacts referenced from EXPERIMENTS.md.
+artifacts:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
