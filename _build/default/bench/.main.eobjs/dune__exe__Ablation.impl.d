@@ -1,0 +1,1 @@
+bench/ablation.ml: Allocator Common Heuristic List Machine Printf Ra_core Ra_ir Ra_programs Ra_support Ra_vm

@@ -1,0 +1,1 @@
+bench/common.ml: Allocator Buffer Float Heuristic List Machine Printf Ra_core Ra_ir Ra_programs Ra_vm String

@@ -1,0 +1,1 @@
+bench/fig5.ml: Allocator Common List Printf Ra_core Ra_ir Ra_programs Ra_support Ra_vm

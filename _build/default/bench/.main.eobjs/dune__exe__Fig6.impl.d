@@ -1,0 +1,1 @@
+bench/fig6.ml: Allocator Common List Machine Ra_core Ra_ir Ra_programs Ra_support Ra_vm

@@ -1,0 +1,1 @@
+bench/fig7.ml: Allocator Common List Printf Ra_core Ra_programs Ra_support String

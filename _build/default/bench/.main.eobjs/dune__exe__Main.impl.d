@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Char Common Fig5 Fig6 Fig7 List Micro Printf Ra_core String Sys

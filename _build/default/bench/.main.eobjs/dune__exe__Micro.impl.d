@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Common Hashtbl Instance List Measure Printf Ra_core Ra_support Staged Test Time Toolkit

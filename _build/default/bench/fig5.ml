@@ -1,0 +1,52 @@
+(* Figure 5 — register allocation improvements across the five
+   floating-point programs: per-routine object size, live ranges,
+   registers spilled (old = Chaitin, new = Briggs) and estimated spill
+   costs, plus each program's measured dynamic improvement. *)
+
+open Ra_core
+
+let run () =
+  Common.section
+    "Figure 5 -- register allocation improvements (old = Chaitin, new = Briggs)";
+  let table =
+    Ra_support.Table.create
+      [ "Program"; "Routine"; "Object Size"; "Live Ranges";
+        "Spilled Old"; "New"; "Pct";
+        "Cost Old"; "New"; "Pct"; "Dynamic Pct" ]
+  in
+  List.iter
+    (fun (program : Ra_programs.Suite.program) ->
+      let pairs = Common.allocate_program program in
+      (* dynamic improvement: whole-program cycles under each allocator *)
+      let dynamic =
+        let old_out = Common.run_allocated Common.old_heuristic program in
+        let new_out = Common.run_allocated Common.new_heuristic program in
+        Common.pct_int old_out.Ra_vm.Exec.cycles new_out.Ra_vm.Exec.cycles
+      in
+      let first = ref true in
+      List.iter
+        (fun { Common.routine; old_result; new_result } ->
+          if List.mem routine program.Ra_programs.Suite.routines then begin
+            let so = old_result.Allocator.total_spilled in
+            let sn = new_result.Allocator.total_spilled in
+            let co = old_result.Allocator.total_spill_cost in
+            let cn = new_result.Allocator.total_spill_cost in
+            Ra_support.Table.add_row table
+              [ (if !first then program.Ra_programs.Suite.pname else "");
+                routine;
+                string_of_int (Ra_ir.Proc.object_size new_result.Allocator.proc);
+                string_of_int new_result.Allocator.live_ranges;
+                string_of_int so;
+                string_of_int sn;
+                Common.fmt_pct (Common.pct_int so sn);
+                Common.commas co;
+                Common.commas cn;
+                Common.fmt_pct (Common.pct co cn);
+                (if !first then Printf.sprintf "%.2f" dynamic else "") ];
+            first := false
+          end)
+        pairs;
+      Ra_support.Table.add_rule table)
+    Ra_programs.Suite.figure5;
+  Ra_support.Table.print table;
+  print_newline ()

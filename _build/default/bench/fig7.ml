@@ -1,0 +1,74 @@
+(* Figure 7 — CPU time per allocator phase (build / simplify / color /
+   spill), per Build–Simplify–Color pass, for the four large routines
+   DQRDC, SVD, GRADNT and HSSIAN, under both allocators. Spill rows carry
+   the number of live ranges spilled in parentheses, as in the paper. *)
+
+open Ra_core
+
+let routines_of_interest =
+  [ "dqrdc", "CEDETA"; "svd", "SVD"; "gradnt", "CEDETA"; "hssian", "CEDETA" ]
+
+let fmt_time t = Printf.sprintf "%.4f" t
+
+let run () =
+  Common.section
+    "Figure 7 -- CPU seconds per allocator phase and pass (old = Chaitin, new = Briggs)";
+  List.iter
+    (fun (routine, pname) ->
+      let program = Ra_programs.Suite.find pname in
+      let pairs = Common.allocate_program program in
+      match List.find_opt (fun p -> p.Common.routine = routine) pairs with
+      | None -> Printf.printf "  (%s not found in %s)\n" routine pname
+      | Some { Common.old_result; new_result; _ } ->
+        Printf.printf "%s:\n" (String.uppercase_ascii routine);
+        let table =
+          Ra_support.Table.create [ "Pass"; "Phase"; "Old"; "New" ]
+        in
+        let max_passes =
+          max
+            (List.length old_result.Allocator.passes)
+            (List.length new_result.Allocator.passes)
+        in
+        for pass = 0 to max_passes - 1 do
+          let get (r : Allocator.result) f =
+            match List.nth_opt r.Allocator.passes pass with
+            | Some p -> f p
+            | None -> ""
+          in
+          let time f r = get r (fun p -> fmt_time (f p)) in
+          Ra_support.Table.add_row table
+            [ string_of_int (pass + 1); "build";
+              time (fun p -> p.Allocator.build_time) old_result;
+              time (fun p -> p.Allocator.build_time) new_result ];
+          Ra_support.Table.add_row table
+            [ ""; "simplify";
+              time (fun p -> p.Allocator.simplify_time) old_result;
+              time (fun p -> p.Allocator.simplify_time) new_result ];
+          Ra_support.Table.add_row table
+            [ ""; "color";
+              time (fun p -> p.Allocator.color_time) old_result;
+              time (fun p -> p.Allocator.color_time) new_result ];
+          let spill_cell (r : Allocator.result) =
+            match List.nth_opt r.Allocator.passes pass with
+            | Some p when p.Allocator.spilled > 0 ->
+              Printf.sprintf "(%d) %s" p.Allocator.spilled
+                (fmt_time p.Allocator.spill_time)
+            | Some _ -> ""
+            | None -> ""
+          in
+          Ra_support.Table.add_row table
+            [ ""; "spill"; spill_cell old_result; spill_cell new_result ];
+          Ra_support.Table.add_rule table
+        done;
+        let total (r : Allocator.result) =
+          List.fold_left
+            (fun acc p ->
+              acc +. p.Allocator.build_time +. p.Allocator.simplify_time
+              +. p.Allocator.color_time +. p.Allocator.spill_time)
+            0.0 r.Allocator.passes
+        in
+        Ra_support.Table.add_row table
+          [ ""; "Total"; fmt_time (total old_result); fmt_time (total new_result) ];
+        Ra_support.Table.print table;
+        print_newline ())
+    routines_of_interest

@@ -1,0 +1,249 @@
+(* rralloc — command-line driver for the register-allocation library.
+
+   Subcommands:
+     dump     parse + typecheck + codegen, print the IR
+     alloc    register-allocate and print allocated code + statistics
+     run      execute a procedure under the VM (virtual or allocated)
+     compare  Chaitin vs Briggs spill statistics for every procedure
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile ?(optimize = false) path =
+  try
+    let procs = Ra_ir.Codegen.compile_source (read_file path) in
+    if optimize then Ra_opt.Opt.optimize_all procs;
+    procs
+  with
+  | Ra_frontend.Errors.Lex_error _ | Ra_frontend.Errors.Parse_error _
+  | Ra_frontend.Errors.Type_error _ as e ->
+    Printf.eprintf "%s: %s\n" path (Ra_frontend.Errors.describe e);
+    exit 1
+
+let machine_of_k = function
+  | None -> Ra_core.Machine.rt_pc
+  | Some k -> Ra_core.Machine.with_int_regs Ra_core.Machine.rt_pc k
+
+let heuristic_of_name name =
+  match Ra_core.Heuristic.of_name name with
+  | Some h -> h
+  | None ->
+    Printf.eprintf "unknown heuristic %S (chaitin|briggs|matula)\n" name;
+    exit 1
+
+(* ---- arguments ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MFL source file")
+
+let proc_arg =
+  Arg.(value & opt (some string) None & info [ "proc"; "p" ] ~docv:"NAME"
+         ~doc:"Restrict to one procedure")
+
+let heuristic_arg =
+  Arg.(value & opt string "briggs" & info [ "heuristic"; "H" ] ~docv:"NAME"
+         ~doc:"Coloring heuristic: chaitin, briggs or matula")
+
+let k_arg =
+  Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K"
+         ~doc:"Restrict the integer register file to K registers")
+
+let opt_arg =
+  Arg.(value & flag & info [ "O"; "optimize" ]
+         ~doc:"Run the optimizer (CSE, loop-invariant code motion, DCE)")
+
+let select_procs procs = function
+  | None -> procs
+  | Some name ->
+    (match List.filter (fun (p : Ra_ir.Proc.t) -> p.name = name) procs with
+     | [] ->
+       Printf.eprintf "no procedure named %s\n" name;
+       exit 1
+     | ps -> ps)
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let run file proc optimize =
+    let procs = select_procs (compile ~optimize file) proc in
+    List.iter (fun p -> print_string (Ra_ir.Proc.to_string p)) procs
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print the virtual-register IR")
+    Term.(const run $ file_arg $ proc_arg $ opt_arg)
+
+(* ---- alloc ---- *)
+
+let alloc_cmd =
+  let run file proc heuristic k verbose optimize =
+    let machine = machine_of_k k in
+    let h = heuristic_of_name heuristic in
+    let procs = select_procs (compile ~optimize file) proc in
+    List.iter
+      (fun p ->
+        let r = Ra_core.Allocator.allocate machine h p in
+        Printf.printf
+          "%s: live ranges %d, passes %d, spilled %d (cost %.0f), \
+           object size %d bytes\n"
+          p.Ra_ir.Proc.name r.Ra_core.Allocator.live_ranges
+          (List.length r.Ra_core.Allocator.passes)
+          r.Ra_core.Allocator.total_spilled
+          r.Ra_core.Allocator.total_spill_cost
+          (Ra_ir.Proc.object_size r.Ra_core.Allocator.proc);
+        if verbose then print_string (Ra_ir.Proc.to_string r.Ra_core.Allocator.proc))
+      procs
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print allocated code")
+  in
+  Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
+    Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
+          $ opt_arg)
+
+(* ---- run ---- *)
+
+let parse_value s =
+  match int_of_string_opt s with
+  | Some n -> Ra_vm.Value.Vint n
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Ra_vm.Value.Vflt f
+     | None ->
+       Printf.eprintf "cannot parse argument %S (int or float)\n" s;
+       exit 1)
+
+let run_cmd =
+  let run file entry args heuristic allocate k optimize =
+    let procs = compile ~optimize file in
+    let procs =
+      if allocate then begin
+        let machine = machine_of_k k in
+        let h = heuristic_of_name heuristic in
+        List.map
+          (fun p -> (Ra_core.Allocator.allocate machine h p).Ra_core.Allocator.proc)
+          procs
+      end
+      else procs
+    in
+    let args = List.map parse_value args in
+    match Ra_vm.Exec.run ~procs ~entry ~args () with
+    | outcome ->
+      List.iter print_endline outcome.Ra_vm.Exec.output;
+      (match outcome.Ra_vm.Exec.result with
+       | Some v -> Printf.printf "result: %s\n" (Ra_vm.Value.to_string v)
+       | None -> ());
+      Printf.printf "cycles: %d, instructions: %d\n"
+        outcome.Ra_vm.Exec.cycles outcome.Ra_vm.Exec.instructions
+    | exception Ra_vm.Exec.Runtime_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      exit 1
+  in
+  let entry =
+    Arg.(required & opt (some string) None & info [ "entry"; "e" ] ~docv:"NAME"
+           ~doc:"Procedure to run")
+  in
+  let args =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS"
+           ~doc:"Scalar arguments")
+  in
+  let allocate =
+    Arg.(value & flag & info [ "allocated"; "a" ]
+           ~doc:"Run register-allocated code instead of virtual-register code")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
+    Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
+          $ k_arg $ opt_arg)
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let run name heuristic k allocate =
+    let program =
+      match
+        List.find_opt
+          (fun (p : Ra_programs.Suite.program) ->
+            String.lowercase_ascii p.Ra_programs.Suite.pname
+            = String.lowercase_ascii name)
+          Ra_programs.Suite.all
+      with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown program %S; available: %s\n" name
+          (String.concat ", "
+             (List.map
+                (fun (p : Ra_programs.Suite.program) -> p.Ra_programs.Suite.pname)
+                Ra_programs.Suite.all));
+        exit 1
+    in
+    let procs = Ra_programs.Suite.compile program in
+    let procs =
+      if allocate then begin
+        let machine = machine_of_k k in
+        let h = heuristic_of_name heuristic in
+        List.map
+          (fun p -> (Ra_core.Allocator.allocate machine h p).Ra_core.Allocator.proc)
+          procs
+      end
+      else procs
+    in
+    let out =
+      Ra_vm.Exec.run ~fuel:program.Ra_programs.Suite.fuel ~procs
+        ~entry:program.Ra_programs.Suite.driver
+        ~args:program.Ra_programs.Suite.driver_args ()
+    in
+    List.iter print_endline out.Ra_vm.Exec.output;
+    (match out.Ra_vm.Exec.result with
+     | Some v -> Printf.printf "result: %s\n" (Ra_vm.Value.to_string v)
+     | None -> ());
+    Printf.printf "cycles: %d, instructions: %d\n" out.Ra_vm.Exec.cycles
+      out.Ra_vm.Exec.instructions
+  in
+  let prog_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark program name (SVD, LINPACK, SIMPLEX, EULER, CEDETA, QUICKSORT)")
+  in
+  let allocate =
+    Arg.(value & flag & info [ "allocated"; "a" ]
+           ~doc:"Run register-allocated code")
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
+    Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run file k optimize =
+    let machine = machine_of_k k in
+    let procs = compile ~optimize file in
+    let table =
+      Ra_support.Table.create
+        [ "routine"; "live ranges"; "spilled(old)"; "spilled(new)";
+          "cost(old)"; "cost(new)" ]
+    in
+    List.iter
+      (fun p ->
+        let old_r = Ra_core.Allocator.allocate machine Ra_core.Heuristic.Chaitin p in
+        let new_r = Ra_core.Allocator.allocate machine Ra_core.Heuristic.Briggs p in
+        Ra_support.Table.add_row table
+          [ p.Ra_ir.Proc.name;
+            string_of_int old_r.Ra_core.Allocator.live_ranges;
+            string_of_int old_r.Ra_core.Allocator.total_spilled;
+            string_of_int new_r.Ra_core.Allocator.total_spilled;
+            Printf.sprintf "%.0f" old_r.Ra_core.Allocator.total_spill_cost;
+            Printf.sprintf "%.0f" new_r.Ra_core.Allocator.total_spill_cost ])
+      procs;
+    Ra_support.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
+    Term.(const run $ file_arg $ k_arg $ opt_arg)
+
+let () =
+  let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in
+  exit (Cmd.eval (Cmd.group info [ dump_cmd; alloc_cmd; run_cmd; compare_cmd; suite_cmd ]))

@@ -1,0 +1,1 @@
+examples/diamond.ml: Array List Printf Ra_core String

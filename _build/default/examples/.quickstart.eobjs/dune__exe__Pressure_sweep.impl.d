@@ -1,0 +1,1 @@
+examples/pressure_sweep.ml: Allocator Heuristic List Machine Printf Ra_core Ra_ir Ra_programs Ra_support Ra_vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Char List Printf Ra_core Ra_ir Ra_opt Ra_vm

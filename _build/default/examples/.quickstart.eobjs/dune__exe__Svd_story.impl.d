@@ -1,0 +1,1 @@
+examples/svd_story.ml: Allocator Float Heuristic List Machine Printf Ra_core Ra_ir Ra_programs Ra_vm

@@ -1,0 +1,1 @@
+examples/svd_story.mli:

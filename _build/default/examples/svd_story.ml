@@ -1,0 +1,69 @@
+(* The paper's motivating story (§1.2 and §3): on the SVD routine,
+   Chaitin's allocator spills the short live ranges of the small
+   array-copy loop even though spilling them cannot relieve the pressure
+   the long live ranges create in the later loop nests. Optimistic
+   coloring reconsiders each spill decision at select time and keeps the
+   short ranges in registers.
+
+   This example allocates our SVD with both heuristics and reports the
+   numbers the paper's §3 reports: registers spilled and estimated spill
+   cost, old vs new.
+
+   Run with: dune exec examples/svd_story.exe *)
+
+open Ra_core
+
+let () =
+  let program = Ra_programs.Suite.find "SVD" in
+  let procs = Ra_programs.Suite.compile program in
+  let svd = List.find (fun (p : Ra_ir.Proc.t) -> p.Ra_ir.Proc.name = "svd") procs in
+  Printf.printf
+    "SVD after optimization: %d instructions, %d int + %d float vregs\n\n"
+    (Ra_ir.Proc.instr_count svd)
+    (Ra_ir.Proc.reg_count svd Ra_ir.Reg.Int_reg)
+    (Ra_ir.Proc.reg_count svd Ra_ir.Reg.Flt_reg);
+  let old_r = Allocator.allocate Machine.rt_pc Heuristic.Chaitin svd in
+  let new_r = Allocator.allocate Machine.rt_pc Heuristic.Briggs svd in
+  let report tag (r : Allocator.result) =
+    Printf.printf "%-28s %4d live ranges, %3d spilled, cost %9.0f, %d passes\n"
+      tag r.Allocator.live_ranges r.Allocator.total_spilled
+      r.Allocator.total_spill_cost
+      (List.length r.Allocator.passes)
+  in
+  report "Chaitin (old):" old_r;
+  report "Briggs optimistic (new):" new_r;
+  let spill_pct =
+    100.0
+    *. float_of_int (old_r.Allocator.total_spilled - new_r.Allocator.total_spilled)
+    /. float_of_int (max 1 old_r.Allocator.total_spilled)
+  in
+  let cost_pct =
+    100.0
+    *. (old_r.Allocator.total_spill_cost -. new_r.Allocator.total_spill_cost)
+    /. Float.max 1.0 old_r.Allocator.total_spill_cost
+  in
+  Printf.printf
+    "\nRegisters spilled reduced by %.0f%%; estimated spill cost by %.0f%%.\n"
+    spill_pct cost_pct;
+  Printf.printf
+    "(The paper reports 51%% and 22%% for its compiler; the direction and\n\
+     the asymmetry -- many more ranges rescued than cost saved, because\n\
+     the rescued ranges are the short cheap ones -- are the same.)\n\n";
+  (* And the dynamic story: run the whole decomposition both ways. *)
+  let run h =
+    let allocated =
+      List.map
+        (fun p -> (Allocator.allocate Machine.rt_pc h p).Allocator.proc)
+        procs
+    in
+    Ra_vm.Exec.run ~fuel:program.Ra_programs.Suite.fuel ~procs:allocated
+      ~entry:program.Ra_programs.Suite.driver
+      ~args:program.Ra_programs.Suite.driver_args ()
+  in
+  let old_out = run Heuristic.Chaitin in
+  let new_out = run Heuristic.Briggs in
+  Printf.printf "Dynamic cycles, old: %d   new: %d   improvement: %.2f%%\n"
+    old_out.Ra_vm.Exec.cycles new_out.Ra_vm.Exec.cycles
+    (100.0
+     *. float_of_int (old_out.Ra_vm.Exec.cycles - new_out.Ra_vm.Exec.cycles)
+     /. float_of_int old_out.Ra_vm.Exec.cycles)

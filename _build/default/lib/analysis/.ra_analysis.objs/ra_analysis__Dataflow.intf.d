@@ -1,0 +1,1 @@
+lib/analysis/dataflow.mli: Ra_ir Ra_support

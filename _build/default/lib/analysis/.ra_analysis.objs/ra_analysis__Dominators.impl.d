@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Array List Ra_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Dataflow List Ra_ir Ra_support

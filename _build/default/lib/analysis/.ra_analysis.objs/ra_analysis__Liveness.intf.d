@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Ra_ir Ra_support

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Dominators Hashtbl List Ra_ir

@@ -1,0 +1,1 @@
+lib/analysis/reaching_defs.ml: Array Bitset Dataflow Hashtbl List Liveness Ra_ir Ra_support

@@ -1,0 +1,1 @@
+lib/analysis/reaching_defs.mli: Ra_ir Ra_support

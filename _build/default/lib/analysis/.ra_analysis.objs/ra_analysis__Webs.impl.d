@@ -1,0 +1,1 @@
+lib/analysis/webs.ml: Array Hashtbl List Liveness Ra_ir Ra_support Reaching_defs Union_find

@@ -1,0 +1,1 @@
+lib/analysis/webs.mli: Liveness Ra_ir

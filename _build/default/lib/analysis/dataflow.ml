@@ -1,0 +1,63 @@
+open Ra_support
+
+type direction =
+  | Forward
+  | Backward
+
+type result = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+}
+
+let solve ~(cfg : Ra_ir.Cfg.t) ~universe ~gen ~kill ~direction ?entry_fact () =
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  if Array.length gen <> n || Array.length kill <> n then
+    invalid_arg "Dataflow.solve: gen/kill arity";
+  let in_sets = Array.init n (fun _ -> Bitset.create universe) in
+  let out_sets = Array.init n (fun _ -> Bitset.create universe) in
+  (match entry_fact, direction with
+   | Some fact, Forward -> ignore (Bitset.union_into ~into:in_sets.(0) fact)
+   | Some _, Backward ->
+     invalid_arg "Dataflow.solve: entry_fact is for forward problems"
+   | None, (Forward | Backward) -> ());
+  let rpo = Ra_ir.Cfg.reverse_postorder cfg in
+  let order =
+    match direction with
+    | Forward -> rpo
+    | Backward ->
+      let rev = Array.copy rpo in
+      let n = Array.length rev in
+      Array.iteri (fun i b -> rev.(n - 1 - i) <- b) rpo;
+      rev
+  in
+  let scratch = Bitset.create universe in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        let block = cfg.Ra_ir.Cfg.blocks.(b) in
+        match direction with
+        | Forward ->
+          List.iter
+            (fun p ->
+              if Bitset.union_into ~into:in_sets.(b) out_sets.(p) then
+                changed := true)
+            block.Ra_ir.Cfg.preds;
+          ignore (Bitset.assign ~into:scratch in_sets.(b));
+          ignore (Bitset.diff_into ~into:scratch kill.(b));
+          ignore (Bitset.union_into ~into:scratch gen.(b));
+          if Bitset.assign ~into:out_sets.(b) scratch then changed := true
+        | Backward ->
+          List.iter
+            (fun s ->
+              if Bitset.union_into ~into:out_sets.(b) in_sets.(s) then
+                changed := true)
+            block.Ra_ir.Cfg.succs;
+          ignore (Bitset.assign ~into:scratch out_sets.(b));
+          ignore (Bitset.diff_into ~into:scratch kill.(b));
+          ignore (Bitset.union_into ~into:scratch gen.(b));
+          if Bitset.assign ~into:in_sets.(b) scratch then changed := true)
+      order
+  done;
+  { live_in = in_sets; live_out = out_sets }

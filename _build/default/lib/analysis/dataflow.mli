@@ -1,0 +1,30 @@
+(** Generic iterative bit-vector dataflow over a {!Ra_ir.Cfg}.
+
+    Solves the standard gen/kill equations with a worklist:
+    - forward:  [in(b) = ∪ out(p) for p in preds(b)],
+                [out(b) = gen(b) ∪ (in(b) \ kill(b))]
+    - backward: [out(b) = ∪ in(s) for s in succs(b)],
+                [in(b)  = gen(b) ∪ (out(b) \ kill(b))]
+
+    Meet is union (may analyses); initial sets are empty, plus an optional
+    boundary set injected at the entry (forward) — used by reaching
+    definitions for the implicit entry definitions. *)
+
+type direction =
+  | Forward
+  | Backward
+
+type result = {
+  live_in : Ra_support.Bitset.t array; (* "in" per block *)
+  live_out : Ra_support.Bitset.t array; (* "out" per block *)
+}
+
+val solve :
+  cfg:Ra_ir.Cfg.t ->
+  universe:int ->
+  gen:Ra_support.Bitset.t array ->
+  kill:Ra_support.Bitset.t array ->
+  direction:direction ->
+  ?entry_fact:Ra_support.Bitset.t ->
+  unit ->
+  result

@@ -1,0 +1,69 @@
+type t = {
+  idoms : int array; (* -1 = unreachable / uncomputed *)
+}
+
+let compute (cfg : Ra_ir.Cfg.t) : t =
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  let rpo = Ra_ir.Cfg.reverse_postorder cfg in
+  (* position in reverse postorder; unreachable blocks keep max_int *)
+  let rpo_pos = Array.make n max_int in
+  let reachable = Array.make n false in
+  (* reverse_postorder appends unreachable blocks at the end; detect
+     reachability by DFS-free check: entry-reached iff it appears before
+     any unreachable suffix. Recompute reachability directly instead. *)
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter mark cfg.blocks.(b).succs
+    end
+  in
+  mark 0;
+  let order =
+    Array.of_list (List.filter (fun b -> reachable.(b)) (Array.to_list rpo))
+  in
+  Array.iteri (fun pos b -> rpo_pos.(b) <- pos) order;
+  let idoms = Array.make n (-1) in
+  idoms.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_pos.(a) > rpo_pos.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed_preds =
+            List.filter
+              (fun p -> reachable.(p) && idoms.(p) >= 0)
+              cfg.blocks.(b).preds
+          in
+          match processed_preds with
+          | [] -> () (* will be processed once a pred is *)
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idoms.(b) <> new_idom then begin
+              idoms.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      order
+  done;
+  { idoms }
+
+let idom t b = if t.idoms.(b) < 0 then None else Some t.idoms.(b)
+
+let is_reachable t b = t.idoms.(b) >= 0
+
+let dominates t ~dom ~node =
+  if t.idoms.(dom) < 0 || t.idoms.(node) < 0 then false
+  else begin
+    let rec walk b =
+      if b = dom then true
+      else if b = t.idoms.(b) then false (* reached entry *)
+      else walk t.idoms.(b)
+    in
+    walk node
+  end

@@ -1,0 +1,16 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+    ("A Simple, Fast Dominance Algorithm"). Fitting, given the authors. *)
+
+type t
+
+val compute : Ra_ir.Cfg.t -> t
+
+(** Immediate dominator of a block; the entry's idom is itself.
+    [None] for unreachable blocks. *)
+val idom : t -> int -> int option
+
+(** [dominates t ~dom ~node]: does [dom] dominate [node]? Reflexive.
+    False when either block is unreachable. *)
+val dominates : t -> dom:int -> node:int -> bool
+
+val is_reachable : t -> int -> bool

@@ -1,0 +1,70 @@
+open Ra_support
+
+type numbering = {
+  universe : int;
+  defs_of : int -> int list;
+  uses_of : int -> int list;
+}
+
+type t = {
+  numbering : numbering;
+  cfg : Ra_ir.Cfg.t;
+  result : Dataflow.result;
+  scratch : Bitset.t;
+}
+
+let vreg_index (proc : Ra_ir.Proc.t) (r : Ra_ir.Reg.t) =
+  match r.cls with
+  | Ra_ir.Reg.Int_reg -> r.id
+  | Ra_ir.Reg.Flt_reg -> proc.next_int + r.id
+
+let vreg_numbering (proc : Ra_ir.Proc.t) =
+  let code = proc.code in
+  let index = vreg_index proc in
+  { universe = proc.next_int + proc.next_flt;
+    defs_of = (fun i -> List.map index (Ra_ir.Instr.defs (code.(i)).ins));
+    uses_of = (fun i -> List.map index (Ra_ir.Instr.uses (code.(i)).ins)) }
+
+let compute ~code ~cfg numbering =
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  let universe = numbering.universe in
+  let gen = Array.init n (fun _ -> Bitset.create universe) in
+  let kill = Array.init n (fun _ -> Bitset.create universe) in
+  (* upward-exposed uses and defs, per block *)
+  Array.iter
+    (fun (b : Ra_ir.Cfg.block) ->
+      let g = gen.(b.bindex) and k = kill.(b.bindex) in
+      for i = b.first to b.last do
+        List.iter
+          (fun u -> if not (Bitset.mem k u) then Bitset.add g u)
+          (numbering.uses_of i);
+        List.iter (fun d -> Bitset.add k d) (numbering.defs_of i)
+      done)
+    cfg.blocks;
+  let result =
+    Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
+  in
+  ignore code;
+  { numbering; cfg; result; scratch = Bitset.create universe }
+
+let block_live_in t b = t.result.Dataflow.live_in.(b)
+let block_live_out t b = t.result.Dataflow.live_out.(b)
+
+let iter_block_backward t b ~f =
+  let block = t.cfg.blocks.(b) in
+  let live = t.scratch in
+  ignore (Bitset.assign ~into:live (block_live_out t b));
+  for i = block.last downto block.first do
+    f i ~live_after:live;
+    List.iter (Bitset.remove live) (t.numbering.defs_of i);
+    List.iter (Bitset.add live) (t.numbering.uses_of i)
+  done
+
+let live_after t idx =
+  let b = t.cfg.block_of_instr.(idx) in
+  let out = ref (Bitset.create t.numbering.universe) in
+  iter_block_backward t b ~f:(fun i ~live_after ->
+    if i = idx then out := Bitset.copy live_after);
+  !out
+
+let entry_live_in t = block_live_in t 0

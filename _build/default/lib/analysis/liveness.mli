@@ -1,0 +1,41 @@
+(** Live-variable analysis at instruction granularity.
+
+    The analysis is parameterized by a {!numbering} so the same solver
+    serves two clients: virtual registers (tests, verification) and webs
+    (interference-graph construction after live ranges are built). *)
+
+type numbering = {
+  universe : int;
+  defs_of : int -> int list; (* instruction index -> defined ids *)
+  uses_of : int -> int list; (* instruction index -> used ids *)
+}
+
+type t
+
+(** Dense numbering of a procedure's virtual registers:
+    int class first, then float class offset by the int-class count. *)
+val vreg_numbering : Ra_ir.Proc.t -> numbering
+
+(** Index of a register under {!vreg_numbering}. *)
+val vreg_index : Ra_ir.Proc.t -> Ra_ir.Reg.t -> int
+
+val compute :
+  code:Ra_ir.Proc.node array -> cfg:Ra_ir.Cfg.t -> numbering -> t
+
+(** Live-in/out of a whole block. Do not mutate the returned sets. *)
+val block_live_in : t -> int -> Ra_support.Bitset.t
+val block_live_out : t -> int -> Ra_support.Bitset.t
+
+(** [iter_block_backward t b ~f] walks block [b]'s instructions from last to
+    first, calling [f idx ~live_after] with the live set *after* each
+    instruction. The set is a scratch buffer reused between calls: inspect
+    it inside [f], do not retain it. *)
+val iter_block_backward :
+  t -> int -> f:(int -> live_after:Ra_support.Bitset.t -> unit) -> unit
+
+(** Per-instruction live-after set, computed fresh (convenient, O(block)). *)
+val live_after : t -> int -> Ra_support.Bitset.t
+
+(** Ids live on entry to the procedure (useful to detect uninitialized
+    reads: a non-argument id live-in at entry). *)
+val entry_live_in : t -> Ra_support.Bitset.t

@@ -1,0 +1,63 @@
+type loop = {
+  header : int;
+  body : int list;
+}
+
+type t = {
+  all : loop list;
+  depth : int array;
+}
+
+let natural_loop (cfg : Ra_ir.Cfg.t) ~source ~header =
+  (* all blocks that reach [source] without passing through [header] *)
+  let in_body = Hashtbl.create 8 in
+  Hashtbl.replace in_body header ();
+  let rec pull b =
+    if not (Hashtbl.mem in_body b) then begin
+      Hashtbl.replace in_body b ();
+      List.iter pull cfg.blocks.(b).preds
+    end
+  in
+  pull source;
+  let body = Hashtbl.fold (fun b () acc -> b :: acc) in_body [] in
+  { header; body = List.sort compare body }
+
+let compute (cfg : Ra_ir.Cfg.t) (doms : Dominators.t) : t =
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  let loops = ref [] in
+  Array.iter
+    (fun (b : Ra_ir.Cfg.block) ->
+      if Dominators.is_reachable doms b.bindex then
+        List.iter
+          (fun s ->
+            if Dominators.dominates doms ~dom:s ~node:b.bindex then
+              loops := natural_loop cfg ~source:b.bindex ~header:s :: !loops)
+          b.succs)
+    cfg.blocks;
+  (* merge loops sharing a header: same natural loop per header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      let prior =
+        match Hashtbl.find_opt by_header l.header with
+        | Some body -> body
+        | None -> []
+      in
+      Hashtbl.replace by_header l.header
+        (List.sort_uniq compare (l.body @ prior)))
+    !loops;
+  let all =
+    Hashtbl.fold (fun header body acc -> { header; body } :: acc) by_header []
+    |> List.sort compare
+  in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    all;
+  { all; depth }
+
+let loops t = t.all
+
+let block_depth t b = t.depth.(b)
+
+let instr_depth t ~(cfg : Ra_ir.Cfg.t) i = t.depth.(cfg.block_of_instr.(i))

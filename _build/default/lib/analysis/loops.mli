@@ -1,0 +1,20 @@
+(** Natural loops from back edges, and per-block / per-instruction nesting
+    depth. Cross-validates the syntactic depths codegen records (the spill
+    estimator can use either). *)
+
+type loop = {
+  header : int; (* block index *)
+  body : int list; (* block indices, header included, sorted *)
+}
+
+type t
+
+val compute : Ra_ir.Cfg.t -> Dominators.t -> t
+
+val loops : t -> loop list
+
+(** Number of natural loops containing the block. *)
+val block_depth : t -> int -> int
+
+(** Depth of the instruction's block. *)
+val instr_depth : t -> cfg:Ra_ir.Cfg.t -> int -> int

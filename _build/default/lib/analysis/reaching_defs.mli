@@ -1,0 +1,37 @@
+(** Reaching definitions at instruction granularity over virtual registers.
+
+    The definition universe is: one *entry definition* per virtual register
+    (modelling the value a register has on procedure entry — real for
+    arguments, garbage for locals), plus one definition per defining
+    instruction occurrence. Web construction unions the definitions that
+    reach each use. *)
+
+type site =
+  | Entry
+  | At of int (* instruction index *)
+
+type t
+
+val compute : Ra_ir.Proc.t -> Ra_ir.Cfg.t -> t
+
+(** Total number of definitions (entry + occurrences). Entry definitions
+    are ids [0 .. n_vregs-1]; the entry definition of register [r] has id
+    [Liveness.vreg_index proc r]. *)
+val n_defs : t -> int
+
+val site_of : t -> int -> site
+
+(** The defined register's dense index (see {!Liveness.vreg_index}). *)
+val vreg_of : t -> int -> int
+
+(** Definition id of the instruction at [idx] (its unique def), if any. *)
+val def_at : t -> int -> int option
+
+(** Definitions reaching the start of a block. Do not mutate. *)
+val reaching_in : t -> int -> Ra_support.Bitset.t
+
+(** [iter_uses t ~f] calls [f instr_idx vreg_index reaching_def_ids] for
+    every use occurrence in the procedure, where [reaching_def_ids] are the
+    definitions of that register reaching that use (always non-empty: the
+    entry definition reaches anything not covered by a real definition). *)
+val iter_uses : t -> f:(int -> int -> int list -> unit) -> unit

@@ -1,0 +1,153 @@
+open Ra_support
+
+type web = {
+  w_id : int;
+  cls : Ra_ir.Reg.cls;
+  vreg : Ra_ir.Reg.t;
+  def_sites : int list;
+  use_sites : int list;
+  has_entry_def : bool;
+  spill_temp : bool;
+}
+
+type t = {
+  webs : web array;
+  use_maps : (int * int) list array; (* instr -> (vreg index, web id) *)
+  def_maps : (int * int) list array;
+  flt_base : int;
+    (* The float-class key offset, frozen at build time: the procedure's
+       register counters keep growing (spill insertion mints temporaries
+       while consulting this structure), so the offset must be a value,
+       not a live read of [proc.next_int]. *)
+}
+
+let build (proc : Ra_ir.Proc.t) (cfg : Ra_ir.Cfg.t) ~is_spill_vreg : t =
+  let code = proc.code in
+  let n_instr = Array.length code in
+  let n_vregs = proc.next_int + proc.next_flt in
+  let rd = Reaching_defs.compute proc cfg in
+  let uf = Union_find.create (Reaching_defs.n_defs rd) in
+  (* union every definition reaching a common use *)
+  Reaching_defs.iter_uses rd ~f:(fun _instr _v reaching ->
+    match reaching with
+    | [] -> assert false
+    | first :: rest ->
+      List.iter (fun d -> ignore (Union_find.union uf first d)) rest;
+      ignore first);
+  (* classes with at least one real occurrence become webs; record, per use
+     occurrence, which class it belongs to *)
+  let rep_to_web = Hashtbl.create 64 in
+  let next_web = ref 0 in
+  let entry_def_of_rep = Hashtbl.create 64 in
+  let def_sites_of_rep = Hashtbl.create 64 in
+  let use_sites_of_rep = Hashtbl.create 64 in
+  let vreg_of_rep = Hashtbl.create 64 in
+  let note_rep rep v =
+    if not (Hashtbl.mem vreg_of_rep rep) then Hashtbl.replace vreg_of_rep rep v
+  in
+  (* definitions from instructions *)
+  for i = 0 to n_instr - 1 do
+    match Reaching_defs.def_at rd i with
+    | None -> ()
+    | Some d ->
+      let rep = Union_find.find uf d in
+      note_rep rep (Reaching_defs.vreg_of rd d);
+      let prior =
+        match Hashtbl.find_opt def_sites_of_rep rep with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace def_sites_of_rep rep (i :: prior)
+  done;
+  (* uses *)
+  let use_maps = Array.make n_instr [] in
+  let def_maps = Array.make n_instr [] in
+  Reaching_defs.iter_uses rd ~f:(fun i v reaching ->
+    let rep = Union_find.find uf (List.hd reaching) in
+    note_rep rep v;
+    let prior =
+      match Hashtbl.find_opt use_sites_of_rep rep with
+      | Some l -> l
+      | None -> []
+    in
+    Hashtbl.replace use_sites_of_rep rep (i :: prior);
+    use_maps.(i) <- (v, rep) :: use_maps.(i));
+  (* entry definitions that were merged into a used class *)
+  for v = 0 to n_vregs - 1 do
+    let rep = Union_find.find uf v in
+    if Hashtbl.mem vreg_of_rep rep then Hashtbl.replace entry_def_of_rep rep ()
+  done;
+  (* assign dense web ids *)
+  let reps =
+    Hashtbl.fold (fun rep _ acc -> rep :: acc) vreg_of_rep []
+    |> List.sort compare
+  in
+  let flt_base = proc.next_int in
+  let reg_of_index v =
+    if v < flt_base then Ra_ir.Reg.int v else Ra_ir.Reg.flt (v - flt_base)
+  in
+  let webs =
+    List.map
+      (fun rep ->
+        let v = Hashtbl.find vreg_of_rep rep in
+        let vreg = reg_of_index v in
+        let w_id = !next_web in
+        incr next_web;
+        Hashtbl.replace rep_to_web rep w_id;
+        let sites tbl =
+          match Hashtbl.find_opt tbl rep with
+          | Some l -> List.rev l
+          | None -> []
+        in
+        { w_id;
+          cls = vreg.Ra_ir.Reg.cls;
+          vreg;
+          def_sites = sites def_sites_of_rep;
+          use_sites = sites use_sites_of_rep;
+          has_entry_def = Hashtbl.mem entry_def_of_rep rep;
+          spill_temp = is_spill_vreg vreg })
+      reps
+    |> Array.of_list
+  in
+  (* translate occurrence maps from reps to web ids *)
+  let to_web (v, rep) = v, Hashtbl.find rep_to_web rep in
+  for i = 0 to n_instr - 1 do
+    use_maps.(i) <- List.map to_web use_maps.(i);
+    (match Reaching_defs.def_at rd i with
+     | None -> ()
+     | Some d ->
+       let rep = Union_find.find uf d in
+       def_maps.(i) <-
+         [ Reaching_defs.vreg_of rd d, Hashtbl.find rep_to_web rep ])
+  done;
+  ignore n_instr;
+  { webs; use_maps; def_maps; flt_base }
+
+let n_webs t = Array.length t.webs
+let web t i = t.webs.(i)
+let webs t = t.webs
+
+let of_class t cls =
+  Array.to_list t.webs |> List.filter (fun w -> w.cls = cls)
+
+let key_of t (reg : Ra_ir.Reg.t) =
+  match reg.cls with
+  | Ra_ir.Reg.Int_reg -> reg.id
+  | Ra_ir.Reg.Flt_reg -> t.flt_base + reg.id
+
+let use_web t i reg = List.assoc (key_of t reg) t.use_maps.(i)
+
+let def_web t i reg = List.assoc (key_of t reg) t.def_maps.(i)
+
+let uses_at t i = List.sort_uniq compare (List.map snd t.use_maps.(i))
+let defs_at t i = List.map snd t.def_maps.(i)
+
+let entry_webs t =
+  Array.to_list t.webs
+  |> List.filter (fun w -> w.has_entry_def)
+  |> List.map (fun w -> w.w_id)
+
+let numbering t : Liveness.numbering =
+  { Liveness.universe = n_webs t;
+    defs_of = defs_at t;
+    uses_of = uses_at t }

@@ -1,0 +1,52 @@
+(** Live-range ("web") construction — the paper's Build-phase step of
+    "finding and renumbering distinct live ranges".
+
+    A web is a maximal union of def-use chains of one virtual register:
+    every definition that reaches a use is in the same web as that use.
+    Distinct webs of the same virtual register (disjoint lifetimes of a
+    reused variable) color independently. Webs are the nodes of the
+    interference graph. *)
+
+type web = {
+  w_id : int; (* dense over the procedure, both classes mixed *)
+  cls : Ra_ir.Reg.cls;
+  vreg : Ra_ir.Reg.t; (* the underlying virtual register *)
+  def_sites : int list; (* instruction indexes, ascending *)
+  use_sites : int list; (* instruction indexes, ascending, with duplicates
+                           when an instruction uses the web twice *)
+  has_entry_def : bool; (* live-in at procedure entry (arguments, or
+                           possibly-uninitialized locals) *)
+  spill_temp : bool; (* created by spill code; never spilled again *)
+}
+
+type t
+
+(** [build proc cfg ~is_spill_vreg] computes the webs of [proc].
+    [is_spill_vreg] marks registers introduced by spill insertion. *)
+val build :
+  Ra_ir.Proc.t ->
+  Ra_ir.Cfg.t ->
+  is_spill_vreg:(Ra_ir.Reg.t -> bool) ->
+  t
+
+val n_webs : t -> int
+val web : t -> int -> web
+val webs : t -> web array
+
+(** Webs of the given class. *)
+val of_class : t -> Ra_ir.Reg.cls -> web list
+
+(** Web id of a register occurrence. Raises [Not_found] if the register
+    does not occur there in that role. *)
+val use_web : t -> int -> Ra_ir.Reg.t -> int
+val def_web : t -> int -> Ra_ir.Reg.t -> int
+
+(** Web ids used / defined at an instruction (deduplicated). *)
+val uses_at : t -> int -> int list
+val defs_at : t -> int -> int list
+
+(** Webs live-in at entry (arguments and unset locals): web ids. *)
+val entry_webs : t -> int list
+
+(** A {!Liveness.numbering} over web ids, for interference construction. *)
+val numbering : t -> Liveness.numbering

@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Array Build Cfg Format Hashtbl Heuristic Igraph Instr List Machine Printf Proc Ra_analysis Ra_ir Ra_support Reg Spill Spill_costs String Sys Timer Union_find Webs

@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Heuristic Machine Ra_ir

@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Bitset Cfg Hashtbl Igraph Instr List Liveness Machine Option Proc Ra_analysis Ra_ir Ra_support Reg Spill_costs Union_find Webs

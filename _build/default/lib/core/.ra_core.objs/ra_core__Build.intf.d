@@ -1,0 +1,1 @@
+lib/core/build.mli: Igraph Machine Ra_analysis Ra_ir Ra_support Webs

@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Degree_buckets Igraph List Ra_support

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Coloring Igraph Ra_support

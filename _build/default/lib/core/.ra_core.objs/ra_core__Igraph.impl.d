@@ -1,0 +1,1 @@
+lib/core/igraph.ml: Array Bit_matrix List Ra_support

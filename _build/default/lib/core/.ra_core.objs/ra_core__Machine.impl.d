@@ -1,0 +1,1 @@
+lib/core/machine.ml: List Ra_ir

@@ -1,0 +1,1 @@
+lib/core/remat.ml: Array Int64 List Ra_analysis Ra_ir Webs

@@ -1,0 +1,1 @@
+lib/core/remat.mli: Ra_analysis Ra_ir Webs

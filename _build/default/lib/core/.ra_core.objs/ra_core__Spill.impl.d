@@ -1,0 +1,1 @@
+lib/core/spill.ml: Array Hashtbl Instr List Proc Ra_analysis Ra_ir Reg Remat Webs

@@ -1,0 +1,1 @@
+lib/core/spill.mli: Ra_analysis Ra_ir Webs

@@ -1,0 +1,1 @@
+lib/core/spill_costs.ml: Array List Ra_analysis Ra_ir Ra_support Webs

@@ -1,0 +1,1 @@
+lib/core/spill_costs.mli: Ra_analysis Ra_ir Ra_support Webs

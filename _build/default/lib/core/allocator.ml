@@ -1,0 +1,260 @@
+open Ra_support
+open Ra_ir
+open Ra_analysis
+
+type pass_record = {
+  pass_index : int;
+  webs_initial : int;
+  webs_coalesced : int;
+  nodes_int : int;
+  nodes_flt : int;
+  edges_int : int;
+  edges_flt : int;
+  spilled : int;
+  spill_cost : float;
+  build_time : float;
+  simplify_time : float;
+  color_time : float;
+  spill_time : float;
+}
+
+type result = {
+  proc : Proc.t;
+  heuristic : Heuristic.t;
+  machine : Machine.t;
+  passes : pass_record list;
+  live_ranges : int;
+  total_spilled : int;
+  total_spill_cost : float;
+  moves_removed : int;
+}
+
+exception Allocation_failure of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Allocation_failure m)) fmt
+
+let debug_enabled = Sys.getenv_opt "RA_DEBUG" <> None
+
+let copy_proc (p : Proc.t) : Proc.t =
+  { p with Proc.code = Array.copy p.code }
+
+(* Expand a spill decision (node ids of one class graph) into groups of
+   member web ids sharing a slot, plus the paper's counters. *)
+let spill_groups built cls nodes =
+  let alias = built.Build.alias in
+  let webs = built.Build.webs in
+  let members_of_rep = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let rep = Build.web_of_node built cls node in
+      Hashtbl.replace members_of_rep rep [])
+    nodes;
+  for w = 0 to Webs.n_webs webs - 1 do
+    let rep = Union_find.find alias w in
+    match Hashtbl.find_opt members_of_rep rep with
+    | Some members -> Hashtbl.replace members_of_rep rep (w :: members)
+    | None -> ()
+  done;
+  Hashtbl.fold (fun _rep members acc -> List.rev members :: acc)
+    members_of_rep []
+
+let allocate ?(coalesce = true) ?(max_passes = 32)
+    ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
+    machine heuristic (original : Proc.t) : result =
+  let proc = copy_proc original in
+  let spill_vreg_ids : (int * Reg.cls, unit) Hashtbl.t = Hashtbl.create 16 in
+  let is_spill_vreg (r : Reg.t) = Hashtbl.mem spill_vreg_ids (r.id, r.cls) in
+  let passes = ref [] in
+  let live_ranges = ref 0 in
+  let total_spilled = ref 0 in
+  let total_spill_cost = ref 0.0 in
+  let finish_pass ~built ~colors_int ~colors_flt =
+    (* Paranoia: the coloring must be proper on both class graphs. *)
+    (match Igraph.check_coloring built.Build.int_graph ~colors:colors_int with
+     | Some (a, b) -> fail "improper int coloring: nodes %d and %d" a b
+     | None -> ());
+    (match Igraph.check_coloring built.Build.flt_graph ~colors:colors_flt with
+     | Some (a, b) -> fail "improper flt coloring: nodes %d and %d" a b
+     | None -> ());
+    (* Rewrite virtual registers to their colors; drop self-copies. *)
+    let webs = built.Build.webs in
+    let color_of cls node =
+      let colors =
+        match cls with Reg.Int_reg -> colors_int | Reg.Flt_reg -> colors_flt
+      in
+      match colors.(node) with
+      | Some c -> c
+      | None -> fail "uncolored node survived to rewrite"
+    in
+    let phys (r : Reg.t) c : Reg.t = { r with Reg.id = c } in
+    let rewrite_occurrence which i (r : Reg.t) =
+      let w = which i r in
+      phys r (color_of r.cls (Build.node_of built w))
+    in
+    let moves_removed = ref 0 in
+    let out = ref [] in
+    Array.iteri
+      (fun i (node : Proc.node) ->
+        let ins =
+          Instr.map_regs
+            ~def:(rewrite_occurrence (Webs.def_web webs) i)
+            ~use:(rewrite_occurrence (Webs.use_web webs) i)
+            node.ins
+        in
+        match ins with
+        | Instr.Mov (d, s) when Reg.equal d s -> incr moves_removed
+        | ins -> out := { node with Proc.ins } :: !out)
+      proc.code;
+    proc.code <- Array.of_list (List.rev !out);
+    (* arguments arrive in the physical registers of their entry webs *)
+    let args =
+      List.map
+        (fun (a : Reg.t) ->
+          let entry_web = ref None in
+          Array.iter
+            (fun (w : Webs.web) ->
+              if w.has_entry_def && Reg.equal w.vreg a then
+                entry_web := Some w.w_id)
+            (Webs.webs webs);
+          match !entry_web with
+          | Some w -> phys a (color_of a.cls (Build.node_of built w))
+          | None ->
+            (* unused argument: park it above the physical file so binding
+               it at frame setup can never clobber a live register *)
+            let k = Machine.regs machine a.cls in
+            phys a (k + List.length proc.args))
+        proc.args
+    in
+    let proc = { proc with Proc.args } in
+    proc.Proc.allocated <- true;
+    proc, !moves_removed
+  in
+  let rec run_pass pass_index =
+    if pass_index > max_passes then
+      fail "%s: no convergence after %d passes" proc.name max_passes;
+    let timer = Timer.create () in
+    let cfg, webs, built =
+      Timer.record timer ~phase:"build" (fun () ->
+        let cfg = Cfg.build proc.code in
+        let webs = Webs.build proc cfg ~is_spill_vreg in
+        let built = Build.build machine proc cfg ~webs ~coalesce () in
+        cfg, webs, built)
+    in
+    ignore cfg;
+    if pass_index = 1 then live_ranges := Webs.n_webs webs;
+    (* spill costs are part of Build in the paper's accounting *)
+    let costs_int, costs_flt =
+      Timer.record timer ~phase:"build" (fun () ->
+        Build.node_costs ~base:spill_base built proc Reg.Int_reg,
+        Build.node_costs ~base:spill_base built proc Reg.Flt_reg)
+    in
+    let k_int = Machine.regs machine Reg.Int_reg in
+    let k_flt = Machine.regs machine Reg.Flt_reg in
+    let out_int =
+      Heuristic.run ~timer heuristic built.Build.int_graph ~k:k_int
+        ~costs:costs_int
+    in
+    let out_flt =
+      Heuristic.run ~timer heuristic built.Build.flt_graph ~k:k_flt
+        ~costs:costs_flt
+    in
+    let spills_of cls costs = function
+      | Heuristic.Colored _ -> [], 0.0
+      | Heuristic.Spill nodes ->
+        let cost =
+          List.fold_left (fun acc n -> acc +. costs.(n)) 0.0 nodes
+        in
+        spill_groups built cls nodes, cost
+    in
+    let groups_int, cost_int = spills_of Reg.Int_reg costs_int out_int in
+    let groups_flt, cost_flt = spills_of Reg.Flt_reg costs_flt out_flt in
+    let n_spilled = List.length groups_int + List.length groups_flt in
+    let record ~spilled ~spill_cost =
+      { pass_index;
+        webs_initial = Webs.n_webs webs;
+        webs_coalesced = built.Build.moves_coalesced;
+        nodes_int = Igraph.n_nodes built.Build.int_graph - k_int;
+        nodes_flt = Igraph.n_nodes built.Build.flt_graph - k_flt;
+        edges_int = Igraph.n_edges built.Build.int_graph;
+        edges_flt = Igraph.n_edges built.Build.flt_graph;
+        spilled;
+        spill_cost;
+        build_time = Timer.elapsed timer ~phase:"build";
+        simplify_time = Timer.elapsed timer ~phase:"simplify";
+        color_time = Timer.elapsed timer ~phase:"color";
+        spill_time = Timer.elapsed timer ~phase:"spill" }
+    in
+    if n_spilled = 0 then begin
+      match out_int, out_flt with
+      | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
+        passes := record ~spilled:0 ~spill_cost:0.0 :: !passes;
+        finish_pass ~built ~colors_int ~colors_flt
+      | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
+    end
+    else begin
+      let spill_cost = cost_int +. cost_flt in
+      (* When every elected live range is unspillable (infinite cost:
+         spill temporaries or no-benefit ranges), another pass would
+         recreate the identical conflict: some program point — typically
+         a call site, whose arguments must all be register-resident at
+         once in this calling convention — demands more registers than
+         the machine has. Fail with a diagnosis instead of looping. *)
+      if spill_cost = infinity
+         && List.for_all
+              (fun n -> costs_int.(n) = infinity)
+              (match out_int with
+               | Heuristic.Spill nodes -> nodes
+               | Heuristic.Colored _ -> [])
+         && List.for_all
+              (fun n -> costs_flt.(n) = infinity)
+              (match out_flt with
+               | Heuristic.Spill nodes -> nodes
+               | Heuristic.Colored _ -> [])
+      then
+        fail
+          "%s: only unspillable live ranges remain at pass %d -- some \
+           program point (likely a call site) needs more than the %d int / \
+           %d flt registers available"
+          proc.name pass_index k_int k_flt;
+      total_spilled := !total_spilled + n_spilled;
+      total_spill_cost := !total_spill_cost +. spill_cost;
+      Timer.record timer ~phase:"spill" (fun () ->
+        let { Spill.new_temps; _ } =
+          Spill.insert ~rematerialize proc webs
+            ~spilled:(groups_int @ groups_flt)
+        in
+        List.iter
+          (fun (r : Reg.t) -> Hashtbl.replace spill_vreg_ids (r.id, r.cls) ())
+          new_temps);
+      if debug_enabled then begin
+        Printf.eprintf
+          "[ra] %s pass %d: webs %d, spilled %d (cost %g), int %d/%d flt %d/%d\n%!"
+          proc.name pass_index (Webs.n_webs webs) n_spilled spill_cost
+          (List.length groups_int) k_int (List.length groups_flt) k_flt;
+        List.iter
+          (fun group ->
+            List.iter
+              (fun w ->
+                let web = Webs.web webs w in
+                Printf.eprintf "[ra]   web %d %s defs=[%s] uses=[%s]\n%!" w
+                  (Reg.to_string web.Webs.vreg)
+                  (String.concat ";" (List.map string_of_int web.Webs.def_sites))
+                  (String.concat ";" (List.map string_of_int web.Webs.use_sites)))
+              group)
+          (groups_int @ groups_flt)
+      end;
+      passes := record ~spilled:n_spilled ~spill_cost :: !passes;
+      run_pass (pass_index + 1)
+    end
+  in
+  let allocated, moves_removed = run_pass 1 in
+  { proc = allocated;
+    heuristic;
+    machine;
+    passes = List.rev !passes;
+    live_ranges = !live_ranges;
+    total_spilled = !total_spilled;
+    total_spill_cost = !total_spill_cost;
+    moves_removed }
+
+let summary r = r.total_spilled, r.total_spill_cost

@@ -1,0 +1,60 @@
+(** The Figure-4 driver: Build → (Simplify → Select →) Spill, repeated
+    until both register classes color, then rewrite the procedure onto
+    physical registers.
+
+    Each pass is timed per phase (build / simplify / color / spill) with
+    the counts the paper reports: live ranges, edges, registers spilled and
+    their precomputed spill cost. *)
+
+type pass_record = {
+  pass_index : int; (* 1-based *)
+  webs_initial : int; (* webs found by renumbering, before coalescing *)
+  webs_coalesced : int; (* moves coalesced away during Build *)
+  nodes_int : int; (* non-precolored nodes in each class graph *)
+  nodes_flt : int;
+  edges_int : int;
+  edges_flt : int;
+  spilled : int; (* live ranges spilled on this pass *)
+  spill_cost : float; (* their total estimated spill cost *)
+  build_time : float; (* seconds *)
+  simplify_time : float;
+  color_time : float;
+  spill_time : float;
+}
+
+type result = {
+  proc : Ra_ir.Proc.t; (* rewritten onto physical registers *)
+  heuristic : Heuristic.t;
+  machine : Machine.t;
+  passes : pass_record list; (* first pass first *)
+  live_ranges : int; (* webs on the first pass (paper's Live Ranges) *)
+  total_spilled : int;
+  total_spill_cost : float;
+  moves_removed : int; (* copies deleted by coalescing/same-color *)
+}
+
+exception Allocation_failure of string
+
+(** Debugging aid: when the environment variable [RA_DEBUG] is set, every
+    spilling pass prints its web/spill counts and the spilled webs' sites
+    to stderr. *)
+
+(** [allocate machine heuristic proc] register-allocates a *copy* of
+    [proc] (the input is untouched, so the same IR can be allocated with
+    several heuristics). [coalesce:false] disables copy coalescing (an
+    ablation); [spill_base] is the per-loop-depth spill-cost weight
+    (default 10, Chaitin's customary constant — another ablation axis).
+    Raises {!Allocation_failure} if the Build–Color cycle fails to
+    converge within [max_passes] (default 32). *)
+val allocate :
+  ?coalesce:bool ->
+  ?max_passes:int ->
+  ?spill_base:float ->
+  ?rematerialize:bool ->
+  Machine.t ->
+  Heuristic.t ->
+  Ra_ir.Proc.t ->
+  result
+
+(** Total spilled / spill cost for quick comparisons. *)
+val summary : result -> int * float

@@ -1,0 +1,192 @@
+open Ra_support
+open Ra_ir
+open Ra_analysis
+
+type t = {
+  webs : Webs.t;
+  alias : Union_find.t;
+  int_graph : Igraph.t;
+  flt_graph : Igraph.t;
+  node_of_web : int array;
+  web_of_node_int : int array;
+  web_of_node_flt : int array;
+  moves_coalesced : int;
+}
+
+let cls_of_web (webs : Webs.t) w = (Webs.web webs w).cls
+
+(* Build the two class graphs for the current aliasing. *)
+let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias =
+  let n_webs = Webs.n_webs webs in
+  let find = Union_find.find alias in
+  (* dense node numbering per class, representatives only *)
+  let node_of_web = Array.make (max n_webs 1) (-1) in
+  let k_int = Machine.regs machine Reg.Int_reg in
+  let k_flt = Machine.regs machine Reg.Flt_reg in
+  let rev_int = ref [] and rev_flt = ref [] in
+  let n_int = ref 0 and n_flt = ref 0 in
+  for w = 0 to n_webs - 1 do
+    if find w = w then begin
+      match cls_of_web webs w with
+      | Reg.Int_reg ->
+        node_of_web.(w) <- k_int + !n_int;
+        rev_int := w :: !rev_int;
+        incr n_int
+      | Reg.Flt_reg ->
+        node_of_web.(w) <- k_flt + !n_flt;
+        rev_flt := w :: !rev_flt;
+        incr n_flt
+    end
+  done;
+  let web_of_node_int = Array.of_list (List.rev !rev_int) in
+  let web_of_node_flt = Array.of_list (List.rev !rev_flt) in
+  let int_graph = Igraph.create ~n_nodes:(k_int + !n_int) ~n_precolored:k_int in
+  let flt_graph = Igraph.create ~n_nodes:(k_flt + !n_flt) ~n_precolored:k_flt in
+  let graph_of = function
+    | Reg.Int_reg -> int_graph
+    | Reg.Flt_reg -> flt_graph
+  in
+  (* liveness over representatives *)
+  let base = Webs.numbering webs in
+  let numbering =
+    { Liveness.universe = n_webs;
+      defs_of = (fun i -> List.sort_uniq compare (List.map find (base.Liveness.defs_of i)));
+      uses_of = (fun i -> List.sort_uniq compare (List.map find (base.Liveness.uses_of i))) }
+  in
+  let live = Liveness.compute ~code:proc.code ~cfg numbering in
+  let add_def_edges def_rep ~excluding ~live_after =
+    let cls = cls_of_web webs def_rep in
+    let g = graph_of cls in
+    Bitset.iter
+      (fun l ->
+        if l <> def_rep && Some l <> excluding && cls_of_web webs l = cls then
+          Igraph.add_edge g node_of_web.(def_rep) node_of_web.(l))
+      live_after
+  in
+  let add_clobber_edges ~ret_rep ~live_after =
+    let clobber cls =
+      let g = graph_of cls in
+      let saves = Machine.caller_save machine cls in
+      Bitset.iter
+        (fun l ->
+          if Some l <> ret_rep && cls_of_web webs l = cls then
+            List.iter (fun p -> Igraph.add_edge g p node_of_web.(l)) saves)
+        live_after
+    in
+    clobber Reg.Int_reg;
+    clobber Reg.Flt_reg
+  in
+  for b = 0 to Cfg.n_blocks cfg - 1 do
+    Liveness.iter_block_backward live b ~f:(fun i ~live_after ->
+      let node = proc.code.(i) in
+      (match Instr.move_of node.ins with
+       | Some (dreg, sreg) ->
+         let d = find (Webs.def_web webs i dreg) in
+         let s = find (Webs.use_web webs i sreg) in
+         add_def_edges d ~excluding:(Some s) ~live_after
+       | None ->
+         List.iter
+           (fun d -> add_def_edges d ~excluding:None ~live_after)
+           (numbering.Liveness.defs_of i));
+      match node.ins with
+      | Instr.Call { ret; _ } ->
+        let ret_rep =
+          Option.map (fun r -> find (Webs.def_web webs i r)) ret
+        in
+        add_clobber_edges ~ret_rep ~live_after
+      | Instr.Label _ | Instr.Li _ | Instr.Lf _ | Instr.Mov _ | Instr.Unop _
+      | Instr.Binop _ | Instr.Load _ | Instr.Store _ | Instr.Alloc _
+      | Instr.Dim _ | Instr.Br _ | Instr.Cbr _ | Instr.Ret _
+      | Instr.Spill_st _ | Instr.Spill_ld _ -> ())
+  done;
+  (* webs live into the entry block are defined simultaneously at entry *)
+  let entry_in = Liveness.block_live_in live 0 in
+  Bitset.iter
+    (fun a ->
+      Bitset.iter
+        (fun b ->
+          if a < b && cls_of_web webs a = cls_of_web webs b then
+            Igraph.add_edge
+              (graph_of (cls_of_web webs a))
+              node_of_web.(a) node_of_web.(b))
+        entry_in)
+    entry_in;
+  int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt
+
+let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
+    (int_graph : Igraph.t) (flt_graph : Igraph.t) =
+  let find = Union_find.find alias in
+  let merged = ref 0 in
+  (* The graph describes the aliasing we entered the scan with, so within
+     one scan each representative may take part in at most one merge;
+     moves touching an already-merged class wait for the next rebuild. *)
+  let touched = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      match Instr.move_of node.ins with
+      | None -> ()
+      | Some (dreg, sreg) ->
+        let wd = find (Webs.def_web webs i dreg) in
+        let ws = find (Webs.use_web webs i sreg) in
+        if wd <> ws && (not (Hashtbl.mem touched wd))
+           && not (Hashtbl.mem touched ws)
+        then begin
+          let spill_temp w = (Webs.web webs w).Webs.spill_temp in
+          if (not (spill_temp wd)) && not (spill_temp ws) then begin
+            let g =
+              match cls_of_web webs wd with
+              | Reg.Int_reg -> int_graph
+              | Reg.Flt_reg -> flt_graph
+            in
+            if not (Igraph.interferes g node_of_web.(wd) node_of_web.(ws))
+            then begin
+              ignore (Union_find.union alias wd ws);
+              Hashtbl.replace touched wd ();
+              Hashtbl.replace touched ws ();
+              incr merged
+            end
+          end
+        end)
+    proc.code;
+  !merged
+
+let build machine proc cfg ~webs ?(coalesce = true) () : t =
+  let n_webs = Webs.n_webs webs in
+  let alias = Union_find.create (max n_webs 1) in
+  let rec fixpoint total =
+    let ig, fg, now, wni, wnf = build_graphs machine proc cfg webs alias in
+    if not coalesce then ig, fg, now, wni, wnf, total
+    else begin
+      let merged = find_coalescable proc webs alias now ig fg in
+      if merged = 0 then ig, fg, now, wni, wnf, total
+      else fixpoint (total + merged)
+    end
+  in
+  let int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt,
+      moves_coalesced =
+    fixpoint 0
+  in
+  { webs; alias; int_graph; flt_graph; node_of_web;
+    web_of_node_int; web_of_node_flt; moves_coalesced }
+
+let graph_of_class t = function
+  | Reg.Int_reg -> t.int_graph
+  | Reg.Flt_reg -> t.flt_graph
+
+let web_of_node t cls node =
+  let g = graph_of_class t cls in
+  let k = Igraph.n_precolored g in
+  if node < k then invalid_arg "Build.web_of_node: precolored node";
+  match cls with
+  | Reg.Int_reg -> t.web_of_node_int.(node - k)
+  | Reg.Flt_reg -> t.web_of_node_flt.(node - k)
+
+let node_of t w = t.node_of_web.(Union_find.find t.alias w)
+
+let node_costs ?(base = Spill_costs.default_base) t proc cls =
+  let g = graph_of_class t cls in
+  let k = Igraph.n_precolored g in
+  let rep_costs = Spill_costs.rep_costs ~base proc t.webs ~alias:t.alias in
+  Array.init (Igraph.n_nodes g) (fun n ->
+    if n < k then infinity
+    else rep_costs.(web_of_node t cls n))

@@ -1,0 +1,54 @@
+open Ra_analysis
+
+(** The Build phase of Figure 4: construct per-class interference graphs
+    over webs, aggressively coalescing copies until fixpoint.
+
+    Node layout per class graph: nodes [0 .. k-1] are the physical
+    registers (precolored); node [k + j] is the j-th class web
+    representative. Interference edges:
+    - at each definition, the defined web interferes with every web of the
+      same class live after the instruction — except, for a copy
+      [Mov (d, s)], the source web [s];
+    - at each call, every caller-save physical register interferes with
+      every web live across the call (the call's own result excluded);
+    - webs live on procedure entry (arguments, possibly-uninitialized
+      locals) interfere pairwise — they are all "defined" at entry.
+
+    Coalescing (Chaitin's aggressive kind): a copy whose source and
+    destination webs do not interfere is merged and the graph rebuilt,
+    repeating until no copy can be merged. Copies touching spill
+    temporaries are left alone so spill code stays intact. *)
+
+type t = {
+  webs : Webs.t;
+  alias : Ra_support.Union_find.t; (* web id -> coalesced class *)
+  int_graph : Igraph.t;
+  flt_graph : Igraph.t;
+  node_of_web : int array; (* rep web id -> node id in its class graph *)
+  web_of_node_int : int array; (* node id - k -> rep web id *)
+  web_of_node_flt : int array;
+  moves_coalesced : int;
+}
+
+val build :
+  Machine.t ->
+  Ra_ir.Proc.t ->
+  Ra_ir.Cfg.t ->
+  webs:Webs.t ->
+  ?coalesce:bool ->
+  unit ->
+  t
+
+val graph_of_class : t -> Ra_ir.Reg.cls -> Igraph.t
+
+(** Representative web of a node in the given class's graph.
+    Raises [Invalid_argument] on a precolored node. *)
+val web_of_node : t -> Ra_ir.Reg.cls -> int -> int
+
+(** Node of a web (any member; resolved through [alias]). *)
+val node_of : t -> int -> int
+
+(** Spill costs per node of a class graph (physical nodes get
+    [infinity]); [base] is the per-loop-depth weight (default 10). *)
+val node_costs :
+  ?base:float -> t -> Ra_ir.Proc.t -> Ra_ir.Reg.cls -> float array

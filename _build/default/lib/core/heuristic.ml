@@ -1,0 +1,71 @@
+type t =
+  | Chaitin
+  | Briggs
+  | Matula
+
+type outcome =
+  | Colored of int option array
+  | Spill of int list
+
+let name = function
+  | Chaitin -> "chaitin"
+  | Briggs -> "briggs"
+  | Matula -> "matula"
+
+let of_name = function
+  | "chaitin" -> Some Chaitin
+  | "briggs" -> Some Briggs
+  | "matula" -> Some Matula
+  | _ -> None
+
+let assert_total (g : Igraph.t) (colors : int option array) =
+  for n = Igraph.n_precolored g to Igraph.n_nodes g - 1 do
+    assert (colors.(n) <> None)
+  done
+
+let run ?timer t g ~k ~costs : outcome =
+  let timed phase f =
+    match timer with
+    | Some tm -> Ra_support.Timer.record tm ~phase f
+    | None -> f ()
+  in
+  match t with
+  | Chaitin ->
+    let { Coloring.order; marked } =
+      timed "simplify" (fun () ->
+        Coloring.simplify g ~k ~costs ~policy:Coloring.Spill_during_simplify)
+    in
+    if marked <> [] then Spill marked
+    else begin
+      let { Coloring.colors; uncolored } =
+        timed "color" (fun () -> Coloring.select g ~k ~order)
+      in
+      (* simplification only removed degree-< k nodes: coloring must work *)
+      assert (uncolored = []);
+      assert_total g colors;
+      Colored colors
+    end
+  | Briggs ->
+    let { Coloring.order; marked } =
+      timed "simplify" (fun () ->
+        Coloring.simplify g ~k ~costs ~policy:Coloring.Defer_to_select)
+    in
+    assert (marked = []);
+    let { Coloring.colors; uncolored } =
+      timed "color" (fun () -> Coloring.select g ~k ~order)
+    in
+    if uncolored <> [] then Spill uncolored
+    else begin
+      assert_total g colors;
+      Colored colors
+    end
+  | Matula ->
+    let order = timed "simplify" (fun () -> Coloring.smallest_last_order g) in
+    let { Coloring.colors; uncolored } =
+      timed "color" (fun () -> Coloring.select g ~k ~order)
+    in
+    if uncolored <> [] then Spill uncolored
+    else begin
+      assert_total g colors;
+      Colored colors
+    end

@@ -1,0 +1,35 @@
+(** The three coloring heuristics as one-shot graph solvers.
+
+    - {!Chaitin}: §2.1 — spill decisions made during simplification; when a
+      node must be marked for spilling the whole pass gives up on coloring
+      (spill code is inserted and the Build–Simplify cycle restarts).
+    - {!Briggs}: §2.2–2.3 — the paper's contribution: simplification
+      removes every node (falling back to Chaitin's cost/degree order when
+      all remaining degrees are >= k) and select colors optimistically,
+      spilling only nodes for which all k colors are actually blocked.
+    - {!Matula}: the Matula–Beck smallest-last ordering with optimistic
+      select — the cost-blind variant §2.3 warns about, kept as an
+      ablation. *)
+
+type t =
+  | Chaitin
+  | Briggs
+  | Matula
+
+type outcome =
+  | Colored of int option array
+    (* a proper coloring: [Some c] for every non-precolored node *)
+  | Spill of int list
+    (* no k-coloring found this pass; spill these live ranges *)
+
+val name : t -> string
+val of_name : string -> t option
+
+(** [run t g ~k ~costs] attempts a k-coloring of [g]. [costs] follows
+    {!Coloring.simplify}. Matula ignores [costs]. When [timer] is given,
+    simplification time accumulates under phase "simplify" and select time
+    under "color" (Chaitin runs no select on a pass that spills, exactly as
+    the empty Color cells of Figure 7 show). *)
+val run :
+  ?timer:Ra_support.Timer.t ->
+  t -> Igraph.t -> k:int -> costs:float array -> outcome

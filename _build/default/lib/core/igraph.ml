@@ -1,0 +1,59 @@
+open Ra_support
+
+type t = {
+  matrix : Bit_matrix.t;
+  adjacency : int list array; (* reversed insertion order *)
+  degrees : int array;
+  n_precolored : int;
+  mutable edges : int;
+}
+
+let create ~n_nodes ~n_precolored =
+  if n_precolored > n_nodes then invalid_arg "Igraph.create";
+  { matrix = Bit_matrix.create n_nodes;
+    adjacency = Array.make (max n_nodes 1) [];
+    degrees = Array.make (max n_nodes 1) 0;
+    n_precolored;
+    edges = 0 }
+
+let n_nodes t = Bit_matrix.dimension t.matrix
+let n_precolored t = t.n_precolored
+let is_precolored t n = n < t.n_precolored
+
+let add_edge t a b =
+  if a <> b && not (Bit_matrix.mem t.matrix a b) then begin
+    Bit_matrix.set t.matrix a b;
+    t.adjacency.(a) <- b :: t.adjacency.(a);
+    t.adjacency.(b) <- a :: t.adjacency.(b);
+    t.degrees.(a) <- t.degrees.(a) + 1;
+    t.degrees.(b) <- t.degrees.(b) + 1;
+    t.edges <- t.edges + 1
+  end
+
+let interferes t a b = Bit_matrix.mem t.matrix a b
+
+let degree t n = t.degrees.(n)
+
+let neighbors t n = List.rev t.adjacency.(n)
+
+let n_edges t = t.edges
+
+let check_coloring t ~colors =
+  if Array.length colors <> n_nodes t then
+    invalid_arg "Igraph.check_coloring: arity";
+  let bad = ref None in
+  for p = 0 to t.n_precolored - 1 do
+    match colors.(p) with
+    | Some c when c <> p -> if !bad = None then bad := Some (p, p)
+    | Some _ | None -> ()
+  done;
+  for a = 0 to n_nodes t - 1 do
+    List.iter
+      (fun b ->
+        if a < b then
+          match colors.(a), colors.(b) with
+          | Some ca, Some cb when ca = cb -> if !bad = None then bad := Some (a, b)
+          | (Some _ | None), (Some _ | None) -> ())
+      t.adjacency.(a)
+  done;
+  !bad

@@ -1,0 +1,34 @@
+(** The interference graph, in Chaitin's dual representation: a triangular
+    bit matrix for O(1) membership tests plus adjacency vectors for
+    neighbor iteration.
+
+    Nodes are dense ints. The first [n_precolored] nodes are physical
+    registers: node [i] is machine register [i], permanently colored [i],
+    never simplified or spilled. Remaining nodes are live ranges. *)
+
+type t
+
+val create : n_nodes:int -> n_precolored:int -> t
+
+val n_nodes : t -> int
+val n_precolored : t -> int
+val is_precolored : t -> int -> bool
+
+(** Adds the edge {a, b}; self-loops and duplicates are ignored. *)
+val add_edge : t -> int -> int -> unit
+
+val interferes : t -> int -> int -> bool
+
+(** Full-graph degree (simplification tracks its own residual degrees). *)
+val degree : t -> int -> int
+
+(** Neighbors in insertion order. Do not mutate. *)
+val neighbors : t -> int -> int list
+
+(** Number of distinct edges. *)
+val n_edges : t -> int
+
+(** [check_coloring t ~colors] verifies that adjacent nodes have distinct
+    colors wherever both are colored and that precolored nodes kept their
+    color; returns the offending pair on failure. *)
+val check_coloring : t -> colors:int option array -> (int * int) option

@@ -1,0 +1,26 @@
+type t = {
+  int_regs : int;
+  flt_regs : int;
+  caller_save_int : int list;
+  caller_save_flt : int list;
+}
+
+let half_caller_save n = List.init (n / 2) (fun i -> i)
+
+let rt_pc =
+  { int_regs = 16;
+    flt_regs = 8;
+    caller_save_int = half_caller_save 16;
+    caller_save_flt = half_caller_save 8 }
+
+let with_int_regs t k =
+  if k < 2 then invalid_arg "Machine.with_int_regs: need at least 2";
+  { t with int_regs = k; caller_save_int = half_caller_save k }
+
+let regs t = function
+  | Ra_ir.Reg.Int_reg -> t.int_regs
+  | Ra_ir.Reg.Flt_reg -> t.flt_regs
+
+let caller_save t = function
+  | Ra_ir.Reg.Int_reg -> t.caller_save_int
+  | Ra_ir.Reg.Flt_reg -> t.caller_save_flt

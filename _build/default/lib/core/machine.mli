@@ -1,0 +1,23 @@
+(** Target-machine description: how many registers each class has and which
+    are caller-save (clobbered by a call).
+
+    The default target mirrors the paper's IBM RT/PC: sixteen general-
+    purpose registers and eight floating-point registers. [with_int_regs]
+    restricts the general-purpose file for the Figure-6 quicksort study. *)
+
+type t = {
+  int_regs : int;
+  flt_regs : int;
+  caller_save_int : int list; (* physical ids clobbered by calls *)
+  caller_save_flt : int list;
+}
+
+(** 16 GPRs + 8 FPRs; the lower half of each class is caller-save. *)
+val rt_pc : t
+
+(** [with_int_regs rt_pc k] keeps only [k] general-purpose registers
+    (k >= 2), the lower half caller-save — the paper's §3.2 experiment. *)
+val with_int_regs : t -> int -> t
+
+val regs : t -> Ra_ir.Reg.cls -> int
+val caller_save : t -> Ra_ir.Reg.cls -> int list

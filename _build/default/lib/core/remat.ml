@@ -1,0 +1,40 @@
+open Ra_analysis
+
+type value =
+  | Int_const of int
+  | Flt_const of float
+
+let equal a b =
+  match a, b with
+  | Int_const x, Int_const y -> x = y
+  | Flt_const x, Flt_const y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Int_const _, Flt_const _ | Flt_const _, Int_const _ -> false
+
+let def_value (proc : Ra_ir.Proc.t) site =
+  match (proc.code.(site)).Ra_ir.Proc.ins with
+  | Ra_ir.Instr.Li (_, n) -> Some (Int_const n)
+  | Ra_ir.Instr.Lf (_, f) -> Some (Flt_const f)
+  | _ -> None
+
+let of_web proc (w : Webs.web) =
+  if w.has_entry_def || w.def_sites = [] then None
+  else begin
+    let values = List.map (def_value proc) w.def_sites in
+    match values with
+    | Some first :: rest
+      when List.for_all
+             (function Some v -> equal v first | None -> false)
+             rest ->
+      Some first
+    | _ -> None
+  end
+
+let of_group proc (webs : Webs.t) members =
+  let values = List.map (fun m -> of_web proc (Webs.web webs m)) members in
+  match values with
+  | Some first :: rest
+    when List.for_all
+           (function Some v -> equal v first | None -> false)
+           rest ->
+    Some first
+  | _ -> None

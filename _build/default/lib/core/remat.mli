@@ -1,0 +1,17 @@
+open Ra_analysis
+
+(** Rematerialization of constants — Chaitin's refinement: a live range
+    whose every definition loads the same constant is never stored to a
+    spill slot; its "reloads" simply recompute the constant ([Li]/[Lf]),
+    which is cheaper than a memory access and frees the slot entirely. *)
+
+type value =
+  | Int_const of int
+  | Flt_const of float (* compared bit-exactly *)
+
+(** The constant a web always holds, if it has one: every definition is an
+    [Li]/[Lf] of the same value and the web is not live-in at entry. *)
+val of_web : Ra_ir.Proc.t -> Webs.web -> value option
+
+(** Same for a coalesced group (member web ids): all members must agree. *)
+val of_group : Ra_ir.Proc.t -> Webs.t -> int list -> value option

@@ -1,0 +1,113 @@
+open Ra_analysis
+open Ra_ir
+
+type result = {
+  new_temps : Reg.t list;
+  loads_inserted : int;
+  stores_inserted : int;
+  rematerialized : int;
+}
+
+let insert ?(rematerialize = true) (proc : Proc.t) (webs : Webs.t) ~spilled :
+    result =
+  let slot_of_web = Hashtbl.create 8 in
+  let remat_of_web = Hashtbl.create 8 in
+  let remat_groups = ref 0 in
+  List.iter
+    (fun group ->
+      match
+        if rematerialize then Remat.of_group proc webs group else None
+      with
+      | Some value ->
+        incr remat_groups;
+        List.iter (fun w -> Hashtbl.replace remat_of_web w value) group
+      | None ->
+        let slot = Proc.fresh_slot proc in
+        List.iter (fun w -> Hashtbl.replace slot_of_web w slot) group)
+    spilled;
+  let is_spilled w = Hashtbl.mem slot_of_web w in
+  let is_remat w = Hashtbl.mem remat_of_web w in
+  let new_temps = ref [] in
+  let loads = ref 0 and stores = ref 0 in
+  let fresh cls =
+    let t = Proc.fresh_reg proc cls in
+    new_temps := t :: !new_temps;
+    t
+  in
+  let out = ref [] in
+  let emit node = out := node :: !out in
+  (* spilled argument webs become stack-passed: the frame setup deposits
+     the value straight into the slot, so no entry store (and no entry
+     register) is needed *)
+  Array.iter
+    (fun (web : Webs.web) ->
+      if is_spilled web.w_id && web.has_entry_def then
+        List.iteri
+          (fun pos arg ->
+            if Reg.equal web.vreg arg then
+              proc.arg_spills <-
+                (pos, Hashtbl.find slot_of_web web.w_id) :: proc.arg_spills)
+          proc.args)
+    (Webs.webs webs);
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      (* reloads: one fresh temp per spilled web used here; constant
+         webs recompute their value instead of touching memory *)
+      let use_sub = Hashtbl.create 4 in
+      List.iter
+        (fun (r : Reg.t) ->
+          match Webs.use_web webs i r with
+          | w when is_spilled w && not (Hashtbl.mem use_sub (r.id, r.cls)) ->
+            let t = fresh r.cls in
+            emit { Proc.ins = Instr.Spill_ld (t, Hashtbl.find slot_of_web w);
+                   depth = node.depth };
+            incr loads;
+            Hashtbl.replace use_sub (r.id, r.cls) t
+          | w when is_remat w && not (Hashtbl.mem use_sub (r.id, r.cls)) ->
+            let t = fresh r.cls in
+            let ins =
+              match Hashtbl.find remat_of_web w with
+              | Remat.Int_const n -> Instr.Li (t, n)
+              | Remat.Flt_const f -> Instr.Lf (t, f)
+            in
+            emit { Proc.ins; depth = node.depth };
+            Hashtbl.replace use_sub (r.id, r.cls) t
+          | _ -> ()
+          | exception Not_found -> ())
+        (Instr.uses node.ins);
+      (* rewritten defs: fresh temp stored right after; a rematerialized
+         web's defs become dead one-shot temps (no store) *)
+      let def_sub = Hashtbl.create 2 in
+      let post = ref [] in
+      List.iter
+        (fun (r : Reg.t) ->
+          match Webs.def_web webs i r with
+          | w when is_spilled w ->
+            let t = fresh r.cls in
+            Hashtbl.replace def_sub (r.id, r.cls) t;
+            post :=
+              { Proc.ins = Instr.Spill_st (Hashtbl.find slot_of_web w, t);
+                depth = node.depth }
+              :: !post;
+            incr stores
+          | w when is_remat w ->
+            Hashtbl.replace def_sub (r.id, r.cls) (fresh r.cls)
+          | _ -> ()
+          | exception Not_found -> ())
+        (Instr.defs node.ins);
+      let subst tbl (r : Reg.t) =
+        match Hashtbl.find_opt tbl (r.id, r.cls) with
+        | Some t -> t
+        | None -> r
+      in
+      emit
+        { node with
+          Proc.ins =
+            Instr.map_regs ~def:(subst def_sub) ~use:(subst use_sub) node.ins };
+      List.iter emit (List.rev !post))
+    proc.code;
+  proc.code <- Array.of_list (List.rev !out);
+  { new_temps = List.rev !new_temps;
+    loads_inserted = !loads;
+    stores_inserted = !stores;
+    rematerialized = !remat_groups }

@@ -1,0 +1,24 @@
+open Ra_analysis
+
+(** Spill-code insertion (§2.1): a spilled live range is given a frame
+    slot; the value is stored after every definition and reloaded before
+    every use through fresh one-shot temporaries. A spilled argument is
+    additionally stored on procedure entry.
+
+    Mutates the procedure's code in place and returns the temporaries it
+    created, which the next Build pass must treat as unspillable. *)
+
+type result = {
+  new_temps : Ra_ir.Reg.t list;
+  loads_inserted : int;
+  stores_inserted : int;
+  rematerialized : int; (* groups recomputed as constants, no slot *)
+}
+
+(** [insert proc webs ~spilled] spills the given web groups; each group is
+    a coalesced class (member web ids) and shares one frame slot — except
+    constant-valued groups, which are rematerialized ({!Remat}) unless
+    [rematerialize:false]. *)
+val insert :
+  ?rematerialize:bool -> Ra_ir.Proc.t -> Webs.t -> spilled:int list list ->
+  result

@@ -1,0 +1,75 @@
+open Ra_analysis
+
+let default_base = 10.0
+
+(* Spilling a single-definition range relieves pressure only strictly
+   between the store (def + 1) and the reload (just before a use): a use
+   at def + 1 or def + 2 leaves no point of relief at all, so spilling
+   such a range can recur forever. *)
+let no_benefit (w : Webs.web) =
+  match w.def_sites, w.has_entry_def with
+  | [ d ], false ->
+    w.use_sites <> [] && List.for_all (fun u -> u = d + 1) w.use_sites
+  | _, _ -> false
+
+let web_cost ?(base = default_base) (proc : Ra_ir.Proc.t) (w : Webs.web) =
+  if w.spill_temp || no_benefit w then infinity
+  else begin
+    let depth i = (proc.code.(i)).Ra_ir.Proc.depth in
+    let weight i = base ** float_of_int (depth i) in
+    let stores =
+      List.fold_left (fun acc d -> acc +. weight d) 0.0 w.def_sites
+    in
+    let loads =
+      List.fold_left (fun acc u -> acc +. weight u) 0.0 w.use_sites
+    in
+    (* spilled arguments become stack-passed: no entry store *)
+    stores +. loads
+  end
+
+(* Coalesced classes must be costed on their merged occurrence sites: a
+   class is "no benefit" only if the *union* of its members is a single
+   definition feeding adjacent uses, not if some tiny member is. *)
+let rep_costs ?(base = default_base) proc (webs : Webs.t) ~alias =
+  let n = Webs.n_webs webs in
+  let members = Array.make n [] in
+  for w = n - 1 downto 0 do
+    let rep = Ra_support.Union_find.find alias w in
+    members.(rep) <- w :: members.(rep)
+  done;
+  let costs = Array.make n 0.0 in
+  let depth i = (proc.Ra_ir.Proc.code.(i)).Ra_ir.Proc.depth in
+  let weight i = base ** float_of_int (depth i) in
+  for rep = 0 to n - 1 do
+    match members.(rep) with
+    | [] -> ()
+    | ms ->
+      let ws = List.map (Webs.web webs) ms in
+      if List.exists (fun (w : Webs.web) -> w.spill_temp) ws then
+        costs.(rep) <- infinity
+      else begin
+        let def_sites =
+          List.concat_map (fun (w : Webs.web) -> w.def_sites) ws
+          |> List.sort compare
+        in
+        let use_sites =
+          List.concat_map (fun (w : Webs.web) -> w.use_sites) ws
+          |> List.sort compare
+        in
+        let has_entry =
+          List.exists (fun (w : Webs.web) -> w.has_entry_def) ws
+        in
+        let tiny =
+          match def_sites, has_entry with
+          | [ d ], false ->
+            use_sites <> [] && List.for_all (fun u -> u = d + 1) use_sites
+          | _, _ -> false
+        in
+        if tiny then costs.(rep) <- infinity
+        else begin
+          let sum = List.fold_left (fun acc i -> acc +. weight i) 0.0 in
+          costs.(rep) <- sum def_sites +. sum use_sites
+        end
+      end
+  done;
+  costs

@@ -1,0 +1,32 @@
+open Ra_analysis
+
+(** Chaitin's spill-cost estimator (§2.1): the number of loads and stores
+    spilling would insert, each weighted by [base ^ loop-nesting-depth] of
+    its insertion point. Costs are precomputed once per Build phase.
+
+    Two classes of live range are never spilled (cost [infinity]):
+    - spill temporaries — the short ranges created by earlier spill code;
+      respilling them cannot shorten anything and would not terminate;
+    - no-benefit ranges — a single definition whose uses all fall within
+      two instructions of it: the inserted store/reload would cover the
+      same program points, giving no relief anywhere (Chaitin's
+      refinement [Chai 82], slightly generalized). *)
+
+val default_base : float (* 10.0, the customary loop weight *)
+
+(** Cost of one web in isolation. *)
+val web_cost : ?base:float -> Ra_ir.Proc.t -> Webs.web -> float
+
+(** Per-web costs with coalescing aliases folded in: entry [w] is only
+    meaningful when [w] is its class representative under [alias]; a
+    representative's cost is the sum over its members ([infinity]
+    propagates). *)
+val rep_costs :
+  ?base:float ->
+  Ra_ir.Proc.t ->
+  Webs.t ->
+  alias:Ra_support.Union_find.t ->
+  float array
+
+(** Used-by {!web_cost}; exposed for tests: is the web a no-benefit range? *)
+val no_benefit : Webs.web -> bool

@@ -1,0 +1,1 @@
+lib/frontend/errors.ml: Format Printf Srcloc

@@ -1,0 +1,1 @@
+lib/frontend/errors.mli: Format Srcloc

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Errors List Srcloc String Token

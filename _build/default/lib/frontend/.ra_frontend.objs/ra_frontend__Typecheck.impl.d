@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Errors Hashtbl List Option Parser Tast

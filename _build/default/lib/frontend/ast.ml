@@ -1,0 +1,115 @@
+type base =
+  | Bint
+  | Bfloat
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tarray of base
+  | Tmat of base
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr = {
+  kind : expr_kind;
+  loc : Srcloc.t;
+}
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Rel of relop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list
+
+type for_dir =
+  | Upto
+  | Downto
+
+type stmt = {
+  s : stmt_kind;
+  sloc : Srcloc.t;
+}
+
+and stmt_kind =
+  | Decl of string * ty * expr list * expr option
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * expr * for_dir * expr option * block
+  | Return of expr option
+  | Call_stmt of string * expr list
+
+and block = stmt list
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+  p_loc : Srcloc.t;
+}
+
+type proc = {
+  name : string;
+  params : param list;
+  ret : ty option;
+  body : block;
+  proc_loc : Srcloc.t;
+}
+
+type program = proc list
+
+let string_of_base = function
+  | Bint -> "int"
+  | Bfloat -> "float"
+
+let string_of_ty = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tarray b -> "array " ^ string_of_base b
+  | Tmat b -> "mat " ^ string_of_base b
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+
+let string_of_relop = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let negate_relop = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt

@@ -1,0 +1,99 @@
+(** Untyped abstract syntax of MFL, as produced by the parser.
+
+    MFL is the small Fortran-flavoured language the paper's benchmark
+    routines are written in: scalar [int]/[float] variables, 1-based
+    [array]s and column-major [mat]rices, counted [for] loops, [while],
+    [if], and non-recursive procedures. *)
+
+type base =
+  | Bint
+  | Bfloat
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tarray of base
+  | Tmat of base
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr = {
+  kind : expr_kind;
+  loc : Srcloc.t;
+}
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list (* a[i] or m[i, j]; 1-based *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  (* boolean-valued forms, legal only in condition position *)
+  | Rel of relop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list
+
+type for_dir =
+  | Upto
+  | Downto
+
+type stmt = {
+  s : stmt_kind;
+  sloc : Srcloc.t;
+}
+
+and stmt_kind =
+  | Decl of string * ty * expr list * expr option
+    (* var x : ty [dims] = init;  dims non-empty only for array/mat locals *)
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * expr * for_dir * expr option * block
+    (* for x = lo to|downto hi [step e] *)
+  | Return of expr option
+  | Call_stmt of string * expr list
+
+and block = stmt list
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+  p_loc : Srcloc.t;
+}
+
+type proc = {
+  name : string;
+  params : param list;
+  ret : ty option; (* None = no return value; only scalars returnable *)
+  body : block;
+  proc_loc : Srcloc.t;
+}
+
+type program = proc list
+
+val string_of_ty : ty -> string
+val string_of_binop : binop -> string
+val string_of_relop : relop -> string
+
+(** Negated comparison, for branch synthesis: [negate_relop Lt = Ge]. *)
+val negate_relop : relop -> relop

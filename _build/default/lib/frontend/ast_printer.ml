@@ -1,0 +1,148 @@
+open Ast
+
+(* Precedence levels, loosest first, mirroring the parser. *)
+let prec_or = 1
+let prec_and = 2
+let prec_rel = 3
+let prec_add = 4
+let prec_mul = 5
+let prec_unary = 6
+
+let binop_prec = function
+  | Add | Sub -> prec_add
+  | Mul | Div | Rem -> prec_mul
+
+let rec expr_doc (e : expr) : int * string =
+  match e.kind with
+  | Int_lit n when n < 0 -> prec_unary, Printf.sprintf "(%d)" n
+  | Int_lit n -> max_int, string_of_int n
+  | Float_lit f ->
+    (* a spelling the lexer reads back as the same float *)
+    let s = Printf.sprintf "%.17g" f in
+    let s =
+      if String.contains s '.' || String.contains s 'e'
+         || String.contains s 'E'
+      then s
+      else s ^ ".0"
+    in
+    (if f < 0.0 then prec_unary else max_int), s
+  | Var name -> max_int, name
+  | Index (name, indices) ->
+    max_int,
+    Printf.sprintf "%s[%s]" name
+      (String.concat ", " (List.map print_at_top indices))
+  | Call (name, args) ->
+    max_int,
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map print_at_top args))
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    (* left-associative: the right operand needs strictly higher prec *)
+    p,
+    Printf.sprintf "%s %s %s" (print_with p a) (string_of_binop op)
+      (print_with (p + 1) b)
+  | Neg a -> prec_unary, Printf.sprintf "-%s" (print_with (prec_unary + 1) a)
+  | Rel (op, a, b) ->
+    prec_rel,
+    Printf.sprintf "%s %s %s"
+      (print_with (prec_rel + 1) a)
+      (string_of_relop op)
+      (print_with (prec_rel + 1) b)
+  | And (a, b) ->
+    (* the parser treats && as right-associative *)
+    prec_and,
+    Printf.sprintf "%s && %s" (print_with (prec_and + 1) a)
+      (print_with prec_and b)
+  | Or (a, b) ->
+    prec_or,
+    Printf.sprintf "%s || %s" (print_with (prec_or + 1) a)
+      (print_with prec_or b)
+  | Not a -> prec_unary, Printf.sprintf "!%s" (print_with (prec_unary + 1) a)
+
+and print_with min_prec e =
+  let p, s = expr_doc e in
+  if p < min_prec then "(" ^ s ^ ")" else s
+
+and print_at_top e = snd (expr_doc e)
+
+let print_expr = print_at_top
+
+let string_of_type = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tarray Bint -> "array int"
+  | Tarray Bfloat -> "array float"
+  | Tmat Bint -> "mat int"
+  | Tmat Bfloat -> "mat float"
+
+let rec stmt_lines indent (s : stmt) : string list =
+  let pad = String.make (2 * indent) ' ' in
+  match s.s with
+  | Decl (name, ty, dims, init) ->
+    let dims_s =
+      match dims with
+      | [] -> ""
+      | ds -> Printf.sprintf "[%s]" (String.concat ", " (List.map print_expr ds))
+    in
+    let init_s =
+      match init with
+      | None -> ""
+      | Some e -> " = " ^ print_expr e
+    in
+    [ Printf.sprintf "%svar %s : %s%s%s;" pad name (string_of_type ty) dims_s
+        init_s ]
+  | Assign (Lvar name, e) ->
+    [ Printf.sprintf "%s%s = %s;" pad name (print_expr e) ]
+  | Assign (Lindex (name, indices), e) ->
+    [ Printf.sprintf "%s%s[%s] = %s;" pad name
+        (String.concat ", " (List.map print_expr indices))
+        (print_expr e) ]
+  | If (c, t, f) ->
+    let head = Printf.sprintf "%sif (%s) {" pad (print_expr c) in
+    let body = List.concat_map (stmt_lines (indent + 1)) t in
+    (match f with
+     | [] -> (head :: body) @ [ pad ^ "}" ]
+     | _ ->
+       (head :: body)
+       @ [ pad ^ "} else {" ]
+       @ List.concat_map (stmt_lines (indent + 1)) f
+       @ [ pad ^ "}" ])
+  | While (c, body) ->
+    (Printf.sprintf "%swhile (%s) {" pad (print_expr c)
+     :: List.concat_map (stmt_lines (indent + 1)) body)
+    @ [ pad ^ "}" ]
+  | For (v, lo, hi, dir, step, body) ->
+    let dir_s = match dir with Upto -> "to" | Downto -> "downto" in
+    let step_s =
+      match step with
+      | None -> ""
+      | Some e -> " step " ^ print_expr e
+    in
+    (Printf.sprintf "%sfor %s = %s %s %s%s {" pad v (print_expr lo) dir_s
+       (print_expr hi) step_s
+     :: List.concat_map (stmt_lines (indent + 1)) body)
+    @ [ pad ^ "}" ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (print_expr e) ]
+  | Call_stmt (name, args) ->
+    [ Printf.sprintf "%s%s(%s);" pad name
+        (String.concat ", " (List.map print_expr args)) ]
+
+let print_stmt ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+
+let print_proc (p : proc) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (prm : param) ->
+           Printf.sprintf "%s: %s" prm.p_name (string_of_type prm.p_ty))
+         p.params)
+  in
+  let ret = match p.ret with None -> "" | Some ty -> " : " ^ string_of_type ty in
+  String.concat "\n"
+    ((Printf.sprintf "proc %s(%s)%s {" p.name params ret
+      :: List.concat_map (stmt_lines 1) p.body)
+    @ [ "}" ])
+
+let print_program procs =
+  String.concat "\n\n" (List.map print_proc procs) ^ "\n"

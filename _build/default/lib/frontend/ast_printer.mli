@@ -1,0 +1,9 @@
+(** Pretty-printer for the untyped AST: emits valid MFL source.
+
+    Round-trip guarantee (tested): parsing the printed source yields a
+    program that prints identically — printing is a normal form. *)
+
+val print_expr : Ast.expr -> string
+val print_stmt : ?indent:int -> Ast.stmt -> string
+val print_proc : Ast.proc -> string
+val print_program : Ast.program -> string

@@ -1,0 +1,21 @@
+exception Lex_error of Srcloc.t * string
+exception Parse_error of Srcloc.t * string
+exception Type_error of Srcloc.t * string
+
+let lex_error loc fmt =
+  Format.kasprintf (fun msg -> raise (Lex_error (loc, msg))) fmt
+
+let parse_error loc fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (loc, msg))) fmt
+
+let type_error loc fmt =
+  Format.kasprintf (fun msg -> raise (Type_error (loc, msg))) fmt
+
+let describe = function
+  | Lex_error (loc, msg) ->
+    Printf.sprintf "lexical error at %s: %s" (Srcloc.to_string loc) msg
+  | Parse_error (loc, msg) ->
+    Printf.sprintf "parse error at %s: %s" (Srcloc.to_string loc) msg
+  | Type_error (loc, msg) ->
+    Printf.sprintf "type error at %s: %s" (Srcloc.to_string loc) msg
+  | e -> raise e

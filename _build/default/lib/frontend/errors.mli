@@ -1,0 +1,13 @@
+(** Frontend diagnostics. *)
+
+exception Lex_error of Srcloc.t * string
+exception Parse_error of Srcloc.t * string
+exception Type_error of Srcloc.t * string
+
+val lex_error : Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val parse_error : Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_error : Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Human-readable rendering of any of the three exceptions above;
+    re-raises anything else. *)
+val describe : exn -> string

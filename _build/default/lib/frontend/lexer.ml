@@ -1,0 +1,144 @@
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let loc st : Srcloc.t = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_blank st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_blank st
+  | Some '#' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ -> advance st; to_eol ()
+    in
+    to_eol ();
+    skip_blank st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start_loc = loc st in
+  let start = st.pos in
+  let take pred =
+    while (match peek st with Some c -> pred c | None -> false) do
+      advance st
+    done
+  in
+  take is_digit;
+  let is_float = ref false in
+  (match peek st with
+   | Some '.' ->
+     is_float := true;
+     advance st;
+     take is_digit
+   | Some _ | None -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     is_float := true;
+     advance st;
+     (match peek st with
+      | Some ('+' | '-') -> advance st
+      | Some _ | None -> ());
+     (match peek st with
+      | Some c when is_digit c -> take is_digit
+      | Some _ | None ->
+        Errors.lex_error start_loc "malformed exponent in float literal")
+   | Some _ | None -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Token.Float_lit f
+    | None -> Errors.lex_error start_loc "malformed float literal %S" text
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.Int_lit n
+    | None -> Errors.lex_error start_loc "malformed int literal %S" text
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_alnum c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword text with
+  | Some kw -> kw
+  | None -> Token.Ident text
+
+let lex_operator st c =
+  let l = loc st in
+  let two expected single double =
+    advance st;
+    match peek st with
+    | Some c when c = expected -> advance st; double
+    | Some _ | None -> single
+  in
+  match c with
+  | '(' -> advance st; Token.Lparen
+  | ')' -> advance st; Token.Rparen
+  | '{' -> advance st; Token.Lbrace
+  | '}' -> advance st; Token.Rbrace
+  | '[' -> advance st; Token.Lbracket
+  | ']' -> advance st; Token.Rbracket
+  | ',' -> advance st; Token.Comma
+  | ';' -> advance st; Token.Semi
+  | ':' -> advance st; Token.Colon
+  | '+' -> advance st; Token.Plus
+  | '-' -> advance st; Token.Minus
+  | '*' -> advance st; Token.Star
+  | '/' -> advance st; Token.Slash
+  | '%' -> advance st; Token.Percent
+  | '<' -> two '=' Token.Lt Token.Le
+  | '>' -> two '=' Token.Gt Token.Ge
+  | '=' -> two '=' Token.Assign Token.Eq_eq
+  | '!' -> two '=' Token.Bang Token.Bang_eq
+  | '&' ->
+    advance st;
+    (match peek st with
+     | Some '&' -> advance st; Token.And_and
+     | Some _ | None -> Errors.lex_error l "expected '&&'")
+  | '|' ->
+    advance st;
+    (match peek st with
+     | Some '|' -> advance st; Token.Or_or
+     | Some _ | None -> Errors.lex_error l "expected '||'")
+  | c -> Errors.lex_error l "illegal character %C" c
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let out = ref [] in
+  let rec run () =
+    skip_blank st;
+    let l = loc st in
+    match peek st with
+    | None -> out := (Token.Eof, l) :: !out
+    | Some c ->
+      let tok =
+        if is_digit c then lex_number st
+        else if is_alpha c then lex_ident st
+        else lex_operator st c
+      in
+      out := (tok, l) :: !out;
+      run ()
+  in
+  run ();
+  Array.of_list (List.rev !out)

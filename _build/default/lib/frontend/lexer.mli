@@ -1,0 +1,9 @@
+(** Hand-written lexer for MFL.
+
+    Comments run from ['#'] to end of line. Numbers: decimal integers, and
+    floats written [digits.digits] with an optional [e±dd] exponent (a float
+    must contain a ['.'] or an exponent). *)
+
+(** [tokenize src] is the token stream of [src], terminated by [Token.Eof].
+    Raises [Errors.Lex_error] on an illegal character or malformed number. *)
+val tokenize : string -> (Token.t * Srcloc.t) array

@@ -1,0 +1,333 @@
+open Ast
+
+type state = {
+  toks : (Token.t * Srcloc.t) array;
+  mutable pos : int;
+}
+
+let current st = fst st.toks.(st.pos)
+let current_loc st = snd st.toks.(st.pos)
+
+let advance st =
+  if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if current st = tok then advance st
+  else
+    Errors.parse_error (current_loc st) "expected %s, found %s"
+      (Token.to_string tok)
+      (Token.to_string (current st))
+
+let expect_ident st =
+  match current st with
+  | Token.Ident name -> advance st; name
+  | t ->
+    Errors.parse_error (current_loc st) "expected identifier, found %s"
+      (Token.to_string t)
+
+let accept st tok =
+  if current st = tok then begin advance st; true end
+  else false
+
+(* ---- types ---- *)
+
+let parse_base st =
+  match current st with
+  | Token.Kw_int -> advance st; Bint
+  | Token.Kw_float -> advance st; Bfloat
+  | t ->
+    Errors.parse_error (current_loc st) "expected element type, found %s"
+      (Token.to_string t)
+
+let parse_type st =
+  match current st with
+  | Token.Kw_int -> advance st; Tint
+  | Token.Kw_float -> advance st; Tfloat
+  | Token.Kw_array -> advance st; Tarray (parse_base st)
+  | Token.Kw_mat -> advance st; Tmat (parse_base st)
+  | t ->
+    Errors.parse_error (current_loc st) "expected type, found %s"
+      (Token.to_string t)
+
+(* ---- expressions ---- *)
+
+let rec parse_expr_prec st =
+  parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.Or_or then
+    let rhs = parse_or st in
+    { kind = Or (lhs, rhs); loc = lhs.loc }
+  else lhs
+
+and parse_and st =
+  let lhs = parse_rel st in
+  if accept st Token.And_and then
+    let rhs = parse_and st in
+    { kind = And (lhs, rhs); loc = lhs.loc }
+  else lhs
+
+and parse_rel st =
+  let lhs = parse_additive st in
+  let relop =
+    match current st with
+    | Token.Lt -> Some Lt
+    | Token.Le -> Some Le
+    | Token.Gt -> Some Gt
+    | Token.Ge -> Some Ge
+    | Token.Eq_eq -> Some Eq
+    | Token.Bang_eq -> Some Ne
+    | _ -> None
+  in
+  match relop with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_additive st in
+    { kind = Rel (op, lhs, rhs); loc = lhs.loc }
+
+and parse_additive st =
+  let rec loop lhs =
+    match current st with
+    | Token.Plus ->
+      advance st;
+      loop { kind = Binop (Add, lhs, parse_multiplicative st); loc = lhs.loc }
+    | Token.Minus ->
+      advance st;
+      loop { kind = Binop (Sub, lhs, parse_multiplicative st); loc = lhs.loc }
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match current st with
+    | Token.Star ->
+      advance st;
+      loop { kind = Binop (Mul, lhs, parse_unary st); loc = lhs.loc }
+    | Token.Slash ->
+      advance st;
+      loop { kind = Binop (Div, lhs, parse_unary st); loc = lhs.loc }
+    | Token.Percent ->
+      advance st;
+      loop { kind = Binop (Rem, lhs, parse_unary st); loc = lhs.loc }
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let loc = current_loc st in
+  match current st with
+  | Token.Minus ->
+    advance st;
+    { kind = Neg (parse_unary st); loc }
+  | Token.Bang ->
+    advance st;
+    { kind = Not (parse_unary st); loc }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let loc = current_loc st in
+  match current st with
+  | Token.Int_lit n -> advance st; { kind = Int_lit n; loc }
+  | Token.Float_lit f -> advance st; { kind = Float_lit f; loc }
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Token.Rparen;
+    e
+  (* the conversion intrinsics share their names with type keywords *)
+  | Token.Kw_int | Token.Kw_float ->
+    let name = if current st = Token.Kw_int then "int" else "float" in
+    advance st;
+    expect st Token.Lparen;
+    let args = parse_args st in
+    expect st Token.Rparen;
+    { kind = Call (name, args); loc }
+  | Token.Ident name ->
+    advance st;
+    (match current st with
+     | Token.Lparen ->
+       advance st;
+       let args = parse_args st in
+       expect st Token.Rparen;
+       { kind = Call (name, args); loc }
+     | Token.Lbracket ->
+       advance st;
+       let indices = parse_index_list st in
+       expect st Token.Rbracket;
+       { kind = Index (name, indices); loc }
+     | _ -> { kind = Var name; loc })
+  | t ->
+    Errors.parse_error loc "expected expression, found %s" (Token.to_string t)
+
+and parse_args st =
+  if current st = Token.Rparen then []
+  else begin
+    let first = parse_expr_prec st in
+    let rec loop acc =
+      if accept st Token.Comma then loop (parse_expr_prec st :: acc)
+      else List.rev acc
+    in
+    loop [ first ]
+  end
+
+and parse_index_list st =
+  let first = parse_expr_prec st in
+  if accept st Token.Comma then
+    let second = parse_expr_prec st in
+    [ first; second ]
+  else [ first ]
+
+(* ---- statements ---- *)
+
+let rec parse_block st =
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if accept st Token.Rbrace then List.rev acc
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let sloc = current_loc st in
+  match current st with
+  | Token.Kw_var ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.Colon;
+    let ty = parse_type st in
+    let dims =
+      if accept st Token.Lbracket then begin
+        let ds = parse_index_list st in
+        expect st Token.Rbracket;
+        ds
+      end
+      else []
+    in
+    let init = if accept st Token.Assign then Some (parse_expr_prec st) else None in
+    expect st Token.Semi;
+    { s = Decl (name, ty, dims, init); sloc }
+  | Token.Kw_if -> parse_if st
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr_prec st in
+    expect st Token.Rparen;
+    let body = parse_block st in
+    { s = While (cond, body); sloc }
+  | Token.Kw_for ->
+    advance st;
+    let var = expect_ident st in
+    expect st Token.Assign;
+    let lo = parse_expr_prec st in
+    let dir =
+      match current st with
+      | Token.Kw_to -> advance st; Upto
+      | Token.Kw_downto -> advance st; Downto
+      | t ->
+        Errors.parse_error (current_loc st) "expected 'to' or 'downto', found %s"
+          (Token.to_string t)
+    in
+    let hi = parse_expr_prec st in
+    let step = if accept st Token.Kw_step then Some (parse_expr_prec st) else None in
+    let body = parse_block st in
+    { s = For (var, lo, hi, dir, step, body); sloc }
+  | Token.Kw_return ->
+    advance st;
+    if accept st Token.Semi then { s = Return None; sloc }
+    else begin
+      let e = parse_expr_prec st in
+      expect st Token.Semi;
+      { s = Return (Some e); sloc }
+    end
+  | Token.Ident name ->
+    advance st;
+    (match current st with
+     | Token.Lparen ->
+       advance st;
+       let args = parse_args st in
+       expect st Token.Rparen;
+       expect st Token.Semi;
+       { s = Call_stmt (name, args); sloc }
+     | Token.Lbracket ->
+       advance st;
+       let indices = parse_index_list st in
+       expect st Token.Rbracket;
+       expect st Token.Assign;
+       let rhs = parse_expr_prec st in
+       expect st Token.Semi;
+       { s = Assign (Lindex (name, indices), rhs); sloc }
+     | Token.Assign ->
+       advance st;
+       let rhs = parse_expr_prec st in
+       expect st Token.Semi;
+       { s = Assign (Lvar name, rhs); sloc }
+     | t ->
+       Errors.parse_error (current_loc st)
+         "expected '(', '[' or '=' after identifier, found %s"
+         (Token.to_string t))
+  | t ->
+    Errors.parse_error sloc "expected statement, found %s" (Token.to_string t)
+
+and parse_if st =
+  let sloc = current_loc st in
+  expect st Token.Kw_if;
+  expect st Token.Lparen;
+  let cond = parse_expr_prec st in
+  expect st Token.Rparen;
+  let then_blk = parse_block st in
+  let else_blk =
+    if accept st Token.Kw_else then
+      if current st = Token.Kw_if then [ parse_if st ] else parse_block st
+    else []
+  in
+  { s = If (cond, then_blk, else_blk); sloc }
+
+(* ---- procedures ---- *)
+
+let parse_param st =
+  let p_loc = current_loc st in
+  let p_name = expect_ident st in
+  expect st Token.Colon;
+  let p_ty = parse_type st in
+  { p_name; p_ty; p_loc }
+
+let parse_proc st =
+  let proc_loc = current_loc st in
+  expect st Token.Kw_proc;
+  let name = expect_ident st in
+  expect st Token.Lparen;
+  let params =
+    if current st = Token.Rparen then []
+    else begin
+      let first = parse_param st in
+      let rec loop acc =
+        if accept st Token.Comma then loop (parse_param st :: acc)
+        else List.rev acc
+      in
+      loop [ first ]
+    end
+  in
+  expect st Token.Rparen;
+  let ret =
+    if accept st Token.Colon then Some (parse_type st) else None
+  in
+  let body = parse_block st in
+  { name; params; ret; body; proc_loc }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let rec loop acc =
+    if current st = Token.Eof then List.rev acc
+    else loop (parse_proc st :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let e = parse_expr_prec st in
+  if current st <> Token.Eof then
+    Errors.parse_error (current_loc st) "trailing input after expression";
+  e

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for MFL.
+
+    Grammar sketch (see README for the full definition):
+    {v
+    program := proc*
+    proc    := "proc" IDENT "(" params? ")" (":" scalar-type)? block
+    stmt    := "var" IDENT ":" type dims? ("=" expr)? ";"
+             | lvalue "=" expr ";"
+             | "if" "(" expr ")" block ("else" (block | if-stmt))?
+             | "while" "(" expr ")" block
+             | "for" IDENT "=" expr ("to"|"downto") expr ("step" expr)? block
+             | "return" expr? ";"
+             | IDENT "(" args ")" ";"
+    v}
+    Operator precedence, loosest first: [||], [&&], comparisons,
+    [+ -], [* / %], unary [- !]. *)
+
+(** Raises [Errors.Parse_error] / [Errors.Lex_error]. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (used by tests). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,10 @@
+(** Source positions for error reporting. *)
+
+type t = {
+  line : int; (* 1-based *)
+  col : int;  (* 1-based *)
+}
+
+val dummy : t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type scalar =
+  | Sint
+  | Sfloat
+
+type var_kind =
+  | Param of int
+  | Local
+
+type sym = {
+  v_id : int;
+  v_name : string;
+  v_ty : Ast.ty;
+  v_kind : var_kind;
+}
+
+type pure_op =
+  | Iabs
+  | Fabs
+  | Fsqrt
+  | Imin
+  | Imax
+  | Fmin
+  | Fmax
+  | Fsign
+  | Itof
+  | Ftoi
+
+type expr = {
+  e : expr_kind;
+  ety : scalar;
+}
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Scalar_var of sym
+  | Load_elt of sym * expr list
+  | Binop of Ast.binop * expr * expr
+  | Neg of expr
+  | Pure of pure_op * expr list
+  | Dim_of of sym * int
+  | Call of string * arg list
+
+and arg =
+  | Scalar_arg of expr
+  | Array_arg of sym
+
+type cond =
+  | Cmp of Ast.relop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type stmt =
+  | Assign of sym * expr
+  | Store_elt of sym * expr list * expr
+  | If of cond * block * block
+  | While of cond * block
+  | For of sym * expr * expr * Ast.for_dir * int * block
+  | Return of expr option
+  | Proc_call of string * arg list
+  | Print of expr
+  | Alloc_local of sym * expr list
+
+and block = stmt list
+
+type proc = {
+  name : string;
+  params : sym list;
+  ret : scalar option;
+  locals : sym list;
+  body : block;
+}
+
+type program = {
+  procs : proc list;
+}
+
+let scalar_of_ty = function
+  | Ast.Tint -> Some Sint
+  | Ast.Tfloat -> Some Sfloat
+  | Ast.Tarray _ | Ast.Tmat _ -> None
+
+let find_proc program name =
+  List.find (fun p -> p.name = name) program.procs
+
+let pure_op_name = function
+  | Iabs -> "iabs"
+  | Fabs -> "fabs"
+  | Fsqrt -> "fsqrt"
+  | Imin -> "imin"
+  | Imax -> "imax"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+  | Fsign -> "fsign"
+  | Itof -> "itof"
+  | Ftoi -> "ftoi"

@@ -1,0 +1,92 @@
+(** Typed abstract syntax, produced by {!Typecheck} from {!Ast}.
+
+    Names are resolved to symbols with dense per-procedure ids; int→float
+    promotions are explicit [Itof] nodes; boolean expressions are segregated
+    into a [cond] type so value positions are always scalar-typed. *)
+
+type scalar =
+  | Sint
+  | Sfloat
+
+type var_kind =
+  | Param of int (* position *)
+  | Local
+
+type sym = {
+  v_id : int; (* dense per procedure, params first *)
+  v_name : string;
+  v_ty : Ast.ty;
+  v_kind : var_kind;
+}
+
+(** Pure intrinsics; they compile to single IR instructions, not calls. *)
+type pure_op =
+  | Iabs
+  | Fabs
+  | Fsqrt
+  | Imin
+  | Imax
+  | Fmin
+  | Fmax
+  | Fsign (* Fortran SIGN(a,b) = |a| * sign(b) *)
+  | Itof
+  | Ftoi (* truncate toward zero *)
+
+type expr = {
+  e : expr_kind;
+  ety : scalar;
+}
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Scalar_var of sym
+  | Load_elt of sym * expr list (* 1-based indices, all Sint *)
+  | Binop of Ast.binop * expr * expr (* operands and result share ety *)
+  | Neg of expr
+  | Pure of pure_op * expr list
+  | Dim_of of sym * int (* len(a)/rows(m) = dim 1, cols(m) = dim 2 *)
+  | Call of string * arg list (* user procedure returning ety *)
+
+and arg =
+  | Scalar_arg of expr
+  | Array_arg of sym (* arrays and matrices pass by reference *)
+
+type cond =
+  | Cmp of Ast.relop * expr * expr (* operands share ety *)
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type stmt =
+  | Assign of sym * expr
+  | Store_elt of sym * expr list * expr
+  | If of cond * block * block
+  | While of cond * block
+  | For of sym * expr * expr * Ast.for_dir * int * block
+    (* loop var, lo, hi, direction, positive literal step *)
+  | Return of expr option
+  | Proc_call of string * arg list (* user procedure, result discarded *)
+  | Print of expr
+  | Alloc_local of sym * expr list (* array/mat local with its dims *)
+
+and block = stmt list
+
+type proc = {
+  name : string;
+  params : sym list;
+  ret : scalar option;
+  locals : sym list; (* declared locals, params excluded *)
+  body : block;
+}
+
+type program = {
+  procs : proc list;
+}
+
+val scalar_of_ty : Ast.ty -> scalar option
+
+(** Look a procedure up by name. Raises [Not_found]. *)
+val find_proc : program -> string -> proc
+
+val pure_op_name : pure_op -> string

@@ -1,0 +1,105 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw_proc
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_to
+  | Kw_downto
+  | Kw_step
+  | Kw_return
+  | Kw_int
+  | Kw_float
+  | Kw_array
+  | Kw_mat
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Colon
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+let keywords =
+  [ "proc", Kw_proc;
+    "var", Kw_var;
+    "if", Kw_if;
+    "else", Kw_else;
+    "while", Kw_while;
+    "for", Kw_for;
+    "to", Kw_to;
+    "downto", Kw_downto;
+    "step", Kw_step;
+    "return", Kw_return;
+    "int", Kw_int;
+    "float", Kw_float;
+    "array", Kw_array;
+    "mat", Kw_mat ]
+
+let keyword s = List.assoc_opt s keywords
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | Kw_proc -> "proc"
+  | Kw_var -> "var"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_to -> "to"
+  | Kw_downto -> "downto"
+  | Kw_step -> "step"
+  | Kw_return -> "return"
+  | Kw_int -> "int"
+  | Kw_float -> "float"
+  | Kw_array -> "array"
+  | Kw_mat -> "mat"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semi -> ";"
+  | Colon -> ":"
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Bang -> "!"
+  | Eof -> "<eof>"

@@ -1,0 +1,54 @@
+(** Lexical tokens of MFL, the mini-Fortran language the benchmark routines
+    are written in. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  (* keywords *)
+  | Kw_proc
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_to
+  | Kw_downto
+  | Kw_step
+  | Kw_return
+  | Kw_int
+  | Kw_float
+  | Kw_array
+  | Kw_mat
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Colon
+  (* operators *)
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+(** Keyword table lookup: [keyword "proc" = Some Kw_proc]. *)
+val keyword : string -> t option
+
+val to_string : t -> string

@@ -1,0 +1,353 @@
+open Tast
+
+let err = Errors.type_error
+
+type signature = {
+  sig_params : Ast.ty list;
+  sig_ret : scalar option;
+}
+
+type env = {
+  signatures : (string, signature) Hashtbl.t;
+  vars : (string, sym) Hashtbl.t;
+  mutable next_id : int;
+  mutable rev_locals : sym list;
+  proc_ret : scalar option;
+  proc_name : string;
+}
+
+let intrinsic_names =
+  [ "abs"; "sqrt"; "min"; "max"; "mod"; "sign"; "float"; "int";
+    "len"; "rows"; "cols"; "print_int"; "print_float" ]
+
+let is_intrinsic name = List.mem name intrinsic_names
+
+let fresh_sym env loc name ty kind =
+  if Hashtbl.mem env.vars name then
+    err loc "variable %s is already declared" name;
+  if is_intrinsic name then
+    err loc "variable %s shadows an intrinsic" name;
+  let sym = { v_id = env.next_id; v_name = name; v_ty = ty; v_kind = kind } in
+  env.next_id <- env.next_id + 1;
+  Hashtbl.replace env.vars name sym;
+  sym
+
+let lookup_var env loc name =
+  match Hashtbl.find_opt env.vars name with
+  | Some sym -> sym
+  | None -> err loc "undeclared variable %s" name
+
+let lookup_scalar env loc name =
+  let sym = lookup_var env loc name in
+  match scalar_of_ty sym.v_ty with
+  | Some s -> sym, s
+  | None -> err loc "%s is an aggregate, expected a scalar" name
+
+(* Insert an int->float coercion if needed to reach [target]. *)
+let coerce loc target (e : expr) =
+  match target, e.ety with
+  | Sint, Sint | Sfloat, Sfloat -> e
+  | Sfloat, Sint -> { e = Pure (Itof, [ e ]); ety = Sfloat }
+  | Sint, Sfloat ->
+    err loc "implicit float -> int narrowing; use int(x)"
+
+(* Promote two operands to a common scalar type. *)
+let promote loc a b =
+  match a.ety, b.ety with
+  | Sint, Sint -> a, b, Sint
+  | Sfloat, Sfloat -> a, b, Sfloat
+  | Sint, Sfloat -> coerce loc Sfloat a, b, Sfloat
+  | Sfloat, Sint -> a, coerce loc Sfloat b, Sfloat
+
+let index_arity loc (sym : sym) =
+  match sym.v_ty with
+  | Ast.Tarray _ -> 1
+  | Ast.Tmat _ -> 2
+  | Ast.Tint | Ast.Tfloat ->
+    err loc "%s is a scalar and cannot be indexed" sym.v_name
+
+let elem_scalar (sym : sym) =
+  match sym.v_ty with
+  | Ast.Tarray Ast.Bint | Ast.Tmat Ast.Bint -> Sint
+  | Ast.Tarray Ast.Bfloat | Ast.Tmat Ast.Bfloat -> Sfloat
+  | Ast.Tint | Ast.Tfloat -> assert false
+
+let rec check_expr env (e : Ast.expr) : expr =
+  let loc = e.loc in
+  match e.kind with
+  | Ast.Int_lit n -> { e = Int_lit n; ety = Sint }
+  | Ast.Float_lit f -> { e = Float_lit f; ety = Sfloat }
+  | Ast.Var name ->
+    let sym, s = lookup_scalar env loc name in
+    { e = Scalar_var sym; ety = s }
+  | Ast.Index (name, indices) ->
+    let sym = lookup_var env loc name in
+    let arity = index_arity loc sym in
+    if List.length indices <> arity then
+      err loc "%s expects %d indices" name arity;
+    let indices = List.map (check_int_expr env) indices in
+    { e = Load_elt (sym, indices); ety = elem_scalar sym }
+  | Ast.Binop (op, a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    let a, b, s = promote loc a b in
+    (match op, s with
+     | Ast.Rem, Sfloat -> err loc "%% requires int operands"
+     | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem), _ ->
+       { e = Binop (op, a, b); ety = s })
+  | Ast.Neg a ->
+    let a = check_expr env a in
+    { e = Neg a; ety = a.ety }
+  | Ast.Call (name, args) -> check_call env loc name args
+  | Ast.Rel _ | Ast.And _ | Ast.Or _ | Ast.Not _ ->
+    err loc "boolean expression in value position"
+
+and check_int_expr env e =
+  let te = check_expr env e in
+  match te.ety with
+  | Sint -> te
+  | Sfloat -> err e.loc "expected an int expression"
+
+and check_float_expr env e =
+  let te = check_expr env e in
+  coerce e.loc Sfloat te
+
+and check_call env loc name args : expr =
+  let arity n =
+    if List.length args <> n then
+      err loc "%s expects %d argument(s), got %d" name n (List.length args)
+  in
+  let array_dim_arg expect_mat dim =
+    arity 1;
+    match args with
+    | [ { Ast.kind = Ast.Var vname; _ } ] ->
+      let sym = lookup_var env loc vname in
+      (match sym.v_ty, expect_mat with
+       | Ast.Tarray _, false | Ast.Tmat _, true ->
+         { e = Dim_of (sym, dim); ety = Sint }
+       | _, false -> err loc "len expects a 1-d array argument"
+       | _, true -> err loc "%s expects a matrix argument" name)
+    | _ -> err loc "%s expects a bare array variable" name
+  in
+  match name with
+  | "abs" ->
+    arity 1;
+    let a = check_expr env (List.hd args) in
+    (match a.ety with
+     | Sint -> { e = Pure (Iabs, [ a ]); ety = Sint }
+     | Sfloat -> { e = Pure (Fabs, [ a ]); ety = Sfloat })
+  | "sqrt" ->
+    arity 1;
+    let a = check_float_expr env (List.hd args) in
+    { e = Pure (Fsqrt, [ a ]); ety = Sfloat }
+  | "min" | "max" ->
+    arity 2;
+    (match List.map (check_expr env) args with
+     | [ a; b ] ->
+       let a, b, s = promote loc a b in
+       let op =
+         match name, s with
+         | "min", Sint -> Imin
+         | "min", Sfloat -> Fmin
+         | _, Sint -> Imax (* name = "max" *)
+         | _, Sfloat -> Fmax
+       in
+       { e = Pure (op, [ a; b ]); ety = s }
+     | _ -> assert false)
+  | "mod" ->
+    arity 2;
+    (match List.map (check_int_expr env) args with
+     | [ a; b ] -> { e = Binop (Ast.Rem, a, b); ety = Sint }
+     | _ -> assert false)
+  | "sign" ->
+    arity 2;
+    (match List.map (check_float_expr env) args with
+     | [ a; b ] -> { e = Pure (Fsign, [ a; b ]); ety = Sfloat }
+     | _ -> assert false)
+  | "float" ->
+    arity 1;
+    let a = check_expr env (List.hd args) in
+    (match a.ety with
+     | Sint -> { e = Pure (Itof, [ a ]); ety = Sfloat }
+     | Sfloat -> a)
+  | "int" ->
+    arity 1;
+    let a = check_expr env (List.hd args) in
+    (match a.ety with
+     | Sfloat -> { e = Pure (Ftoi, [ a ]); ety = Sint }
+     | Sint -> a)
+  | "len" -> array_dim_arg false 1
+  | "rows" -> array_dim_arg true 1
+  | "cols" -> array_dim_arg true 2
+  | "print_int" | "print_float" ->
+    err loc "%s has no value; use it as a statement" name
+  | _ ->
+    let ret, targs = check_user_call env loc name args in
+    (match ret with
+     | Some s -> { e = Call (name, targs); ety = s }
+     | None -> err loc "procedure %s returns nothing" name)
+
+and check_user_call env loc name args =
+  match Hashtbl.find_opt env.signatures name with
+  | None -> err loc "unknown procedure %s" name
+  | Some { sig_params; sig_ret } ->
+    if List.length args <> List.length sig_params then
+      err loc "%s expects %d argument(s), got %d" name
+        (List.length sig_params) (List.length args);
+    let check_arg (formal : Ast.ty) (actual : Ast.expr) =
+      match formal with
+      | Ast.Tint -> Scalar_arg (check_int_expr env actual)
+      | Ast.Tfloat -> Scalar_arg (check_float_expr env actual)
+      | Ast.Tarray _ | Ast.Tmat _ ->
+        (match actual.kind with
+         | Ast.Var vname ->
+           let sym = lookup_var env actual.loc vname in
+           if sym.v_ty <> formal then
+             err actual.loc "argument %s: expected %s, got %s" vname
+               (Ast.string_of_ty formal) (Ast.string_of_ty sym.v_ty);
+           Array_arg sym
+         | _ ->
+           err actual.loc "aggregate arguments must be bare variable names")
+    in
+    sig_ret, List.map2 check_arg sig_params args
+
+let rec check_cond env (e : Ast.expr) : cond =
+  let loc = e.loc in
+  match e.kind with
+  | Ast.Rel (op, a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    let a, b, _ = promote loc a b in
+    Cmp (op, a, b)
+  | Ast.And (a, b) -> And (check_cond env a, check_cond env b)
+  | Ast.Or (a, b) -> Or (check_cond env a, check_cond env b)
+  | Ast.Not a -> Not (check_cond env a)
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ | Ast.Index _
+  | Ast.Binop _ | Ast.Neg _ | Ast.Call _ ->
+    err loc "expected a boolean condition (use comparisons)"
+
+let literal_step loc (e : Ast.expr) =
+  match e.kind with
+  | Ast.Int_lit n -> n
+  | Ast.Neg { kind = Ast.Int_lit n; _ } -> -n
+  | _ -> err loc "loop step must be an integer literal"
+
+let rec check_stmt env (s : Ast.stmt) : stmt list =
+  let loc = s.sloc in
+  match s.s with
+  | Ast.Decl (name, ty, dims, init) ->
+    let sym = fresh_sym env loc name ty Local in
+    env.rev_locals <- sym :: env.rev_locals;
+    (match ty, dims, init with
+     | (Ast.Tint | Ast.Tfloat), [], None -> []
+     | (Ast.Tint | Ast.Tfloat), [], Some e ->
+       let s = Option.get (scalar_of_ty ty) in
+       let te = coerce loc s (check_expr env e) in
+       [ Assign (sym, te) ]
+     | (Ast.Tint | Ast.Tfloat), _ :: _, _ ->
+       err loc "scalar %s cannot have dimensions" name
+     | Ast.Tarray _, [ d ], None ->
+       [ Alloc_local (sym, [ check_int_expr env d ]) ]
+     | Ast.Tmat _, [ r; c ], None ->
+       [ Alloc_local (sym, [ check_int_expr env r; check_int_expr env c ]) ]
+     | Ast.Tarray _, _, None ->
+       err loc "array %s needs exactly one dimension" name
+     | Ast.Tmat _, _, None ->
+       err loc "matrix %s needs exactly two dimensions" name
+     | (Ast.Tarray _ | Ast.Tmat _), _, Some _ ->
+       err loc "aggregate %s cannot have an initializer" name)
+  | Ast.Assign (Ast.Lvar name, rhs) ->
+    let sym, s = lookup_scalar env loc name in
+    [ Assign (sym, coerce loc s (check_expr env rhs)) ]
+  | Ast.Assign (Ast.Lindex (name, indices), rhs) ->
+    let sym = lookup_var env loc name in
+    let arity = index_arity loc sym in
+    if List.length indices <> arity then
+      err loc "%s expects %d indices" name arity;
+    let indices = List.map (check_int_expr env) indices in
+    let rhs = coerce loc (elem_scalar sym) (check_expr env rhs) in
+    [ Store_elt (sym, indices, rhs) ]
+  | Ast.If (c, t, f) ->
+    [ If (check_cond env c, check_block env t, check_block env f) ]
+  | Ast.While (c, body) ->
+    [ While (check_cond env c, check_block env body) ]
+  | Ast.For (name, lo, hi, dir, step, body) ->
+    let sym, s = lookup_scalar env loc name in
+    if s <> Sint then err loc "loop variable %s must be int" name;
+    let step =
+      match step with
+      | None -> 1
+      | Some e -> literal_step e.loc e
+    in
+    if step <= 0 then err loc "loop step must be positive (use downto)";
+    let lo = check_int_expr env lo and hi = check_int_expr env hi in
+    [ For (sym, lo, hi, dir, step, check_block env body) ]
+  | Ast.Return None ->
+    if env.proc_ret <> None then
+      err loc "%s must return a value" env.proc_name;
+    [ Return None ]
+  | Ast.Return (Some e) ->
+    (match env.proc_ret with
+     | None -> err loc "%s returns nothing" env.proc_name
+     | Some s -> [ Return (Some (coerce loc s (check_expr env e))) ])
+  | Ast.Call_stmt ("print_int", args) ->
+    (match args with
+     | [ e ] -> [ Print (check_int_expr env e) ]
+     | _ -> err loc "print_int expects 1 argument")
+  | Ast.Call_stmt ("print_float", args) ->
+    (match args with
+     | [ e ] -> [ Print (check_float_expr env e) ]
+     | _ -> err loc "print_float expects 1 argument")
+  | Ast.Call_stmt (name, args) ->
+    if is_intrinsic name then
+      err loc "intrinsic %s cannot be used as a statement" name;
+    let _, targs = check_user_call env loc name args in
+    [ Proc_call (name, targs) ]
+
+and check_block env stmts = List.concat_map (check_stmt env) stmts
+
+let check_proc signatures (p : Ast.proc) : proc =
+  let ret =
+    match p.ret with
+    | None -> None
+    | Some ty ->
+      (match scalar_of_ty ty with
+       | Some s -> Some s
+       | None -> err p.proc_loc "%s: procedures return scalars only" p.name)
+  in
+  let env =
+    { signatures;
+      vars = Hashtbl.create 32;
+      next_id = 0;
+      rev_locals = [];
+      proc_ret = ret;
+      proc_name = p.name }
+  in
+  let params =
+    List.mapi
+      (fun i (prm : Ast.param) ->
+        fresh_sym env prm.p_loc prm.p_name prm.p_ty (Param i))
+      p.params
+  in
+  let body = check_block env p.body in
+  { name = p.name; params; ret; locals = List.rev env.rev_locals; body }
+
+let check_program (prog : Ast.program) : program =
+  let signatures = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.proc) ->
+      if Hashtbl.mem signatures p.name then
+        err p.proc_loc "duplicate procedure %s" p.name;
+      if is_intrinsic p.name then
+        err p.proc_loc "procedure %s shadows an intrinsic" p.name;
+      let sig_ret =
+        match p.ret with
+        | None -> None
+        | Some ty -> scalar_of_ty ty
+        (* aggregate returns rejected again in check_proc with a message *)
+      in
+      Hashtbl.replace signatures p.name
+        { sig_params = List.map (fun (prm : Ast.param) -> prm.p_ty) p.params;
+          sig_ret })
+    prog;
+  { procs = List.map (check_proc signatures) prog }
+
+let compile_source src = check_program (Parser.parse_program src)

@@ -1,0 +1,14 @@
+(** Type checking and name resolution: {!Ast.program} → {!Tast.program}.
+
+    Enforces: no duplicate procedures or variables; procedures return
+    scalars or nothing; arrays/matrices are passed by reference as bare
+    names; loop variables are [int] scalars and steps are integer literals;
+    [int] promotes implicitly to [float] but narrowing requires [int(x)];
+    boolean forms appear only in condition position.
+
+    Raises [Errors.Type_error] on violation. *)
+
+val check_program : Ast.program -> Tast.program
+
+(** Convenience: parse then check. *)
+val compile_source : string -> Tast.program

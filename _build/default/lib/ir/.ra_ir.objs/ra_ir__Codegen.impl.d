@@ -1,0 +1,1 @@
+lib/ir/codegen.ml: Array Ast Instr List Option Parser Proc Ra_frontend Reg Tast Typecheck

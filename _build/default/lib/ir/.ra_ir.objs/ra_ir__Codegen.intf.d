@@ -1,0 +1,1 @@
+lib/ir/codegen.mli: Proc Ra_frontend

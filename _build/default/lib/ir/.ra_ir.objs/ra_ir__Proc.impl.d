@@ -1,0 +1,1 @@
+lib/ir/proc.ml: Array Buffer Instr List Printf Reg String

@@ -1,0 +1,1 @@
+lib/ir/proc.mli: Instr Reg

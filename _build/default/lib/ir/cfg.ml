@@ -1,0 +1,123 @@
+type block = {
+  bindex : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  block_of_instr : int array;
+}
+
+let build (code : Proc.node array) : t =
+  let n = Array.length code in
+  if n = 0 then invalid_arg "Cfg.build: empty procedure";
+  (* label -> instruction index *)
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      match node.ins with
+      | Instr.Label l -> Hashtbl.replace label_pos l i
+      | _ -> ())
+    code;
+  (* leaders *)
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      (match node.ins with
+       | Instr.Label _ -> leader.(i) <- true
+       | _ -> ());
+      if Instr.ends_block node.ins && i + 1 < n then leader.(i + 1) <- true)
+    code;
+  (* block boundaries *)
+  let bounds = ref [] in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if leader.(i) then begin
+      bounds := (!start, i - 1) :: !bounds;
+      start := i
+    end
+  done;
+  bounds := (!start, n - 1) :: !bounds;
+  let bounds = Array.of_list (List.rev !bounds) in
+  let n_blocks = Array.length bounds in
+  let block_of_instr = Array.make n 0 in
+  Array.iteri
+    (fun b (first, last) ->
+      for i = first to last do
+        block_of_instr.(i) <- b
+      done)
+    bounds;
+  let block_of_label l =
+    match Hashtbl.find_opt label_pos l with
+    | Some i -> block_of_instr.(i)
+    | None -> invalid_arg (Printf.sprintf "Cfg.build: undefined label L%d" l)
+  in
+  let succs_of b =
+    let _, last = bounds.(b) in
+    match (code.(last)).ins with
+    | Instr.Br l -> [ block_of_label l ]
+    | Instr.Cbr (_, _, _, t, f) ->
+      let bt = block_of_label t and bf = block_of_label f in
+      if bt = bf then [ bt ] else [ bt; bf ]
+    | Instr.Ret _ -> []
+    | ins ->
+      if b + 1 < n_blocks then [ b + 1 ]
+      else if Instr.is_label ins && bounds.(b) = (last, last) then
+        (* trailing label with no code; nothing can reach past it *)
+        []
+      else invalid_arg "Cfg.build: control can fall off the end"
+  in
+  let succs = Array.init n_blocks succs_of in
+  let preds = Array.make n_blocks [] in
+  Array.iteri
+    (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+    succs;
+  let blocks =
+    Array.init n_blocks (fun b ->
+      let first, last = bounds.(b) in
+      { bindex = b; first; last; succs = succs.(b);
+        preds = List.rev preds.(b) })
+  in
+  { blocks; block_of_instr }
+
+let n_blocks t = Array.length t.blocks
+
+let entry t = t.blocks.(0)
+
+let instrs (b : block) =
+  List.init (b.last - b.first + 1) (fun i -> b.first + i)
+
+let reverse_postorder t =
+  let n = n_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs t.blocks.(b).succs;
+      order := b :: !order
+    end
+  in
+  dfs 0;
+  (* unreachable blocks go last, in index order *)
+  let reachable = Array.of_list !order in
+  let unreachable = ref [] in
+  for b = n - 1 downto 0 do
+    if not visited.(b) then unreachable := b :: !unreachable
+  done;
+  Array.append reachable (Array.of_list !unreachable)
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "B%d [%d..%d] -> %s\n" b.bindex b.first b.last
+           (String.concat ", "
+              (List.map (fun s -> "B" ^ string_of_int s) b.succs))))
+    t.blocks;
+  Buffer.contents buf

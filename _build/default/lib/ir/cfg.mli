@@ -1,0 +1,37 @@
+(** Control-flow graph over a procedure's linear code.
+
+    Blocks are maximal instruction ranges: a leader is instruction 0, any
+    [Label], or any instruction after a branch/return. Edges follow [Br]/
+    [Cbr] targets and fallthrough. *)
+
+type block = {
+  bindex : int;
+  first : int; (* instruction index range, inclusive *)
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  block_of_instr : int array; (* instruction index -> block index *)
+}
+
+(** Raises [Invalid_argument] on an empty procedure, a branch to an
+    undefined label, or code that can fall off the end (the last
+    instruction of a fall-through path must be a return/branch). *)
+val build : Proc.node array -> t
+
+val n_blocks : t -> int
+
+(** Entry block is always block 0. *)
+val entry : t -> block
+
+(** Instruction indices of a block, first to last. *)
+val instrs : block -> int list
+
+(** Reverse postorder of block indices from the entry — the iteration
+    order that makes forward dataflow converge fast. *)
+val reverse_postorder : t -> int array
+
+val to_string : t -> string

@@ -1,0 +1,275 @@
+open Ra_frontend
+
+type env = {
+  proc : Proc.t;
+  var_reg : Reg.t array; (* var id -> its home register *)
+  mutable rev_code : Proc.node list;
+  mutable depth : int;
+}
+
+let emit env ins =
+  env.rev_code <- { Proc.ins; depth = env.depth } :: env.rev_code
+
+let cls_of_scalar = function
+  | Tast.Sint -> Reg.Int_reg
+  | Tast.Sfloat -> Reg.Flt_reg
+
+let cls_of_ty = function
+  | Ast.Tint -> Reg.Int_reg
+  | Ast.Tfloat -> Reg.Flt_reg
+  | Ast.Tarray _ | Ast.Tmat _ -> Reg.Int_reg (* descriptor *)
+
+let unop_of_pure = function
+  | Tast.Iabs -> Instr.Iabs
+  | Tast.Fabs -> Instr.Fabs
+  | Tast.Fsqrt -> Instr.Fsqrt
+  | Tast.Itof -> Instr.Itof
+  | Tast.Ftoi -> Instr.Ftoi
+  | Tast.Imin | Tast.Imax | Tast.Fmin | Tast.Fmax | Tast.Fsign ->
+    invalid_arg "unop_of_pure: binary op"
+
+let binop_of_pure = function
+  | Tast.Imin -> Instr.Imin
+  | Tast.Imax -> Instr.Imax
+  | Tast.Fmin -> Instr.Fmin
+  | Tast.Fmax -> Instr.Fmax
+  | Tast.Fsign -> Instr.Fsign
+  | Tast.Iabs | Tast.Fabs | Tast.Fsqrt | Tast.Itof | Tast.Ftoi ->
+    invalid_arg "binop_of_pure: unary op"
+
+let binop_instr (op : Ast.binop) (s : Tast.scalar) =
+  match s, op with
+  | Tast.Sint, Ast.Add -> Instr.Iadd
+  | Tast.Sint, Ast.Sub -> Instr.Isub
+  | Tast.Sint, Ast.Mul -> Instr.Imul
+  | Tast.Sint, Ast.Div -> Instr.Idiv
+  | Tast.Sint, Ast.Rem -> Instr.Irem
+  | Tast.Sfloat, Ast.Add -> Instr.Fadd
+  | Tast.Sfloat, Ast.Sub -> Instr.Fsub
+  | Tast.Sfloat, Ast.Mul -> Instr.Fmul
+  | Tast.Sfloat, Ast.Div -> Instr.Fdiv
+  | Tast.Sfloat, Ast.Rem -> invalid_arg "float remainder"
+
+let result_cls_of_unop = function
+  | Instr.Ineg | Instr.Iabs | Instr.Ftoi -> Reg.Int_reg
+  | Instr.Fneg | Instr.Fabs | Instr.Fsqrt | Instr.Itof -> Reg.Flt_reg
+
+(* Compute the 0-based linear element index for an aggregate access. *)
+let rec gen_index env (sym : Tast.sym) (indices : Tast.expr list) =
+  let base = env.var_reg.(sym.v_id) in
+  match indices with
+  | [ i ] ->
+    let ri = gen_expr env i in
+    let one = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Li (one, 1));
+    let idx = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Binop (Instr.Isub, idx, ri, one));
+    base, idx
+  | [ i; j ] ->
+    (* column-major: off = (j-1) * rows + (i-1) *)
+    let ri = gen_expr env i in
+    let rj = gen_expr env j in
+    let one = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Li (one, 1));
+    let jm1 = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Binop (Instr.Isub, jm1, rj, one));
+    let rows = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Dim (rows, base, 1));
+    let col_off = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Binop (Instr.Imul, col_off, jm1, rows));
+    let im1 = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Binop (Instr.Isub, im1, ri, one));
+    let idx = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Binop (Instr.Iadd, idx, col_off, im1));
+    base, idx
+  | [] | _ :: _ :: _ :: _ -> invalid_arg "gen_index: arity"
+
+and gen_expr env (e : Tast.expr) : Reg.t =
+  match e.e with
+  | Tast.Int_lit n ->
+    let d = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Li (d, n));
+    d
+  | Tast.Float_lit f ->
+    let d = Proc.fresh_reg env.proc Reg.Flt_reg in
+    emit env (Instr.Lf (d, f));
+    d
+  | Tast.Scalar_var sym -> env.var_reg.(sym.v_id)
+  | Tast.Load_elt (sym, indices) ->
+    let base, idx = gen_index env sym indices in
+    let d = Proc.fresh_reg env.proc (cls_of_scalar e.ety) in
+    emit env (Instr.Load (d, base, idx));
+    d
+  | Tast.Binop (op, a, b) ->
+    let ra = gen_expr env a in
+    let rb = gen_expr env b in
+    let d = Proc.fresh_reg env.proc (cls_of_scalar e.ety) in
+    emit env (Instr.Binop (binop_instr op e.ety, d, ra, rb));
+    d
+  | Tast.Neg a ->
+    let ra = gen_expr env a in
+    let d = Proc.fresh_reg env.proc (cls_of_scalar e.ety) in
+    let op = match e.ety with Tast.Sint -> Instr.Ineg | Tast.Sfloat -> Instr.Fneg in
+    emit env (Instr.Unop (op, d, ra));
+    d
+  | Tast.Pure (op, [ a ]) ->
+    let ra = gen_expr env a in
+    let iop = unop_of_pure op in
+    let d = Proc.fresh_reg env.proc (result_cls_of_unop iop) in
+    emit env (Instr.Unop (iop, d, ra));
+    d
+  | Tast.Pure (op, [ a; b ]) ->
+    let ra = gen_expr env a in
+    let rb = gen_expr env b in
+    let d = Proc.fresh_reg env.proc (cls_of_scalar e.ety) in
+    emit env (Instr.Binop (binop_of_pure op, d, ra, rb));
+    d
+  | Tast.Pure (_, _) -> invalid_arg "gen_expr: pure arity"
+  | Tast.Dim_of (sym, k) ->
+    let d = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Dim (d, env.var_reg.(sym.v_id), k));
+    d
+  | Tast.Call (callee, args) ->
+    let arg_regs = List.map (gen_arg env) args in
+    let d = Proc.fresh_reg env.proc (cls_of_scalar e.ety) in
+    emit env (Instr.Call { callee; args = arg_regs; ret = Some d });
+    d
+
+and gen_arg env = function
+  | Tast.Scalar_arg e -> gen_expr env e
+  | Tast.Array_arg sym -> env.var_reg.(sym.v_id)
+
+let rec gen_cond env (c : Tast.cond) ~if_true ~if_false =
+  match c with
+  | Tast.Cmp (op, a, b) ->
+    let ra = gen_expr env a in
+    let rb = gen_expr env b in
+    emit env (Instr.Cbr (Instr.relop_of_ast op, ra, rb, if_true, if_false))
+  | Tast.And (x, y) ->
+    let mid = Proc.fresh_label env.proc in
+    gen_cond env x ~if_true:mid ~if_false;
+    emit env (Instr.Label mid);
+    gen_cond env y ~if_true ~if_false
+  | Tast.Or (x, y) ->
+    let mid = Proc.fresh_label env.proc in
+    gen_cond env x ~if_true ~if_false:mid;
+    emit env (Instr.Label mid);
+    gen_cond env y ~if_true ~if_false
+  | Tast.Not x -> gen_cond env x ~if_true:if_false ~if_false:if_true
+
+let rec gen_stmt env (s : Tast.stmt) =
+  match s with
+  | Tast.Assign (sym, e) ->
+    let r = gen_expr env e in
+    emit env (Instr.Mov (env.var_reg.(sym.v_id), r))
+  | Tast.Store_elt (sym, indices, e) ->
+    let r = gen_expr env e in
+    let base, idx = gen_index env sym indices in
+    emit env (Instr.Store (base, idx, r))
+  | Tast.If (c, t, f) ->
+    let lt = Proc.fresh_label env.proc in
+    let lf = Proc.fresh_label env.proc in
+    let lend = Proc.fresh_label env.proc in
+    gen_cond env c ~if_true:lt ~if_false:lf;
+    emit env (Instr.Label lt);
+    gen_block env t;
+    emit env (Instr.Br lend);
+    emit env (Instr.Label lf);
+    gen_block env f;
+    emit env (Instr.Label lend)
+  | Tast.While (c, body) ->
+    let head = Proc.fresh_label env.proc in
+    let lbody = Proc.fresh_label env.proc in
+    let exit = Proc.fresh_label env.proc in
+    emit env (Instr.Label head);
+    env.depth <- env.depth + 1;
+    gen_cond env c ~if_true:lbody ~if_false:exit;
+    emit env (Instr.Label lbody);
+    gen_block env body;
+    emit env (Instr.Br head);
+    env.depth <- env.depth - 1;
+    emit env (Instr.Label exit)
+  | Tast.For (sym, lo, hi, dir, step, body) ->
+    let v = env.var_reg.(sym.v_id) in
+    let rlo = gen_expr env lo in
+    let rhi_val = gen_expr env hi in
+    (* keep the limit in its own register, live across the whole loop *)
+    let limit = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Mov (limit, rhi_val));
+    emit env (Instr.Mov (v, rlo));
+    let head = Proc.fresh_label env.proc in
+    let lbody = Proc.fresh_label env.proc in
+    let exit = Proc.fresh_label env.proc in
+    emit env (Instr.Label head);
+    env.depth <- env.depth + 1;
+    let test = match dir with Ast.Upto -> Instr.Le | Ast.Downto -> Instr.Ge in
+    emit env (Instr.Cbr (test, v, limit, lbody, exit));
+    emit env (Instr.Label lbody);
+    gen_block env body;
+    let rstep = Proc.fresh_reg env.proc Reg.Int_reg in
+    emit env (Instr.Li (rstep, step));
+    let incr = match dir with Ast.Upto -> Instr.Iadd | Ast.Downto -> Instr.Isub in
+    emit env (Instr.Binop (incr, v, v, rstep));
+    emit env (Instr.Br head);
+    env.depth <- env.depth - 1;
+    emit env (Instr.Label exit)
+  | Tast.Return None -> emit env (Instr.Ret None)
+  | Tast.Return (Some e) ->
+    let r = gen_expr env e in
+    emit env (Instr.Ret (Some r))
+  | Tast.Proc_call (callee, args) ->
+    let arg_regs = List.map (gen_arg env) args in
+    emit env (Instr.Call { callee; args = arg_regs; ret = None })
+  | Tast.Print e ->
+    let r = gen_expr env e in
+    let callee =
+      match e.ety with
+      | Tast.Sint -> "print_int"
+      | Tast.Sfloat -> "print_float"
+    in
+    emit env (Instr.Call { callee; args = [ r ]; ret = None })
+  | Tast.Alloc_local (sym, dims) ->
+    let elem =
+      match sym.v_ty with
+      | Ast.Tarray Ast.Bint | Ast.Tmat Ast.Bint -> Instr.Eint
+      | Ast.Tarray Ast.Bfloat | Ast.Tmat Ast.Bfloat -> Instr.Eflt
+      | Ast.Tint | Ast.Tfloat -> invalid_arg "Alloc_local of scalar"
+    in
+    (match dims with
+     | [ d1 ] ->
+       let r1 = gen_expr env d1 in
+       emit env (Instr.Alloc (env.var_reg.(sym.v_id), elem, r1, None))
+     | [ d1; d2 ] ->
+       let r1 = gen_expr env d1 in
+       let r2 = gen_expr env d2 in
+       emit env (Instr.Alloc (env.var_reg.(sym.v_id), elem, r1, Some r2))
+     | [] | _ :: _ :: _ :: _ -> invalid_arg "Alloc_local: arity")
+
+and gen_block env stmts = List.iter (gen_stmt env) stmts
+
+let gen_proc (p : Tast.proc) : Proc.t =
+  let n_vars = List.length p.params + List.length p.locals in
+  (* First allocate homes for params (arg registers) then locals. *)
+  let var_reg = Array.make (max n_vars 1) (Reg.int 0) in
+  let proc =
+    Proc.create ~name:p.name ~args:[]
+      ~ret_cls:(Option.map cls_of_scalar p.ret)
+  in
+  let assign_home (sym : Tast.sym) =
+    var_reg.(sym.v_id) <- Proc.fresh_reg proc (cls_of_ty sym.v_ty)
+  in
+  List.iter assign_home p.params;
+  List.iter assign_home p.locals;
+  let args = List.map (fun (s : Tast.sym) -> var_reg.(s.v_id)) p.params in
+  let env = { proc; var_reg; rev_code = []; depth = 0 } in
+  gen_block env p.body;
+  emit env (Instr.Ret None);
+  let code = Array.of_list (List.rev env.rev_code) in
+  let proc = { proc with Proc.args } in
+  proc.Proc.code <- code;
+  proc
+
+let gen_program (prog : Tast.program) = List.map gen_proc prog.procs
+
+let compile_source src =
+  gen_program (Typecheck.check_program (Parser.parse_program src))

@@ -1,0 +1,17 @@
+(** Naive code generation: {!Ra_frontend.Tast} → {!Proc}.
+
+    Deliberately simple-minded, like the front half of the paper's compiler
+    before allocation: every constant is a fresh [Li]/[Lf], every temporary
+    a fresh virtual register, scalar variables live in one virtual register
+    for the whole procedure (live-range splitting into webs happens later in
+    the analysis library). Loop bounds are evaluated once before the loop,
+    so limits stay live across loop bodies — the SVD pressure pattern.
+
+    Each emitted instruction carries its syntactic loop-nesting depth. *)
+
+val gen_proc : Ra_frontend.Tast.proc -> Proc.t
+
+val gen_program : Ra_frontend.Tast.program -> Proc.t list
+
+(** Parse + typecheck + codegen a whole source file. *)
+val compile_source : string -> Proc.t list

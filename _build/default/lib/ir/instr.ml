@@ -1,0 +1,195 @@
+type label = int
+
+type unop =
+  | Ineg
+  | Iabs
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Itof
+  | Ftoi
+
+type binop =
+  | Iadd
+  | Isub
+  | Imul
+  | Idiv
+  | Irem
+  | Imin
+  | Imax
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+  | Fsign
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type elem =
+  | Eint
+  | Eflt
+
+type call = {
+  callee : string;
+  args : Reg.t list;
+  ret : Reg.t option;
+}
+
+type t =
+  | Label of label
+  | Li of Reg.t * int
+  | Lf of Reg.t * float
+  | Mov of Reg.t * Reg.t
+  | Unop of unop * Reg.t * Reg.t
+  | Binop of binop * Reg.t * Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * Reg.t
+  | Store of Reg.t * Reg.t * Reg.t
+  | Alloc of Reg.t * elem * Reg.t * Reg.t option
+  | Dim of Reg.t * Reg.t * int
+  | Br of label
+  | Cbr of relop * Reg.t * Reg.t * label * label
+  | Call of call
+  | Ret of Reg.t option
+  | Spill_st of int * Reg.t
+  | Spill_ld of Reg.t * int
+
+let defs = function
+  | Label _ | Br _ | Cbr _ | Ret _ | Store _ | Spill_st _ -> []
+  | Li (d, _) | Lf (d, _) | Mov (d, _) | Unop (_, d, _)
+  | Binop (_, d, _, _) | Load (d, _, _) | Alloc (d, _, _, _)
+  | Dim (d, _, _) | Spill_ld (d, _) -> [ d ]
+  | Call { ret; _ } -> Option.to_list ret
+
+let uses = function
+  | Label _ | Li _ | Lf _ | Br _ | Spill_ld _ -> []
+  | Mov (_, s) | Unop (_, _, s) | Dim (_, s, _) | Spill_st (_, s) -> [ s ]
+  | Binop (_, _, a, b) | Load (_, a, b) | Cbr (_, a, b, _, _) -> [ a; b ]
+  | Store (base, idx, src) -> [ base; idx; src ]
+  | Alloc (_, _, d1, d2) -> d1 :: Option.to_list d2
+  | Call { args; _ } -> args
+  | Ret r -> Option.to_list r
+
+let move_of = function
+  | Mov (d, s) -> Some (d, s)
+  | Label _ | Li _ | Lf _ | Unop _ | Binop _ | Load _ | Store _ | Alloc _
+  | Dim _ | Br _ | Cbr _ | Call _ | Ret _ | Spill_st _ | Spill_ld _ -> None
+
+let targets = function
+  | Br l -> [ l ]
+  | Cbr (_, _, _, t, f) -> [ t; f ]
+  | Label _ | Li _ | Lf _ | Mov _ | Unop _ | Binop _ | Load _ | Store _
+  | Alloc _ | Dim _ | Call _ | Ret _ | Spill_st _ | Spill_ld _ -> []
+
+let ends_block = function
+  | Br _ | Cbr _ | Ret _ -> true
+  | Label _ | Li _ | Lf _ | Mov _ | Unop _ | Binop _ | Load _ | Store _
+  | Alloc _ | Dim _ | Call _ | Spill_st _ | Spill_ld _ -> false
+
+let is_label = function
+  | Label _ -> true
+  | Li _ | Lf _ | Mov _ | Unop _ | Binop _ | Load _ | Store _ | Alloc _
+  | Dim _ | Br _ | Cbr _ | Call _ | Ret _ | Spill_st _ | Spill_ld _ -> false
+
+let map_regs ~def ~use = function
+  | Label _ as i -> i
+  | Li (d, n) -> Li (def d, n)
+  | Lf (d, f) -> Lf (def d, f)
+  | Mov (d, s) -> Mov (def d, use s)
+  | Unop (op, d, s) -> Unop (op, def d, use s)
+  | Binop (op, d, a, b) -> Binop (op, def d, use a, use b)
+  | Load (d, base, idx) -> Load (def d, use base, use idx)
+  | Store (base, idx, s) -> Store (use base, use idx, use s)
+  | Alloc (d, e, d1, d2) -> Alloc (def d, e, use d1, Option.map use d2)
+  | Dim (d, base, k) -> Dim (def d, use base, k)
+  | Br _ as i -> i
+  | Cbr (op, a, b, t, f) -> Cbr (op, use a, use b, t, f)
+  | Call { callee; args; ret } ->
+    Call { callee; args = List.map use args; ret = Option.map def ret }
+  | Ret r -> Ret (Option.map use r)
+  | Spill_st (slot, s) -> Spill_st (slot, use s)
+  | Spill_ld (d, slot) -> Spill_ld (def d, slot)
+
+let relop_of_ast = function
+  | Ra_frontend.Ast.Eq -> Eq
+  | Ra_frontend.Ast.Ne -> Ne
+  | Ra_frontend.Ast.Lt -> Lt
+  | Ra_frontend.Ast.Le -> Le
+  | Ra_frontend.Ast.Gt -> Gt
+  | Ra_frontend.Ast.Ge -> Ge
+
+let unop_name = function
+  | Ineg -> "ineg"
+  | Iabs -> "iabs"
+  | Fneg -> "fneg"
+  | Fabs -> "fabs"
+  | Fsqrt -> "fsqrt"
+  | Itof -> "itof"
+  | Ftoi -> "ftoi"
+
+let binop_name = function
+  | Iadd -> "iadd"
+  | Isub -> "isub"
+  | Imul -> "imul"
+  | Idiv -> "idiv"
+  | Irem -> "irem"
+  | Imin -> "imin"
+  | Imax -> "imax"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+  | Fsign -> "fsign"
+
+let relop_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let r = Reg.to_string
+
+let to_string = function
+  | Label l -> Printf.sprintf "L%d:" l
+  | Li (d, n) -> Printf.sprintf "  li    %s, %d" (r d) n
+  | Lf (d, f) -> Printf.sprintf "  lf    %s, %h" (r d) f
+  | Mov (d, s) -> Printf.sprintf "  mov   %s, %s" (r d) (r s)
+  | Unop (op, d, s) -> Printf.sprintf "  %-5s %s, %s" (unop_name op) (r d) (r s)
+  | Binop (op, d, a, b) ->
+    Printf.sprintf "  %-5s %s, %s, %s" (binop_name op) (r d) (r a) (r b)
+  | Load (d, base, idx) ->
+    Printf.sprintf "  load  %s, [%s + %s]" (r d) (r base) (r idx)
+  | Store (base, idx, s) ->
+    Printf.sprintf "  store [%s + %s], %s" (r base) (r idx) (r s)
+  | Alloc (d, e, d1, None) ->
+    Printf.sprintf "  alloc %s, %s[%s]" (r d)
+      (match e with Eint -> "int" | Eflt -> "flt")
+      (r d1)
+  | Alloc (d, e, d1, Some d2) ->
+    Printf.sprintf "  alloc %s, %s[%s, %s]" (r d)
+      (match e with Eint -> "int" | Eflt -> "flt")
+      (r d1) (r d2)
+  | Dim (d, base, k) -> Printf.sprintf "  dim%d  %s, %s" k (r d) (r base)
+  | Br l -> Printf.sprintf "  br    L%d" l
+  | Cbr (op, a, b, t, f) ->
+    Printf.sprintf "  c%-4s %s, %s -> L%d, L%d" (relop_name op) (r a) (r b) t f
+  | Call { callee; args; ret } ->
+    let args = String.concat ", " (List.map r args) in
+    (match ret with
+     | Some d -> Printf.sprintf "  call  %s, %s(%s)" (r d) callee args
+     | None -> Printf.sprintf "  call  %s(%s)" callee args)
+  | Ret None -> "  ret"
+  | Ret (Some x) -> Printf.sprintf "  ret   %s" (r x)
+  | Spill_st (slot, s) -> Printf.sprintf "  spst  [slot%d], %s" slot (r s)
+  | Spill_ld (d, slot) -> Printf.sprintf "  spld  %s, [slot%d]" (r d) slot

@@ -1,0 +1,97 @@
+(** Instructions of the linear RISC-like IR.
+
+    Three-address code over {!Reg} operands; constants enter through [Li]/
+    [Lf]; memory is reached only through [Load]/[Store] (base descriptor +
+    0-based element index) — a load/store architecture in the RT/PC mold.
+    [Spill_ld]/[Spill_st] move a register to/from a numbered spill slot in
+    the frame; only the spill phase of the allocator emits them. *)
+
+type label = int
+
+type unop =
+  | Ineg
+  | Iabs
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Itof (* Int_reg -> Flt_reg *)
+  | Ftoi (* Flt_reg -> Int_reg, truncating *)
+
+type binop =
+  | Iadd
+  | Isub
+  | Imul
+  | Idiv
+  | Irem
+  | Imin
+  | Imax
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+  | Fsign (* SIGN(a,b) = |a| * (b >= 0 ? 1 : -1) *)
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+(** Element kind of a fresh aggregate. *)
+type elem =
+  | Eint
+  | Eflt
+
+type call = {
+  callee : string;
+  args : Reg.t list;
+  ret : Reg.t option;
+}
+
+type t =
+  | Label of label
+  | Li of Reg.t * int
+  | Lf of Reg.t * float
+  | Mov of Reg.t * Reg.t (* dst, src; same class *)
+  | Unop of unop * Reg.t * Reg.t (* dst, src *)
+  | Binop of binop * Reg.t * Reg.t * Reg.t (* dst, a, b *)
+  | Load of Reg.t * Reg.t * Reg.t (* dst, base, index *)
+  | Store of Reg.t * Reg.t * Reg.t (* base, index, src *)
+  | Alloc of Reg.t * elem * Reg.t * Reg.t option (* dst, elem, dim1, dim2 *)
+  | Dim of Reg.t * Reg.t * int (* dst, base, which dim (1 or 2) *)
+  | Br of label
+  | Cbr of relop * Reg.t * Reg.t * label * label (* class from operands *)
+  | Call of call
+  | Ret of Reg.t option
+  | Spill_st of int * Reg.t (* slot <- src *)
+  | Spill_ld of Reg.t * int (* dst <- slot *)
+
+(** Registers defined by the instruction (0 or 1 except calls with results). *)
+val defs : t -> Reg.t list
+
+(** Registers used (read) by the instruction. *)
+val uses : t -> Reg.t list
+
+(** [Some (dst, src)] when the instruction is a register-to-register copy. *)
+val move_of : t -> (Reg.t * Reg.t) option
+
+(** Branch targets ([Br], [Cbr]); empty otherwise. *)
+val targets : t -> label list
+
+(** True for [Br], [Cbr] and [Ret]: control does not fall through. *)
+val ends_block : t -> bool
+
+(** True for [Label] — a pseudo-instruction occupying no code space. *)
+val is_label : t -> bool
+
+(** Rewrite every register operand; [~def] maps defined occurrences,
+    [~use] maps used occurrences. *)
+val map_regs : def:(Reg.t -> Reg.t) -> use:(Reg.t -> Reg.t) -> t -> t
+
+val relop_of_ast : Ra_frontend.Ast.relop -> relop
+
+val to_string : t -> string

@@ -1,0 +1,89 @@
+type node = {
+  ins : Instr.t;
+  depth : int;
+}
+
+type t = {
+  name : string;
+  args : Reg.t list;
+  ret_cls : Reg.cls option;
+  mutable code : node array;
+  mutable next_int : int;
+  mutable next_flt : int;
+  mutable next_label : int;
+  mutable spill_slots : int;
+  mutable arg_spills : (int * int) list;
+  mutable allocated : bool;
+}
+
+let create ~name ~args ~ret_cls =
+  let next_int =
+    List.fold_left
+      (fun acc (r : Reg.t) ->
+        if r.cls = Reg.Int_reg then max acc (r.id + 1) else acc)
+      0 args
+  in
+  let next_flt =
+    List.fold_left
+      (fun acc (r : Reg.t) ->
+        if r.cls = Reg.Flt_reg then max acc (r.id + 1) else acc)
+      0 args
+  in
+  { name; args; ret_cls; code = [||]; next_int; next_flt;
+    next_label = 0; spill_slots = 0; arg_spills = []; allocated = false }
+
+let fresh_reg t cls =
+  match cls with
+  | Reg.Int_reg ->
+    let id = t.next_int in
+    t.next_int <- id + 1;
+    Reg.int id
+  | Reg.Flt_reg ->
+    let id = t.next_flt in
+    t.next_flt <- id + 1;
+    Reg.flt id
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let fresh_slot t =
+  let s = t.spill_slots in
+  t.spill_slots <- s + 1;
+  s
+
+let reg_count t = function
+  | Reg.Int_reg -> t.next_int
+  | Reg.Flt_reg -> t.next_flt
+
+let instr_count t =
+  Array.fold_left
+    (fun acc node -> if Instr.is_label node.ins then acc else acc + 1)
+    0 t.code
+
+let object_size t = 4 * instr_count t
+
+let max_reg_id t cls =
+  let m = ref 0 in
+  let consider (r : Reg.t) = if r.cls = cls then m := max !m (r.id + 1) in
+  List.iter consider t.args;
+  Array.iter
+    (fun node ->
+      List.iter consider (Instr.defs node.ins);
+      List.iter consider (Instr.uses node.ins))
+    t.code;
+  !m
+
+let iter t f = Array.iteri (fun i node -> f i node) t.code
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let args = String.concat ", " (List.map Reg.to_string t.args) in
+  Buffer.add_string buf (Printf.sprintf "proc %s(%s):\n" t.name args);
+  Array.iter
+    (fun node ->
+      Buffer.add_string buf (Instr.to_string node.ins);
+      Buffer.add_char buf '\n')
+    t.code;
+  Buffer.contents buf

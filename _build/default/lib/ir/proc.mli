@@ -1,0 +1,52 @@
+(** A procedure in IR form: linear code plus register/label/slot counters.
+
+    The [depth] attached to each instruction is the syntactic loop-nesting
+    depth recorded by codegen; spill costs weight each inserted load/store
+    by [weight_base ^ depth] exactly as in Chaitin's estimator (§2.1). *)
+
+type node = {
+  ins : Instr.t;
+  depth : int;
+}
+
+type t = {
+  name : string;
+  args : Reg.t list; (* virtual registers holding incoming arguments *)
+  ret_cls : Reg.cls option;
+  mutable code : node array;
+  mutable next_int : int; (* next fresh virtual id, per class *)
+  mutable next_flt : int;
+  mutable next_label : int;
+  mutable spill_slots : int;
+  mutable arg_spills : (int * int) list;
+    (* (argument position, frame slot): arguments the allocator spilled.
+       They arrive in memory — stack-passed, as on any machine whose
+       argument list outgrows the register file — so the interpreter
+       deposits them into the slot at frame setup and no entry store or
+       entry register is needed. *)
+  mutable allocated : bool; (* registers are physical, ids < k *)
+}
+
+val create :
+  name:string -> args:Reg.t list -> ret_cls:Reg.cls option -> t
+
+val fresh_reg : t -> Reg.cls -> Reg.t
+val fresh_label : t -> Instr.label
+val fresh_slot : t -> int
+
+(** Number of virtual registers of a class (= the counter). *)
+val reg_count : t -> Reg.cls -> int
+
+(** Real (non-label) instruction count. *)
+val instr_count : t -> int
+
+(** Object-code bytes: 4 per real instruction (RISC fixed width). *)
+val object_size : t -> int
+
+(** Highest register id mentioned plus one, per class — the register file
+    size an interpreter needs. *)
+val max_reg_id : t -> Reg.cls -> int
+
+val iter : t -> (int -> node -> unit) -> unit
+
+val to_string : t -> string

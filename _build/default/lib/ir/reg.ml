@@ -1,0 +1,34 @@
+type cls =
+  | Int_reg
+  | Flt_reg
+
+type t = {
+  id : int;
+  cls : cls;
+}
+
+let int id = { id; cls = Int_reg }
+let flt id = { id; cls = Flt_reg }
+
+let equal a b = a.id = b.id && a.cls = b.cls
+
+let compare a b =
+  match compare a.cls b.cls with
+  | 0 -> compare a.id b.id
+  | c -> c
+
+let cls_name = function
+  | Int_reg -> "int"
+  | Flt_reg -> "flt"
+
+let to_string t =
+  match t.cls with
+  | Int_reg -> Printf.sprintf "i%d" t.id
+  | Flt_reg -> Printf.sprintf "f%d" t.id
+
+let phys_string t =
+  match t.cls with
+  | Int_reg -> Printf.sprintf "R%d" t.id
+  | Flt_reg -> Printf.sprintf "F%d" t.id
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

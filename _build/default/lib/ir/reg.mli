@@ -1,0 +1,31 @@
+(** Registers of the RISC-like IR.
+
+    Before allocation every register is *virtual*: an unbounded id within a
+    register class. After allocation ids are the physical register numbers
+    [0 .. k-1] of the class. The same type serves both stages; {!Proc}
+    records which stage a procedure is in. *)
+
+type cls =
+  | Int_reg (* integers, addresses, array descriptors *)
+  | Flt_reg (* double-precision floats *)
+
+type t = {
+  id : int;
+  cls : cls;
+}
+
+val int : int -> t
+val flt : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val cls_name : cls -> string
+
+(** ["i7"] or ["f3"] — lowercase virtual-register spelling. *)
+val to_string : t -> string
+
+(** ["R7"] or ["F3"] — physical spelling used after allocation. *)
+val phys_string : t -> string
+
+val pp : Format.formatter -> t -> unit

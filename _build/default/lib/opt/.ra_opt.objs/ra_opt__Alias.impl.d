@@ -1,0 +1,1 @@
+lib/opt/alias.ml: Array Instr List Proc Ra_ir Reg

@@ -1,0 +1,1 @@
+lib/opt/alias.mli: Ra_ir

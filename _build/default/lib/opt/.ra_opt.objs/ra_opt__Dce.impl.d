@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Cfg Hashtbl Instr Liveness Proc Ra_analysis Ra_ir Ra_support

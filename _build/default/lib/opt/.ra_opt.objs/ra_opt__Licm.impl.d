@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Alias Array Cfg Dominators Hashtbl Instr List Loops Option Proc Ra_analysis Ra_ir Reg

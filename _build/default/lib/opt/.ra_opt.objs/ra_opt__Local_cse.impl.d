@@ -1,0 +1,1 @@
+lib/opt/local_cse.ml: Alias Array Cfg Hashtbl Instr Int64 List Proc Ra_ir Reg

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Dce Licm List Local_cse Ra_ir

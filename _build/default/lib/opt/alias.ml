@@ -1,0 +1,61 @@
+open Ra_ir
+
+type root =
+  | Arg of int
+  | Alloc_site of int
+
+type t = {
+  roots : root option array; (* indexed by int-class vreg id *)
+}
+
+let compute (proc : Proc.t) : t =
+  let n = proc.next_int in
+  let def_count = Array.make (max n 1) 0 in
+  let count (r : Reg.t) =
+    if r.cls = Reg.Int_reg then
+      def_count.(r.id) <- def_count.(r.id) + 1
+  in
+  Array.iter
+    (fun (node : Proc.node) -> List.iter count (Instr.defs node.ins))
+    proc.code;
+  (* arguments have an implicit entry definition *)
+  List.iter count proc.args;
+  let roots = Array.make (max n 1) None in
+  List.iteri
+    (fun i (r : Reg.t) ->
+      if r.cls = Reg.Int_reg && def_count.(r.id) = 1 then
+        roots.(r.id) <- Some (Arg i))
+    proc.args;
+  (* resolve Alloc results and single-def copies; iterate to settle
+     copy-of-copy chains in code order *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (node : Proc.node) ->
+        match node.ins with
+        | Instr.Alloc (d, _, _, _)
+          when d.cls = Reg.Int_reg && def_count.(d.id) = 1
+               && roots.(d.id) = None ->
+          roots.(d.id) <- Some (Alloc_site i);
+          changed := true
+        | Instr.Mov (d, s)
+          when d.cls = Reg.Int_reg && def_count.(d.id) = 1
+               && def_count.(s.id) = 1
+               && roots.(d.id) = None && roots.(s.id) <> None ->
+          roots.(d.id) <- roots.(s.id);
+          changed := true
+        | _ -> ())
+      proc.code
+  done;
+  { roots }
+
+let root_of t (r : Reg.t) =
+  match r.cls with
+  | Reg.Flt_reg -> None
+  | Reg.Int_reg -> if r.id < Array.length t.roots then t.roots.(r.id) else None
+
+let may_alias t a b =
+  match root_of t a, root_of t b with
+  | Some ra, Some rb -> ra = rb
+  | None, _ | _, None -> true

@@ -1,0 +1,24 @@
+(** Aggregate aliasing roots under the FORTRAN 77 rule: distinct array
+    parameters of a procedure may be assumed not to alias (a caller that
+    passes overlapping actuals to parameters the procedure writes is
+    non-conforming), and fresh allocations alias nothing older.
+
+    A descriptor register's *root* is where its aggregate came from:
+    argument position or allocation site. Only registers with a single
+    static definition get a root; anything harder is [None] (may alias
+    everything). *)
+
+type root =
+  | Arg of int (* argument position *)
+  | Alloc_site of int (* instruction index of the Alloc *)
+
+type t
+
+val compute : Ra_ir.Proc.t -> t
+
+(** Root of a register, if provable. *)
+val root_of : t -> Ra_ir.Reg.t -> root option
+
+(** May the aggregates behind these registers overlap? True unless both
+    roots are known and distinct. *)
+val may_alias : t -> Ra_ir.Reg.t -> Ra_ir.Reg.t -> bool

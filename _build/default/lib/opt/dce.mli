@@ -1,0 +1,5 @@
+(** Dead-code elimination: deletes pure instructions whose results are
+    never used (typically the leftovers of CSE and hoisting). Iterates to a
+    fixpoint. Returns the number of instructions removed. *)
+
+val run : Ra_ir.Proc.t -> int

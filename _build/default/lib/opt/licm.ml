@@ -1,0 +1,166 @@
+open Ra_ir
+open Ra_analysis
+
+(* One hoisting round: analyze the procedure, pick the innermost loop with
+   hoistable instructions, hoist them. Returns how many were hoisted. *)
+let hoist_once (proc : Proc.t) : int =
+  let code = proc.code in
+  let n = Array.length code in
+  let cfg = Cfg.build code in
+  let doms = Dominators.compute cfg in
+  let loops = Loops.compute cfg doms in
+  let alias = Alias.compute proc in
+  (* global def counts per (id, cls) *)
+  let def_count = Hashtbl.create 64 in
+  let bump r =
+    let key = (r.Reg.id, r.Reg.cls) in
+    Hashtbl.replace def_count key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt def_count key))
+  in
+  Array.iter (fun (nd : Proc.node) -> List.iter bump (Instr.defs nd.ins)) code;
+  List.iter bump proc.args;
+  let single_def r = Hashtbl.find_opt def_count (r.Reg.id, r.Reg.cls) = Some 1 in
+  let try_loop (l : Loops.loop) =
+    let in_loop = Array.make (Cfg.n_blocks cfg) false in
+    List.iter (fun b -> in_loop.(b) <- true) l.body;
+    let header_block = cfg.blocks.(l.header) in
+    (* the unique entry must fall through from the previous block *)
+    let outside_preds =
+      List.filter (fun p -> not in_loop.(p)) header_block.preds
+    in
+    let entry_ok =
+      match outside_preds with
+      | [ p ] ->
+        cfg.blocks.(p).last + 1 = header_block.first
+        && not (Instr.ends_block (code.(cfg.blocks.(p).last)).ins)
+      | [] | _ :: _ :: _ -> false
+    in
+    if not entry_ok then []
+    else begin
+      (* defs occurring inside the loop *)
+      let defined_in_loop = Hashtbl.create 64 in
+      let loop_has_call = ref false in
+      let loop_stores = ref [] in
+      List.iter
+        (fun b ->
+          let blk = cfg.blocks.(b) in
+          for i = blk.first to blk.last do
+            List.iter
+              (fun r -> Hashtbl.replace defined_in_loop (r.Reg.id, r.Reg.cls) ())
+              (Instr.defs (code.(i)).ins);
+            match (code.(i)).ins with
+            | Instr.Call _ -> loop_has_call := true
+            | Instr.Store (base, _, _) -> loop_stores := base :: !loop_stores
+            | _ -> ()
+          done)
+        l.body;
+      let hoisted = Hashtbl.create 16 in (* instr index -> unit *)
+      let hoisted_defs = Hashtbl.create 16 in
+      let invariant_operand r =
+        (not (Hashtbl.mem defined_in_loop (r.Reg.id, r.Reg.cls)))
+        || Hashtbl.mem hoisted_defs (r.Reg.id, r.Reg.cls)
+      in
+      let load_safe base =
+        (not !loop_has_call)
+        && not (List.exists (fun s -> Alias.may_alias alias s base) !loop_stores)
+      in
+      let candidate i =
+        if Hashtbl.mem hoisted i then false
+        else begin
+          let node = code.(i) in
+          let pure_ok =
+            match node.ins with
+            | Instr.Li _ | Instr.Lf _ | Instr.Dim _ -> true
+            (* single-def copies (CSE leftovers) hoist like any other
+               pure computation *)
+            | Instr.Mov _ -> true
+            | Instr.Unop (_, _, _) -> true
+            | Instr.Binop (op, _, _, _) ->
+              (match op with
+               | Instr.Idiv | Instr.Irem -> false (* may trap *)
+               | Instr.Iadd | Instr.Isub | Instr.Imul | Instr.Imin
+               | Instr.Imax | Instr.Fadd | Instr.Fsub | Instr.Fmul
+               | Instr.Fdiv | Instr.Fmin | Instr.Fmax | Instr.Fsign -> true)
+            | Instr.Load (_, base, _) -> load_safe base
+            | Instr.Label _ | Instr.Store _ | Instr.Alloc _
+            | Instr.Br _ | Instr.Cbr _ | Instr.Call _ | Instr.Ret _
+            | Instr.Spill_st _ | Instr.Spill_ld _ -> false
+          in
+          pure_ok
+          && (match Instr.defs node.ins with
+              | [ d ] -> single_def d
+              | [] | _ :: _ :: _ -> false)
+          && List.for_all invariant_operand (Instr.uses node.ins)
+        end
+      in
+      (* fixpoint, preserving code order among hoisted instructions *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun b ->
+            let blk = cfg.blocks.(b) in
+            for i = blk.first to blk.last do
+              if candidate i then begin
+                Hashtbl.replace hoisted i ();
+                List.iter
+                  (fun r -> Hashtbl.replace hoisted_defs (r.Reg.id, r.Reg.cls) ())
+                  (Instr.defs (code.(i)).ins);
+                changed := true
+              end
+            done)
+          l.body
+      done;
+      Hashtbl.fold (fun i () acc -> i :: acc) hoisted []
+      |> List.sort compare
+      |> List.map (fun i -> i, header_block.first)
+    end
+  in
+  (* innermost (smallest) loops first; hoist from the first fruitful one *)
+  let all_loops =
+    Loops.loops loops
+    |> List.sort (fun a b ->
+         compare
+           (List.length a.Loops.body, a.Loops.header)
+           (List.length b.Loops.body, b.Loops.header))
+  in
+  let rec first_fruitful = function
+    | [] -> []
+    | l :: rest ->
+      (match try_loop l with
+       | [] -> first_fruitful rest
+       | moves -> moves)
+  in
+  match first_fruitful all_loops with
+  | [] -> 0
+  | moves ->
+    let target = snd (List.hd moves) in
+    let moved = List.map fst moves in
+    let is_moved = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace is_moved i ()) moved;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if i = target then begin
+        (* the header label itself, preceded by the hoisted code *)
+        out := code.(i) :: !out;
+        List.iter
+          (fun m ->
+            out :=
+              { (code.(m)) with Proc.depth = max 0 ((code.(target)).Proc.depth) }
+              :: !out)
+          (List.rev moved)
+      end
+      else if not (Hashtbl.mem is_moved i) then out := code.(i) :: !out
+    done;
+    proc.code <- Array.of_list !out;
+    List.length moved
+
+let run proc =
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let h = hoist_once proc in
+    total := !total + h;
+    if h = 0 then continue_ := false
+  done;
+  !total

@@ -1,0 +1,17 @@
+(** Loop-invariant code motion over natural loops.
+
+    Hoists pure single-definition computations whose operands are defined
+    outside the loop into the position just before the loop header — the
+    codegen guarantees the unique loop entry falls through from there, so
+    no explicit preheader block is required (asserted, not assumed).
+
+    Loads hoist when the loop contains no call and no store that may alias
+    their base (the {!Alias} FORTRAN rule); integer division/remainder
+    never hoist (they can trap on a path that was never taken). This pass
+    is what recreates the paper's register pressure: the sixteen [x[j-k]]
+    values of DMXPY's unrolled loop become sixteen float live ranges
+    spanning the inner loop.
+
+    Returns the number of instructions hoisted. *)
+
+val run : Ra_ir.Proc.t -> int

@@ -1,0 +1,10 @@
+(** Local value numbering: within each basic block, a recomputation of an
+    already-available pure value becomes a copy from the register that
+    holds it (the copy then feeds the allocator's coalescing), and loads
+    are reused or forwarded from stores under the {!Alias} rules.
+
+    This is the classic optimizer half of the paper's setting: it is what
+    stretches short temporary ranges into the longer ones that make
+    coloring interesting. Returns the number of instructions rewritten. *)
+
+val run : Ra_ir.Proc.t -> int

@@ -1,0 +1,19 @@
+type stats = {
+  cse_rewrites : int;
+  hoisted : int;
+  dead_removed : int;
+}
+
+let optimize proc =
+  let cse1 = Local_cse.run proc in
+  let hoisted = Licm.run proc in
+  let cse2 = Local_cse.run proc in
+  let dead_removed = Dce.run proc in
+  { cse_rewrites = cse1 + cse2; hoisted; dead_removed }
+
+let optimize_all procs = List.iter (fun p -> ignore (optimize p)) procs
+
+let compile_optimized src =
+  let procs = Ra_ir.Codegen.compile_source src in
+  optimize_all procs;
+  procs

@@ -1,0 +1,21 @@
+(** The optimization pipeline the paper's compiler context assumes: local
+    value numbering, loop-invariant code motion, dead-code elimination —
+    the passes that turn naive codegen output into the long-live-range,
+    high-pressure code a Chaitin-style allocator is built for.
+
+    Mutates the procedure in place (the IR is by-construction consumed by
+    one allocator run; {!Ra_core.Allocator.allocate} copies its input). *)
+
+type stats = {
+  cse_rewrites : int;
+  hoisted : int;
+  dead_removed : int;
+}
+
+(** CSE → LICM → CSE → DCE. *)
+val optimize : Ra_ir.Proc.t -> stats
+
+val optimize_all : Ra_ir.Proc.t list -> unit
+
+(** Parse + typecheck + codegen + optimize. *)
+val compile_optimized : string -> Ra_ir.Proc.t list

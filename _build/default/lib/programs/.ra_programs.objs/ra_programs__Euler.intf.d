@@ -1,0 +1,1 @@
+lib/programs/euler.mli:

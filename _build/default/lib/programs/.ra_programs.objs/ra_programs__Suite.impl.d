@@ -1,0 +1,1 @@
+lib/programs/suite.ml: Cedeta Euler Linpack List Quicksort Ra_ir Ra_opt Ra_vm Simplex Svd

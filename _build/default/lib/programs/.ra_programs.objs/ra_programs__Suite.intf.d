@@ -1,0 +1,1 @@
+lib/programs/suite.mli: Ra_ir Ra_vm

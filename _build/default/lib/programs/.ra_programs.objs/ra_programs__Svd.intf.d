@@ -1,0 +1,1 @@
+lib/programs/svd.mli:

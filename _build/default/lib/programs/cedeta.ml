@@ -1,0 +1,441 @@
+let source = {|
+# CEDETA kernels: QR decomposition with column pivoting (LINPACK DQRDC)
+# plus analytic gradient and Hessian of an extended Powell singular
+# objective with chained Rosenbrock coupling, unrolled the way generated
+# derivative code is.
+
+proc dnrm2_col(x: mat float, j: int, i1: int, i2: int) : float {
+  # Euclidean norm of x[i1..i2, j] with simple scaling against overflow
+  var i : int;
+  var scale : float = 0.0;
+  var ssq : float = 1.0;
+  var a : float;
+  var t : float;
+  for i = i1 to i2 {
+    a = abs(x[i, j]);
+    if (a > 0.0) {
+      if (scale < a) {
+        t = scale / a;
+        ssq = 1.0 + ssq * t * t;
+        scale = a;
+      } else {
+        t = a / scale;
+        ssq = ssq + t * t;
+      }
+    }
+  }
+  return scale * sqrt(ssq);
+}
+
+proc ddot_cols(x: mat float, ja: int, jb: int, i1: int, i2: int) : float {
+  var i : int;
+  var s : float = 0.0;
+  for i = i1 to i2 {
+    s = s + x[i, ja] * x[i, jb];
+  }
+  return s;
+}
+
+proc daxpy_cols(x: mat float, ja: int, jb: int, i1: int, i2: int, t: float) {
+  # x[i, jb] = x[i, jb] + t * x[i, ja]
+  var i : int;
+  for i = i1 to i2 {
+    x[i, jb] = x[i, jb] + t * x[i, ja];
+  }
+}
+
+proc dscal_col2(x: mat float, j: int, i1: int, i2: int, t: float) {
+  var i : int;
+  for i = i1 to i2 {
+    x[i, j] = t * x[i, j];
+  }
+}
+
+proc dswap_cols(x: mat float, ja: int, jb: int, n: int) {
+  var i : int;
+  var t : float;
+  for i = 1 to n {
+    t = x[i, ja];
+    x[i, ja] = x[i, jb];
+    x[i, jb] = t;
+  }
+}
+
+proc dqrdc(x: mat float, n: int, p: int, qraux: array float,
+           jpvt: array int, work: array float) {
+  # Householder QR with column pivoting (LINPACK, job = 1, all free)
+  var j : int;
+  var l : int;
+  var lp1 : int;
+  var lup : int;
+  var maxj : int;
+  var itemp : int;
+  var maxnrm : float;
+  var nrmxl : float;
+  var t : float;
+  var tt : float;
+  var ratio : float;
+  for j = 1 to p {
+    jpvt[j] = j;
+    qraux[j] = dnrm2_col(x, j, 1, n);
+    work[j] = qraux[j];
+  }
+  lup = min(n, p);
+  for l = 1 to lup {
+    # bring the column of largest reduced norm into the pivot position
+    maxnrm = 0.0;
+    maxj = l;
+    for j = l to p {
+      if (qraux[j] > maxnrm) {
+        maxnrm = qraux[j];
+        maxj = j;
+      }
+    }
+    if (maxj != l) {
+      dswap_cols(x, l, maxj, n);
+      qraux[maxj] = qraux[l];
+      work[maxj] = work[l];
+      itemp = jpvt[maxj];
+      jpvt[maxj] = jpvt[l];
+      jpvt[l] = itemp;
+    }
+    qraux[l] = 0.0;
+    if (l != n) {
+      # Householder transformation for column l
+      nrmxl = dnrm2_col(x, l, l, n);
+      if (nrmxl != 0.0) {
+        if (x[l, l] != 0.0) {
+          nrmxl = sign(nrmxl, x[l, l]);
+        }
+        dscal_col2(x, l, l, n, 1.0 / nrmxl);
+        x[l, l] = 1.0 + x[l, l];
+        # apply to the remaining columns, updating the norms
+        lp1 = l + 1;
+        for j = lp1 to p {
+          t = -ddot_cols(x, l, j, l, n) / x[l, l];
+          daxpy_cols(x, l, j, l, n, t);
+          if (qraux[j] != 0.0) {
+            ratio = abs(x[l, j]) / qraux[j];
+            tt = 1.0 - ratio * ratio;
+            tt = max(tt, 0.0);
+            t = tt;
+            ratio = qraux[j] / work[j];
+            tt = 1.0 + 0.05 * tt * ratio * ratio;
+            if (tt != 1.0) {
+              qraux[j] = qraux[j] * sqrt(t);
+            } else {
+              qraux[j] = dnrm2_col(x, j, l + 1, n);
+              work[j] = qraux[j];
+            }
+          }
+        }
+        qraux[l] = x[l, l];
+        x[l, l] = -nrmxl;
+      }
+    }
+  }
+}
+
+proc gradnt(n: int, x: array float, g: array float) : float {
+  # analytic gradient of
+  #   f = sum over blocks b of the Powell singular terms
+  #     (x1+10 x2)^2 + 5 (x3-x4)^2 + (x2-2 x3)^4 + 10 (x1-x4)^4
+  #   + chained Rosenbrock coupling 100 (x[q+1]-x[q]^2)^2 + (1-x[q])^2
+  # written out long-hand, two blocks per iteration, like generated code.
+  # n must be a multiple of 8. Returns f.
+  var b : int;
+  var q : int;
+  var f : float = 0.0;
+  var x1 : float;
+  var x2 : float;
+  var x3 : float;
+  var x4 : float;
+  var y1 : float;
+  var y2 : float;
+  var y3 : float;
+  var y4 : float;
+  var a1 : float;
+  var a2 : float;
+  var a3 : float;
+  var a4 : float;
+  var b1 : float;
+  var b2 : float;
+  var b3 : float;
+  var b4 : float;
+  var c1 : float;
+  var c2 : float;
+  var u : float;
+  var v : float;
+  var i : int;
+  for i = 1 to n {
+    g[i] = 0.0;
+  }
+  for b = 1 to n / 8 {
+    q = 8 * (b - 1);
+    # ---- first Powell block: variables q+1 .. q+4 ----
+    x1 = x[q + 1];
+    x2 = x[q + 2];
+    x3 = x[q + 3];
+    x4 = x[q + 4];
+    a1 = x1 + 10.0 * x2;
+    a2 = x3 - x4;
+    a3 = x2 - 2.0 * x3;
+    a4 = x1 - x4;
+    b1 = a3 * a3 * a3;
+    b2 = a4 * a4 * a4;
+    f = f + a1 * a1 + 5.0 * a2 * a2 + a3 * a3 * a3 * a3
+      + 10.0 * a4 * a4 * a4 * a4;
+    g[q + 1] = g[q + 1] + 2.0 * a1 + 40.0 * b2;
+    g[q + 2] = g[q + 2] + 20.0 * a1 + 4.0 * b1;
+    g[q + 3] = g[q + 3] + 10.0 * a2 - 8.0 * b1;
+    g[q + 4] = g[q + 4] - 10.0 * a2 - 40.0 * b2;
+    # ---- second Powell block: variables q+5 .. q+8 ----
+    y1 = x[q + 5];
+    y2 = x[q + 6];
+    y3 = x[q + 7];
+    y4 = x[q + 8];
+    c1 = y1 + 10.0 * y2;
+    c2 = y3 - y4;
+    a3 = y2 - 2.0 * y3;
+    a4 = y1 - y4;
+    b3 = a3 * a3 * a3;
+    b4 = a4 * a4 * a4;
+    f = f + c1 * c1 + 5.0 * c2 * c2 + a3 * a3 * a3 * a3
+      + 10.0 * a4 * a4 * a4 * a4;
+    g[q + 5] = g[q + 5] + 2.0 * c1 + 40.0 * b4;
+    g[q + 6] = g[q + 6] + 20.0 * c1 + 4.0 * b3;
+    g[q + 7] = g[q + 7] + 10.0 * c2 - 8.0 * b3;
+    g[q + 8] = g[q + 8] - 10.0 * c2 - 40.0 * b4;
+    # ---- Rosenbrock coupling between the two half-blocks ----
+    u = y1 - x4 * x4;
+    v = 1.0 - x4;
+    f = f + 100.0 * u * u + v * v;
+    g[q + 4] = g[q + 4] - 400.0 * u * x4 - 2.0 * v;
+    g[q + 5] = g[q + 5] + 200.0 * u;
+    # ---- coupling to the next super-block, if any ----
+    if (q + 9 <= n) {
+      u = x[q + 9] - y4 * y4;
+      v = 1.0 - y4;
+      f = f + 100.0 * u * u + v * v;
+      g[q + 8] = g[q + 8] - 400.0 * u * y4 - 2.0 * v;
+      g[q + 9] = g[q + 9] + 200.0 * u;
+    }
+    # ---- Wood terms on the first half-block ----
+    u = x2 - x1 * x1;
+    v = x4 - x3 * x3;
+    f = f + 100.0 * u * u + (1.0 - x1) * (1.0 - x1)
+      + 90.0 * v * v + (1.0 - x3) * (1.0 - x3)
+      + 10.1 * ((x2 - 1.0) * (x2 - 1.0) + (x4 - 1.0) * (x4 - 1.0))
+      + 19.8 * (x2 - 1.0) * (x4 - 1.0);
+    g[q + 1] = g[q + 1] - 400.0 * x1 * u - 2.0 * (1.0 - x1);
+    g[q + 2] = g[q + 2] + 200.0 * u + 20.2 * (x2 - 1.0) + 19.8 * (x4 - 1.0);
+    g[q + 3] = g[q + 3] - 360.0 * x3 * v - 2.0 * (1.0 - x3);
+    g[q + 4] = g[q + 4] + 180.0 * v + 20.2 * (x4 - 1.0) + 19.8 * (x2 - 1.0);
+    # ---- Wood terms on the second half-block ----
+    u = y2 - y1 * y1;
+    v = y4 - y3 * y3;
+    f = f + 100.0 * u * u + (1.0 - y1) * (1.0 - y1)
+      + 90.0 * v * v + (1.0 - y3) * (1.0 - y3)
+      + 10.1 * ((y2 - 1.0) * (y2 - 1.0) + (y4 - 1.0) * (y4 - 1.0))
+      + 19.8 * (y2 - 1.0) * (y4 - 1.0);
+    g[q + 5] = g[q + 5] - 400.0 * y1 * u - 2.0 * (1.0 - y1);
+    g[q + 6] = g[q + 6] + 200.0 * u + 20.2 * (y2 - 1.0) + 19.8 * (y4 - 1.0);
+    g[q + 7] = g[q + 7] - 360.0 * y3 * v - 2.0 * (1.0 - y3);
+    g[q + 8] = g[q + 8] + 180.0 * v + 20.2 * (y4 - 1.0) + 19.8 * (y2 - 1.0);
+    # ---- Beale terms on the cross pairs (q+1, q+5) and (q+2, q+6) ----
+    a1 = 1.5 - x1 + x1 * y1;
+    a2 = 2.25 - x1 + x1 * y1 * y1;
+    a3 = 2.625 - x1 + x1 * y1 * y1 * y1;
+    f = f + a1 * a1 + a2 * a2 + a3 * a3;
+    g[q + 1] = g[q + 1] + 2.0 * a1 * (y1 - 1.0)
+             + 2.0 * a2 * (y1 * y1 - 1.0)
+             + 2.0 * a3 * (y1 * y1 * y1 - 1.0);
+    g[q + 5] = g[q + 5] + 2.0 * a1 * x1
+             + 2.0 * a2 * (2.0 * x1 * y1)
+             + 2.0 * a3 * (3.0 * x1 * y1 * y1);
+    b1 = 1.5 - x2 + x2 * y2;
+    b2 = 2.25 - x2 + x2 * y2 * y2;
+    b3 = 2.625 - x2 + x2 * y2 * y2 * y2;
+    f = f + b1 * b1 + b2 * b2 + b3 * b3;
+    g[q + 2] = g[q + 2] + 2.0 * b1 * (y2 - 1.0)
+             + 2.0 * b2 * (y2 * y2 - 1.0)
+             + 2.0 * b3 * (y2 * y2 * y2 - 1.0);
+    g[q + 6] = g[q + 6] + 2.0 * b1 * x2
+             + 2.0 * b2 * (2.0 * x2 * y2)
+             + 2.0 * b3 * (3.0 * x2 * y2 * y2);
+    # ---- Beale terms on the cross pairs (q+3, q+7) and (q+4, q+8) ----
+    c1 = 1.5 - x3 + x3 * y3;
+    a1 = 2.25 - x3 + x3 * y3 * y3;
+    a2 = 2.625 - x3 + x3 * y3 * y3 * y3;
+    f = f + c1 * c1 + a1 * a1 + a2 * a2;
+    g[q + 3] = g[q + 3] + 2.0 * c1 * (y3 - 1.0)
+             + 2.0 * a1 * (y3 * y3 - 1.0)
+             + 2.0 * a2 * (y3 * y3 * y3 - 1.0);
+    g[q + 7] = g[q + 7] + 2.0 * c1 * x3
+             + 2.0 * a1 * (2.0 * x3 * y3)
+             + 2.0 * a2 * (3.0 * x3 * y3 * y3);
+    c2 = 1.5 - x4 + x4 * y4;
+    b1 = 2.25 - x4 + x4 * y4 * y4;
+    b2 = 2.625 - x4 + x4 * y4 * y4 * y4;
+    f = f + c2 * c2 + b1 * b1 + b2 * b2;
+    g[q + 4] = g[q + 4] + 2.0 * c2 * (y4 - 1.0)
+             + 2.0 * b1 * (y4 * y4 - 1.0)
+             + 2.0 * b2 * (y4 * y4 * y4 - 1.0);
+    g[q + 8] = g[q + 8] + 2.0 * c2 * x4
+             + 2.0 * b1 * (2.0 * x4 * y4)
+             + 2.0 * b2 * (3.0 * x4 * y4 * y4);
+  }
+  return f;
+}
+
+proc hssian(n: int, x: array float, h: mat float) {
+  # analytic Hessian matching gradnt, written out entry by entry
+  var b : int;
+  var q : int;
+  var x1 : float;
+  var x2 : float;
+  var x3 : float;
+  var x4 : float;
+  var a3 : float;
+  var a4 : float;
+  var s3 : float;
+  var s4 : float;
+  var u : float;
+  var i : int;
+  var j : int;
+  var half : int;
+  for i = 1 to n {
+    for j = 1 to n {
+      h[i, j] = 0.0;
+    }
+  }
+  for b = 1 to n / 4 {
+    q = 4 * (b - 1);
+    x1 = x[q + 1];
+    x2 = x[q + 2];
+    x3 = x[q + 3];
+    x4 = x[q + 4];
+    a3 = x2 - 2.0 * x3;
+    a4 = x1 - x4;
+    s3 = a3 * a3;
+    s4 = a4 * a4;
+    # d2f/dx1dx1 .. dx4dx4 of the Powell terms
+    h[q + 1, q + 1] = h[q + 1, q + 1] + 2.0 + 120.0 * s4;
+    h[q + 1, q + 2] = h[q + 1, q + 2] + 20.0;
+    h[q + 2, q + 1] = h[q + 2, q + 1] + 20.0;
+    h[q + 1, q + 4] = h[q + 1, q + 4] - 120.0 * s4;
+    h[q + 4, q + 1] = h[q + 4, q + 1] - 120.0 * s4;
+    h[q + 2, q + 2] = h[q + 2, q + 2] + 200.0 + 12.0 * s3;
+    h[q + 2, q + 3] = h[q + 2, q + 3] - 24.0 * s3;
+    h[q + 3, q + 2] = h[q + 3, q + 2] - 24.0 * s3;
+    h[q + 3, q + 3] = h[q + 3, q + 3] + 10.0 + 48.0 * s3;
+    h[q + 3, q + 4] = h[q + 3, q + 4] - 10.0;
+    h[q + 4, q + 3] = h[q + 4, q + 3] - 10.0;
+    h[q + 4, q + 4] = h[q + 4, q + 4] + 10.0 + 120.0 * s4;
+  }
+  # Rosenbrock coupling second derivatives: pairs (4b, 4b+1)
+  half = n / 4;
+  for b = 1 to half - 1 {
+    q = 4 * b;
+    x4 = x[q];
+    u = x[q + 1] - x4 * x4;
+    h[q, q] = h[q, q] + 1200.0 * x4 * x4 - 400.0 * u + 2.0;
+    h[q, q + 1] = h[q, q + 1] - 400.0 * x4;
+    h[q + 1, q] = h[q + 1, q] - 400.0 * x4;
+    h[q + 1, q + 1] = h[q + 1, q + 1] + 200.0;
+  }
+  # Wood second derivatives per 4-block
+  for b = 1 to n / 4 {
+    q = 4 * (b - 1);
+    x1 = x[q + 1];
+    x2 = x[q + 2];
+    x3 = x[q + 3];
+    x4 = x[q + 4];
+    h[q + 1, q + 1] = h[q + 1, q + 1] + 1200.0 * x1 * x1 - 400.0 * x2 + 2.0;
+    h[q + 1, q + 2] = h[q + 1, q + 2] - 400.0 * x1;
+    h[q + 2, q + 1] = h[q + 2, q + 1] - 400.0 * x1;
+    h[q + 2, q + 2] = h[q + 2, q + 2] + 220.2;
+    h[q + 2, q + 4] = h[q + 2, q + 4] + 19.8;
+    h[q + 4, q + 2] = h[q + 4, q + 2] + 19.8;
+    h[q + 3, q + 3] = h[q + 3, q + 3] + 1080.0 * x3 * x3 - 360.0 * x4 + 2.0;
+    h[q + 3, q + 4] = h[q + 3, q + 4] - 360.0 * x3;
+    h[q + 4, q + 3] = h[q + 4, q + 3] - 360.0 * x3;
+    h[q + 4, q + 4] = h[q + 4, q + 4] + 200.2;
+  }
+  # Beale second derivatives on the cross pairs (8b+j, 8b+4+j)
+  for b = 1 to n / 8 {
+    q = 8 * (b - 1);
+    for j = 1 to 4 {
+      x1 = x[q + j];
+      x2 = x[q + 4 + j];
+      a3 = 1.5 - x1 + x1 * x2;
+      a4 = 2.25 - x1 + x1 * x2 * x2;
+      s3 = 2.625 - x1 + x1 * x2 * x2 * x2;
+      s4 = x2 * x2;
+      # d2/dx1dx1
+      h[q + j, q + j] = h[q + j, q + j]
+        + 2.0 * (x2 - 1.0) * (x2 - 1.0)
+        + 2.0 * (s4 - 1.0) * (s4 - 1.0)
+        + 2.0 * (s4 * x2 - 1.0) * (s4 * x2 - 1.0);
+      # d2/dx1dx2 (symmetric)
+      u = 2.0 * ((x2 - 1.0) * x1 + a3)
+        + 2.0 * ((s4 - 1.0) * (2.0 * x1 * x2) + a4 * (2.0 * x2))
+        + 2.0 * ((s4 * x2 - 1.0) * (3.0 * x1 * s4) + s3 * (3.0 * s4));
+      h[q + j, q + 4 + j] = h[q + j, q + 4 + j] + u;
+      h[q + 4 + j, q + j] = h[q + 4 + j, q + j] + u;
+      # d2/dx2dx2
+      h[q + 4 + j, q + 4 + j] = h[q + 4 + j, q + 4 + j]
+        + 2.0 * x1 * x1
+        + 2.0 * ((2.0 * x1 * x2) * (2.0 * x1 * x2) + a4 * (2.0 * x1))
+        + 2.0 * ((3.0 * x1 * s4) * (3.0 * x1 * s4) + s3 * (6.0 * x1 * x2));
+    }
+  }
+}
+
+proc cedeta_main(m: int) : float {
+  # 8m variables: evaluate f, g, H at a deterministic point, QR-factor H
+  # with pivoting, and combine everything into a checksum
+  var n : int;
+  var x : array float[8 * m];
+  var g : array float[8 * m];
+  var qraux : array float[8 * m];
+  var work : array float[8 * m];
+  var jpvt : array int[8 * m];
+  var h : mat float[8 * m, 8 * m];
+  var i : int;
+  var f : float;
+  var gnorm : float;
+  var rdiag : float;
+  var pivsum : int;
+  n = 8 * m;
+  for i = 1 to n {
+    x[i] = 0.1 * float(mod(i, 7)) - 0.2;
+  }
+  f = gradnt(n, x, g);
+  gnorm = 0.0;
+  for i = 1 to n {
+    gnorm = gnorm + g[i] * g[i];
+  }
+  gnorm = sqrt(gnorm);
+  hssian(n, x, h);
+  dqrdc(h, n, n, qraux, jpvt, work);
+  # |R| diagonal magnitudes summarize the factorization
+  rdiag = 0.0;
+  for i = 1 to n {
+    rdiag = rdiag + abs(h[i, i]);
+  }
+  pivsum = 0;
+  for i = 1 to n {
+    pivsum = pivsum + jpvt[i];
+  }
+  if (pivsum != n * (n + 1) / 2) {
+    # the pivot vector must be a permutation
+    return -1.0e9;
+  }
+  return f + gnorm + rdiag / float(n);
+}
+|}
+
+let routines = [ "dqrdc"; "gradnt"; "hssian" ]
+
+let driver = "cedeta_main"

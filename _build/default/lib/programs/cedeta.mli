@@ -1,0 +1,16 @@
+(** The Figure-5/7 CEDETA routines (Celis–Dennis–Tapia equality-constrained
+    minimization). DQRDC is the real LINPACK QR decomposition with column
+    pivoting; the authors' GRADNT and HSSIAN are enormous generated
+    analytic-derivative routines, so ours are hand-unrolled analytic
+    gradient/Hessian evaluations of an extended Powell singular objective
+    with chained Rosenbrock coupling — the same shape: very large,
+    mostly straight-line arithmetic over many scalars. *)
+
+val source : string
+
+val routines : string list
+
+(** [cedeta_main(m)] evaluates gradient and Hessian at a test point for a
+    4m-variable objective, QR-factors the Hessian, and returns a
+    checksum. *)
+val driver : string

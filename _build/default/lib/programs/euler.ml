@@ -1,0 +1,508 @@
+let source = {|
+# EULER: one-dimensional shock wave propagation.
+# State: density rho, momentum mom, total energy ener on an n-cell grid.
+# Integrator: Lax-Friedrichs with blended 2nd/4th-difference dissipation.
+
+proc input(params: array float) {
+  # runtime parameters; a long series of plain assignments, with the
+  # derived quantities computed up front the way an input deck would
+  var gamma : float;
+  var gm1 : float;
+  var gp1 : float;
+  params[1] = 1.4;        # gamma, ratio of specific heats
+  params[2] = 0.4;        # CFL number
+  params[3] = 0.1;        # artificial viscosity, 2nd difference
+  params[4] = 0.01;       # artificial viscosity, 4th difference
+  params[5] = 1.0;        # domain length
+  params[6] = 1.0;        # left state density
+  params[7] = 0.0;        # left state velocity
+  params[8] = 1.0;        # left state pressure
+  params[9] = 0.125;      # right state density
+  params[10] = 0.0;       # right state velocity
+  params[11] = 0.1;       # right state pressure
+  params[12] = 0.5;       # diaphragm position
+  params[13] = 0.02;      # diaphragm smoothing width
+  params[14] = 2.0;       # Chebyshev smoothing gain
+  params[15] = 0.0;       # accumulated time
+  params[16] = 1.0e30;    # dt ceiling
+  params[17] = 0.000001;  # dt floor
+  params[18] = 0.9;       # dt growth limit
+  gamma = params[1];
+  gm1 = gamma - 1.0;
+  gp1 = gamma + 1.0;
+  params[19] = gm1;                       # gamma - 1
+  params[20] = gp1;                       # gamma + 1
+  params[21] = gm1 / (2.0 * gamma);       # isentropic exponent ratio
+  params[22] = gp1 / (2.0 * gamma);
+  params[23] = 2.0 / gm1;
+  params[24] = 2.0 / gp1;
+  params[25] = gm1 / gp1;
+  params[26] = sqrt(gamma * params[8] / params[6]);   # left sound speed
+  params[27] = sqrt(gamma * params[11] / params[9]);  # right sound speed
+  params[28] = params[8] / params[11];                # pressure ratio
+  params[29] = params[6] / params[9];                 # density ratio
+  params[30] = params[26] / params[27];               # sound speed ratio
+  params[31] = params[8] + 0.5 * params[6] * params[7] * params[7];
+  params[32] = params[11] + 0.5 * params[9] * params[10] * params[10];
+  params[33] = params[31] / gm1;          # left total energy guess
+  params[34] = params[32] / gm1;          # right total energy guess
+  params[35] = 0.25;                      # smoothing kernel left weight
+  params[36] = 0.50;                      # smoothing kernel center weight
+  params[37] = 0.25;                      # smoothing kernel right weight
+  params[38] = 1.0e-7;                    # pressure floor
+  params[39] = 1.0e-7;                    # density floor
+  params[40] = 0.0;                       # step counter
+}
+
+proc init(n: int, x: array float, rho: array float, mom: array float,
+          ener: array float, work1: array float, work2: array float,
+          params: array float) {
+  # grid coordinates and zeroed work arrays; a long series of simple
+  # assignments and simply nested loops, as the paper describes INIT --
+  # it generates a relatively simple interference graph with low costs
+  var i : int;
+  var dx : float;
+  var xl : float;
+  var xr : float;
+  var xm : float;
+  var q1 : float;
+  var q2 : float;
+  var q3 : float;
+  var q4 : float;
+  dx = params[5] / float(n);
+  xl = dx / 2.0;
+  xr = params[5] - dx / 2.0;
+  xm = params[12];
+  q1 = params[6];
+  q2 = params[7];
+  q3 = params[8];
+  q4 = params[13];
+  for i = 1 to n {
+    x[i] = xl + float(i - 1) * dx;
+  }
+  for i = 1 to n {
+    rho[i] = 0.0;
+  }
+  for i = 1 to n {
+    mom[i] = 0.0;
+  }
+  for i = 1 to n {
+    ener[i] = 0.0;
+  }
+  for i = 1 to n {
+    work1[i] = 0.0;
+  }
+  for i = 1 to n {
+    work2[i] = 0.0;
+  }
+  # a reference profile in work1: linear ramp left of the diaphragm,
+  # quadratic decay right of it
+  for i = 1 to n {
+    if (x[i] <= xm) {
+      work1[i] = q1 + q2 * (x[i] - xl);
+    } else {
+      work1[i] = q3 * (1.0 - (x[i] - xm) / (xr - xm + q4))
+               * (1.0 - (x[i] - xm) / (xr - xm + q4));
+    }
+  }
+  # a cosine-free window function in work2 built from the quadratic
+  # Welch window, assembled in pieces
+  for i = 1 to n {
+    q1 = (x[i] - xl) / (xr - xl);
+    q2 = 2.0 * q1 - 1.0;
+    work2[i] = 1.0 - q2 * q2;
+  }
+  # bookkeeping cells at the array ends
+  work1[1] = 0.0;
+  work1[n] = 0.0;
+  work2[1] = 0.0;
+  work2[n] = 0.0;
+  params[40] = 0.0;
+}
+
+proc shock(n: int, x: array float, rho: array float, mom: array float,
+           ener: array float, params: array float) {
+  # initial discontinuity with a smooth ramp of width params[13]
+  var i : int;
+  var gamma : float;
+  var xpos : float;
+  var width : float;
+  var frac : float;
+  var r : float;
+  var u : float;
+  var p : float;
+  gamma = params[1];
+  xpos = params[12];
+  width = params[13];
+  for i = 1 to n {
+    frac = (x[i] - xpos) / width;
+    if (frac < -1.0) { frac = -1.0; }
+    if (frac > 1.0) { frac = 1.0; }
+    frac = (frac + 1.0) / 2.0;
+    r = params[6] + frac * (params[9] - params[6]);
+    u = params[7] + frac * (params[10] - params[7]);
+    p = params[8] + frac * (params[11] - params[8]);
+    rho[i] = r;
+    mom[i] = r * u;
+    ener[i] = p / (gamma - 1.0) + 0.5 * r * u * u;
+  }
+}
+
+proc deriv(n: int, f: array float, df: array float, dx: float) {
+  # central first derivative with one-sided ends
+  var i : int;
+  var two_dx : float;
+  two_dx = 2.0 * dx;
+  df[1] = (f[2] - f[1]) / dx;
+  for i = 2 to n - 1 {
+    df[i] = (f[i + 1] - f[i - 1]) / two_dx;
+  }
+  df[n] = (f[n] - f[n - 1]) / dx;
+}
+
+proc bndry(n: int, rho: array float, mom: array float, ener: array float) {
+  # transmissive boundaries
+  rho[1] = rho[2];
+  mom[1] = mom[2];
+  ener[1] = ener[2];
+  rho[n] = rho[n - 1];
+  mom[n] = mom[n - 1];
+  ener[n] = ener[n - 1];
+}
+
+proc diffr(n: int, rho: array float, mom: array float, ener: array float,
+           frho: array float, fmom: array float, fener: array float,
+           gamma: float) {
+  # physical fluxes of the Euler equations
+  var i : int;
+  var r : float;
+  var m : float;
+  var e : float;
+  var u : float;
+  var p : float;
+  for i = 1 to n {
+    r = rho[i];
+    m = mom[i];
+    e = ener[i];
+    u = m / r;
+    p = (gamma - 1.0) * (e - 0.5 * m * u);
+    frho[i] = m;
+    fmom[i] = m * u + p;
+    fener[i] = (e + p) * u;
+  }
+}
+
+proc dissip(n: int, rho: array float, mom: array float, ener: array float,
+            drho: array float, dmom: array float, dener: array float,
+            nu2: float, nu4: float, gamma: float) {
+  # blended second/fourth difference artificial dissipation with a
+  # pressure-gradient sensor; the large complex loop nest of the program
+  var i : int;
+  var pm1 : float;
+  var p0 : float;
+  var pp1 : float;
+  var r : float;
+  var m : float;
+  var e : float;
+  var u : float;
+  var sensor : float;
+  var eps2 : float;
+  var eps4 : float;
+  var d2r : float;
+  var d2m : float;
+  var d2e : float;
+  var d4r : float;
+  var d4m : float;
+  var d4e : float;
+  var denom : float;
+  for i = 1 to n {
+    drho[i] = 0.0;
+    dmom[i] = 0.0;
+    dener[i] = 0.0;
+  }
+  for i = 3 to n - 2 {
+    # pressure sensor at i-1, i, i+1
+    r = rho[i - 1];
+    m = mom[i - 1];
+    e = ener[i - 1];
+    u = m / r;
+    pm1 = (gamma - 1.0) * (e - 0.5 * m * u);
+    r = rho[i];
+    m = mom[i];
+    e = ener[i];
+    u = m / r;
+    p0 = (gamma - 1.0) * (e - 0.5 * m * u);
+    r = rho[i + 1];
+    m = mom[i + 1];
+    e = ener[i + 1];
+    u = m / r;
+    pp1 = (gamma - 1.0) * (e - 0.5 * m * u);
+    denom = pm1 + 2.0 * p0 + pp1;
+    if (denom < 0.000001) {
+      denom = 0.000001;
+    }
+    sensor = abs(pp1 - 2.0 * p0 + pm1) / denom;
+    eps2 = nu2 * sensor;
+    eps4 = nu4 - eps2;
+    if (eps4 < 0.0) {
+      eps4 = 0.0;
+    }
+    d2r = rho[i + 1] - 2.0 * rho[i] + rho[i - 1];
+    d2m = mom[i + 1] - 2.0 * mom[i] + mom[i - 1];
+    d2e = ener[i + 1] - 2.0 * ener[i] + ener[i - 1];
+    d4r = rho[i + 2] - 4.0 * rho[i + 1] + 6.0 * rho[i]
+        - 4.0 * rho[i - 1] + rho[i - 2];
+    d4m = mom[i + 2] - 4.0 * mom[i + 1] + 6.0 * mom[i]
+        - 4.0 * mom[i - 1] + mom[i - 2];
+    d4e = ener[i + 2] - 4.0 * ener[i + 1] + 6.0 * ener[i]
+        - 4.0 * ener[i - 1] + ener[i - 2];
+    drho[i] = eps2 * d2r - eps4 * d4r;
+    dmom[i] = eps2 * d2m - eps4 * d4m;
+    dener[i] = eps2 * d2e - eps4 * d4e;
+  }
+}
+
+proc findif(n: int, rho: array float, mom: array float, ener: array float,
+            frho: array float, fmom: array float, fener: array float,
+            drho: array float, dmom: array float, dener: array float,
+            wrho: array float, wmom: array float, wener: array float,
+            lam: float) {
+  # Lax-Friedrichs update into the work arrays, then copy back
+  var i : int;
+  for i = 2 to n - 1 {
+    wrho[i] = 0.5 * (rho[i - 1] + rho[i + 1])
+            - lam * (frho[i + 1] - frho[i - 1]) + drho[i];
+    wmom[i] = 0.5 * (mom[i - 1] + mom[i + 1])
+            - lam * (fmom[i + 1] - fmom[i - 1]) + dmom[i];
+    wener[i] = 0.5 * (ener[i - 1] + ener[i + 1])
+             - lam * (fener[i + 1] - fener[i - 1]) + dener[i];
+  }
+  for i = 2 to n - 1 {
+    rho[i] = wrho[i];
+    mom[i] = wmom[i];
+    ener[i] = wener[i];
+  }
+}
+
+proc cheb(n: int, a: array float, w: array float, passes: int) {
+  # Chebyshev-weighted neighbor smoothing, repeated [passes] times
+  var p : int;
+  var i : int;
+  for p = 1 to passes {
+    for i = 2 to n - 1 {
+      w[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+    }
+    for i = 2 to n - 1 {
+      a[i] = w[i];
+    }
+  }
+}
+
+proc fftb(n: int, re: array float, im: array float, inverse: int) {
+  # iterative radix-2 Cooley-Tukey butterflies; n must be a power of two.
+  # Twiddle factors come from half-angle recurrences (sqrt only).
+  var i : int;
+  var j : int;
+  var k : int;
+  var le : int;
+  var le2 : int;
+  var ip : int;
+  var tr : float;
+  var ti : float;
+  var ur : float;
+  var ui : float;
+  var sr : float;
+  var si : float;
+  var tmp : float;
+  var levels : int;
+  var l : int;
+  # bit reversal permutation
+  j = 1;
+  for i = 1 to n - 1 {
+    if (i < j) {
+      tmp = re[j];
+      re[j] = re[i];
+      re[i] = tmp;
+      tmp = im[j];
+      im[j] = im[i];
+      im[i] = tmp;
+    }
+    k = n / 2;
+    while (k < j) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  # count levels
+  levels = 0;
+  k = n;
+  while (k > 1) {
+    levels = levels + 1;
+    k = k / 2;
+  }
+  # butterflies; the stage twiddle starts at cos(pi)=-1, sin(pi)=0 and is
+  # halved (half-angle formulas) at each stage
+  sr = -1.0;
+  si = 0.0;
+  le = 1;
+  for l = 1 to levels {
+    le2 = le;
+    le = le * 2;
+    ur = 1.0;
+    ui = 0.0;
+    for j = 1 to le2 {
+      i = j;
+      while (i <= n) {
+        ip = i + le2;
+        tr = re[ip] * ur - im[ip] * ui;
+        ti = re[ip] * ui + im[ip] * ur;
+        re[ip] = re[i] - tr;
+        im[ip] = im[i] - ti;
+        re[i] = re[i] + tr;
+        im[i] = im[i] + ti;
+        i = i + le;
+      }
+      tmp = ur * sr - ui * si;
+      ui = ur * si + ui * sr;
+      ur = tmp;
+    }
+    # half-angle step: cos(t/2) = sqrt((1+cos t)/2),
+    # sin(t/2) = +-sqrt((1-cos t)/2)
+    tmp = sr;
+    sr = sqrt((1.0 + tmp) / 2.0);
+    si = sqrt((1.0 - tmp) / 2.0);
+    if (inverse == 0) {
+      si = -si;
+    }
+  }
+  if (inverse != 0) {
+    for i = 1 to n {
+      re[i] = re[i] / float(n);
+      im[i] = im[i] / float(n);
+    }
+  }
+}
+
+proc code(n: int, steps: int, rho: array float, mom: array float,
+          ener: array float, frho: array float, fmom: array float,
+          fener: array float, drho: array float, dmom: array float,
+          dener: array float, wrho: array float, wmom: array float,
+          wener: array float, params: array float) : float {
+  # the time-stepping driver: compute a stable dt from the maximum wave
+  # speed, then flux, dissipation and update phases each step
+  var istep : int;
+  var i : int;
+  var gamma : float;
+  var cfl : float;
+  var dx : float;
+  var dt : float;
+  var lam : float;
+  var smax : float;
+  var r : float;
+  var m : float;
+  var e : float;
+  var u : float;
+  var p : float;
+  var c : float;
+  var t : float;
+  gamma = params[1];
+  cfl = params[2];
+  dx = params[5] / float(n);
+  t = params[15];
+  for istep = 1 to steps {
+    bndry(n, rho, mom, ener);
+    # maximum signal speed
+    smax = 0.000001;
+    for i = 1 to n {
+      r = rho[i];
+      if (r < 0.0000001) {
+        r = 0.0000001;
+      }
+      m = mom[i];
+      e = ener[i];
+      u = m / r;
+      p = (gamma - 1.0) * (e - 0.5 * m * u);
+      if (p < 0.0000001) {
+        p = 0.0000001;
+      }
+      c = sqrt(gamma * p / r);
+      smax = max(smax, abs(u) + c);
+    }
+    dt = cfl * dx / smax;
+    if (dt > params[16]) {
+      dt = params[16];
+    }
+    if (dt < params[17]) {
+      dt = params[17];
+    }
+    lam = dt / (2.0 * dx);
+    diffr(n, rho, mom, ener, frho, fmom, fener, gamma);
+    dissip(n, rho, mom, ener, drho, dmom, dener, params[3], params[4], gamma);
+    findif(n, rho, mom, ener, frho, fmom, fener, drho, dmom, dener,
+           wrho, wmom, wener, lam);
+    t = t + dt;
+  }
+  params[15] = t;
+  return t;
+}
+
+proc euler_main(n: int, steps: int) : float {
+  var x : array float[n];
+  var rho : array float[n];
+  var mom : array float[n];
+  var ener : array float[n];
+  var frho : array float[n];
+  var fmom : array float[n];
+  var fener : array float[n];
+  var drho : array float[n];
+  var dmom : array float[n];
+  var dener : array float[n];
+  var wrho : array float[n];
+  var wmom : array float[n];
+  var wener : array float[n];
+  var re : array float[n];
+  var im : array float[n];
+  var params : array float[40];
+  var i : int;
+  var t : float;
+  var mass : float;
+  var energy : float;
+  var fft_err : float;
+  var check : float;
+  input(params);
+  init(n, x, rho, mom, ener, wrho, wmom, params);
+  shock(n, x, rho, mom, ener, params);
+  t = code(n, steps, rho, mom, ener, frho, fmom, fener,
+           drho, dmom, dener, wrho, wmom, wener, params);
+  # conservation diagnostics
+  mass = 0.0;
+  energy = 0.0;
+  for i = 1 to n {
+    mass = mass + rho[i];
+    energy = energy + ener[i];
+  }
+  # derivative + smoothing diagnostics exercise deriv and cheb
+  deriv(n, rho, drho, params[5] / float(n));
+  cheb(n, drho, wrho, 2);
+  # spectral round trip: fft of the density must invert to itself
+  for i = 1 to n {
+    re[i] = rho[i];
+    im[i] = 0.0;
+  }
+  fftb(n, re, im, 0);
+  fftb(n, re, im, 1);
+  fft_err = 0.0;
+  for i = 1 to n {
+    fft_err = max(fft_err, abs(re[i] - rho[i]));
+  }
+  check = mass / float(n) + energy / float(n) / 10.0 + t + fft_err;
+  return check;
+}
+|}
+
+let routines =
+  [ "shock"; "deriv"; "code"; "cheb"; "findif"; "fftb"; "bndry"; "input";
+    "diffr"; "dissip"; "init" ]
+
+let driver = "euler_main"

@@ -1,0 +1,18 @@
+(** The Figure-5 EULER program: a 1-D simulation of shock wave
+    propagation. The authors' source is not public, so these eleven
+    routines are synthesized to match the paper's description and
+    measured characteristics (DESIGN.md §3): INPUT and INIT are long
+    straight-line parameter/array setup ("a long series of assignment
+    statements and simply nested loops"), DISSIP and DIFFR are the large
+    complex loop nests, FFTB is an iterative radix-2 butterfly (twiddles
+    from half-angle recurrences — no trig intrinsics needed), and CODE is
+    the Lax–Friedrichs time-stepping driver. *)
+
+val source : string
+
+val routines : string list
+
+(** [euler_main(n, steps)] runs a Sod-style shock tube on an n-cell grid
+    (n must be a power of two for the spectral check) and returns a
+    checksum combining conservation and FFT round-trip error. *)
+val driver : string

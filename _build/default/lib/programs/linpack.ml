@@ -1,0 +1,390 @@
+let source = {|
+# LINPACK kernels in MFL, following Dongarra, Bunch, Moler, Stewart.
+# Vector BLAS keep the classic unrolled clean-up loops of the FORTRAN
+# sources; DGEFA/DGESL use column variants because MFL passes whole
+# aggregates by reference (no array sections).
+
+proc epslon(x: float) : float {
+  # estimate unit roundoff, Moler's 4/3 trick
+  var a : float = 4.0 / 3.0;
+  var b : float;
+  var c : float;
+  var eps : float = 0.0;
+  while (eps == 0.0) {
+    b = a - 1.0;
+    c = b + b + b;
+    eps = abs(c - 1.0);
+  }
+  return eps * abs(x);
+}
+
+proc dscal(n: int, da: float, dx: array float, incx: int) {
+  # scale a vector by a constant, unrolled clean-up loop to 5
+  var i : int;
+  var m : int;
+  var mp1 : int;
+  var nincx : int;
+  if (n <= 0) { return; }
+  if (incx != 1) {
+    nincx = n * incx;
+    i = 1;
+    while (i <= nincx) {
+      dx[i] = da * dx[i];
+      i = i + incx;
+    }
+    return;
+  }
+  m = mod(n, 5);
+  if (m != 0) {
+    for i = 1 to m {
+      dx[i] = da * dx[i];
+    }
+    if (n < 5) { return; }
+  }
+  mp1 = m + 1;
+  for i = mp1 to n step 5 {
+    dx[i] = da * dx[i];
+    dx[i + 1] = da * dx[i + 1];
+    dx[i + 2] = da * dx[i + 2];
+    dx[i + 3] = da * dx[i + 3];
+    dx[i + 4] = da * dx[i + 4];
+  }
+}
+
+proc idamax(n: int, dx: array float, incx: int) : int {
+  # index of element with maximum absolute value
+  var i : int;
+  var ix : int;
+  var itemp : int;
+  var dmax : float;
+  if (n < 1) { return 0; }
+  if (n == 1) { return 1; }
+  itemp = 1;
+  if (incx != 1) {
+    ix = 1;
+    dmax = abs(dx[1]);
+    ix = ix + incx;
+    for i = 2 to n {
+      if (abs(dx[ix]) > dmax) {
+        itemp = i;
+        dmax = abs(dx[ix]);
+      }
+      ix = ix + incx;
+    }
+    return itemp;
+  }
+  dmax = abs(dx[1]);
+  for i = 2 to n {
+    if (abs(dx[i]) > dmax) {
+      itemp = i;
+      dmax = abs(dx[i]);
+    }
+  }
+  return itemp;
+}
+
+proc ddot(n: int, dx: array float, incx: int, dy: array float, incy: int) : float {
+  # dot product, unrolled clean-up loop to 5
+  var dtemp : float = 0.0;
+  var i : int;
+  var ix : int;
+  var iy : int;
+  var m : int;
+  var mp1 : int;
+  if (n <= 0) { return 0.0; }
+  if (incx != 1 || incy != 1) {
+    ix = 1;
+    iy = 1;
+    if (incx < 0) { ix = (-n + 1) * incx + 1; }
+    if (incy < 0) { iy = (-n + 1) * incy + 1; }
+    for i = 1 to n {
+      dtemp = dtemp + dx[ix] * dy[iy];
+      ix = ix + incx;
+      iy = iy + incy;
+    }
+    return dtemp;
+  }
+  m = mod(n, 5);
+  if (m != 0) {
+    for i = 1 to m {
+      dtemp = dtemp + dx[i] * dy[i];
+    }
+    if (n < 5) { return dtemp; }
+  }
+  mp1 = m + 1;
+  for i = mp1 to n step 5 {
+    dtemp = dtemp + dx[i] * dy[i] + dx[i + 1] * dy[i + 1]
+          + dx[i + 2] * dy[i + 2] + dx[i + 3] * dy[i + 3]
+          + dx[i + 4] * dy[i + 4];
+  }
+  return dtemp;
+}
+
+proc daxpy(n: int, da: float, dx: array float, incx: int, dy: array float, incy: int) {
+  # y = a*x + y, unrolled clean-up loop to 4
+  var i : int;
+  var ix : int;
+  var iy : int;
+  var m : int;
+  var mp1 : int;
+  if (n <= 0) { return; }
+  if (da == 0.0) { return; }
+  if (incx != 1 || incy != 1) {
+    ix = 1;
+    iy = 1;
+    if (incx < 0) { ix = (-n + 1) * incx + 1; }
+    if (incy < 0) { iy = (-n + 1) * incy + 1; }
+    for i = 1 to n {
+      dy[iy] = dy[iy] + da * dx[ix];
+      ix = ix + incx;
+      iy = iy + incy;
+    }
+    return;
+  }
+  m = mod(n, 4);
+  if (m != 0) {
+    for i = 1 to m {
+      dy[i] = dy[i] + da * dx[i];
+    }
+    if (n < 4) { return; }
+  }
+  mp1 = m + 1;
+  for i = mp1 to n step 4 {
+    dy[i] = dy[i] + da * dx[i];
+    dy[i + 1] = dy[i + 1] + da * dx[i + 1];
+    dy[i + 2] = dy[i + 2] + da * dx[i + 2];
+    dy[i + 3] = dy[i + 3] + da * dx[i + 3];
+  }
+}
+
+proc matgen(a: mat float, lda: int, n: int, b: array float) : float {
+  # generate the benchmark system; returns norm of A
+  var init : int = 1325;
+  var norma : float = 0.0;
+  var i : int;
+  var j : int;
+  for j = 1 to n {
+    for i = 1 to n {
+      init = mod(3125 * init, 65536);
+      a[i, j] = (float(init) - 32768.0) / 16384.0;
+      norma = max(abs(a[i, j]), norma);
+    }
+  }
+  for i = 1 to n {
+    b[i] = 0.0;
+  }
+  for j = 1 to n {
+    for i = 1 to n {
+      b[i] = b[i] + a[i, j];
+    }
+  }
+  return norma;
+}
+
+# ---- column helpers standing in for BLAS calls on array sections ----
+
+proc idamax_col(a: mat float, j: int, i1: int, i2: int) : int {
+  # relative index (1-based from i1) of max |a[i, j]|, i in [i1, i2]
+  var i : int;
+  var itemp : int;
+  var dmax : float;
+  if (i2 < i1) { return 0; }
+  itemp = 1;
+  dmax = abs(a[i1, j]);
+  for i = i1 + 1 to i2 {
+    if (abs(a[i, j]) > dmax) {
+      itemp = i - i1 + 1;
+      dmax = abs(a[i, j]);
+    }
+  }
+  return itemp;
+}
+
+proc dscal_col(a: mat float, j: int, i1: int, i2: int, da: float) {
+  var i : int;
+  for i = i1 to i2 {
+    a[i, j] = da * a[i, j];
+  }
+}
+
+proc daxpy_col(a: mat float, jsrc: int, jdst: int, i1: int, i2: int, da: float) {
+  # a[i, jdst] = a[i, jdst] + da * a[i, jsrc]
+  var i : int;
+  if (da == 0.0) { return; }
+  for i = i1 to i2 {
+    a[i, jdst] = a[i, jdst] + da * a[i, jsrc];
+  }
+}
+
+proc dgefa(a: mat float, n: int, ipvt: array int) : int {
+  # LU factorization with partial pivoting
+  var info : int = 0;
+  var nm1 : int;
+  var k : int;
+  var kp1 : int;
+  var l : int;
+  var j : int;
+  var t : float;
+  nm1 = n - 1;
+  if (nm1 >= 1) {
+    for k = 1 to nm1 {
+      kp1 = k + 1;
+      l = idamax_col(a, k, k, n) + k - 1;
+      ipvt[k] = l;
+      if (a[l, k] == 0.0) {
+        info = k;
+      } else {
+        if (l != k) {
+          t = a[l, k];
+          a[l, k] = a[k, k];
+          a[k, k] = t;
+        }
+        t = -1.0 / a[k, k];
+        dscal_col(a, k, kp1, n, t);
+        for j = kp1 to n {
+          t = a[l, j];
+          if (l != k) {
+            a[l, j] = a[k, j];
+            a[k, j] = t;
+          }
+          daxpy_col(a, k, j, kp1, n, t);
+        }
+      }
+    }
+  }
+  ipvt[n] = n;
+  if (a[n, n] == 0.0) { info = n; }
+  return info;
+}
+
+proc dgesl(a: mat float, n: int, ipvt: array int, b: array float) {
+  # solve A x = b using the factors from dgefa (job = 0)
+  var nm1 : int;
+  var k : int;
+  var kb : int;
+  var l : int;
+  var i : int;
+  var t : float;
+  nm1 = n - 1;
+  if (nm1 >= 1) {
+    for k = 1 to nm1 {
+      l = ipvt[k];
+      t = b[l];
+      if (l != k) {
+        b[l] = b[k];
+        b[k] = t;
+      }
+      for i = k + 1 to n {
+        b[i] = b[i] + t * a[i, k];
+      }
+    }
+  }
+  for kb = 1 to n {
+    k = n + 1 - kb;
+    b[k] = b[k] / a[k, k];
+    t = -b[k];
+    for i = 1 to k - 1 {
+      b[i] = b[i] + t * a[i, k];
+    }
+  }
+}
+
+proc dmxpy(n1: int, y: array float, n2: int, ldm: int, x: array float, m: mat float) {
+  # y = y + M x, with the benchmark's 16-way unrolled column sweep and
+  # clean-up passes for remainders of 1, 2, 4 and 8 columns
+  var j : int;
+  var i : int;
+  var jmin : int;
+  # clean-up odd vector
+  j = mod(n2, 2);
+  if (j >= 1) {
+    for i = 1 to n1 {
+      y[i] = y[i] + x[j] * m[i, j];
+    }
+  }
+  # clean-up odd group of two vectors
+  j = mod(n2, 4);
+  if (j >= 2) {
+    for i = 1 to n1 {
+      y[i] = (y[i] + x[j - 1] * m[i, j - 1]) + x[j] * m[i, j];
+    }
+  }
+  # clean-up odd group of four vectors
+  j = mod(n2, 8);
+  if (j >= 4) {
+    for i = 1 to n1 {
+      y[i] = ((y[i] + x[j - 3] * m[i, j - 3]) + x[j - 2] * m[i, j - 2])
+           + (x[j - 1] * m[i, j - 1] + x[j] * m[i, j]);
+    }
+  }
+  # clean-up odd group of eight vectors
+  j = mod(n2, 16);
+  if (j >= 8) {
+    for i = 1 to n1 {
+      y[i] = ((y[i] + x[j - 7] * m[i, j - 7]
+             + x[j - 6] * m[i, j - 6]) + (x[j - 5] * m[i, j - 5]
+             + x[j - 4] * m[i, j - 4])) + ((x[j - 3] * m[i, j - 3]
+             + x[j - 2] * m[i, j - 2]) + (x[j - 1] * m[i, j - 1]
+             + x[j] * m[i, j]));
+    }
+  }
+  # main loop: groups of sixteen vectors
+  jmin = j + 16;
+  j = jmin;
+  while (j <= n2) {
+    for i = 1 to n1 {
+      y[i] = ((((y[i] + x[j - 15] * m[i, j - 15])
+            + x[j - 14] * m[i, j - 14]) + (x[j - 13] * m[i, j - 13]
+            + x[j - 12] * m[i, j - 12])) + ((x[j - 11] * m[i, j - 11]
+            + x[j - 10] * m[i, j - 10]) + (x[j - 9] * m[i, j - 9]
+            + x[j - 8] * m[i, j - 8]))) + (((x[j - 7] * m[i, j - 7]
+            + x[j - 6] * m[i, j - 6]) + (x[j - 5] * m[i, j - 5]
+            + x[j - 4] * m[i, j - 4])) + ((x[j - 3] * m[i, j - 3]
+            + x[j - 2] * m[i, j - 2]) + (x[j - 1] * m[i, j - 1]
+            + x[j] * m[i, j])));
+    }
+    j = j + 16;
+  }
+}
+
+proc linpack_main(n: int) : float {
+  # generate, factor, solve, and compute the normalized residual
+  var a : mat float[n, n];
+  var b : array float[n];
+  var x : array float[n];
+  var ipvt : array int[n];
+  var norma : float;
+  var normx : float;
+  var resid : float;
+  var eps : float;
+  var i : int;
+  var info : int;
+  norma = matgen(a, n, n, b);
+  info = dgefa(a, n, ipvt);
+  if (info != 0) {
+    return -1.0;
+  }
+  dgesl(a, n, ipvt, b);
+  # keep the solution, rebuild the system, and form residual = A x - b
+  for i = 1 to n {
+    x[i] = b[i];
+  }
+  norma = matgen(a, n, n, b);
+  dscal(n, -1.0, b, 1);
+  dmxpy(n, b, n, n, x, a);
+  resid = abs(b[idamax(n, b, 1)]);
+  normx = abs(x[idamax(n, x, 1)]);
+  eps = epslon(1.0);
+  # report the 2-norm of the residual too (exercises ddot and daxpy)
+  print_float(sqrt(ddot(n, b, 1, b, 1)));
+  daxpy(n, eps, b, 1, x, 1);
+  # normalized residual as in the benchmark report
+  return resid / (float(n) * norma * normx * eps);
+}
+|}
+
+let routines =
+  [ "epslon"; "dscal"; "idamax"; "ddot"; "daxpy"; "matgen"; "dgefa";
+    "dgesl"; "dmxpy" ]
+
+let driver = "linpack_main"

@@ -1,0 +1,18 @@
+(** The LINPACK routines of Figure 5 (Dongarra's double-precision
+    benchmark): EPSLON, DSCAL, IDAMAX, DDOT, DAXPY, MATGEN, DGEFA, DGESL
+    and the famously 16-way-unrolled DMXPY, transliterated to MFL.
+
+    One deviation from the FORTRAN originals, documented in DESIGN.md: MFL
+    cannot pass array *sections* (`A(K,K)` as a vector), so DGEFA/DGESL use
+    column-variant helpers ([idamax_col] …) instead of calling the vector
+    BLAS on sections. The vector BLAS routines are still exercised by the
+    driver. *)
+
+val source : string
+
+(** Routines reported in Figure 5, in the paper's order. *)
+val routines : string list
+
+(** Driver entry point: [linpack_main(n)] generates a system, factors and
+    solves it, and returns the residual norm. *)
+val driver : string

@@ -1,0 +1,108 @@
+let source = {|
+# Non-recursive quicksort after Wirth (Algorithms + Data Structures =
+# Programs), with the explicit segment stack. Pure integer code: the
+# paper uses it to study the effect of restricted register sets.
+
+proc quicksort(n: int, a: array int, stackl: array int, stackr: array int) {
+  var s : int;
+  var l : int;
+  var r : int;
+  var i : int;
+  var j : int;
+  var x : int;
+  var t : int;
+  if (n <= 1) { return; }
+  s = 1;
+  stackl[1] = 1;
+  stackr[1] = n;
+  while (s > 0) {
+    l = stackl[s];
+    r = stackr[s];
+    s = s - 1;
+    while (l < r) {
+      i = l;
+      j = r;
+      x = a[(l + r) / 2];
+      while (i <= j) {
+        while (a[i] < x) { i = i + 1; }
+        while (x < a[j]) { j = j - 1; }
+        if (i <= j) {
+          t = a[i];
+          a[i] = a[j];
+          a[j] = t;
+          i = i + 1;
+          j = j - 1;
+        }
+      }
+      # push the larger segment, keep partitioning the smaller
+      if (j - l < r - i) {
+        if (i < r) {
+          s = s + 1;
+          stackl[s] = i;
+          stackr[s] = r;
+        }
+        r = j;
+      } else {
+        if (l < j) {
+          s = s + 1;
+          stackl[s] = l;
+          stackr[s] = j;
+        }
+        l = i;
+      }
+    }
+  }
+}
+
+proc qs_fill(n: int, a: array int, seed: int) {
+  # deterministic linear congruential filler
+  var state : int = seed;
+  var i : int;
+  for i = 1 to n {
+    state = mod(state * 1103515245 + 12345, 2147483648);
+    a[i] = mod(state, 1000000);
+  }
+}
+
+proc qs_check(n: int, a: array int) : int {
+  # 0 if sorted; also verify the element sum is preserved by comparing
+  # against a recomputed fill
+  var i : int;
+  for i = 2 to n {
+    if (a[i - 1] > a[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+proc quicksort_main(n: int) : int {
+  var a : array int[n];
+  var stackl : array int[n];
+  var stackr : array int[n];
+  var sum_before : int = 0;
+  var sum_after : int = 0;
+  var i : int;
+  var bad : int;
+  qs_fill(n, a, 42);
+  for i = 1 to n {
+    sum_before = sum_before + a[i];
+  }
+  quicksort(n, a, stackl, stackr);
+  for i = 1 to n {
+    sum_after = sum_after + a[i];
+  }
+  bad = qs_check(n, a);
+  if (bad != 0) {
+    return bad;
+  }
+  if (sum_before != sum_after) {
+    return -1;
+  }
+  return 0;
+}
+|}
+
+let routines = [ "quicksort" ]
+
+let driver = "quicksort_main"

@@ -1,0 +1,12 @@
+(** The §3.2 integer program: Wirth's non-recursive quicksort with an
+    explicit stack, plus an MFL linear-congruential filler and a
+    sortedness/permutation checker. Used by the Figure-6 restricted
+    register-set study. *)
+
+val source : string
+
+val routines : string list
+
+(** [quicksort_main(n)] fills, sorts and checks an n-element array;
+    returns 0 on success, a positive error code otherwise. *)
+val driver : string

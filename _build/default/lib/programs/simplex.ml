@@ -1,0 +1,184 @@
+let source = {|
+# Multi-directional search on simplex edges (after V. Torczon's parallel
+# optimization code). The simplex is stored one vertex per row of a
+# (d+1) x d matrix; vertex values live in a parallel vector.
+
+proc value(s: mat float, row: int, d: int) : float {
+  # the objective: a shifted quadratic bowl with quartic coupling terms,
+  # evaluated at vertex [row] of the simplex
+  var f : float = 0.0;
+  var xi : float;
+  var xj : float;
+  var t : float;
+  var i : int;
+  for i = 1 to d {
+    xi = s[row, i];
+    t = xi - float(i) / 10.0;
+    f = f + t * t;
+  }
+  for i = 1 to d - 1 {
+    xi = s[row, i];
+    xj = s[row, i + 1];
+    t = xj - xi * xi;
+    f = f + 10.0 * t * t;
+  }
+  return f;
+}
+
+proc converge(s: mat float, d: int, tol: float) : int {
+  # 1 when the longest edge from the best vertex (row 1) is below tol
+  var i : int;
+  var j : int;
+  var edge : float;
+  var longest : float = 0.0;
+  var diff : float;
+  for i = 2 to d + 1 {
+    edge = 0.0;
+    for j = 1 to d {
+      diff = s[i, j] - s[1, j];
+      edge = edge + diff * diff;
+    }
+    longest = max(longest, edge);
+  }
+  if (longest <= tol * tol) {
+    return 1;
+  }
+  return 0;
+}
+
+proc construct(s: mat float, t: mat float, d: int, factor: float) {
+  # build the simplex obtained by moving every non-best vertex through
+  # the best vertex (row 1) scaled by factor: reflection (-1.0),
+  # expansion (-2.0) or contraction (+0.5)
+  var i : int;
+  var j : int;
+  var base : float;
+  for j = 1 to d {
+    t[1, j] = s[1, j];
+  }
+  for i = 2 to d + 1 {
+    for j = 1 to d {
+      base = s[1, j];
+      t[i, j] = base + factor * (s[i, j] - base);
+    }
+  }
+}
+
+proc simplex(s: mat float, d: int, tol: float, maxit: int) : float {
+  # multi-directional search: at each step evaluate the rotation; if the
+  # rotated simplex improves on the best vertex try expansion, otherwise
+  # contract; always re-sort the best vertex into row 1
+  var r : mat float[d + 1, d];
+  var e : mat float[d + 1, d];
+  var v : array float[d + 1];
+  var i : int;
+  var j : int;
+  var it : int;
+  var best : int;
+  var fbest : float;
+  var frot : float;
+  var fexp : float;
+  var ftmp : float;
+  var stop : int;
+  # evaluate the initial simplex and move the best vertex to row 1
+  for i = 1 to d + 1 {
+    v[i] = value(s, i, d);
+  }
+  it = 0;
+  stop = 0;
+  while (stop == 0 && it < maxit) {
+    it = it + 1;
+    best = 1;
+    fbest = v[1];
+    for i = 2 to d + 1 {
+      if (v[i] < fbest) {
+        best = i;
+        fbest = v[i];
+      }
+    }
+    if (best != 1) {
+      for j = 1 to d {
+        ftmp = s[1, j];
+        s[1, j] = s[best, j];
+        s[best, j] = ftmp;
+      }
+      ftmp = v[1];
+      v[1] = v[best];
+      v[best] = ftmp;
+    }
+    if (converge(s, d, tol) == 1) {
+      stop = 1;
+    } else {
+      # rotation step
+      construct(s, r, d, -1.0);
+      frot = v[1];
+      for i = 2 to d + 1 {
+        ftmp = value(r, i, d);
+        if (ftmp < frot) {
+          frot = ftmp;
+        }
+      }
+      if (frot < v[1]) {
+        # the rotation found a better vertex: try expanding
+        construct(s, e, d, -2.0);
+        fexp = v[1];
+        for i = 2 to d + 1 {
+          ftmp = value(e, i, d);
+          if (ftmp < fexp) {
+            fexp = ftmp;
+          }
+        }
+        if (fexp < frot) {
+          for i = 2 to d + 1 {
+            for j = 1 to d {
+              s[i, j] = e[i, j];
+            }
+            v[i] = value(s, i, d);
+          }
+        } else {
+          for i = 2 to d + 1 {
+            for j = 1 to d {
+              s[i, j] = r[i, j];
+            }
+            v[i] = value(s, i, d);
+          }
+        }
+      } else {
+        # contract toward the best vertex
+        construct(s, r, d, 0.5);
+        for i = 2 to d + 1 {
+          for j = 1 to d {
+            s[i, j] = r[i, j];
+          }
+          v[i] = value(s, i, d);
+        }
+      }
+    }
+  }
+  fbest = v[1];
+  for i = 2 to d + 1 {
+    fbest = min(fbest, v[i]);
+  }
+  return fbest;
+}
+
+proc simplex_main(d: int) : float {
+  # start from a right-angle unit simplex at the origin
+  var s : mat float[d + 1, d];
+  var i : int;
+  var j : int;
+  for i = 1 to d + 1 {
+    for j = 1 to d {
+      s[i, j] = 0.0;
+      if (i == j + 1) {
+        s[i, j] = 1.0;
+      }
+    }
+  }
+  return simplex(s, d, 0.000001, 500);
+}
+|}
+
+let routines = [ "value"; "converge"; "construct"; "simplex" ]
+
+let driver = "simplex_main"

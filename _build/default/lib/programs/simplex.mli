@@ -1,0 +1,14 @@
+(** The Figure-5 SIMPLEX program: a multi-directional search on simplex
+    edges in the spirit of Torczon's parallel optimization code [Torc 89].
+    VALUE evaluates the objective, CONSTRUCT builds the rotated / expanded
+    / contracted simplexes, CONVERGE tests the stopping criterion and
+    SIMPLEX runs the search. *)
+
+val source : string
+
+val routines : string list
+
+(** [simplex_main(d)] minimizes a d-dimensional quadratic-plus-quartic
+    test objective from a unit simplex; returns the best objective value
+    found. *)
+val driver : string

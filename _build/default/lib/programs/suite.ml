@@ -1,0 +1,76 @@
+type program = {
+  pname : string;
+  source : string;
+  routines : string list;
+  driver : string;
+  driver_args : Ra_vm.Value.t list;
+  test_args : Ra_vm.Value.t list;
+  fuel : int;
+}
+
+let vint n = Ra_vm.Value.Vint n
+
+let svd =
+  { pname = "SVD";
+    source = Svd.source;
+    routines = Svd.routines;
+    driver = Svd.driver;
+    driver_args = [ vint 24; vint 20 ];
+    test_args = [ vint 8; vint 6 ];
+    fuel = 100_000_000 }
+
+let linpack =
+  { pname = "LINPACK";
+    source = Linpack.source;
+    routines = Linpack.routines;
+    driver = Linpack.driver;
+    driver_args = [ vint 48 ];
+    test_args = [ vint 12 ];
+    fuel = 100_000_000 }
+
+let simplex =
+  { pname = "SIMPLEX";
+    source = Simplex.source;
+    routines = Simplex.routines;
+    driver = Simplex.driver;
+    driver_args = [ vint 8 ];
+    test_args = [ vint 4 ];
+    fuel = 100_000_000 }
+
+let euler =
+  { pname = "EULER";
+    source = Euler.source;
+    routines = Euler.routines;
+    driver = Euler.driver;
+    driver_args = [ vint 128; vint 80 ];
+    test_args = [ vint 32; vint 10 ];
+    fuel = 100_000_000 }
+
+let cedeta =
+  { pname = "CEDETA";
+    source = Cedeta.source;
+    routines = Cedeta.routines;
+    driver = Cedeta.driver;
+    driver_args = [ vint 4 ];
+    test_args = [ vint 2 ];
+    fuel = 100_000_000 }
+
+let quicksort =
+  { pname = "QUICKSORT";
+    source = Quicksort.source;
+    routines = Quicksort.routines;
+    driver = Quicksort.driver;
+    driver_args = [ vint 200_000 ];
+    test_args = [ vint 2_000 ];
+    fuel = 400_000_000 }
+
+let figure5 = [ svd; linpack; simplex; euler; cedeta ]
+
+let all = figure5 @ [ quicksort ]
+
+let find name = List.find (fun p -> p.pname = name) all
+
+let compile ?(optimize = true) program =
+  let procs = Ra_ir.Codegen.compile_source program.source in
+  if optimize then Ra_opt.Opt.optimize_all procs;
+  procs

@@ -1,0 +1,26 @@
+(** The paper's benchmark suite as one registry, used by the test suite
+    and by the Figure-5/6/7 harness. *)
+
+type program = {
+  pname : string; (* SVD, LINPACK, ... as in Figure 5 *)
+  source : string; (* self-contained MFL compile unit *)
+  routines : string list; (* routines reported in Figure 5, paper order *)
+  driver : string; (* entry point for dynamic measurements *)
+  driver_args : Ra_vm.Value.t list; (* benchmark-scale arguments *)
+  test_args : Ra_vm.Value.t list; (* quick arguments for unit tests *)
+  fuel : int; (* dynamic instruction budget *)
+}
+
+(** SVD, LINPACK, SIMPLEX, EULER, CEDETA — Figure 5's order. *)
+val figure5 : program list
+
+(** The §3.2 / Figure 6 integer program. *)
+val quicksort : program
+
+(** Everything, quicksort included. *)
+val all : program list
+
+val find : string -> program
+
+(** Compile (optionally optimize) a program's routines. *)
+val compile : ?optimize:bool -> program -> Ra_ir.Proc.t list

@@ -1,0 +1,366 @@
+let source = {|
+# Singular value decomposition after Golub & Reinsch, in the
+# Forsythe-Malcolm-Moler organization: the routine the paper's
+# allocator study was built around. Structure (paper Figure 1):
+#   - initialization
+#   - small doubly-nested copy loop (a -> u)
+#   - Householder bidiagonalization (large nest)
+#   - accumulation of left/right transformations (large nests)
+#   - QR diagonalization with splitting/cancellation (large nest)
+
+proc svd(m: int, n: int, a: mat float, w: array float,
+         matu: int, u: mat float, matv: int, v: mat float,
+         rv1: array float) : int {
+  var i : int;  var j : int;  var k : int;  var l : int;
+  var ii : int; var kk : int; var ll : int; var i1 : int;
+  var k1 : int; var l1 : int; var mn : int; var its : int;
+  var c : float; var f : float; var g : float; var h : float;
+  var s : float; var x : float; var y : float; var z : float;
+  var scale : float; var anorm : float; var eps : float;
+  var machep : float;
+  var done : int; var skip_cancel : int; var stop : int;
+
+  # ---- initialization: machine epsilon, accumulators ----
+  machep = 1.0;
+  stop = 0;
+  while (stop == 0) {
+    machep = machep / 2.0;
+    if (1.0 + machep / 2.0 == 1.0) { stop = 1; }
+  }
+  anorm = 0.0;
+  g = 0.0;
+  scale = 0.0;
+  l = 1;
+
+  # ---- the small doubly-nested array copy (a -> u) ----
+  for i = 1 to m {
+    for j = 1 to n {
+      u[i, j] = a[i, j];
+    }
+  }
+
+  # ---- Householder reduction to bidiagonal form ----
+  for i = 1 to n {
+    l = i + 1;
+    rv1[i] = scale * g;
+    g = 0.0;
+    s = 0.0;
+    scale = 0.0;
+    if (i <= m) {
+      for k = i to m {
+        scale = scale + abs(u[k, i]);
+      }
+      if (scale != 0.0) {
+        for k = i to m {
+          u[k, i] = u[k, i] / scale;
+          s = s + u[k, i] * u[k, i];
+        }
+        f = u[i, i];
+        g = -sign(sqrt(s), f);
+        h = f * g - s;
+        u[i, i] = f - g;
+        if (i != n) {
+          for j = l to n {
+            s = 0.0;
+            for k = i to m {
+              s = s + u[k, i] * u[k, j];
+            }
+            f = s / h;
+            for k = i to m {
+              u[k, j] = u[k, j] + f * u[k, i];
+            }
+          }
+        }
+        for k = i to m {
+          u[k, i] = scale * u[k, i];
+        }
+      }
+    }
+    w[i] = scale * g;
+    g = 0.0;
+    s = 0.0;
+    scale = 0.0;
+    if (i <= m && i != n) {
+      for k = l to n {
+        scale = scale + abs(u[i, k]);
+      }
+      if (scale != 0.0) {
+        for k = l to n {
+          u[i, k] = u[i, k] / scale;
+          s = s + u[i, k] * u[i, k];
+        }
+        f = u[i, l];
+        g = -sign(sqrt(s), f);
+        h = f * g - s;
+        u[i, l] = f - g;
+        for k = l to n {
+          rv1[k] = u[i, k] / h;
+        }
+        if (i != m) {
+          for j = l to m {
+            s = 0.0;
+            for k = l to n {
+              s = s + u[j, k] * u[i, k];
+            }
+            for k = l to n {
+              u[j, k] = u[j, k] + s * rv1[k];
+            }
+          }
+        }
+        for k = l to n {
+          u[i, k] = scale * u[i, k];
+        }
+      }
+    }
+    anorm = max(anorm, abs(w[i]) + abs(rv1[i]));
+  }
+
+  # ---- accumulation of right-hand transformations ----
+  if (matv != 0) {
+    for ii = 1 to n {
+      i = n + 1 - ii;
+      if (i != n) {
+        if (g != 0.0) {
+          for j = l to n {
+            # double division avoids possible underflow
+            v[j, i] = (u[i, j] / u[i, l]) / g;
+          }
+          for j = l to n {
+            s = 0.0;
+            for k = l to n {
+              s = s + u[i, k] * v[k, j];
+            }
+            for k = l to n {
+              v[k, j] = v[k, j] + s * v[k, i];
+            }
+          }
+        }
+        for j = l to n {
+          v[i, j] = 0.0;
+          v[j, i] = 0.0;
+        }
+      }
+      v[i, i] = 1.0;
+      g = rv1[i];
+      l = i;
+    }
+  }
+
+  # ---- accumulation of left-hand transformations ----
+  if (matu != 0) {
+    mn = min(m, n);
+    for ii = 1 to mn {
+      i = mn + 1 - ii;
+      l = i + 1;
+      g = w[i];
+      if (i != n) {
+        for j = l to n {
+          u[i, j] = 0.0;
+        }
+      }
+      if (g != 0.0) {
+        if (i != mn) {
+          for j = l to n {
+            s = 0.0;
+            for k = l to m {
+              s = s + u[k, i] * u[k, j];
+            }
+            f = (s / u[i, i]) / g;
+            for k = i to m {
+              u[k, j] = u[k, j] + f * u[k, i];
+            }
+          }
+        }
+        for j = i to m {
+          u[j, i] = u[j, i] / g;
+        }
+      } else {
+        for j = i to m {
+          u[j, i] = 0.0;
+        }
+      }
+      u[i, i] = u[i, i] + 1.0;
+    }
+  }
+
+  # ---- diagonalization of the bidiagonal form ----
+  eps = machep * anorm;
+  for kk = 1 to n {
+    k1 = n - kk;
+    k = k1 + 1;
+    its = 0;
+    done = 0;
+    while (done == 0) {
+      # test for splitting: find the largest l with a negligible
+      # super-diagonal, or one whose w[l-1] is negligible (cancellation)
+      skip_cancel = 0;
+      l = 0;
+      ll = k;
+      while (l == 0) {
+        if (abs(rv1[ll]) <= eps) {
+          l = ll;
+          skip_cancel = 1;
+        } else {
+          if (abs(w[ll - 1]) <= eps) {
+            l = ll;
+          } else {
+            ll = ll - 1;
+          }
+        }
+        # rv1[1] is always zero, so the search terminates
+      }
+      if (skip_cancel == 0) {
+        # cancellation of rv1[l] when w[l-1] is negligible
+        l1 = l - 1;
+        c = 0.0;
+        s = 1.0;
+        stop = 0;
+        i = l;
+        while (stop == 0 && i <= k) {
+          f = s * rv1[i];
+          rv1[i] = c * rv1[i];
+          if (abs(f) <= eps) {
+            stop = 1;
+          } else {
+            g = w[i];
+            h = sqrt(f * f + g * g);
+            w[i] = h;
+            c = g / h;
+            s = -f / h;
+            if (matu != 0) {
+              for j = 1 to m {
+                y = u[j, l1];
+                z = u[j, i];
+                u[j, l1] = y * c + z * s;
+                u[j, i] = -y * s + z * c;
+              }
+            }
+            i = i + 1;
+          }
+        }
+      }
+      # test for convergence
+      z = w[k];
+      if (l == k) {
+        # convergence: make the singular value non-negative
+        if (z < 0.0) {
+          w[k] = -z;
+          if (matv != 0) {
+            for j = 1 to n {
+              v[j, k] = -v[j, k];
+            }
+          }
+        }
+        done = 1;
+      } else {
+        if (its == 30) {
+          # no convergence after 30 iterations for this value
+          return k;
+        }
+        its = its + 1;
+        # shift from bottom 2x2 minor
+        x = w[l];
+        y = w[k1];
+        g = rv1[k1];
+        h = rv1[k];
+        f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+        g = sqrt(f * f + 1.0);
+        f = ((x - z) * (x + z) + h * (y / (f + sign(g, f)) - h)) / x;
+        # next QR transformation
+        c = 1.0;
+        s = 1.0;
+        for i1 = l to k1 {
+          i = i1 + 1;
+          g = rv1[i];
+          y = w[i];
+          h = s * g;
+          g = c * g;
+          z = sqrt(f * f + h * h);
+          rv1[i1] = z;
+          c = f / z;
+          s = h / z;
+          f = x * c + g * s;
+          g = -x * s + g * c;
+          h = y * s;
+          y = y * c;
+          if (matv != 0) {
+            for j = 1 to n {
+              x = v[j, i1];
+              z = v[j, i];
+              v[j, i1] = x * c + z * s;
+              v[j, i] = -x * s + z * c;
+            }
+          }
+          z = sqrt(f * f + h * h);
+          w[i1] = z;
+          if (z != 0.0) {
+            c = f / z;
+            s = h / z;
+          }
+          f = c * g + s * y;
+          x = -s * g + c * y;
+          if (matu != 0) {
+            for j = 1 to m {
+              y = u[j, i1];
+              z = u[j, i];
+              u[j, i1] = y * c + z * s;
+              u[j, i] = -y * s + z * c;
+            }
+          }
+        }
+        rv1[l] = 0.0;
+        rv1[k] = f;
+        w[k] = x;
+      }
+    }
+  }
+  return 0;
+}
+
+proc svd_main(m: int, n: int) : float {
+  # decompose a deterministic test matrix, then measure the
+  # reconstruction residual max |A - U diag(w) V^T|
+  var a : mat float[m, n];
+  var u : mat float[m, n];
+  var v : mat float[n, n];
+  var w : array float[n];
+  var rv1 : array float[n];
+  var i : int;
+  var j : int;
+  var k : int;
+  var ierr : int;
+  var acc : float;
+  var resid : float;
+  for i = 1 to m {
+    for j = 1 to n {
+      a[i, j] = float(mod(i * j + 3 * i + j, 13) - 6)
+              + 1.0 / float(i + j);
+    }
+  }
+  ierr = svd(m, n, a, w, 1, u, 1, v, rv1);
+  if (ierr != 0) {
+    return -1.0e6 - float(ierr);
+  }
+  resid = 0.0;
+  for i = 1 to m {
+    for j = 1 to n {
+      acc = 0.0;
+      for k = 1 to n {
+        acc = acc + u[i, k] * w[k] * v[j, k];
+      }
+      resid = max(resid, abs(a[i, j] - acc));
+    }
+  }
+  # singular values should be non-negative
+  for k = 1 to n {
+    if (w[k] < 0.0) {
+      resid = resid + 1.0e6;
+    }
+  }
+  return resid;
+}
+|}
+
+let routines = [ "svd" ]
+
+let driver = "svd_main"

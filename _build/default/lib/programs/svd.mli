@@ -1,0 +1,14 @@
+(** The paper's motivating example (§1.2): a singular value decomposition
+    in the Golub–Reinsch shape of Forsythe–Malcolm–Moler — initialization
+    code, a small doubly-nested array-copy loop, then three large loop
+    nests (Householder bidiagonalization, accumulation of transformations,
+    and the shifted-QR diagonalization). The FORTRAN original's gotos are
+    restructured into while-loops with flags. *)
+
+val source : string
+
+val routines : string list
+
+(** [svd_main(m, n)] decomposes a deterministic m×n test matrix and
+    returns the reconstruction residual. *)
+val driver : string

@@ -1,0 +1,1 @@
+lib/support/bit_matrix.mli:

@@ -1,0 +1,1 @@
+lib/support/degree_buckets.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/support/degree_buckets.mli:

@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  bits : Bytes.t;
+}
+
+(* Pair (i, j) with i >= j lives at triangular index i*(i+1)/2 + j. *)
+
+let triangle_size n = n * (n + 1) / 2
+
+let create n =
+  if n < 0 then invalid_arg "Bit_matrix.create";
+  { n; bits = Bytes.make ((triangle_size n + 7) / 8) '\000' }
+
+let dimension t = t.n
+
+let index t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg "Bit_matrix: index out of bounds";
+  let hi, lo = if i >= j then i, j else j, i in
+  (hi * (hi + 1)) / 2 + lo
+
+let set t i j =
+  let idx = index t i j in
+  let byte = Bytes.get_uint8 t.bits (idx lsr 3) in
+  Bytes.set_uint8 t.bits (idx lsr 3) (byte lor (1 lsl (idx land 7)))
+
+let clear t i j =
+  let idx = index t i j in
+  let byte = Bytes.get_uint8 t.bits (idx lsr 3) in
+  Bytes.set_uint8 t.bits (idx lsr 3) (byte land lnot (1 lsl (idx land 7)))
+
+let mem t i j =
+  let idx = index t i j in
+  Bytes.get_uint8 t.bits (idx lsr 3) land (1 lsl (idx land 7)) <> 0
+
+let count t =
+  let total = ref 0 in
+  let popcount b =
+    let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+    go b 0
+  in
+  Bytes.iter (fun c -> total := !total + popcount (Char.code c)) t.bits;
+  (* Bits beyond the triangle are never set, so no mask is needed. *)
+  !total
+
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'

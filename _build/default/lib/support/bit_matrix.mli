@@ -1,0 +1,27 @@
+(** Symmetric boolean matrix over [0, n) x [0, n), stored as a lower-triangular
+    bit set — the classic Chaitin representation for "do these two live
+    ranges interfere?". O(1) membership test; half the space of a square
+    matrix. The diagonal is storable but the interference graph never sets
+    it (a live range does not interfere with itself). *)
+
+type t
+
+(** [create n] is an empty symmetric relation over [0 .. n-1]. *)
+val create : int -> t
+
+val dimension : t -> int
+
+(** [set t i j] adds the (unordered) pair {i, j} to the relation. *)
+val set : t -> int -> int -> unit
+
+(** [clear t i j] removes the pair. *)
+val clear : t -> int -> int -> unit
+
+(** [mem t i j] tests the pair; symmetric in [i], [j]. *)
+val mem : t -> int -> int -> bool
+
+(** Number of set (unordered) pairs, diagonal included if ever set. *)
+val count : t -> int
+
+(** Remove every pair. *)
+val reset : t -> unit

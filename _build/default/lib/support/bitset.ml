@@ -1,0 +1,107 @@
+type t = {
+  n : int;
+  words : int array; (* 63-bit words; OCaml ints *)
+}
+
+let bits_per_word = 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: out of bounds"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let union_into ~into src =
+  same_universe into src;
+  let changed = ref false in
+  for w = 0 to Array.length into.words - 1 do
+    let next = into.words.(w) lor src.words.(w) in
+    if next <> into.words.(w) then begin
+      into.words.(w) <- next;
+      changed := true
+    end
+  done;
+  !changed
+
+let diff_into ~into src =
+  same_universe into src;
+  let changed = ref false in
+  for w = 0 to Array.length into.words - 1 do
+    let next = into.words.(w) land lnot src.words.(w) in
+    if next <> into.words.(w) then begin
+      into.words.(w) <- next;
+      changed := true
+    end
+  done;
+  !changed
+
+let assign ~into src =
+  same_universe into src;
+  let changed = ref false in
+  for w = 0 to Array.length into.words - 1 do
+    if into.words.(w) <> src.words.(w) then begin
+      into.words.(w) <- src.words.(w);
+      changed := true
+    end
+  done;
+  !changed
+
+let equal a b =
+  same_universe a b;
+  let rec go w =
+    w = Array.length a.words || (a.words.(w) = b.words.(w) && go (w + 1))
+  in
+  go 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let cardinal t =
+  let popcount x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t

@@ -1,0 +1,34 @@
+(** Fixed-universe bitsets for the dataflow solvers; all bulk operations are
+    in-place on the destination and report whether anything changed, which
+    is exactly what a worklist algorithm wants. *)
+
+type t
+
+val create : int -> t
+
+(** Universe size. *)
+val capacity : t -> int
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+
+val copy : t -> t
+
+(** [union_into ~into src] is [into := into ∪ src]; true if [into] grew. *)
+val union_into : into:t -> t -> bool
+
+(** [diff_into ~into src] is [into := into \ src]; true if [into] shrank. *)
+val diff_into : into:t -> t -> bool
+
+(** [assign ~into src] overwrites [into] with [src]; true if it changed. *)
+val assign : into:t -> t -> bool
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+val elements : t -> int list
+val of_list : int -> int list -> t

@@ -1,0 +1,93 @@
+type cell = {
+  node : int;
+  mutable deg : int;
+  mutable prev : cell option;
+  mutable next : cell option;
+}
+
+type t = {
+  buckets : cell option array;
+  cells : (int, cell) Hashtbl.t;
+  mutable population : int;
+}
+
+let create ~max_degree =
+  if max_degree < 0 then invalid_arg "Degree_buckets.create";
+  { buckets = Array.make (max_degree + 1) None;
+    cells = Hashtbl.create 64;
+    population = 0 }
+
+let unlink t c =
+  (match c.prev with
+   | Some p -> p.next <- c.next
+   | None -> t.buckets.(c.deg) <- c.next);
+  (match c.next with
+   | Some n -> n.prev <- c.prev
+   | None -> ());
+  c.prev <- None;
+  c.next <- None
+
+let link t c deg =
+  c.deg <- deg;
+  c.prev <- None;
+  c.next <- t.buckets.(deg);
+  (match t.buckets.(deg) with
+   | Some head -> head.prev <- Some c
+   | None -> ());
+  t.buckets.(deg) <- Some c
+
+let add t node degree =
+  if degree < 0 || degree >= Array.length t.buckets then
+    invalid_arg "Degree_buckets.add: degree out of range";
+  if Hashtbl.mem t.cells node then
+    invalid_arg "Degree_buckets.add: node already present";
+  let c = { node; deg = degree; prev = None; next = None } in
+  Hashtbl.replace t.cells node c;
+  link t c degree;
+  t.population <- t.population + 1
+
+let remove t node =
+  let c = Hashtbl.find t.cells node in
+  unlink t c;
+  Hashtbl.remove t.cells node;
+  t.population <- t.population - 1
+
+let degree t node = (Hashtbl.find t.cells node).deg
+
+let mem t node = Hashtbl.mem t.cells node
+
+let decrease t node =
+  let c = Hashtbl.find t.cells node in
+  if c.deg = 0 then invalid_arg "Degree_buckets.decrease: degree is 0";
+  unlink t c;
+  link t c (c.deg - 1)
+
+let pop_min t ~hint =
+  if t.population = 0 then None
+  else begin
+    let start = if hint < 0 then 0 else hint in
+    let limit = Array.length t.buckets in
+    let rec search i =
+      if i >= limit then
+        (* A positive hint can overshoot only if every node below it is gone;
+           population > 0 guarantees a restart from 0 finds something. *)
+        search_from_zero 0
+      else
+        match t.buckets.(i) with
+        | Some c -> c
+        | None -> search (i + 1)
+    and search_from_zero i =
+      match t.buckets.(i) with
+      | Some c -> c
+      | None -> search_from_zero (i + 1)
+    in
+    let c = if start = 0 then search_from_zero 0 else search start in
+    unlink t c;
+    Hashtbl.remove t.cells c.node;
+    t.population <- t.population - 1;
+    Some (c.node, c.deg)
+  end
+
+let is_empty t = t.population = 0
+
+let cardinal t = t.population

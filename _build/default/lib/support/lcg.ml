@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+(* Knuth's MMIX multiplier. *)
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) increment;
+  t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Lcg.int: bound must be positive";
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_int (Int64.rem bits (Int64.of_int bound))
+
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Lcg.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

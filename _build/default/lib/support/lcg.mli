@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random numbers (64-bit linear congruential
+    generator). The test and benchmark harnesses must be reproducible run to
+    run, so nothing in the repository uses [Random] from the standard
+    library. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi] inclusive. *)
+val int_in : t -> lo:int -> hi:int -> int
+
+val bool : t -> bool
+
+(** Fisher–Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit

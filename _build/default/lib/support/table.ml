@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  width : int;
+  mutable alignment : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create headers =
+  let width = List.length headers in
+  if width = 0 then invalid_arg "Table.create: no columns";
+  let alignment = Left :: List.init (width - 1) (fun _ -> Right) in
+  { headers; width; alignment; rows = [] }
+
+let set_alignment t alignment =
+  if List.length alignment <> t.width then
+    invalid_arg "Table.set_alignment: wrong arity";
+  t.alignment <- alignment
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let consider = function
+    | Rule -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        cells
+  in
+  List.iter consider rows;
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let line cells =
+    List.mapi (fun i c -> pad (List.nth t.alignment i) widths.(i) c) cells
+    |> String.concat "  "
+    |> fun s ->
+    (* trailing spaces from left-padded last columns are noise *)
+    let rec rstrip n = if n > 0 && s.[n - 1] = ' ' then rstrip (n - 1) else n in
+    String.sub s 0 (rstrip (String.length s))
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + 2 * (t.width - 1)
+  in
+  let rule = String.make total_width '-' in
+  let body =
+    List.map (function Cells c -> line c | Rule -> rule) rows
+  in
+  String.concat "\n" (line t.headers :: rule :: body)
+
+let print t = print_endline (render t)

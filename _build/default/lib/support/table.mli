@@ -1,0 +1,23 @@
+(** Aligned plain-text tables, used by the benchmark harness to print the
+    paper's figures (Figure 5, 6, 7) as terminal output. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table; every later row must have the same
+    number of cells. Columns align [Right] by default except the first. *)
+val create : string list -> t
+
+val set_alignment : t -> align list -> unit
+
+val add_row : t -> string list -> unit
+
+(** A horizontal rule between row groups. *)
+val add_rule : t -> unit
+
+(** Render with single-space-padded columns separated by two spaces. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit

@@ -1,0 +1,34 @@
+type t = {
+  totals : (string, float) Hashtbl.t;
+  mutable order : string list; (* reversed first-recorded order *)
+}
+
+let create () = { totals = Hashtbl.create 8; order = [] }
+
+let add t ~phase seconds =
+  match Hashtbl.find_opt t.totals phase with
+  | Some prior -> Hashtbl.replace t.totals phase (prior +. seconds)
+  | None ->
+    Hashtbl.replace t.totals phase seconds;
+    t.order <- phase :: t.order
+
+let record t ~phase f =
+  let start = Sys.time () in
+  let finish () = add t ~phase (Sys.time () -. start) in
+  match f () with
+  | result -> finish (); result
+  | exception e -> finish (); raise e
+
+let elapsed t ~phase =
+  match Hashtbl.find_opt t.totals phase with
+  | Some s -> s
+  | None -> 0.0
+
+let phases t =
+  List.rev_map (fun phase -> phase, Hashtbl.find t.totals phase) t.order
+
+let total t = Hashtbl.fold (fun _ s acc -> s +. acc) t.totals 0.0
+
+let reset t =
+  Hashtbl.reset t.totals;
+  t.order <- []

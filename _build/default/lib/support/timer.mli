@@ -1,0 +1,29 @@
+(** Named accumulating phase timers for the Figure-7 experiment: each
+    allocator pass records how long Build / Simplify / Color / Spill took.
+
+    Times come from [Sys.time] (processor time), matching the paper's
+    CPU-second measurements. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~phase f] runs [f ()], adds its elapsed CPU time to the running
+    total for [phase], and returns [f]'s result. Re-entrant calls on the same
+    phase nest by simple addition (do not nest the same phase). *)
+val record : t -> phase:string -> (unit -> 'a) -> 'a
+
+(** [add t ~phase seconds] adds raw seconds to a phase (for externally-timed
+    work). *)
+val add : t -> phase:string -> float -> unit
+
+(** Accumulated seconds for a phase; 0.0 when the phase never ran. *)
+val elapsed : t -> phase:string -> float
+
+(** All phases in first-recorded order with their accumulated seconds. *)
+val phases : t -> (string * float) list
+
+(** Sum of all phases. *)
+val total : t -> float
+
+val reset : t -> unit

@@ -1,0 +1,54 @@
+type t = {
+  parent : int array;
+  rank : int array;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let size t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let same t a b = find t a = find t b
+
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for x = size t - 1 downto 0 do
+    let r = find t x in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (x :: members)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort compare
+
+let count_classes t =
+  let n = ref 0 in
+  for x = 0 to size t - 1 do
+    if find t x = x then incr n
+  done;
+  !n

@@ -1,0 +1,30 @@
+(** Disjoint-set forest over a dense integer universe [0, n).
+
+    Used by live-range (web) construction to union def-use chains that share
+    a definition or a use, and by interference-graph coalescing. *)
+
+type t
+
+(** [create n] is a fresh forest with elements [0 .. n-1], each its own set. *)
+val create : int -> t
+
+(** Number of elements in the universe (not the number of classes). *)
+val size : t -> int
+
+(** [find t x] is the canonical representative of [x]'s class.
+    Performs path compression. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the classes of [a] and [b] and returns the
+    representative of the merged class. Union by rank. *)
+val union : t -> int -> int -> int
+
+(** [same t a b] iff [a] and [b] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** [classes t] groups the universe by representative: an association from
+    each representative to the sorted members of its class. *)
+val classes : t -> (int * int list) list
+
+(** Number of distinct classes. *)
+val count_classes : t -> int

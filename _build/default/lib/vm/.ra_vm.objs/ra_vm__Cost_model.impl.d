@@ -1,0 +1,1 @@
+lib/vm/cost_model.ml: Ra_ir

@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Cost_model Float Format Hashtbl Instr List Printf Proc Ra_ir Reg Sys Value

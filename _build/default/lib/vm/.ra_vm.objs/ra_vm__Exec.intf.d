@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Ra_ir Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Printf Ra_ir

@@ -1,0 +1,31 @@
+let memory_cost = 2
+
+let unop_cost : Ra_ir.Instr.unop -> int = function
+  | Ra_ir.Instr.Ineg | Ra_ir.Instr.Iabs -> 1
+  | Ra_ir.Instr.Fneg | Ra_ir.Instr.Fabs -> 1
+  | Ra_ir.Instr.Fsqrt -> 20
+  | Ra_ir.Instr.Itof | Ra_ir.Instr.Ftoi -> 2
+
+let binop_cost : Ra_ir.Instr.binop -> int = function
+  | Ra_ir.Instr.Iadd | Ra_ir.Instr.Isub | Ra_ir.Instr.Imin
+  | Ra_ir.Instr.Imax -> 1
+  | Ra_ir.Instr.Imul -> 3
+  | Ra_ir.Instr.Idiv | Ra_ir.Instr.Irem -> 16
+  | Ra_ir.Instr.Fadd | Ra_ir.Instr.Fsub -> 2
+  | Ra_ir.Instr.Fmin | Ra_ir.Instr.Fmax | Ra_ir.Instr.Fsign -> 2
+  | Ra_ir.Instr.Fmul -> 3
+  | Ra_ir.Instr.Fdiv -> 17
+
+let cost : Ra_ir.Instr.t -> int = function
+  | Ra_ir.Instr.Label _ -> 0
+  | Ra_ir.Instr.Li _ | Ra_ir.Instr.Lf _ | Ra_ir.Instr.Mov _ -> 1
+  | Ra_ir.Instr.Unop (op, _, _) -> unop_cost op
+  | Ra_ir.Instr.Binop (op, _, _, _) -> binop_cost op
+  | Ra_ir.Instr.Load _ | Ra_ir.Instr.Store _ -> memory_cost
+  | Ra_ir.Instr.Spill_st _ | Ra_ir.Instr.Spill_ld _ -> memory_cost
+  | Ra_ir.Instr.Alloc _ -> 10
+  | Ra_ir.Instr.Dim _ -> 1
+  | Ra_ir.Instr.Br _ -> 1
+  | Ra_ir.Instr.Cbr _ -> 2
+  | Ra_ir.Instr.Call _ -> 4
+  | Ra_ir.Instr.Ret _ -> 1

@@ -1,0 +1,12 @@
+(** RT/PC-flavoured cycle costs: loads and stores pay a memory penalty,
+    floating-point operations dominate numeric code, divisions are slow.
+    Dynamic results (Figure 5's last column, Figure 6's running times) are
+    cycle counts under this table; only relative old/new shapes matter. *)
+
+(** Cycles charged when the instruction executes. [Call] is the transfer
+    overhead only — the callee's body is charged as it runs. Labels are
+    free. *)
+val cost : Ra_ir.Instr.t -> int
+
+(** Memory-access cycles (loads/stores/spills), exposed for tests. *)
+val memory_cost : int

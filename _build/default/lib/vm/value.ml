@@ -1,0 +1,60 @@
+type aggregate = {
+  tag : Ra_ir.Instr.elem;
+  idata : int array;
+  fdata : float array;
+  rows : int;
+  cols : int option;
+}
+
+type t =
+  | Vint of int
+  | Vflt of float
+  | Vagg of aggregate
+
+let make_array tag n =
+  if n < 0 then invalid_arg "Value.make_array: negative length";
+  match tag with
+  | Ra_ir.Instr.Eint ->
+    { tag; idata = Array.make n 0; fdata = [||]; rows = n; cols = None }
+  | Ra_ir.Instr.Eflt ->
+    { tag; idata = [||]; fdata = Array.make n 0.0; rows = n; cols = None }
+
+let make_matrix tag ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Value.make_matrix: negative dim";
+  let n = rows * cols in
+  match tag with
+  | Ra_ir.Instr.Eint ->
+    { tag; idata = Array.make n 0; fdata = [||]; rows; cols = Some cols }
+  | Ra_ir.Instr.Eflt ->
+    { tag; idata = [||]; fdata = Array.make n 0.0; rows; cols = Some cols }
+
+let length a =
+  match a.tag with
+  | Ra_ir.Instr.Eint -> Array.length a.idata
+  | Ra_ir.Instr.Eflt -> Array.length a.fdata
+
+let of_float_array xs =
+  Vagg
+    { tag = Ra_ir.Instr.Eflt; idata = [||]; fdata = Array.copy xs;
+      rows = Array.length xs; cols = None }
+
+let of_int_array xs =
+  Vagg
+    { tag = Ra_ir.Instr.Eint; idata = Array.copy xs; fdata = [||];
+      rows = Array.length xs; cols = None }
+
+let to_float_array = function
+  | Vagg { tag = Ra_ir.Instr.Eflt; fdata; _ } -> fdata
+  | Vagg _ | Vint _ | Vflt _ -> invalid_arg "Value.to_float_array"
+
+let to_int_array = function
+  | Vagg { tag = Ra_ir.Instr.Eint; idata; _ } -> idata
+  | Vagg _ | Vint _ | Vflt _ -> invalid_arg "Value.to_int_array"
+
+let to_string = function
+  | Vint n -> string_of_int n
+  | Vflt f -> Printf.sprintf "%.17g" f
+  | Vagg a ->
+    (match a.cols with
+     | None -> Printf.sprintf "<array[%d]>" a.rows
+     | Some c -> Printf.sprintf "<mat[%d,%d]>" a.rows c)

@@ -1,0 +1,32 @@
+(** Runtime values of the IR interpreter. Aggregates live on a heap of
+    their own and registers hold references to them (descriptors), so an
+    aggregate fits in an integer-class register like any address. *)
+
+type aggregate = {
+  tag : Ra_ir.Instr.elem;
+  idata : int array; (* populated when tag = Eint *)
+  fdata : float array; (* populated when tag = Eflt *)
+  rows : int;
+  cols : int option; (* Some _ for matrices (column-major) *)
+}
+
+type t =
+  | Vint of int
+  | Vflt of float
+  | Vagg of aggregate
+
+val make_array : Ra_ir.Instr.elem -> int -> aggregate
+val make_matrix : Ra_ir.Instr.elem -> rows:int -> cols:int -> aggregate
+
+(** Linear length of the data. *)
+val length : aggregate -> int
+
+(** Build a float array value from an OCaml array (copied). *)
+val of_float_array : float array -> t
+val of_int_array : int array -> t
+
+(** Extract; raise [Invalid_argument] on kind mismatch. *)
+val to_float_array : t -> float array
+val to_int_array : t -> int array
+
+val to_string : t -> string

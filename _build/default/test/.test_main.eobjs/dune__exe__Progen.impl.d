@@ -1,0 +1,1 @@
+test/progen.ml: Buffer Format List Printf Ra_support String

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Allocator Array Codegen Heuristic Instr List Machine Printf Proc Progen QCheck QCheck_alcotest Ra_core Ra_ir Ra_opt Ra_vm Reg

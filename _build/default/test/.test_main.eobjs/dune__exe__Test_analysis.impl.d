@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Cfg Codegen Dominators Hashtbl Instr List Liveness Loops Option Printf Proc Progen QCheck QCheck_alcotest Ra_analysis Ra_ir Ra_support Reg Webs

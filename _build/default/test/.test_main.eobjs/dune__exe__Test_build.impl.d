@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Allocator Array Build Cfg Codegen Heuristic Igraph Instr List Machine Option Printf Proc Ra_analysis Ra_core Ra_ir Ra_support Ra_vm Reg Webs

@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Coloring Heuristic Igraph List QCheck QCheck_alcotest Ra_core Ra_support

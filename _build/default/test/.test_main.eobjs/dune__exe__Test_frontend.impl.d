@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Ast_printer Errors Float Lexer List Parser Printf Progen QCheck QCheck_alcotest Ra_frontend Ra_ir Ra_vm Srcloc Tast Token Typecheck

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Codegen Fun Instr List Printf Proc QCheck QCheck_alcotest Ra_ir Ra_vm Reg

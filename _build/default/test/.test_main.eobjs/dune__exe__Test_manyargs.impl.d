@@ -1,0 +1,1 @@
+test/test_manyargs.ml: Alcotest Allocator Codegen Heuristic List Machine Printf Proc Ra_core Ra_ir Ra_opt Ra_vm String

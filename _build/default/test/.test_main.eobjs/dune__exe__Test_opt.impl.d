@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Cfg Codegen Instr List Proc Progen QCheck QCheck_alcotest Ra_analysis Ra_ir Ra_opt Ra_vm

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Float List Printf Ra_core Ra_ir Ra_programs Ra_vm Suite

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Allocator Heuristic List Machine Printf Ra_core Ra_ir Ra_programs Suite

@@ -1,0 +1,1 @@
+test/test_spill.ml: Alcotest Allocator Array Cfg Codegen Heuristic Instr List Machine Printf Proc Ra_analysis Ra_core Ra_ir Ra_opt Ra_vm Reg Remat Spill Spill_costs Webs

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bit_matrix Bitset Degree_buckets Gen Hashtbl Int Lcg List QCheck QCheck_alcotest Ra_support Set String Table Timer Union_find

@@ -1,0 +1,399 @@
+(* Tests for the dataflow analyses: liveness, reaching definitions,
+   dominators, natural loops, and web construction. *)
+
+open Ra_ir
+open Ra_analysis
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let node ins = { Proc.ins; depth = 0 }
+
+let mk_proc ?(args = []) code =
+  let p = Proc.create ~name:"t" ~args ~ret_cls:None in
+  (* counters must cover the registers mentioned *)
+  p.Proc.code <- Array.of_list (List.map node code);
+  p.Proc.next_int <- Proc.max_reg_id p Reg.Int_reg;
+  p.Proc.next_flt <- Proc.max_reg_id p Reg.Flt_reg;
+  p
+
+(* ---- liveness ---- *)
+
+let liveness_straight_line () =
+  let i0 = Reg.int 0 and i1 = Reg.int 1 and i2 = Reg.int 2 in
+  let p =
+    mk_proc
+      [ Instr.Li (i0, 1);
+        Instr.Li (i1, 2);
+        Instr.Binop (Instr.Iadd, i2, i0, i1);
+        Instr.Ret (Some i2) ]
+  in
+  let cfg = Cfg.build p.Proc.code in
+  let live = Liveness.compute ~code:p.Proc.code ~cfg (Liveness.vreg_numbering p) in
+  let after i = Ra_support.Bitset.elements (Liveness.live_after live i) in
+  Alcotest.(check (list int)) "after li i0" [ 0 ] (after 0);
+  Alcotest.(check (list int)) "after li i1" [ 0; 1 ] (after 1);
+  Alcotest.(check (list int)) "after add" [ 2 ] (after 2);
+  Alcotest.(check (list int)) "after ret" [] (after 3)
+
+let liveness_branch () =
+  (* i1 is live across the branch only on the path that uses it *)
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  let p =
+    mk_proc
+      [ Instr.Li (i0, 1); (* 0 *)
+        Instr.Li (i1, 2); (* 1 *)
+        Instr.Cbr (Instr.Lt, i0, i0, 0, 1); (* 2 *)
+        Instr.Label 0; (* 3 *)
+        Instr.Ret (Some i1); (* 4 *)
+        Instr.Label 1; (* 5 *)
+        Instr.Ret (Some i0) (* 6 *) ]
+  in
+  let cfg = Cfg.build p.Proc.code in
+  let live = Liveness.compute ~code:p.Proc.code ~cfg (Liveness.vreg_numbering p) in
+  Alcotest.(check (list int)) "both live into branch" [ 0; 1 ]
+    (Ra_support.Bitset.elements (Liveness.live_after live 1))
+
+let liveness_loop () =
+  (* a value used after a loop stays live through it *)
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  let p =
+    mk_proc
+      [ Instr.Li (i0, 1); (* 0 *)
+        Instr.Li (i1, 10); (* 1 *)
+        Instr.Label 0; (* 2 *)
+        Instr.Binop (Instr.Isub, i1, i1, i1); (* 3: churn i1 *)
+        Instr.Cbr (Instr.Lt, i1, i1, 0, 1); (* 4 *)
+        Instr.Label 1; (* 5 *)
+        Instr.Ret (Some i0) (* 6 *) ]
+  in
+  let cfg = Cfg.build p.Proc.code in
+  let live = Liveness.compute ~code:p.Proc.code ~cfg (Liveness.vreg_numbering p) in
+  Alcotest.(check bool) "i0 live through the loop" true
+    (Ra_support.Bitset.mem (Liveness.live_after live 3) 0)
+
+(* naive reference implementation: per-instruction CFG backward fixpoint *)
+let naive_liveness (p : Proc.t) =
+  let code = p.Proc.code in
+  let n = Array.length code in
+  let index = Liveness.vreg_index p in
+  let universe = p.Proc.next_int + p.Proc.next_flt in
+  let label_at = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (nd : Proc.node) ->
+      match nd.Proc.ins with
+      | Instr.Label l -> Hashtbl.replace label_at l i
+      | _ -> ())
+    code;
+  let succs i =
+    match (code.(i)).Proc.ins with
+    | Instr.Ret _ -> []
+    | Instr.Br l -> [ Hashtbl.find label_at l ]
+    | Instr.Cbr (_, _, _, a, b) ->
+      [ Hashtbl.find label_at a; Hashtbl.find label_at b ]
+    | _ -> if i + 1 < n then [ i + 1 ] else []
+  in
+  let live_in = Array.init n (fun _ -> Ra_support.Bitset.create universe) in
+  let live_out = Array.init n (fun _ -> Ra_support.Bitset.create universe) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      List.iter
+        (fun s ->
+          if Ra_support.Bitset.union_into ~into:live_out.(i) live_in.(s) then
+            changed := true)
+        (succs i);
+      let scratch = Ra_support.Bitset.copy live_out.(i) in
+      List.iter
+        (fun d -> Ra_support.Bitset.remove scratch (index d))
+        (Instr.defs (code.(i)).Proc.ins);
+      List.iter
+        (fun u -> Ra_support.Bitset.add scratch (index u))
+        (Instr.uses (code.(i)).Proc.ins);
+      if Ra_support.Bitset.assign ~into:live_in.(i) scratch then changed := true
+    done
+  done;
+  live_out
+
+let prop_liveness_matches_naive =
+  QCheck.Test.make ~name:"liveness agrees with a naive per-instruction solver"
+    ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 5 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      List.for_all
+        (fun (p : Proc.t) ->
+          let cfg = Cfg.build p.Proc.code in
+          let live =
+            Liveness.compute ~code:p.Proc.code ~cfg (Liveness.vreg_numbering p)
+          in
+          let reference = naive_liveness p in
+          let ok = ref true in
+          Array.iteri
+            (fun i (_ : Proc.node) ->
+              if not (Ra_support.Bitset.equal (Liveness.live_after live i) reference.(i))
+              then ok := false)
+            p.Proc.code;
+          !ok)
+        procs)
+
+(* ---- dominators ---- *)
+
+let naive_dominators (cfg : Cfg.t) =
+  (* dom(b) = {b} ∪ ∩ dom(preds) via fixpoint over all-blocks sets *)
+  let n = Cfg.n_blocks cfg in
+  let reachable = Array.make n false in
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter mark cfg.Cfg.blocks.(b).Cfg.succs
+    end
+  in
+  mark 0;
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  Array.iteri (fun i d -> if i = 0 then Array.iteri (fun j _ -> d.(j) <- j = 0) d) dom;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to n - 1 do
+      if reachable.(b) then begin
+        let inter = Array.make n true in
+        let preds =
+          List.filter (fun p -> reachable.(p)) cfg.Cfg.blocks.(b).Cfg.preds
+        in
+        List.iter
+          (fun p ->
+            for j = 0 to n - 1 do
+              if not dom.(p).(j) then inter.(j) <- false
+            done)
+          preds;
+        if preds = [] then Array.fill inter 0 n false;
+        inter.(b) <- true;
+        if inter <> dom.(b) then begin
+          dom.(b) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  fun ~dominator ~node ->
+    reachable.(node) && reachable.(dominator) && dom.(node).(dominator)
+
+let prop_dominators_match_naive =
+  QCheck.Test.make ~name:"CHK dominators agree with the set-based fixpoint"
+    ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 5 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      List.for_all
+        (fun (p : Proc.t) ->
+          let cfg = Cfg.build p.Proc.code in
+          let doms = Dominators.compute cfg in
+          let reference = naive_dominators cfg in
+          let n = Cfg.n_blocks cfg in
+          let ok = ref true in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              let fast = Dominators.dominates doms ~dom:a ~node:b in
+              let slow = reference ~dominator:a ~node:b in
+              if fast <> slow then ok := false
+            done
+          done;
+          !ok)
+        procs)
+
+let dominators_diamond () =
+  let i0 = Reg.int 0 in
+  let p =
+    mk_proc
+      [ Instr.Cbr (Instr.Lt, i0, i0, 0, 1);
+        Instr.Label 0;
+        Instr.Br 2;
+        Instr.Label 1;
+        Instr.Br 2;
+        Instr.Label 2;
+        Instr.Ret None ]
+  in
+  let cfg = Cfg.build p.Proc.code in
+  let doms = Dominators.compute cfg in
+  Alcotest.(check bool) "entry dominates join" true
+    (Dominators.dominates doms ~dom:0 ~node:3);
+  Alcotest.(check bool) "arm does not dominate join" false
+    (Dominators.dominates doms ~dom:1 ~node:3);
+  Alcotest.(check bool) "idom of join is entry" true
+    (Dominators.idom doms 3 = Some 0)
+
+(* ---- loops ---- *)
+
+let loops_nesting_agrees_with_codegen () =
+  (* the loop analysis must assign each instruction the same depth the
+     code generator recorded syntactically *)
+  let src =
+    {| proc f(n: int) {
+         var i: int; var j: int; var k: int; var s: int;
+         s = 0;
+         for i = 1 to n {
+           s = s + 1;
+           for j = 1 to n {
+             s = s + 2;
+           }
+         }
+         for k = 1 to n { s = s * 2; }
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let doms = Dominators.compute cfg in
+  let loops = Loops.compute cfg doms in
+  Alcotest.(check int) "three natural loops" 3
+    (List.length (Loops.loops loops));
+  Array.iteri
+    (fun i (nd : Proc.node) ->
+      (* the instructions codegen placed at syntactic depth d sit in
+         blocks of loop-nesting depth d, except loop-exit labels *)
+      match nd.Proc.ins with
+      | Instr.Label _ -> ()
+      | _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "depth at %d" i)
+          nd.Proc.depth
+          (Loops.instr_depth loops ~cfg i))
+    p.Proc.code
+
+let prop_loop_depth_matches_syntactic =
+  QCheck.Test.make
+    ~name:"natural-loop depth equals codegen's syntactic depth" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 5 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      List.for_all
+        (fun (p : Proc.t) ->
+          let cfg = Cfg.build p.Proc.code in
+          let doms = Dominators.compute cfg in
+          let loops = Loops.compute cfg doms in
+          let ok = ref true in
+          Array.iteri
+            (fun i (nd : Proc.node) ->
+              match nd.Proc.ins with
+              | Instr.Label _ -> ()
+              | _ ->
+                if nd.Proc.depth <> Loops.instr_depth loops ~cfg i then
+                  ok := false)
+            p.Proc.code;
+          !ok)
+        procs)
+
+(* ---- webs ---- *)
+
+let webs_split_disjoint_lifetimes () =
+  (* one variable reused for two unrelated purposes becomes two webs *)
+  let src =
+    {| proc f(n: int) : int {
+         var t: int;
+         t = n + 1;
+         print_int(t);
+         t = n * 2;
+         return t;
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  (* find the variable: the register moved-to twice *)
+  let mov_targets = Hashtbl.create 4 in
+  Array.iteri
+    (fun i (nd : Proc.node) ->
+      match nd.Proc.ins with
+      | Instr.Mov (d, _) ->
+        Hashtbl.replace mov_targets d.Reg.id
+          (i :: (Option.value ~default:[] (Hashtbl.find_opt mov_targets d.Reg.id)))
+      | _ -> ())
+    p.Proc.code;
+  let t_reg, defs =
+    Hashtbl.fold
+      (fun id defs acc ->
+        if List.length defs >= 2 then Some (id, defs) else acc)
+      mov_targets None
+    |> Option.get
+  in
+  (match defs with
+   | [ d2; d1 ] ->
+     let w1 = Webs.def_web webs d1 (Reg.int t_reg) in
+     let w2 = Webs.def_web webs d2 (Reg.int t_reg) in
+     Alcotest.(check bool) "two defs, two webs" true (w1 <> w2)
+   | _ -> Alcotest.fail "expected two defs")
+
+let webs_join_at_merge () =
+  (* a variable assigned on both branches and used after the join is one
+     web: both defs reach the use *)
+  let src =
+    {| proc f(n: int) : int {
+         var t: int;
+         if (n > 0) { t = 1; } else { t = 2; }
+         return t;
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let def_webs = ref [] in
+  Array.iteri
+    (fun i (nd : Proc.node) ->
+      match nd.Proc.ins with
+      | Instr.Mov (d, _) -> def_webs := Webs.def_web webs i d :: !def_webs
+      | _ -> ())
+    p.Proc.code;
+  (match List.sort_uniq compare !def_webs with
+   | [ _ ] -> ()
+   | ws -> Alcotest.failf "expected one web for t, got %d" (List.length ws))
+
+let webs_args_have_entry_defs () =
+  let src = "proc f(a: int, x: float) : float { return x + float(a); }" in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let entry = Webs.entry_webs webs in
+  Alcotest.(check int) "two argument webs" 2 (List.length entry);
+  List.iter
+    (fun w ->
+      let web = Webs.web webs w in
+      Alcotest.(check bool) "argument web has no def site" true
+        (web.Webs.def_sites = []))
+    entry
+
+let webs_spill_temp_flag () =
+  let src = "proc f(a: int) : int { return a + 1; }" in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs =
+    Webs.build p cfg ~is_spill_vreg:(fun r -> r.Reg.id = 0 && r.Reg.cls = Reg.Int_reg)
+  in
+  let flagged =
+    Array.to_list (Webs.webs webs)
+    |> List.filter (fun w -> w.Webs.spill_temp)
+  in
+  Alcotest.(check int) "exactly the marked vreg's web" 1 (List.length flagged)
+
+let suites =
+  [ ( "analysis.liveness",
+      [ Alcotest.test_case "straight line" `Quick liveness_straight_line;
+        Alcotest.test_case "branch" `Quick liveness_branch;
+        Alcotest.test_case "loop" `Quick liveness_loop;
+        qtest prop_liveness_matches_naive ] );
+    ( "analysis.dominators",
+      [ Alcotest.test_case "diamond" `Quick dominators_diamond;
+        qtest prop_dominators_match_naive ] );
+    ( "analysis.loops",
+      [ Alcotest.test_case "nesting agrees with codegen" `Quick
+          loops_nesting_agrees_with_codegen;
+        qtest prop_loop_depth_matches_syntactic ] );
+    ( "analysis.webs",
+      [ Alcotest.test_case "split disjoint lifetimes" `Quick
+          webs_split_disjoint_lifetimes;
+        Alcotest.test_case "join at merge" `Quick webs_join_at_merge;
+        Alcotest.test_case "args have entry defs" `Quick
+          webs_args_have_entry_defs;
+        Alcotest.test_case "spill temp flag" `Quick webs_spill_temp_flag ] ) ]

@@ -1,0 +1,369 @@
+(* Tests for the MFL lexer, parser and typechecker. *)
+
+open Ra_frontend
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Lexer ---- *)
+
+let toks src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let lex_simple () =
+  Alcotest.(check bool) "keywords and idents" true
+    (toks "proc foo(x: int)"
+     = Token.[ Kw_proc; Ident "foo"; Lparen; Ident "x"; Colon; Kw_int;
+               Rparen; Eof ])
+
+let lex_numbers () =
+  (match toks "42 3.5 1.0e3 2e-2 7" with
+   | Token.[ Int_lit 42; Float_lit a; Float_lit b; Float_lit c; Int_lit 7; Eof ] ->
+     Alcotest.(check (float 1e-12)) "3.5" 3.5 a;
+     Alcotest.(check (float 1e-12)) "1.0e3" 1000.0 b;
+     Alcotest.(check (float 1e-12)) "2e-2" 0.02 c
+   | _ -> Alcotest.fail "wrong token stream")
+
+let lex_operators () =
+  Alcotest.(check bool) "two-char operators" true
+    (toks "<= >= == != && || < > = !"
+     = Token.[ Le; Ge; Eq_eq; Bang_eq; And_and; Or_or; Lt; Gt; Assign; Bang; Eof ])
+
+let lex_comments () =
+  Alcotest.(check bool) "comments skipped" true
+    (toks "x # the rest is a comment != &&\ny" = Token.[ Ident "x"; Ident "y"; Eof ])
+
+let lex_locations () =
+  let pairs = Array.to_list (Lexer.tokenize "a\n  b") in
+  (match pairs with
+   | [ (_, l1); (_, l2); _eof ] ->
+     Alcotest.(check (pair int int)) "a at 1:1" (1, 1) (l1.Srcloc.line, l1.Srcloc.col);
+     Alcotest.(check (pair int int)) "b at 2:3" (2, 3) (l2.Srcloc.line, l2.Srcloc.col)
+   | _ -> Alcotest.fail "wrong stream")
+
+let lex_errors () =
+  let expect_lex_error src =
+    match Lexer.tokenize src with
+    | exception Errors.Lex_error _ -> ()
+    | _ -> Alcotest.failf "expected lex error on %S" src
+  in
+  expect_lex_error "@";
+  expect_lex_error "1.5e";
+  expect_lex_error "&";
+  expect_lex_error "|"
+
+(* ---- Parser ---- *)
+
+let parse_ok src =
+  match Parser.parse_program src with
+  | prog -> prog
+  | exception e -> Alcotest.failf "unexpected: %s" (Errors.describe e)
+
+let expect_parse_error src =
+  match Parser.parse_program src with
+  | exception Errors.Parse_error _ -> ()
+  | _ -> Alcotest.failf "expected parse error on %S" src
+
+let parse_empty_proc () =
+  match parse_ok "proc main() { }" with
+  | [ p ] ->
+    Alcotest.(check string) "name" "main" p.Ast.name;
+    Alcotest.(check int) "no params" 0 (List.length p.Ast.params);
+    Alcotest.(check bool) "no ret" true (p.Ast.ret = None)
+  | _ -> Alcotest.fail "expected one proc"
+
+let parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  (match e.Ast.kind with
+   | Ast.Binop (Ast.Add, { kind = Ast.Int_lit 1; _ },
+                { kind = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+   | _ -> Alcotest.fail "precedence wrong: + should be the root")
+
+let parse_precedence_rel () =
+  let e = Parser.parse_expr "a + 1 < b * 2 && c >= d || e == f" in
+  (* || is loosest, then &&, then comparisons *)
+  (match e.Ast.kind with
+   | Ast.Or ({ kind = Ast.And ({ kind = Ast.Rel (Ast.Lt, _, _); _ },
+                               { kind = Ast.Rel (Ast.Ge, _, _); _ }); _ },
+             { kind = Ast.Rel (Ast.Eq, _, _); _ }) -> ()
+   | _ -> Alcotest.fail "boolean precedence wrong")
+
+let parse_unary () =
+  let e = Parser.parse_expr "-a * b" in
+  (match e.Ast.kind with
+   | Ast.Binop (Ast.Mul, { kind = Ast.Neg _; _ }, _) -> ()
+   | _ -> Alcotest.fail "unary minus should bind tighter than *")
+
+let parse_index_forms () =
+  let e = Parser.parse_expr "a[i] + m[i, j]" in
+  (match e.Ast.kind with
+   | Ast.Binop (Ast.Add, { kind = Ast.Index ("a", [ _ ]); _ },
+                { kind = Ast.Index ("m", [ _; _ ]); _ }) -> ()
+   | _ -> Alcotest.fail "indexing forms wrong")
+
+let parse_statements () =
+  let src = {|
+    proc f(n: int, x: array float) : float {
+      var s : float = 0.0;
+      var i : int;
+      for i = 1 to n { s = s + x[i]; }
+      for i = n downto 1 step 2 { s = s - x[i]; }
+      while (s > 100.0) { s = s / 2.0; }
+      if (s < 0.0) { s = -s; } else if (s == 0.0) { s = 1.0; } else { }
+      g(s);
+      return s;
+    }
+    proc g(y: float) { print_float(y); return; }
+  |} in
+  match parse_ok src with
+  | [ f; _g ] ->
+    Alcotest.(check int) "f body statements" 8 (List.length f.Ast.body)
+  | _ -> Alcotest.fail "expected two procs"
+
+let parse_errors () =
+  expect_parse_error "proc f( { }";
+  expect_parse_error "proc f() { x = ; }";
+  expect_parse_error "proc f() { if x > 0 { } }"; (* missing parens *)
+  expect_parse_error "proc f() { for i = 1 { } }";
+  expect_parse_error "proc f() { return 1 }" (* missing semicolon *)
+
+let parse_dangling_else () =
+  let src = "proc f(a: int) { if (a > 0) { if (a > 1) { } else { a = 0; } } }" in
+  (match parse_ok src with
+   | [ { Ast.body = [ { s = Ast.If (_, [ { s = Ast.If (_, _, inner_else); _ } ], outer_else); _ } ]; _ } ] ->
+     Alcotest.(check int) "else binds inner" 1 (List.length inner_else);
+     Alcotest.(check int) "outer has no else" 0 (List.length outer_else)
+   | _ -> Alcotest.fail "unexpected shape")
+
+(* ---- Ast_printer ---- *)
+
+let printed_normal_form src =
+  let prog = Parser.parse_program src in
+  let printed = Ast_printer.print_program prog in
+  let reparsed = Parser.parse_program printed in
+  Alcotest.(check string) "printing is a normal form" printed
+    (Ast_printer.print_program reparsed)
+
+let printer_round_trips () =
+  printed_normal_form
+    {| proc f(n: int, x: array float, m: mat float) : float {
+         var s : float = 0.0;
+         var i : int;
+         for i = 1 to n step 2 {
+           if (s > 1.0 && i != n || !(s < 0.5)) {
+             s = s + x[i] * m[i, 1] - (-2.5);
+           } else {
+             s = s / 2.0;
+           }
+         }
+         while (s > 100.0) { s = sqrt(abs(s)); }
+         g(s, -3);
+         return s + float(mod(n, 7));
+       }
+       proc g(y: float, k: int) { print_float(y); print_int(k); } |}
+
+let printer_precedence_faithful () =
+  (* the printed form of a tricky tree must re-parse to the same shape *)
+  let cases =
+    [ "(1 + 2) * 3"; "1 + 2 * 3"; "-(1 + 2)"; "1 - (2 - 3)"; "1 - 2 - 3";
+      "(a + b) % 4"; "-a * b"; "a - -b" ]
+  in
+  List.iter
+    (fun c ->
+      let e = Parser.parse_expr c in
+      let printed = Ast_printer.print_expr e in
+      let e2 = Parser.parse_expr printed in
+      Alcotest.(check string) c printed (Ast_printer.print_expr e2))
+    cases
+
+let prop_printer_normal_form =
+  QCheck.Test.make ~name:"printed random programs re-parse to a fixpoint"
+    ~count:100
+    QCheck.(pair (int_bound 1000000) (int_range 3 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let printed = Ast_printer.print_program (Parser.parse_program src) in
+      let reparsed = Parser.parse_program printed in
+      Ast_printer.print_program reparsed = printed)
+
+let prop_printer_preserves_semantics =
+  QCheck.Test.make ~name:"printing preserves program behavior" ~count:50
+    QCheck.(pair (int_bound 1000000) (int_range 3 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let run s =
+        let procs = Ra_ir.Codegen.compile_source s in
+        (Ra_vm.Exec.run ~procs ~entry:"main" ~args:[] ()).Ra_vm.Exec.result
+      in
+      run src = run (Ast_printer.print_program (Parser.parse_program src)))
+
+(* ---- Typecheck ---- *)
+
+let check_ok src =
+  match Typecheck.compile_source src with
+  | prog -> prog
+  | exception e -> Alcotest.failf "unexpected: %s" (Errors.describe e)
+
+let expect_type_error src =
+  match Typecheck.compile_source src with
+  | exception Errors.Type_error _ -> ()
+  | _ -> Alcotest.failf "expected type error on %S" src
+
+let tc_promotion () =
+  let prog = check_ok "proc f(x: float, n: int) : float { return x + n; }" in
+  let f = Tast.find_proc prog "f" in
+  (match f.Tast.body with
+   | [ Tast.Return (Some { e = Tast.Binop (Ast.Add, _, { e = Tast.Pure (Tast.Itof, _); _ }); _ }) ] -> ()
+   | _ -> Alcotest.fail "expected an inserted itof coercion")
+
+let tc_narrowing_rejected () =
+  expect_type_error "proc f(x: float) : int { return x; }";
+  expect_type_error "proc f(x: float) { var n: int = x; }"
+
+let tc_explicit_narrowing () =
+  let prog = check_ok "proc f(x: float) : int { return int(x); }" in
+  let f = Tast.find_proc prog "f" in
+  (match f.Tast.body with
+   | [ Tast.Return (Some { e = Tast.Pure (Tast.Ftoi, _); _ }) ] -> ()
+   | _ -> Alcotest.fail "expected ftoi")
+
+let tc_undeclared () =
+  expect_type_error "proc f() { x = 1; }";
+  expect_type_error "proc f() { var y: int = z; }"
+
+let tc_duplicate () =
+  expect_type_error "proc f() { var x: int; var x: int; }";
+  expect_type_error "proc f(x: int) { var x: float; }";
+  expect_type_error "proc f() { } proc f() { }"
+
+let tc_bool_positions () =
+  expect_type_error "proc f(a: int) { var b: int = a > 0; }";
+  expect_type_error "proc f(a: int) { if (a) { } }";
+  expect_type_error "proc f(a: int) { while (a + 1) { } }"
+
+let tc_loop_rules () =
+  expect_type_error "proc f(x: float, n: int) { for x = 1 to n { } }";
+  expect_type_error "proc f(n: int) { var i: int; for i = 1 to n step 0 { } }";
+  expect_type_error "proc f(n: int) { var i: int; for i = 1 to n step n { } }";
+  ignore
+    (check_ok
+       "proc f(n: int) { var i: int; for i = n downto 1 step 3 { print_int(i); } }")
+
+let tc_calls () =
+  expect_type_error "proc f() { g(); }";
+  expect_type_error "proc f() : int { return f(1); }";
+  expect_type_error
+    "proc g(x: array float) { } proc f(y: array int) { g(y); }";
+  expect_type_error
+    "proc g(x: array float) { } proc f() { g(1.0); }";
+  ignore
+    (check_ok
+       {| proc g(x: array float) : float { return x[1]; }
+          proc f(y: array float) : float { return g(y) + 1; } |})
+
+let tc_void_call_in_expr () =
+  expect_type_error
+    "proc g() { } proc f() : int { return g(); }"
+
+let tc_intrinsics () =
+  let prog =
+    check_ok
+      {| proc f(x: float, n: int, a: array float, m: mat int) : float {
+           var r: float;
+           r = abs(x) + sqrt(x) + min(x, 2.0) + sign(1.0, x) + float(n);
+           r = r + float(abs(n) + max(n, 2) + mod(n, 3) + len(a) + rows(m) + cols(m));
+           return r;
+         } |}
+  in
+  ignore (Tast.find_proc prog "f");
+  expect_type_error "proc f(x: float) : int { return mod(x, 2.0); }";
+  expect_type_error "proc f(a: array float) : int { return len(a[1]); }";
+  expect_type_error "proc f(a: array float) : int { return rows(a); }";
+  expect_type_error "proc f() { var x: float = print_float(1.0); }"
+
+let tc_aggregates () =
+  expect_type_error "proc f(a: array float) { a = 1.0; }";
+  expect_type_error "proc f(a: array float) : float { return a[1, 2]; }";
+  expect_type_error "proc f(m: mat float) : float { return m[1]; }";
+  expect_type_error "proc f(x: int) : float { return x[1]; }";
+  expect_type_error "proc f() { var a: array float; }";
+  expect_type_error "proc f() { var m: mat float[3]; }";
+  ignore (check_ok "proc f(n: int) { var a: array float[n * 2]; var m: mat int[n, n]; }")
+
+let tc_locals_listed () =
+  let prog = check_ok "proc f() { var a: int = 1; var b: float; var c: array int[3]; }" in
+  let f = Tast.find_proc prog "f" in
+  Alcotest.(check (list string)) "locals" [ "a"; "b"; "c" ]
+    (List.map (fun s -> s.Tast.v_name) f.Tast.locals);
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2 ]
+    (List.map (fun s -> s.Tast.v_id) f.Tast.locals)
+
+let tc_return_check () =
+  expect_type_error "proc f() : int { return; }";
+  expect_type_error "proc f() { return 1; }";
+  expect_type_error "proc f() : array int { return; }"
+
+(* A generator of random well-formed arithmetic expressions: the typechecker
+   must always succeed on them and produce the scalar we predict. *)
+let tc_prop_arith_promotion =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+        if n = 0 then
+          oneof
+            [ map (fun i -> Printf.sprintf "%d" (abs i)) small_int;
+              map (fun f -> Printf.sprintf "%f" (Float.abs f)) (float_bound_inclusive 100.0);
+              return "n"; return "x" ]
+        else
+          let sub = self (n / 2) in
+          map3
+            (fun op a b -> Printf.sprintf "(%s %s %s)" a op b)
+            (oneofl [ "+"; "-"; "*" ])
+            sub sub))
+  in
+  QCheck.Test.make ~name:"random arithmetic always typechecks" ~count:200
+    (QCheck.make gen) (fun expr_src ->
+      let src =
+        Printf.sprintf "proc f(n: int, x: float) : float { return float(%s); }"
+          expr_src
+      in
+      match Typecheck.compile_source src with
+      | _ -> true
+      | exception Errors.Type_error _ -> false)
+
+let suites =
+  [ ( "frontend.lexer",
+      [ Alcotest.test_case "simple" `Quick lex_simple;
+        Alcotest.test_case "numbers" `Quick lex_numbers;
+        Alcotest.test_case "operators" `Quick lex_operators;
+        Alcotest.test_case "comments" `Quick lex_comments;
+        Alcotest.test_case "locations" `Quick lex_locations;
+        Alcotest.test_case "errors" `Quick lex_errors ] );
+    ( "frontend.parser",
+      [ Alcotest.test_case "empty proc" `Quick parse_empty_proc;
+        Alcotest.test_case "precedence" `Quick parse_precedence;
+        Alcotest.test_case "boolean precedence" `Quick parse_precedence_rel;
+        Alcotest.test_case "unary" `Quick parse_unary;
+        Alcotest.test_case "index forms" `Quick parse_index_forms;
+        Alcotest.test_case "statements" `Quick parse_statements;
+        Alcotest.test_case "errors" `Quick parse_errors;
+        Alcotest.test_case "dangling else" `Quick parse_dangling_else ] );
+    ( "frontend.printer",
+      [ Alcotest.test_case "round trips" `Quick printer_round_trips;
+        Alcotest.test_case "precedence faithful" `Quick
+          printer_precedence_faithful;
+        qtest prop_printer_normal_form;
+        qtest prop_printer_preserves_semantics ] );
+    ( "frontend.typecheck",
+      [ Alcotest.test_case "promotion" `Quick tc_promotion;
+        Alcotest.test_case "narrowing rejected" `Quick tc_narrowing_rejected;
+        Alcotest.test_case "explicit narrowing" `Quick tc_explicit_narrowing;
+        Alcotest.test_case "undeclared" `Quick tc_undeclared;
+        Alcotest.test_case "duplicates" `Quick tc_duplicate;
+        Alcotest.test_case "bool positions" `Quick tc_bool_positions;
+        Alcotest.test_case "loop rules" `Quick tc_loop_rules;
+        Alcotest.test_case "calls" `Quick tc_calls;
+        Alcotest.test_case "void call in expr" `Quick tc_void_call_in_expr;
+        Alcotest.test_case "intrinsics" `Quick tc_intrinsics;
+        Alcotest.test_case "aggregates" `Quick tc_aggregates;
+        Alcotest.test_case "locals listed" `Quick tc_locals_listed;
+        Alcotest.test_case "return check" `Quick tc_return_check;
+        qtest tc_prop_arith_promotion ] ) ]

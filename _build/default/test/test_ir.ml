@@ -1,0 +1,326 @@
+(* Tests for the IR layer: registers, instructions, procedures, CFG
+   construction and code generation. *)
+
+open Ra_ir
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Reg ---- *)
+
+let reg_basics () =
+  let a = Reg.int 3 and b = Reg.flt 3 in
+  Alcotest.(check bool) "classes differ" false (Reg.equal a b);
+  Alcotest.(check string) "int spelling" "i3" (Reg.to_string a);
+  Alcotest.(check string) "flt spelling" "f3" (Reg.to_string b);
+  Alcotest.(check string) "phys spelling" "R3" (Reg.phys_string a);
+  Alcotest.(check bool) "ordering groups by class" true
+    (Reg.compare a b <> 0)
+
+(* ---- Instr defs/uses ---- *)
+
+let instr_defs_uses () =
+  let i0 = Reg.int 0 and i1 = Reg.int 1 and i2 = Reg.int 2 in
+  let f0 = Reg.flt 0 in
+  let check ins defs uses =
+    Alcotest.(check (list string)) "defs" defs
+      (List.map Reg.to_string (Instr.defs ins));
+    Alcotest.(check (list string)) "uses" uses
+      (List.map Reg.to_string (Instr.uses ins))
+  in
+  check (Instr.Li (i0, 5)) [ "i0" ] [];
+  check (Instr.Mov (i0, i1)) [ "i0" ] [ "i1" ];
+  check (Instr.Binop (Instr.Iadd, i0, i1, i2)) [ "i0" ] [ "i1"; "i2" ];
+  check (Instr.Load (f0, i0, i1)) [ "f0" ] [ "i0"; "i1" ];
+  check (Instr.Store (i0, i1, f0)) [] [ "i0"; "i1"; "f0" ];
+  check (Instr.Cbr (Instr.Lt, i0, i1, 0, 1)) [] [ "i0"; "i1" ];
+  check (Instr.Ret (Some f0)) [] [ "f0" ];
+  check (Instr.Spill_st (0, i2)) [] [ "i2" ];
+  check (Instr.Spill_ld (i2, 0)) [ "i2" ] [];
+  check
+    (Instr.Call { callee = "f"; args = [ i1; f0 ]; ret = Some i0 })
+    [ "i0" ] [ "i1"; "f0" ];
+  check (Instr.Alloc (i0, Instr.Eflt, i1, Some i2)) [ "i0" ] [ "i1"; "i2" ]
+
+let instr_move_of () =
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  Alcotest.(check bool) "mov is a move" true
+    (Instr.move_of (Instr.Mov (i0, i1)) = Some (i0, i1));
+  Alcotest.(check bool) "li is not" true
+    (Instr.move_of (Instr.Li (i0, 1)) = None)
+
+let instr_map_regs () =
+  let i0 = Reg.int 0 and i1 = Reg.int 1 and i9 = Reg.int 9 in
+  let bump (r : Reg.t) = { r with Reg.id = r.id + 10 } in
+  (match Instr.map_regs ~def:bump ~use:Fun.id (Instr.Binop (Instr.Iadd, i0, i1, i1)) with
+   | Instr.Binop (Instr.Iadd, d, a, b) ->
+     Alcotest.(check int) "def mapped" 10 d.Reg.id;
+     Alcotest.(check int) "use a kept" 1 a.Reg.id;
+     Alcotest.(check int) "use b kept" 1 b.Reg.id
+   | _ -> Alcotest.fail "shape");
+  (match Instr.map_regs ~def:Fun.id ~use:bump (Instr.Store (i0, i1, i9)) with
+   | Instr.Store (b, i, s) ->
+     Alcotest.(check (list int)) "all uses mapped" [ 10; 11; 19 ]
+       [ b.Reg.id; i.Reg.id; s.Reg.id ]
+   | _ -> Alcotest.fail "shape")
+
+let instr_targets () =
+  Alcotest.(check (list int)) "br" [ 7 ] (Instr.targets (Instr.Br 7));
+  Alcotest.(check (list int)) "cbr" [ 1; 2 ]
+    (Instr.targets (Instr.Cbr (Instr.Eq, Reg.int 0, Reg.int 1, 1, 2)));
+  Alcotest.(check bool) "cbr ends block" true
+    (Instr.ends_block (Instr.Cbr (Instr.Eq, Reg.int 0, Reg.int 1, 1, 2)));
+  Alcotest.(check bool) "call does not end block" false
+    (Instr.ends_block (Instr.Call { callee = "f"; args = []; ret = None }))
+
+(* ---- Proc ---- *)
+
+let proc_counters () =
+  let p = Proc.create ~name:"t" ~args:[ Reg.int 0; Reg.flt 0 ] ~ret_cls:None in
+  let r1 = Proc.fresh_reg p Reg.Int_reg in
+  let r2 = Proc.fresh_reg p Reg.Flt_reg in
+  Alcotest.(check int) "int counter continues after args" 1 r1.Reg.id;
+  Alcotest.(check int) "flt counter continues after args" 1 r2.Reg.id;
+  Alcotest.(check int) "labels from zero" 0 (Proc.fresh_label p);
+  Alcotest.(check int) "slots from zero" 0 (Proc.fresh_slot p);
+  Alcotest.(check int) "slot increments" 1 (Proc.fresh_slot p)
+
+let proc_object_size () =
+  let p = Proc.create ~name:"t" ~args:[] ~ret_cls:None in
+  p.Proc.code <-
+    [| { Proc.ins = Instr.Label 0; depth = 0 };
+       { Proc.ins = Instr.Li (Reg.int 0, 1); depth = 0 };
+       { Proc.ins = Instr.Ret None; depth = 0 } |];
+  Alcotest.(check int) "labels are free" 2 (Proc.instr_count p);
+  Alcotest.(check int) "4 bytes per instruction" 8 (Proc.object_size p)
+
+(* ---- Cfg ---- *)
+
+let node ins = { Proc.ins; depth = 0 }
+
+let cfg_linear () =
+  let code = [| node (Instr.Li (Reg.int 0, 1)); node (Instr.Ret None) |] in
+  let cfg = Cfg.build code in
+  Alcotest.(check int) "one block" 1 (Cfg.n_blocks cfg);
+  Alcotest.(check (list int)) "no succs" [] (Cfg.entry cfg).Cfg.succs
+
+let cfg_diamond () =
+  (* cbr -> (L0 | L1) -> L2 *)
+  let i0 = Reg.int 0 in
+  let code =
+    [| node (Instr.Cbr (Instr.Lt, i0, i0, 0, 1));
+       node (Instr.Label 0);
+       node (Instr.Br 2);
+       node (Instr.Label 1);
+       node (Instr.Br 2);
+       node (Instr.Label 2);
+       node (Instr.Ret None) |]
+  in
+  let cfg = Cfg.build code in
+  Alcotest.(check int) "four blocks" 4 (Cfg.n_blocks cfg);
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] (Cfg.entry cfg).Cfg.succs;
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare cfg.Cfg.blocks.(3).Cfg.preds);
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "rpo starts at entry" 0 rpo.(0);
+  Alcotest.(check int) "rpo covers all" 4 (Array.length rpo)
+
+let cfg_loop_shape () =
+  let i0 = Reg.int 0 in
+  let code =
+    [| node (Instr.Li (i0, 0));
+       node (Instr.Label 0);
+       node (Instr.Cbr (Instr.Lt, i0, i0, 1, 2));
+       node (Instr.Label 1);
+       node (Instr.Br 0);
+       node (Instr.Label 2);
+       node (Instr.Ret None) |]
+  in
+  let cfg = Cfg.build code in
+  Alcotest.(check int) "blocks" 4 (Cfg.n_blocks cfg);
+  (* header (block 1) has preds entry and body *)
+  Alcotest.(check (list int)) "header preds" [ 0; 2 ]
+    (List.sort compare cfg.Cfg.blocks.(1).Cfg.preds)
+
+let cfg_fall_off_rejected () =
+  let code = [| node (Instr.Li (Reg.int 0, 1)) |] in
+  (match Cfg.build code with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected rejection of falling off the end")
+
+let cfg_undefined_label () =
+  let code = [| node (Instr.Br 42) |] in
+  (match Cfg.build code with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected undefined-label rejection")
+
+(* ---- Codegen ---- *)
+
+let compile_one src name =
+  List.find
+    (fun (p : Proc.t) -> p.Proc.name = name)
+    (Codegen.compile_source src)
+
+let codegen_loop_depths () =
+  let p =
+    compile_one
+      {| proc f(n: int) {
+           var i: int; var j: int; var s: int;
+           s = 0;
+           for i = 1 to n {
+             for j = 1 to n {
+               s = s + 1;
+             }
+             s = s + 2;
+           }
+         } |}
+      "f"
+  in
+  let max_depth =
+    Array.fold_left (fun m (n : Proc.node) -> max m n.depth) 0 p.Proc.code
+  in
+  Alcotest.(check int) "inner loop depth is 2" 2 max_depth;
+  (* the CFG must build and every label resolve *)
+  ignore (Cfg.build p.Proc.code)
+
+let codegen_for_limit_evaluated_once () =
+  (* the limit lives in its own register, so the Cbr's second operand is
+     defined exactly once *)
+  let p = compile_one "proc f(n: int) { var i: int; for i = 1 to n * 2 { } }" "f" in
+  let limit_reg = ref None in
+  Array.iter
+    (fun (nd : Proc.node) ->
+      match nd.Proc.ins with
+      | Instr.Cbr (Instr.Le, _, limit, _, _) -> limit_reg := Some limit
+      | _ -> ())
+    p.Proc.code;
+  match !limit_reg with
+  | None -> Alcotest.fail "no loop compare found"
+  | Some limit ->
+    let defs =
+      Array.fold_left
+        (fun acc (nd : Proc.node) ->
+          acc
+          + List.length
+              (List.filter (Reg.equal limit) (Instr.defs nd.Proc.ins)))
+        0 p.Proc.code
+    in
+    Alcotest.(check int) "limit defined once" 1 defs
+
+let codegen_void_ret_appended () =
+  let p = compile_one "proc f() { }" "f" in
+  (match p.Proc.code.(Array.length p.Proc.code - 1) with
+   | { Proc.ins = Instr.Ret None; _ } -> ()
+   | _ -> Alcotest.fail "trailing Ret None expected")
+
+let codegen_downto () =
+  let p =
+    compile_one "proc f(n: int) { var i: int; for i = n downto 1 { } }" "f"
+  in
+  let has_ge =
+    Array.exists
+      (fun (nd : Proc.node) ->
+        match nd.Proc.ins with
+        | Instr.Cbr (Instr.Ge, _, _, _, _) -> true
+        | _ -> false)
+      p.Proc.code
+  and has_isub =
+    Array.exists
+      (fun (nd : Proc.node) ->
+        match nd.Proc.ins with
+        | Instr.Binop (Instr.Isub, _, _, _) -> true
+        | _ -> false)
+      p.Proc.code
+  in
+  Alcotest.(check bool) "downto compares >=" true has_ge;
+  Alcotest.(check bool) "downto decrements" true has_isub
+
+let codegen_short_circuit () =
+  (* && must not evaluate the right operand when the left fails: the
+     right side here would divide by zero *)
+  let src =
+    {| proc f(a: int, b: int) : int {
+         if (a != 0 && b / a > 1) { return 1; }
+         return 0;
+       } |}
+  in
+  let procs = Codegen.compile_source src in
+  let out =
+    Ra_vm.Exec.run ~procs ~entry:"f"
+      ~args:[ Ra_vm.Value.Vint 0; Ra_vm.Value.Vint 5 ] ()
+  in
+  Alcotest.(check bool) "no division by zero" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 0))
+
+(* Random arithmetic expressions evaluate identically in the VM and in a
+   direct OCaml evaluator. *)
+let prop_codegen_arithmetic =
+  let module G = QCheck.Gen in
+  let rec gen_expr n =
+    if n = 0 then
+      G.oneof
+        [ G.map (fun i -> `Const (i mod 100)) G.small_int;
+          G.oneofl [ `Var 0; `Var 1 ] ]
+    else
+      G.oneof
+        [ G.map2 (fun a b -> `Add (a, b)) (gen_expr (n / 2)) (gen_expr (n / 2));
+          G.map2 (fun a b -> `Sub (a, b)) (gen_expr (n / 2)) (gen_expr (n / 2));
+          G.map2 (fun a b -> `Mul (a, b)) (gen_expr (n / 2)) (gen_expr (n / 2));
+          G.map (fun a -> `Neg a) (gen_expr (n - 1)) ]
+  in
+  let rec to_src = function
+    | `Const i -> string_of_int i
+    | `Var 0 -> "a"
+    | `Var _ -> "b"
+    | `Add (x, y) -> Printf.sprintf "(%s + %s)" (to_src x) (to_src y)
+    | `Sub (x, y) -> Printf.sprintf "(%s - %s)" (to_src x) (to_src y)
+    | `Mul (x, y) -> Printf.sprintf "(%s * %s)" (to_src x) (to_src y)
+    | `Neg x -> Printf.sprintf "(-%s)" (to_src x)
+  in
+  let rec eval va vb = function
+    | `Const i -> i
+    | `Var 0 -> va
+    | `Var _ -> vb
+    | `Add (x, y) -> eval va vb x + eval va vb y
+    | `Sub (x, y) -> eval va vb x - eval va vb y
+    | `Mul (x, y) -> eval va vb x * eval va vb y
+    | `Neg x -> -eval va vb x
+  in
+  QCheck.Test.make ~name:"codegen computes the same ints as OCaml" ~count:100
+    (QCheck.make
+       QCheck.Gen.(triple (sized_size (1 -- 5) gen_expr) (int_range (-50) 50)
+                     (int_range (-50) 50)))
+    (fun (e, va, vb) ->
+      let src =
+        Printf.sprintf "proc f(a: int, b: int) : int { return %s; }" (to_src e)
+      in
+      let procs = Codegen.compile_source src in
+      let out =
+        Ra_vm.Exec.run ~procs ~entry:"f"
+          ~args:[ Ra_vm.Value.Vint va; Ra_vm.Value.Vint vb ] ()
+      in
+      out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint (eval va vb e)))
+
+let suites =
+  [ ( "ir.reg_instr",
+      [ Alcotest.test_case "reg basics" `Quick reg_basics;
+        Alcotest.test_case "defs/uses" `Quick instr_defs_uses;
+        Alcotest.test_case "move_of" `Quick instr_move_of;
+        Alcotest.test_case "map_regs" `Quick instr_map_regs;
+        Alcotest.test_case "targets" `Quick instr_targets ] );
+    ( "ir.proc",
+      [ Alcotest.test_case "counters" `Quick proc_counters;
+        Alcotest.test_case "object size" `Quick proc_object_size ] );
+    ( "ir.cfg",
+      [ Alcotest.test_case "linear" `Quick cfg_linear;
+        Alcotest.test_case "diamond" `Quick cfg_diamond;
+        Alcotest.test_case "loop shape" `Quick cfg_loop_shape;
+        Alcotest.test_case "fall off rejected" `Quick cfg_fall_off_rejected;
+        Alcotest.test_case "undefined label" `Quick cfg_undefined_label ] );
+    ( "ir.codegen",
+      [ Alcotest.test_case "loop depths" `Quick codegen_loop_depths;
+        Alcotest.test_case "limit evaluated once" `Quick
+          codegen_for_limit_evaluated_once;
+        Alcotest.test_case "void ret appended" `Quick codegen_void_ret_appended;
+        Alcotest.test_case "downto" `Quick codegen_downto;
+        Alcotest.test_case "short circuit" `Quick codegen_short_circuit;
+        qtest prop_codegen_arithmetic ] ) ]

@@ -1,0 +1,17 @@
+(* Entry point aggregating every test suite in the repository. *)
+
+let () =
+  Alcotest.run "regalloc"
+    (Test_support.suites
+    @ Test_frontend.suites
+    @ Test_ir.suites
+    @ Test_analysis.suites
+    @ Test_opt.suites
+    @ Test_coloring.suites
+    @ Test_alloc.suites
+    @ Test_build.suites
+    @ Test_spill.suites
+    @ Test_manyargs.suites
+    @ Test_vm.suites
+    @ Test_programs.suites
+    @ Test_shapes.suites)

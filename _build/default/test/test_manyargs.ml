@@ -1,0 +1,85 @@
+(* Regression tests for the calling-convention corner cases: procedures
+   with more arguments than registers (stack-passed spills) and call
+   sites wider than the register file (fail-fast diagnosis). *)
+
+open Ra_ir
+open Ra_core
+
+let machine_k k = Machine.with_int_regs Machine.rt_pc k
+
+(* 10 int parameters, all live together across a loop. *)
+let wide_proc_src =
+  {| proc f(a1: int, a2: int, a3: int, a4: int, a5: int,
+            a6: int, a7: int, a8: int, a9: int, a10: int) : int {
+       var s: int; var i: int;
+       s = 0;
+       for i = 1 to 3 {
+         s = s + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9 + a10;
+       }
+       return s;
+     } |}
+
+let args10 = List.init 10 (fun i -> Ra_vm.Value.Vint (i + 1))
+
+let more_args_than_registers () =
+  let procs = Codegen.compile_source wide_proc_src in
+  Ra_opt.Opt.optimize_all procs;
+  let p = List.hd procs in
+  let expected =
+    (Ra_vm.Exec.run ~procs ~entry:"f" ~args:args10 ()).Ra_vm.Exec.result
+  in
+  (* 10 arguments cannot sit in 6 registers: some become stack-passed *)
+  List.iter
+    (fun k ->
+      let r = Allocator.allocate (machine_k k) Heuristic.Briggs p in
+      Alcotest.(check bool)
+        (Printf.sprintf "stack-passed args at k=%d" k)
+        true
+        (r.Allocator.proc.Proc.arg_spills <> []);
+      let out =
+        Ra_vm.Exec.run ~procs:[ r.Allocator.proc ] ~entry:"f" ~args:args10 ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "correct at k=%d" k)
+        true
+        (out.Ra_vm.Exec.result = expected))
+    [ 6; 4 ]
+
+let wide_call_fails_fast () =
+  (* a 10-argument call site cannot execute on a 6-register machine under
+     the register-resident convention: diagnose, don't loop *)
+  let src =
+    wide_proc_src
+    ^ {| proc g() : int {
+           return f(1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
+         } |}
+  in
+  let procs = Codegen.compile_source src in
+  let g = List.find (fun (p : Proc.t) -> p.Proc.name = "g") procs in
+  (match Allocator.allocate (machine_k 6) Heuristic.Briggs g with
+   | _ -> Alcotest.fail "expected an allocation failure"
+   | exception Allocator.Allocation_failure msg ->
+     Alcotest.(check bool) "message mentions the register file" true
+       (let has_needle needle =
+          let nh = String.length msg and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        has_needle "registers available"));
+  (* at the RT/PC's k = 16 the same call allocates and runs *)
+  let allocated =
+    List.map
+      (fun p -> (Allocator.allocate Machine.rt_pc Heuristic.Briggs p).Allocator.proc)
+      procs
+  in
+  let out = Ra_vm.Exec.run ~procs:allocated ~entry:"g" ~args:[] () in
+  Alcotest.(check bool) "sum of 1..10 three times" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 165))
+
+let suites =
+  [ ( "calling_convention",
+      [ Alcotest.test_case "more args than registers" `Quick
+          more_args_than_registers;
+        Alcotest.test_case "wide call fails fast" `Quick wide_call_fails_fast ] ) ]

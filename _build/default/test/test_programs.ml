@@ -1,0 +1,211 @@
+(* Tests for the benchmark suite: every program compiles, runs, and runs
+   identically after allocation with every heuristic that converges. *)
+
+open Ra_programs
+
+let vflt_of = function
+  | Some (Ra_vm.Value.Vflt f) -> f
+  | Some (Ra_vm.Value.Vint n) -> float_of_int n
+  | Some (Ra_vm.Value.Vagg _) | None -> Alcotest.fail "scalar result expected"
+
+let run_program ?(optimize = true) ?heuristic (p : Suite.program) args =
+  let procs = Suite.compile ~optimize p in
+  let procs =
+    match heuristic with
+    | None -> procs
+    | Some h ->
+      (* the cost-blind ablation's divergence grows code every pass; cap it *)
+      let max_passes = if h = Ra_core.Heuristic.Matula then 6 else 32 in
+      List.map
+        (fun proc ->
+          (Ra_core.Allocator.allocate ~max_passes Ra_core.Machine.rt_pc h proc)
+            .Ra_core.Allocator.proc)
+        procs
+  in
+  Ra_vm.Exec.run ~fuel:p.Suite.fuel ~procs ~entry:p.Suite.driver ~args ()
+
+let all_programs_compile () =
+  List.iter
+    (fun (p : Suite.program) ->
+      let procs = Suite.compile p in
+      Alcotest.(check bool)
+        (p.Suite.pname ^ " has its routines")
+        true
+        (List.for_all
+           (fun r ->
+             List.exists (fun (q : Ra_ir.Proc.t) -> q.Ra_ir.Proc.name = r) procs)
+           p.Suite.routines))
+    Suite.all
+
+let quicksort_sorts () =
+  let p = Suite.quicksort in
+  let out = run_program p p.Suite.test_args in
+  Alcotest.(check bool) "returns 0" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 0))
+
+let svd_reconstructs () =
+  let p = Suite.find "SVD" in
+  let out = run_program p p.Suite.test_args in
+  let resid = vflt_of out.Ra_vm.Exec.result in
+  Alcotest.(check bool) "tiny reconstruction residual" true
+    (resid >= 0.0 && resid < 1e-8)
+
+let linpack_residual_small () =
+  let p = Suite.find "LINPACK" in
+  let out = run_program p p.Suite.test_args in
+  let resid = vflt_of out.Ra_vm.Exec.result in
+  (* normalized residual of a well-conditioned random system is O(1) *)
+  Alcotest.(check bool) "normalized residual sane" true
+    (resid >= 0.0 && resid < 100.0)
+
+let simplex_improves () =
+  let p = Suite.find "SIMPLEX" in
+  let out = run_program p p.Suite.test_args in
+  let best = vflt_of out.Ra_vm.Exec.result in
+  (* the start simplex contains the origin whose value is positive;
+     the search must make progress *)
+  Alcotest.(check bool) "objective reduced" true (best >= 0.0 && best < 3.0)
+
+let euler_conserves () =
+  let p = Suite.find "EULER" in
+  let out = run_program p p.Suite.test_args in
+  let check = vflt_of out.Ra_vm.Exec.result in
+  Alcotest.(check bool) "checksum finite and plausible" true
+    (Float.is_finite check && check > 0.0 && check < 100.0)
+
+let cedeta_pivots () =
+  let p = Suite.find "CEDETA" in
+  let out = run_program p p.Suite.test_args in
+  let check = vflt_of out.Ra_vm.Exec.result in
+  (* -1e9 signals a broken pivot permutation *)
+  Alcotest.(check bool) "qr pivots are a permutation" true (check > -1.0e8);
+  Alcotest.(check bool) "finite" true (Float.is_finite check)
+
+let cedeta_gradient_consistent () =
+  (* the analytic gradient in GRADNT must agree with central finite
+     differences of the objective it returns *)
+  let p = Suite.find "CEDETA" in
+  let procs = Suite.compile p in
+  let n = 16 in
+  let x0 = Array.init n (fun i -> 0.1 *. float_of_int ((i + 1) mod 7) -. 0.2) in
+  let eval x =
+    let xa = Ra_vm.Value.of_float_array x in
+    let g = Ra_vm.Value.of_float_array (Array.make n 0.0) in
+    let out =
+      Ra_vm.Exec.run ~procs ~entry:"gradnt"
+        ~args:[ Ra_vm.Value.Vint n; xa; g ] ()
+    in
+    match out.Ra_vm.Exec.result with
+    | Some (Ra_vm.Value.Vflt f) -> f, Ra_vm.Value.to_float_array g
+    | _ -> Alcotest.fail "gradnt returned no float"
+  in
+  let _, g0 = eval x0 in
+  let h = 1e-6 in
+  for i = 0 to n - 1 do
+    let xp = Array.copy x0 and xm = Array.copy x0 in
+    xp.(i) <- xp.(i) +. h;
+    xm.(i) <- xm.(i) -. h;
+    let fp, _ = eval xp and fm, _ = eval xm in
+    let fd = (fp -. fm) /. (2.0 *. h) in
+    let scale = 1.0 +. Float.abs fd in
+    if Float.abs (fd -. g0.(i)) /. scale > 1e-3 then
+      Alcotest.failf "gradient component %d: analytic %g vs numeric %g"
+        (i + 1) g0.(i) fd
+  done
+
+(* NOTE: the arrays passed here are caller-visible: eval passes a fresh g
+   each call, so no aliasing between evaluations. *)
+
+(* the heavyweight equivalence check: virtual vs allocated, old vs new *)
+let program_allocation_equivalence (p : Suite.program) () =
+  let reference = run_program p p.Suite.test_args in
+  List.iter
+    (fun h ->
+      match run_program ~heuristic:h p p.Suite.test_args with
+      | out ->
+        Alcotest.(check bool)
+          (p.Suite.pname ^ " under " ^ Ra_core.Heuristic.name h)
+          true
+          (out.Ra_vm.Exec.result = reference.Ra_vm.Exec.result
+           && out.Ra_vm.Exec.output = reference.Ra_vm.Exec.output)
+      | exception Ra_core.Allocator.Allocation_failure _ ->
+        (* only the cost-blind ablation is allowed to fail *)
+        Alcotest.(check bool)
+          (p.Suite.pname ^ ": only matula may diverge")
+          true
+          (h = Ra_core.Heuristic.Matula))
+    [ Ra_core.Heuristic.Chaitin; Ra_core.Heuristic.Briggs;
+      Ra_core.Heuristic.Matula ]
+
+let unoptimized_equivalence (p : Suite.program) () =
+  let reference = run_program ~optimize:false p p.Suite.test_args in
+  let out =
+    let procs = Suite.compile ~optimize:false p in
+    let procs =
+      List.map
+        (fun proc ->
+          (Ra_core.Allocator.allocate Ra_core.Machine.rt_pc
+             Ra_core.Heuristic.Briggs proc)
+            .Ra_core.Allocator.proc)
+        procs
+    in
+    Ra_vm.Exec.run ~fuel:p.Suite.fuel ~procs ~entry:p.Suite.driver
+      ~args:p.Suite.test_args ()
+  in
+  Alcotest.(check bool) "unoptimized equivalence" true
+    (out.Ra_vm.Exec.result = reference.Ra_vm.Exec.result)
+
+let quicksort_small_k () =
+  (* the Figure 6 configurations all sort correctly *)
+  let p = Suite.quicksort in
+  List.iter
+    (fun k ->
+      let machine = Ra_core.Machine.with_int_regs Ra_core.Machine.rt_pc k in
+      let procs = Suite.compile p in
+      let procs =
+        List.map
+          (fun proc ->
+            (Ra_core.Allocator.allocate machine Ra_core.Heuristic.Briggs proc)
+              .Ra_core.Allocator.proc)
+          procs
+      in
+      let out =
+        Ra_vm.Exec.run ~fuel:p.Suite.fuel ~procs ~entry:p.Suite.driver
+          ~args:p.Suite.test_args ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "sorted at k=%d" k)
+        true
+        (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 0)))
+    [ 16; 14; 12; 10; 8 ]
+
+let suites =
+  let equivalences =
+    List.map
+      (fun (p : Suite.program) ->
+        Alcotest.test_case (p.Suite.pname ^ " equivalence") `Slow
+          (program_allocation_equivalence p))
+      Suite.all
+  in
+  let unopt =
+    List.map
+      (fun (p : Suite.program) ->
+        Alcotest.test_case (p.Suite.pname ^ " unoptimized") `Slow
+          (unoptimized_equivalence p))
+      Suite.figure5
+  in
+  [ ( "programs.compile",
+      [ Alcotest.test_case "all compile with their routines" `Quick
+          all_programs_compile ] );
+    ( "programs.behavior",
+      [ Alcotest.test_case "quicksort sorts" `Quick quicksort_sorts;
+        Alcotest.test_case "svd reconstructs" `Quick svd_reconstructs;
+        Alcotest.test_case "linpack residual" `Quick linpack_residual_small;
+        Alcotest.test_case "simplex improves" `Quick simplex_improves;
+        Alcotest.test_case "euler conserves" `Quick euler_conserves;
+        Alcotest.test_case "cedeta pivots" `Quick cedeta_pivots;
+        Alcotest.test_case "cedeta gradient consistent" `Quick
+          cedeta_gradient_consistent;
+        Alcotest.test_case "quicksort at small k" `Slow quicksort_small_k ] );
+    "programs.equivalence", equivalences;
+    "programs.unoptimized", unopt ]

@@ -1,0 +1,134 @@
+(* Integration tests pinning the *shapes* of the paper's evaluation
+   (EXPERIMENTS.md): these are the claims the reproduction stands on,
+   checked on the real benchmark suite at the RT/PC machine size. *)
+
+open Ra_programs
+open Ra_core
+
+let allocate machine h proc = Allocator.allocate machine h proc
+
+let fig5_new_never_worse () =
+  (* Figure 5, claim 1: on every routine, the optimistic allocator spills
+     no more live ranges and no more estimated cost than Chaitin's *)
+  List.iter
+    (fun (program : Suite.program) ->
+      let procs = Suite.compile program in
+      List.iter
+        (fun (proc : Ra_ir.Proc.t) ->
+          if List.mem proc.Ra_ir.Proc.name program.Suite.routines then begin
+            let old_r = allocate Machine.rt_pc Heuristic.Chaitin proc in
+            let new_r = allocate Machine.rt_pc Heuristic.Briggs proc in
+            Alcotest.(check bool)
+              (proc.Ra_ir.Proc.name ^ ": spilled new <= old")
+              true
+              (new_r.Allocator.total_spilled <= old_r.Allocator.total_spilled);
+            Alcotest.(check bool)
+              (proc.Ra_ir.Proc.name ^ ": cost new <= old")
+              true
+              (new_r.Allocator.total_spill_cost
+               <= old_r.Allocator.total_spill_cost +. 1e-9)
+          end)
+        procs)
+    Suite.figure5
+
+let fig5_svd_improves () =
+  (* the motivating example: the optimistic allocator strictly improves
+     SVD, and the cost reduction is smaller than the count reduction *)
+  let program = Suite.find "SVD" in
+  let procs = Suite.compile program in
+  let svd =
+    List.find (fun (p : Ra_ir.Proc.t) -> p.Ra_ir.Proc.name = "svd") procs
+  in
+  let old_r = allocate Machine.rt_pc Heuristic.Chaitin svd in
+  let new_r = allocate Machine.rt_pc Heuristic.Briggs svd in
+  Alcotest.(check bool) "strictly fewer registers spilled" true
+    (new_r.Allocator.total_spilled < old_r.Allocator.total_spilled);
+  Alcotest.(check bool) "strictly lower spill cost" true
+    (new_r.Allocator.total_spill_cost < old_r.Allocator.total_spill_cost);
+  let count_pct =
+    1.0
+    -. float_of_int new_r.Allocator.total_spilled
+       /. float_of_int old_r.Allocator.total_spilled
+  in
+  let cost_pct =
+    1.0 -. (new_r.Allocator.total_spill_cost /. old_r.Allocator.total_spill_cost)
+  in
+  Alcotest.(check bool)
+    "count reduction exceeds cost reduction (the rescued ranges are cheap)"
+    true (count_pct > cost_pct)
+
+let fig6_gap_opens_under_pressure () =
+  (* Figure 6, §3.2: at 16 registers the methods agree on quicksort; at 8
+     the optimistic allocator spills strictly less *)
+  let program = Suite.quicksort in
+  let procs = Suite.compile program in
+  let sort =
+    List.find (fun (p : Ra_ir.Proc.t) -> p.Ra_ir.Proc.name = "quicksort") procs
+  in
+  let spilled machine h = (allocate machine h sort).Allocator.total_spilled in
+  let at k = Machine.with_int_regs Machine.rt_pc k in
+  Alcotest.(check int) "k=16: same spills"
+    (spilled (at 16) Heuristic.Chaitin)
+    (spilled (at 16) Heuristic.Briggs);
+  Alcotest.(check bool) "k=8: optimism wins" true
+    (spilled (at 8) Heuristic.Briggs < spilled (at 8) Heuristic.Chaitin);
+  Alcotest.(check bool) "shrinking k only increases spilling" true
+    (spilled (at 8) Heuristic.Briggs >= spilled (at 16) Heuristic.Briggs)
+
+let fig7_pass_counts_small () =
+  (* Figure 7 / §3.3: the Build–Simplify–Color cycle converges in a few
+     passes; the first pass does almost all the spilling *)
+  List.iter
+    (fun (pname, routine) ->
+      let program = Suite.find pname in
+      let procs = Suite.compile program in
+      let proc =
+        List.find (fun (p : Ra_ir.Proc.t) -> p.Ra_ir.Proc.name = routine) procs
+      in
+      List.iter
+        (fun h ->
+          let r = allocate Machine.rt_pc h proc in
+          let passes = r.Allocator.passes in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s converges quickly" routine (Heuristic.name h))
+            true
+            (List.length passes <= 5);
+          match passes with
+          | first :: rest ->
+            let later =
+              List.fold_left (fun acc p -> acc + p.Allocator.spilled) 0 rest
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s front-loads its spills" routine
+                 (Heuristic.name h))
+              true
+              (first.Allocator.spilled >= later)
+          | [] -> Alcotest.fail "no passes recorded")
+        [ Heuristic.Chaitin; Heuristic.Briggs ])
+    [ "SVD", "svd"; "CEDETA", "dqrdc"; "CEDETA", "gradnt"; "CEDETA", "hssian" ]
+
+let build_dominates_allocation_time () =
+  (* Figure 7's headline: build time >> simplify + color *)
+  let program = Suite.find "SVD" in
+  let procs = Suite.compile program in
+  let svd =
+    List.find (fun (p : Ra_ir.Proc.t) -> p.Ra_ir.Proc.name = "svd") procs
+  in
+  let r = allocate Machine.rt_pc Heuristic.Briggs svd in
+  let build, rest =
+    List.fold_left
+      (fun (b, r') p ->
+        b +. p.Allocator.build_time,
+        r' +. p.Allocator.simplify_time +. p.Allocator.color_time)
+      (0.0, 0.0) r.Allocator.passes
+  in
+  Alcotest.(check bool) "build dominates" true (build > rest)
+
+let suites =
+  [ ( "paper_shapes",
+      [ Alcotest.test_case "fig5: new never worse" `Slow fig5_new_never_worse;
+        Alcotest.test_case "fig5: svd improves" `Slow fig5_svd_improves;
+        Alcotest.test_case "fig6: gap opens" `Slow fig6_gap_opens_under_pressure;
+        Alcotest.test_case "fig7: pass counts" `Slow fig7_pass_counts_small;
+        Alcotest.test_case "fig7: build dominates" `Slow
+          build_dominates_allocation_time ] ) ]

@@ -1,0 +1,252 @@
+(* Focused tests for spill-code insertion. *)
+
+open Ra_ir
+open Ra_analysis
+open Ra_core
+
+let compile_one src = List.hd (Codegen.compile_source src)
+
+let count pred (p : Proc.t) =
+  Array.fold_left
+    (fun acc (nd : Proc.node) -> if pred nd.Proc.ins then acc + 1 else acc)
+    0 p.Proc.code
+
+let is_spill_ld = function Instr.Spill_ld _ -> true | _ -> false
+let is_spill_st = function Instr.Spill_st _ -> true | _ -> false
+
+(* Spill one chosen variable's web in a small procedure and inspect. *)
+let spill_web_of_var src ~pick =
+  let p = compile_one src in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let target =
+    Array.to_list (Webs.webs webs)
+    |> List.filter pick
+    |> List.map (fun (w : Webs.web) -> w.Webs.w_id)
+  in
+  Alcotest.(check bool) "found a target web" true (target <> []);
+  (* one group per web: only genuinely coalesced webs may share a slot *)
+  let result = Spill.insert p webs ~spilled:(List.map (fun w -> [ w ]) target) in
+  p, result
+
+let src_loop =
+  {| proc f(n: int) : int {
+       var s: int; var i: int;
+       s = 100;
+       for i = 1 to n {
+         s = s + i;
+       }
+       return s;
+     } |}
+
+let spill_counts_match_sites () =
+  (* spill the web of the user variable s: stores after its defs, loads
+     before its uses *)
+  let p, result =
+    spill_web_of_var src_loop ~pick:(fun (w : Webs.web) ->
+      (* s: the int web with >= 2 def sites (s = 100 and s = s + i) *)
+      w.Webs.cls = Reg.Int_reg && List.length w.Webs.def_sites >= 2)
+  in
+  Alcotest.(check int) "one store per definition" result.Spill.stores_inserted
+    (count is_spill_st p);
+  Alcotest.(check int) "one load per use" result.Spill.loads_inserted
+    (count is_spill_ld p);
+  Alcotest.(check bool) "has stores" true (result.Spill.stores_inserted >= 2);
+  Alcotest.(check bool) "has loads" true (result.Spill.loads_inserted >= 2);
+  (* s and the loop counter i both have two definitions *)
+  Alcotest.(check int) "one slot per spilled web" 2 p.Proc.spill_slots
+
+let spilled_code_still_correct () =
+  let p, _ = spill_web_of_var src_loop ~pick:(fun (w : Webs.web) ->
+    w.Webs.cls = Reg.Int_reg && List.length w.Webs.def_sites >= 2)
+  in
+  (* both s and i run through slots now *)
+  let out =
+    Ra_vm.Exec.run ~procs:[ p ] ~entry:"f" ~args:[ Ra_vm.Value.Vint 10 ] ()
+  in
+  Alcotest.(check bool) "100 + sum(1..10)" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 155))
+
+let spilled_arg_is_stack_passed () =
+  let src = "proc f(a: int) : int { return a + a; }" in
+  let p, result =
+    spill_web_of_var src ~pick:(fun (w : Webs.web) -> w.Webs.has_entry_def)
+  in
+  (* a spilled argument arrives in its frame slot, not via an entry store *)
+  Alcotest.(check bool) "recorded as stack-passed" true
+    (List.mem_assoc 0 p.Proc.arg_spills);
+  Alcotest.(check int) "no stores at all" 0 result.Spill.stores_inserted;
+  Alcotest.(check bool) "its uses reload" true (result.Spill.loads_inserted >= 1);
+  let out =
+    Ra_vm.Exec.run ~procs:[ p ] ~entry:"f" ~args:[ Ra_vm.Value.Vint 21 ] ()
+  in
+  Alcotest.(check bool) "still doubles" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 42))
+
+let def_and_use_same_instruction () =
+  (* s = s + 1 with s spilled: reload before, recompute, store after *)
+  let src = "proc f(s: int) : int { s = s + 1; return s; }" in
+  let p, _ =
+    spill_web_of_var src ~pick:(fun (w : Webs.web) -> w.Webs.cls = Reg.Int_reg)
+  in
+  let out =
+    Ra_vm.Exec.run ~procs:[ p ] ~entry:"f" ~args:[ Ra_vm.Value.Vint 41 ] ()
+  in
+  Alcotest.(check bool) "increments through the slot" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 42))
+
+let coalesced_group_shares_slot () =
+  let p = compile_one src_loop in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  (* spill two distinct int webs as ONE group: they must share a slot *)
+  let int_webs =
+    Array.to_list (Webs.webs webs)
+    |> List.filter (fun (w : Webs.web) -> w.Webs.cls = Reg.Int_reg)
+    |> List.map (fun (w : Webs.web) -> w.Webs.w_id)
+  in
+  (match int_webs with
+   | a :: b :: _ ->
+     let _ = Spill.insert p webs ~spilled:[ [ a; b ] ] in
+     Alcotest.(check int) "single shared slot" 1 p.Proc.spill_slots
+   | _ -> Alcotest.fail "not enough webs")
+
+let spill_temps_marked_next_pass () =
+  let p, result =
+    spill_web_of_var src_loop ~pick:(fun (w : Webs.web) ->
+      w.Webs.cls = Reg.Int_reg && List.length w.Webs.def_sites >= 2)
+  in
+  let temps = result.Spill.new_temps in
+  Alcotest.(check bool) "temps created" true (temps <> []);
+  let is_spill_vreg (r : Reg.t) = List.exists (Reg.equal r) temps in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg in
+  let flagged =
+    Array.to_list (Webs.webs webs)
+    |> List.filter (fun (w : Webs.web) -> w.Webs.spill_temp)
+  in
+  Alcotest.(check int) "each temp became an unspillable web"
+    (List.length temps) (List.length flagged);
+  List.iter
+    (fun (w : Webs.web) ->
+      Alcotest.(check bool) "infinite cost" true
+        (Spill_costs.web_cost p w = infinity))
+    flagged
+
+let spill_base_changes_choices () =
+  (* with base 1 the loop body's ranges look as cheap as anything else *)
+  let p = compile_one src_loop in
+  let r10 =
+    Allocator.allocate ~spill_base:10.0
+      (Machine.with_int_regs Machine.rt_pc 3)
+      Heuristic.Briggs p
+  in
+  let r1 =
+    Allocator.allocate ~spill_base:1.0
+      (Machine.with_int_regs Machine.rt_pc 3)
+      Heuristic.Briggs p
+  in
+  (* both must still be correct *)
+  List.iter
+    (fun (r : Allocator.result) ->
+      let out =
+        Ra_vm.Exec.run ~procs:[ r.Allocator.proc ] ~entry:"f"
+          ~args:[ Ra_vm.Value.Vint 10 ] ()
+      in
+      Alcotest.(check bool) "correct at any base" true
+        (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vint 155)))
+    [ r10; r1 ];
+  Alcotest.(check bool) "both spill something at k=3" true
+    (r10.Allocator.total_spilled > 0 && r1.Allocator.total_spilled > 0)
+
+let remat_constant_web () =
+  (* a loop-invariant float constant: spilling its web must rematerialize
+     (recompute the Lf) rather than allocate a slot *)
+  let src =
+    {| proc f(n: int) : float {
+         var s: float; var i: int;
+         s = 0.0;
+         for i = 1 to n {
+           s = s + 2.5;
+         }
+         return s;
+       } |}
+  in
+  let p = compile_one src in
+  Ra_opt.Opt.optimize_all [ p ];
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  (* the web holding 2.5: single Lf def *)
+  let const_webs =
+    Array.to_list (Webs.webs webs)
+    |> List.filter (fun (w : Webs.web) ->
+         match Remat.of_web p w with
+         | Some (Remat.Flt_const f) -> f = 2.5
+         | Some (Remat.Int_const _) | None -> false)
+    |> List.map (fun (w : Webs.web) -> w.Webs.w_id)
+  in
+  Alcotest.(check bool) "found the constant web" true (const_webs <> []);
+  let result =
+    Spill.insert p webs ~spilled:(List.map (fun w -> [ w ]) const_webs)
+  in
+  Alcotest.(check int) "rematerialized, not slotted"
+    (List.length const_webs) result.Spill.rematerialized;
+  Alcotest.(check int) "no slots" 0 p.Proc.spill_slots;
+  Alcotest.(check int) "no memory traffic" 0
+    (result.Spill.loads_inserted + result.Spill.stores_inserted);
+  let out =
+    Ra_vm.Exec.run ~procs:[ p ] ~entry:"f" ~args:[ Ra_vm.Value.Vint 4 ] ()
+  in
+  Alcotest.(check bool) "still sums to 10.0" true
+    (out.Ra_vm.Exec.result = Some (Ra_vm.Value.Vflt 10.0))
+
+let remat_allocator_equivalent () =
+  let src =
+    {| proc f(n: int) : float {
+         var s: float; var t: float; var i: int;
+         s = 0.0;
+         t = 1.5;
+         for i = 1 to n {
+           s = s + t * 2.0 + float(i) * 0.25;
+         }
+         return s;
+       } |}
+  in
+  let p = compile_one src in
+  Ra_opt.Opt.optimize_all [ p ];
+  let machine =
+    { (Machine.with_int_regs Machine.rt_pc 4) with Machine.flt_regs = 2 }
+  in
+  let args = [ Ra_vm.Value.Vint 7 ] in
+  let expected =
+    (Ra_vm.Exec.run ~procs:[ p ] ~entry:"f" ~args ()).Ra_vm.Exec.result
+  in
+  List.iter
+    (fun remat ->
+      let r =
+        Allocator.allocate ~rematerialize:remat machine Heuristic.Briggs p
+      in
+      let out =
+        Ra_vm.Exec.run ~procs:[ r.Allocator.proc ] ~entry:"f" ~args ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "correct with remat=%b" remat)
+        true
+        (out.Ra_vm.Exec.result = expected))
+    [ true; false ]
+
+let suites =
+  [ ( "spill.insertion",
+      [ Alcotest.test_case "counts match sites" `Quick spill_counts_match_sites;
+        Alcotest.test_case "spilled code correct" `Quick
+          spilled_code_still_correct;
+        Alcotest.test_case "arg stack-passed" `Quick spilled_arg_is_stack_passed;
+        Alcotest.test_case "def+use same instruction" `Quick
+          def_and_use_same_instruction;
+        Alcotest.test_case "group shares slot" `Quick coalesced_group_shares_slot;
+        Alcotest.test_case "spill temps unspillable" `Quick
+          spill_temps_marked_next_pass;
+        Alcotest.test_case "spill base option" `Quick spill_base_changes_choices;
+        Alcotest.test_case "remat constant web" `Quick remat_constant_web;
+        Alcotest.test_case "remat allocator equivalence" `Quick
+          remat_allocator_equivalent ] ) ]
