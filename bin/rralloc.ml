@@ -59,6 +59,12 @@ let opt_arg =
   Arg.(value & flag & info [ "O"; "optimize" ]
          ~doc:"Run the optimizer (CSE, loop-invariant code motion, DCE)")
 
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Verify the allocation: lint the input, check the coloring \
+               against an independent liveness recomputation, lint and \
+               verify the output (same as setting RA_VERIFY)")
+
 let select_procs procs = function
   | None -> procs
   | Some name ->
@@ -71,23 +77,40 @@ let select_procs procs = function
 (* ---- dump ---- *)
 
 let dump_cmd =
-  let run file proc optimize =
+  let run file proc optimize lint =
     let procs = select_procs (compile ~optimize file) proc in
-    List.iter (fun p -> print_string (Ra_ir.Proc.to_string p)) procs
+    List.iter (fun p -> print_string (Ra_ir.Proc.to_string p)) procs;
+    if lint then begin
+      let diags =
+        List.concat_map (fun p -> Ra_check.Lint.run p) procs
+      in
+      if diags <> [] then prerr_endline (Ra_check.Diagnostic.report diags);
+      Printf.eprintf "lint: %s\n" (Ra_check.Diagnostic.summary diags);
+      if Ra_check.Diagnostic.has_errors diags then exit 1
+    end
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ]
+           ~doc:"Lint the IR for structural well-formedness and exit \
+                 non-zero on errors")
   in
   Cmd.v (Cmd.info "dump" ~doc:"Print the virtual-register IR")
-    Term.(const run $ file_arg $ proc_arg $ opt_arg)
+    Term.(const run $ file_arg $ proc_arg $ opt_arg $ lint)
 
 (* ---- alloc ---- *)
 
 let alloc_cmd =
-  let run file proc heuristic k verbose optimize =
+  let run file proc heuristic k verbose optimize verify =
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
     List.iter
       (fun p ->
-        let r = Ra_core.Allocator.allocate machine h p in
+        let r =
+          Ra_core.Allocator.allocate
+            ?verify:(if verify then Some true else None)
+            machine h p
+        in
         Printf.printf
           "%s: live ranges %d, passes %d, spilled %d (cost %.0f), \
            object size %d bytes\n"
@@ -104,7 +127,7 @@ let alloc_cmd =
   in
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
-          $ opt_arg)
+          $ opt_arg $ verify_arg)
 
 (* ---- run ---- *)
 
@@ -119,14 +142,18 @@ let parse_value s =
        exit 1)
 
 let run_cmd =
-  let run file entry args heuristic allocate k optimize =
+  let run file entry args heuristic allocate k optimize verify =
     let procs = compile ~optimize file in
     let procs =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
         List.map
-          (fun p -> (Ra_core.Allocator.allocate machine h p).Ra_core.Allocator.proc)
+          (fun p ->
+            (Ra_core.Allocator.allocate
+               ?verify:(if verify then Some true else None)
+               machine h p)
+              .Ra_core.Allocator.proc)
           procs
       end
       else procs
@@ -158,7 +185,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
-          $ k_arg $ opt_arg)
+          $ k_arg $ opt_arg $ verify_arg)
 
 (* ---- suite ---- *)
 

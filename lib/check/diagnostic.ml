@@ -1,0 +1,57 @@
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  severity : severity;
+  check : string;
+  proc : string;
+  block : int option;
+  instr : int option;
+  message : string;
+}
+
+let make severity ~check ~proc ?block ?instr fmt =
+  Format.kasprintf
+    (fun message -> { severity; check; proc; block; instr; message })
+    fmt
+
+let error ~check ~proc ?block ?instr fmt =
+  make Error ~check ~proc ?block ?instr fmt
+
+let warning ~check ~proc ?block ?instr fmt =
+  make Warning ~check ~proc ?block ?instr fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let has_errors ds = List.exists is_error ds
+
+let to_string d =
+  let where =
+    match d.block, d.instr with
+    | Some b, Some i -> Printf.sprintf " B%d@%d" b i
+    | Some b, None -> Printf.sprintf " B%d" b
+    | None, Some i -> Printf.sprintf " @%d" i
+    | None, None -> ""
+  in
+  Printf.sprintf "%s: %s%s [%s]: %s" (severity_name d.severity) d.proc where
+    d.check d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let report ds =
+  String.concat "\n" (List.map to_string ds)
+
+let summary ds =
+  let n_err = List.length (errors ds) in
+  let n_warn = List.length ds - n_err in
+  Printf.sprintf "%d error%s, %d warning%s" n_err
+    (if n_err = 1 then "" else "s")
+    n_warn
+    (if n_warn = 1 then "" else "s")

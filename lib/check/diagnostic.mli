@@ -1,0 +1,55 @@
+(** Structured findings of the IR linter and the post-allocation verifier.
+
+    A diagnostic locates a violated invariant ([check] is a stable,
+    machine-readable name such as ["undefined-read"] or ["reg-aliasing"])
+    inside a procedure, optionally down to a basic block and instruction
+    index. Checkers collect diagnostics instead of raising, so one run
+    reports every violation it can find. *)
+
+type severity =
+  | Error (* the invariant is violated; the code is wrong *)
+  | Warning (* suspicious but not provably wrong (e.g. unreachable code) *)
+
+type t = {
+  severity : severity;
+  check : string; (* stable check name, e.g. "cfg-edges" *)
+  proc : string; (* procedure name *)
+  block : int option; (* basic-block index, when known *)
+  instr : int option; (* instruction index in [Proc.code], when known *)
+  message : string;
+}
+
+val error :
+  check:string ->
+  proc:string ->
+  ?block:int ->
+  ?instr:int ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val warning :
+  check:string ->
+  proc:string ->
+  ?block:int ->
+  ?instr:int ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_name : severity -> string
+val is_error : t -> bool
+
+(** The error-severity subset. *)
+val errors : t list -> t list
+
+val has_errors : t list -> bool
+
+(** ["error: f B2@17 [undefined-read]: ..."] *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** All diagnostics, one per line. *)
+val report : t list -> string
+
+(** ["2 errors, 1 warning"] *)
+val summary : t list -> string

@@ -1,0 +1,322 @@
+open Ra_support
+open Ra_ir
+open Ra_analysis
+
+(* All checks run off the same instruction stream the allocator and the VM
+   see; nothing here consults the allocator's own data structures, so a bug
+   in Build/Spill/rewrite cannot hide itself. *)
+
+let err = Diagnostic.error
+let warn = Diagnostic.warning
+
+let class_of_unop = function
+  | Instr.Ineg | Instr.Iabs -> Reg.Int_reg, Reg.Int_reg
+  | Instr.Fneg | Instr.Fabs | Instr.Fsqrt -> Reg.Flt_reg, Reg.Flt_reg
+  | Instr.Itof -> Reg.Flt_reg, Reg.Int_reg
+  | Instr.Ftoi -> Reg.Int_reg, Reg.Flt_reg
+
+let class_of_binop = function
+  | Instr.Iadd | Instr.Isub | Instr.Imul | Instr.Idiv | Instr.Irem
+  | Instr.Imin | Instr.Imax -> Reg.Int_reg
+  | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin
+  | Instr.Fmax | Instr.Fsign -> Reg.Flt_reg
+
+(* ---- operand class signatures ---- *)
+
+let check_classes (proc : Proc.t) add =
+  let expect i what (r : Reg.t) cls =
+    if r.cls <> cls then
+      add
+        (err ~check:"class-mismatch" ~proc:proc.name ~instr:i
+           "%s operand %s of `%s` must be a %s register" what (Reg.to_string r)
+           (String.trim (Instr.to_string (proc.code.(i)).ins))
+           (Reg.cls_name cls))
+  in
+  let same i what (a : Reg.t) (b : Reg.t) =
+    if a.cls <> b.cls then
+      add
+        (err ~check:"class-mismatch" ~proc:proc.name ~instr:i
+           "%s operands %s and %s of `%s` must share a register class" what
+           (Reg.to_string a) (Reg.to_string b)
+           (String.trim (Instr.to_string (proc.code.(i)).ins)))
+  in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      match node.ins with
+      | Instr.Label _ | Instr.Br _ | Instr.Call _ -> ()
+      | Instr.Li (d, _) -> expect i "destination" d Reg.Int_reg
+      | Instr.Lf (d, _) -> expect i "destination" d Reg.Flt_reg
+      | Instr.Mov (d, s) -> same i "move" d s
+      | Instr.Unop (op, d, s) ->
+        let dc, sc = class_of_unop op in
+        expect i "destination" d dc;
+        expect i "source" s sc
+      | Instr.Binop (op, d, a, b) ->
+        let c = class_of_binop op in
+        expect i "destination" d c;
+        expect i "left" a c;
+        expect i "right" b c
+      | Instr.Load (_, base, idx) ->
+        expect i "base" base Reg.Int_reg;
+        expect i "index" idx Reg.Int_reg
+      | Instr.Store (base, idx, _) ->
+        expect i "base" base Reg.Int_reg;
+        expect i "index" idx Reg.Int_reg
+      | Instr.Alloc (d, _, d1, d2) ->
+        expect i "destination" d Reg.Int_reg;
+        expect i "dimension" d1 Reg.Int_reg;
+        Option.iter (fun d2 -> expect i "dimension" d2 Reg.Int_reg) d2
+      | Instr.Dim (d, base, which) ->
+        expect i "destination" d Reg.Int_reg;
+        expect i "base" base Reg.Int_reg;
+        if which <> 1 && which <> 2 then
+          add
+            (err ~check:"class-mismatch" ~proc:proc.name ~instr:i
+               "dim selector %d out of range (1 or 2)" which)
+      | Instr.Cbr (_, a, b, _, _) -> same i "comparison" a b
+      | Instr.Ret _ | Instr.Spill_st _ | Instr.Spill_ld _ -> ())
+    proc.code
+
+(* Return arity/class against the procedure signature. Codegen appends a
+   safety-net `ret` after the body, which for value-returning procedures is
+   an unreachable bare `ret`; only returns control can actually reach are
+   held to the signature. *)
+let check_rets (proc : Proc.t) (cfg : Cfg.t) reachable add =
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if reachable.(b.bindex) then
+        for i = b.first to b.last do
+          match (proc.code.(i)).ins with
+          | Instr.Ret r ->
+            (match proc.ret_cls, r with
+             | None, None -> ()
+             | None, Some r ->
+               add
+                 (err ~check:"ret-arity" ~proc:proc.name ~block:b.bindex
+                    ~instr:i
+                    "procedure returns no value but `ret %s` carries one"
+                    (Reg.to_string r))
+             | Some _, None ->
+               add
+                 (err ~check:"ret-arity" ~proc:proc.name ~block:b.bindex
+                    ~instr:i "procedure returns a value but `ret` carries none")
+             | Some cls, Some r ->
+               if r.cls <> cls then
+                 add
+                   (err ~check:"ret-arity" ~proc:proc.name ~block:b.bindex
+                      ~instr:i "return operand %s must be a %s register"
+                      (Reg.to_string r) (Reg.cls_name cls)))
+          | _ -> ()
+        done)
+    cfg.blocks
+
+(* ---- spill-slot indices and per-slot class consistency ---- *)
+
+let check_slots (proc : Proc.t) add =
+  let slot_cls : (int, Reg.cls * int) Hashtbl.t = Hashtbl.create 8 in
+  let note i slot (r : Reg.t) =
+    if slot < 0 || slot >= proc.spill_slots then
+      add
+        (err ~check:"slot-range" ~proc:proc.name ~instr:i
+           "spill slot %d outside the %d slots of the frame" slot
+           proc.spill_slots)
+    else
+      match Hashtbl.find_opt slot_cls slot with
+      | None -> Hashtbl.replace slot_cls slot (r.cls, i)
+      | Some (cls, first) ->
+        if cls <> r.cls then
+          add
+            (err ~check:"slot-class" ~proc:proc.name ~instr:i
+               "slot %d accessed as %s here but as %s at instruction %d" slot
+               (Reg.cls_name r.cls) (Reg.cls_name cls) first)
+  in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      match node.ins with
+      | Instr.Spill_st (slot, s) -> note i slot s
+      | Instr.Spill_ld (d, slot) -> note i slot d
+      | _ -> ())
+    proc.code;
+  List.iter
+    (fun (pos, slot) ->
+      if slot < 0 || slot >= proc.spill_slots then
+        add
+          (err ~check:"slot-range" ~proc:proc.name
+             "stack-passed argument %d targets slot %d outside the %d slots"
+             pos slot proc.spill_slots))
+    proc.arg_spills
+
+(* ---- labels and branch targets ---- *)
+
+(* Returns false when the CFG cannot be built at all. *)
+let check_labels (proc : Proc.t) add =
+  let defined = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      match node.ins with
+      | Instr.Label l ->
+        (match Hashtbl.find_opt defined l with
+         | Some first ->
+           add
+             (err ~check:"duplicate-label" ~proc:proc.name ~instr:i
+                "label L%d already defined at instruction %d" l first)
+         | None -> Hashtbl.replace defined l i)
+      | _ -> ())
+    proc.code;
+  let ok = ref true in
+  Array.iteri
+    (fun i (node : Proc.node) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem defined l) then begin
+            ok := false;
+            add
+              (err ~check:"undefined-label" ~proc:proc.name ~instr:i
+                 "branch to undefined label L%d" l)
+          end)
+        (Instr.targets node.ins))
+    proc.code;
+  !ok
+
+(* ---- CFG structure ---- *)
+
+let check_cfg (proc : Proc.t) (cfg : Cfg.t) add =
+  let n = Cfg.n_blocks cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      (* exactly one terminator, and only in last position *)
+      for i = b.first to b.last - 1 do
+        if Instr.ends_block (proc.code.(i)).ins then
+          add
+            (err ~check:"terminator-mid-block" ~proc:proc.name ~block:b.bindex
+               ~instr:i "terminator before the end of the block")
+      done;
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            add
+              (err ~check:"cfg-edges" ~proc:proc.name ~block:b.bindex
+                 "successor B%d out of range" s)
+          else if not (List.mem b.bindex cfg.blocks.(s).preds) then
+            add
+              (err ~check:"cfg-edges" ~proc:proc.name ~block:b.bindex
+                 "B%d lists successor B%d, but B%d does not list B%d as a \
+                  predecessor"
+                 b.bindex s s b.bindex))
+        b.succs;
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            add
+              (err ~check:"cfg-edges" ~proc:proc.name ~block:b.bindex
+                 "predecessor B%d out of range" p)
+          else if not (List.mem b.bindex cfg.blocks.(p).succs) then
+            add
+              (err ~check:"cfg-edges" ~proc:proc.name ~block:b.bindex
+                 "B%d lists predecessor B%d, but B%d does not list B%d as a \
+                  successor"
+                 b.bindex p p b.bindex))
+        b.preds)
+    cfg.blocks;
+  (* reachability from the entry block; codegen's safety-net `ret` after an
+     explicit return is an expected unreachable block, so blocks holding
+     only labels and bare rets are benign *)
+  let visited = Array.make n false in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs cfg.blocks.(b).succs
+    end
+  in
+  dfs 0;
+  Array.iteri
+    (fun b seen ->
+      if not seen then begin
+        let benign = ref true in
+        for i = cfg.blocks.(b).first to cfg.blocks.(b).last do
+          match (proc.code.(i)).ins with
+          | Instr.Label _ | Instr.Ret None -> ()
+          | _ -> benign := false
+        done;
+        if not !benign then
+          add
+            (warn ~check:"unreachable-block" ~proc:proc.name ~block:b
+               ~instr:cfg.blocks.(b).first "block unreachable from the entry")
+      end)
+    visited;
+  visited
+
+(* ---- def-before-use over virtual registers ----
+
+   Forward may-analysis of "possibly uninitialized": a vreg is possibly
+   uninitialized at entry unless it is an argument, and a definition kills
+   the fact on every path through it. A use of a possibly-uninitialized
+   vreg is readable-before-defined along at least one path. *)
+
+let check_def_before_use (proc : Proc.t) (cfg : Cfg.t) add =
+  let numbering = Liveness.vreg_numbering proc in
+  let universe = numbering.Liveness.universe in
+  let n = Cfg.n_blocks cfg in
+  let gen = Array.init n (fun _ -> Bitset.create universe) in
+  let kill = Array.init n (fun _ -> Bitset.create universe) in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let k = kill.(b.bindex) in
+      for i = b.first to b.last do
+        List.iter (Bitset.add k) (numbering.Liveness.defs_of i)
+      done)
+    cfg.blocks;
+  let entry_fact = Bitset.create universe in
+  for v = 0 to universe - 1 do
+    Bitset.add entry_fact v
+  done;
+  List.iter
+    (fun a -> Bitset.remove entry_fact (Liveness.vreg_index proc a))
+    proc.args;
+  let sol =
+    Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Forward
+      ~entry_fact ()
+  in
+  let reg_of_index v =
+    if v < proc.next_int then Reg.int v else Reg.flt (v - proc.next_int)
+  in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let undef = Bitset.copy sol.Dataflow.live_in.(b.bindex) in
+      for i = b.first to b.last do
+        List.iter
+          (fun u ->
+            if Bitset.mem undef u then
+              add
+                (err ~check:"use-before-def" ~proc:proc.name ~block:b.bindex
+                   ~instr:i "%s may be read before any definition reaches it"
+                   (Reg.to_string (reg_of_index u))))
+          (numbering.Liveness.uses_of i);
+        List.iter (Bitset.remove undef) (numbering.Liveness.defs_of i)
+      done)
+    cfg.blocks
+
+let run (proc : Proc.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if Array.length proc.code = 0 then
+    [ err ~check:"empty-proc" ~proc:proc.name "procedure has no code" ]
+  else begin
+    check_classes proc add;
+    check_slots proc add;
+    let labels_ok = check_labels proc add in
+    if labels_ok then begin
+      match Cfg.build proc.code with
+      | cfg ->
+        let reachable = check_cfg proc cfg add in
+        check_rets proc cfg reachable add;
+        (* Physical registers are reused across disjoint live ranges, so
+           the virtual-register def-before-use notion only applies pre-
+           allocation; Verify_alloc re-checks the allocated form at
+           storage-location granularity. *)
+        if not proc.allocated then check_def_before_use proc cfg add
+      | exception Invalid_argument msg ->
+        add (err ~check:"cfg-build" ~proc:proc.name "%s" msg)
+    end;
+    List.rev !diags
+  end

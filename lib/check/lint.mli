@@ -1,0 +1,23 @@
+(** Structural well-formedness linter for any {!Ra_ir.Proc.t}, virtual or
+    allocated.
+
+    Checks, each reported as a {!Diagnostic.t} rather than an exception:
+
+    - ["empty-proc"]: the procedure has code;
+    - ["duplicate-label"] / ["undefined-label"]: every branch target is a
+      uniquely defined label;
+    - ["cfg-build"]: control cannot fall off the end of the procedure;
+    - ["terminator-mid-block"]: each basic block ends in at most one
+      terminator, in final position;
+    - ["cfg-edges"]: successor and predecessor lists are mutually
+      consistent and in range;
+    - ["unreachable-block"] (warning): the entry reaches every block;
+    - ["class-mismatch"] / ["ret-arity"]: operand register classes match
+      each instruction's signature and the procedure's return type;
+    - ["slot-range"] / ["slot-class"]: spill-slot indices fit the frame and
+      every slot is accessed with a single register class;
+    - ["use-before-def"] (virtual code only): a dataflow pass flags any
+      virtual register readable before being defined along some path from
+      the entry (arguments count as defined on entry). *)
+
+val run : Ra_ir.Proc.t -> Diagnostic.t list

@@ -1,0 +1,61 @@
+(** Post-allocation verifier: independent evidence that the allocator's
+    output computes the same thing as its input.
+
+    Verification is split in two because the two halves need different
+    inputs. {!run} sees only the rewritten procedure and checks its
+    self-consistency; it cannot detect value clobbering (two distinct
+    source values sharing one register), because any def-use-consistent
+    code is a plausible allocation of itself. {!check_assignment} closes
+    that gap: the allocator calls it with its web structure and coloring
+    *before* rewriting, and the check recomputes liveness from first
+    principles — no interference graph, adjacency lists or degree
+    bookkeeping — so a bug anywhere in Build/coalescing/the coloring
+    heuristics surfaces as a diagnostic instead of silently wrong code. *)
+
+(** The machine description the checks need, as plain data so this
+    library stays below [ra_core] in the dependency order. *)
+type regfile = {
+  k_int : int;
+  k_flt : int;
+  caller_save_int : int list;
+  caller_save_flt : int list;
+}
+
+(** Output-only checks on an allocated procedure. Diagnostics:
+
+    - ["not-allocated"] / ["empty-proc"] / ["cfg-build"]: preconditions;
+    - ["reg-range"] / ["slot-range"]: every register occurrence names a
+      machine register of its class, every spill access a frame slot;
+    - ["entry-aliasing"]: no two arguments arrive in one register or one
+      stack slot;
+    - ["undefined-read"]: a location-granular forward dataflow pass —
+      machine registers and spill slots uniformly — flags any read
+      possibly preceding every write on some path from entry. This
+      subsumes spill discipline: a dropped reload leaves a register
+      exposed, a load-before-store leaves a slot exposed;
+    - ["caller-save-across-call"]: recomputed liveness shows no
+      caller-save register carrying a value across a call. *)
+val run : regfile:regfile -> Ra_ir.Proc.t -> Diagnostic.t list
+
+(** [check_assignment ~regfile proc cfg webs ~alias ~color] validates a
+    coloring of the *pre-rewrite* procedure. [alias] is the coalescing
+    forest over web ids and [color] gives the physical register of a
+    representative web. Diagnostics:
+
+    - ["color-range"]: every representative's color is a machine
+      register of its class;
+    - ["interference"]: no two simultaneously-live same-class webs share
+      a register — at each definition point against the recomputed
+      live-after set (a copy's source may share its destination's
+      register: same value, and the rewrite deletes the move), and
+      pairwise among entry-live webs;
+    - ["caller-save"]: no web other than the result lives across a call
+      in a caller-save register. *)
+val check_assignment :
+  regfile:regfile ->
+  Ra_ir.Proc.t ->
+  Ra_ir.Cfg.t ->
+  Ra_analysis.Webs.t ->
+  alias:Ra_support.Union_find.t ->
+  color:(int -> int) ->
+  Diagnostic.t list

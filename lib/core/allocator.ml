@@ -35,6 +35,21 @@ let fail fmt = Format.kasprintf (fun m -> raise (Allocation_failure m)) fmt
 
 let debug_enabled = Sys.getenv_opt "RA_DEBUG" <> None
 
+let verify_default =
+  match Sys.getenv_opt "RA_VERIFY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let regfile_of (machine : Machine.t) : Ra_check.Verify_alloc.regfile =
+  { Ra_check.Verify_alloc.k_int = Machine.regs machine Reg.Int_reg;
+    k_flt = Machine.regs machine Reg.Flt_reg;
+    caller_save_int = Machine.caller_save machine Reg.Int_reg;
+    caller_save_flt = Machine.caller_save machine Reg.Flt_reg }
+
+let fail_on_errors ~stage diags =
+  if Ra_check.Diagnostic.has_errors diags then
+    fail "%s failed:\n%s" stage (Ra_check.Diagnostic.report diags)
+
 let copy_proc (p : Proc.t) : Proc.t =
   { p with Proc.code = Array.copy p.code }
 
@@ -60,7 +75,12 @@ let spill_groups built cls nodes =
 
 let allocate ?(coalesce = true) ?(max_passes = 32)
     ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
-    machine heuristic (original : Proc.t) : result =
+    ?(verify = verify_default) machine heuristic (original : Proc.t) :
+    result =
+  if verify then
+    fail_on_errors
+      ~stage:(original.Proc.name ^ ": input lint")
+      (Ra_check.Lint.run original);
   let proc = copy_proc original in
   let spill_vreg_ids : (int * Reg.cls, unit) Hashtbl.t = Hashtbl.create 16 in
   let is_spill_vreg (r : Reg.t) = Hashtbl.mem spill_vreg_ids (r.id, r.cls) in
@@ -68,7 +88,7 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
   let live_ranges = ref 0 in
   let total_spilled = ref 0 in
   let total_spill_cost = ref 0.0 in
-  let finish_pass ~built ~colors_int ~colors_flt =
+  let finish_pass ~cfg ~built ~colors_int ~colors_flt =
     (* Paranoia: the coloring must be proper on both class graphs. *)
     (match Igraph.check_coloring built.Build.int_graph ~colors:colors_int with
      | Some (a, b) -> fail "improper int coloring: nodes %d and %d" a b
@@ -87,6 +107,18 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
       | None -> fail "uncolored node survived to rewrite"
     in
     let phys (r : Reg.t) c : Reg.t = { r with Reg.id = c } in
+    (* Before rewriting, validate the assignment against a from-scratch
+       liveness recomputation: the only stage with both the web structure
+       and the pre-rewrite code in hand. *)
+    if verify then begin
+      let color w =
+        color_of (Webs.web webs w).Webs.cls (Build.node_of built w)
+      in
+      fail_on_errors
+        ~stage:(proc.name ^ ": assignment check")
+        (Ra_check.Verify_alloc.check_assignment ~regfile:(regfile_of machine)
+           proc cfg webs ~alias:built.Build.alias ~color)
+    end;
     let rewrite_occurrence which i (r : Reg.t) =
       let w = which i r in
       phys r (color_of r.cls (Build.node_of built w))
@@ -140,7 +172,6 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
         let built = Build.build machine proc cfg ~webs ~coalesce () in
         cfg, webs, built)
     in
-    ignore cfg;
     if pass_index = 1 then live_ranges := Webs.n_webs webs;
     (* spill costs are part of Build in the paper's accounting *)
     let costs_int, costs_flt =
@@ -188,7 +219,7 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
       match out_int, out_flt with
       | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
         passes := record ~spilled:0 ~spill_cost:0.0 :: !passes;
-        finish_pass ~built ~colors_int ~colors_flt
+        finish_pass ~cfg ~built ~colors_int ~colors_flt
       | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
     end
     else begin
@@ -248,6 +279,14 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
     end
   in
   let allocated, moves_removed = run_pass 1 in
+  if verify then begin
+    fail_on_errors
+      ~stage:(allocated.Proc.name ^ ": output lint")
+      (Ra_check.Lint.run allocated);
+    fail_on_errors
+      ~stage:(allocated.Proc.name ^ ": output verification")
+      (Ra_check.Verify_alloc.run ~regfile:(regfile_of machine) allocated)
+  end;
   { proc = allocated;
     heuristic;
     machine;

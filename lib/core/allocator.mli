@@ -45,12 +45,21 @@ exception Allocation_failure of string
     ablation); [spill_base] is the per-loop-depth spill-cost weight
     (default 10, Chaitin's customary constant — another ablation axis).
     Raises {!Allocation_failure} if the Build–Color cycle fails to
-    converge within [max_passes] (default 32). *)
+    converge within [max_passes] (default 32).
+
+    [verify] turns on the translation-validation layer ({!Ra_check}):
+    the input is linted, the chosen coloring is checked against an
+    independent liveness recomputation before the rewrite, and the
+    output is linted and verified ({!Ra_check.Verify_alloc.run}). Any
+    error-severity diagnostic raises {!Allocation_failure} carrying the
+    full report. Defaults to true iff the [RA_VERIFY] environment
+    variable is set to a non-empty value other than ["0"]. *)
 val allocate :
   ?coalesce:bool ->
   ?max_passes:int ->
   ?spill_base:float ->
   ?rematerialize:bool ->
+  ?verify:bool ->
   Machine.t ->
   Heuristic.t ->
   Ra_ir.Proc.t ->

@@ -77,6 +77,16 @@ let uses = function
   | Call { args; _ } -> args
   | Ret r -> Option.to_list r
 
+let def_slot = function
+  | Spill_st (slot, _) -> Some slot
+  | Label _ | Li _ | Lf _ | Mov _ | Unop _ | Binop _ | Load _ | Store _
+  | Alloc _ | Dim _ | Br _ | Cbr _ | Call _ | Ret _ | Spill_ld _ -> None
+
+let use_slot = function
+  | Spill_ld (_, slot) -> Some slot
+  | Label _ | Li _ | Lf _ | Mov _ | Unop _ | Binop _ | Load _ | Store _
+  | Alloc _ | Dim _ | Br _ | Cbr _ | Call _ | Ret _ | Spill_st _ -> None
+
 let move_of = function
   | Mov (d, s) -> Some (d, s)
   | Label _ | Li _ | Lf _ | Unop _ | Binop _ | Load _ | Store _ | Alloc _

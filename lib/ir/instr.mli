@@ -76,6 +76,14 @@ val defs : t -> Reg.t list
 (** Registers used (read) by the instruction. *)
 val uses : t -> Reg.t list
 
+(** Spill slot written ([Spill_st]) / read ([Spill_ld]) by the
+    instruction. Slots are frame storage, not registers, so they are not
+    reported by {!defs}/{!uses}; dataflow over storage locations (e.g. the
+    post-allocation verifier) needs both. *)
+val def_slot : t -> int option
+
+val use_slot : t -> int option
+
 (** [Some (dst, src)] when the instruction is a register-to-register copy. *)
 val move_of : t -> (Reg.t * Reg.t) option
 

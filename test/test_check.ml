@@ -1,0 +1,368 @@
+(* Tests for the translation-validation layer (lib/check): linter unit
+   tests on hand-built ill-formed procedures, mutation tests that corrupt
+   a correct allocation and assert the verifier catches each corruption
+   with the expected diagnostic, a sweep proving the whole benchmark
+   suite passes lint + verification under every heuristic and ablation,
+   and a random-program property. *)
+
+open Ra_ir
+open Ra_core
+open Ra_check
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let ri = Reg.int
+let rf = Reg.flt
+
+let regfile_of (machine : Machine.t) : Verify_alloc.regfile =
+  { Verify_alloc.k_int = Machine.regs machine Reg.Int_reg;
+    k_flt = Machine.regs machine Reg.Flt_reg;
+    caller_save_int = Machine.caller_save machine Reg.Int_reg;
+    caller_save_flt = Machine.caller_save machine Reg.Flt_reg }
+
+let rt_pc = regfile_of Machine.rt_pc
+
+(* Hand-built procedures. The vreg counters are bumped past every id the
+   tests mention so the linter's dense numbering covers them. *)
+let vproc ?(name = "t") ?(args = []) ?(ret_cls = None) ?(slots = 0) code =
+  let p = Proc.create ~name ~args ~ret_cls in
+  p.Proc.code <-
+    Array.of_list (List.map (fun ins -> { Proc.ins; depth = 0 }) code);
+  p.Proc.next_int <- 8;
+  p.Proc.next_flt <- 8;
+  p.Proc.spill_slots <- slots;
+  p
+
+let aproc ?name ?args ?(ret_cls = Some Reg.Int_reg) ?slots code =
+  let p = vproc ?name ?args ~ret_cls ?slots code in
+  p.Proc.allocated <- true;
+  p
+
+let error_report diags =
+  String.concat "\n" (List.map Diagnostic.to_string (Diagnostic.errors diags))
+
+let check_no_errors what diags =
+  Alcotest.(check string) what "" (error_report diags)
+
+let check_flags name diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reported" name)
+    true
+    (List.exists
+       (fun d -> Diagnostic.is_error d && d.Diagnostic.check = name)
+       diags)
+
+(* ---- linter unit tests ---- *)
+
+let lint_clean () =
+  let p =
+    vproc ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 0, 1);
+        Instr.Li (ri 1, 2);
+        Instr.Binop (Instr.Iadd, ri 2, ri 0, ri 1);
+        Instr.Ret (Some (ri 2)) ]
+  in
+  check_no_errors "well-formed proc lints clean" (Lint.run p)
+
+let lint_empty () = check_flags "empty-proc" (Lint.run (vproc []))
+
+let lint_undefined_label () =
+  check_flags "undefined-label"
+    (Lint.run (vproc [ Instr.Li (ri 0, 1); Instr.Br 3 ]))
+
+let lint_duplicate_label () =
+  check_flags "duplicate-label"
+    (Lint.run
+       (vproc
+          [ Instr.Label 0; Instr.Li (ri 0, 1); Instr.Label 0; Instr.Ret None ]))
+
+let lint_class_mismatch () =
+  check_flags "class-mismatch"
+    (Lint.run
+       (vproc
+          [ Instr.Li (ri 0, 1);
+            Instr.Binop (Instr.Iadd, rf 0, ri 0, ri 0);
+            Instr.Ret None ]))
+
+let lint_use_before_def () =
+  let p =
+    vproc ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 0, 1);
+        Instr.Binop (Instr.Iadd, ri 1, ri 0, ri 2);
+        Instr.Ret (Some (ri 1)) ]
+  in
+  check_flags "use-before-def" (Lint.run p)
+
+let lint_use_before_def_one_path () =
+  (* defined on one branch only: still flagged (may-analysis) *)
+  let p =
+    vproc ~args:[ ri 0 ] ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 1, 0);
+        Instr.Cbr (Instr.Lt, ri 0, ri 1, 1, 2);
+        Instr.Label 1;
+        Instr.Li (ri 2, 7);
+        Instr.Br 2;
+        Instr.Label 2;
+        Instr.Ret (Some (ri 2)) ]
+  in
+  check_flags "use-before-def" (Lint.run p)
+
+let lint_ret_arity () =
+  check_flags "ret-arity"
+    (Lint.run
+       (vproc ~ret_cls:(Some Reg.Int_reg) [ Instr.Li (ri 0, 1); Instr.Ret None ]))
+
+let lint_slot_class () =
+  check_flags "slot-class"
+    (Lint.run
+       (vproc ~slots:1
+          [ Instr.Li (ri 0, 1);
+            Instr.Spill_st (0, ri 0);
+            Instr.Spill_ld (rf 0, 0);
+            Instr.Ret None ]))
+
+let lint_slot_range () =
+  check_flags "slot-range"
+    (Lint.run
+       (vproc ~slots:1
+          [ Instr.Li (ri 0, 1); Instr.Spill_st (3, ri 0); Instr.Ret None ]))
+
+let lint_args_count_as_defined () =
+  let p =
+    vproc ~args:[ ri 0; rf 0 ] ~ret_cls:(Some Reg.Flt_reg)
+      [ Instr.Unop (Instr.Itof, rf 1, ri 0);
+        Instr.Binop (Instr.Fadd, rf 2, rf 1, rf 0);
+        Instr.Ret (Some (rf 2)) ]
+  in
+  check_no_errors "arguments are defined on entry" (Lint.run p)
+
+(* ---- mutation tests: corrupt a correct allocation ---- *)
+
+(* A correctly-allocated toy: stash R0 in slot 0, reuse R0, reload into
+   R1, add. Every mutation below breaks exactly one invariant. *)
+let spill_code =
+  [ Instr.Li (ri 0, 1);
+    Instr.Spill_st (0, ri 0);
+    Instr.Li (ri 0, 2);
+    Instr.Spill_ld (ri 1, 0);
+    Instr.Binop (Instr.Iadd, ri 2, ri 0, ri 1);
+    Instr.Ret (Some (ri 2)) ]
+
+let verify_clean_baseline () =
+  check_no_errors "correct allocation verifies clean"
+    (Verify_alloc.run ~regfile:rt_pc (aproc ~slots:1 spill_code))
+
+let mutation_dropped_reload () =
+  (* delete the spld: R1 is read undefined *)
+  let code = List.filter (function Instr.Spill_ld _ -> false | _ -> true)
+      spill_code in
+  check_flags "undefined-read"
+    (Verify_alloc.run ~regfile:rt_pc (aproc ~slots:1 code))
+
+let mutation_retargeted_reload () =
+  (* reload lands in R3 instead of R1: R1 is read undefined *)
+  let code =
+    List.map
+      (function Instr.Spill_ld (_, s) -> Instr.Spill_ld (ri 3, s) | i -> i)
+      spill_code
+  in
+  check_flags "undefined-read"
+    (Verify_alloc.run ~regfile:rt_pc (aproc ~slots:1 code))
+
+let mutation_load_before_store () =
+  (* hoist the reload above the store: slot 0 is read undefined *)
+  let code =
+    [ Instr.Li (ri 0, 1);
+      Instr.Spill_ld (ri 1, 0);
+      Instr.Spill_st (0, ri 0);
+      Instr.Li (ri 0, 2);
+      Instr.Binop (Instr.Iadd, ri 2, ri 0, ri 1);
+      Instr.Ret (Some (ri 2)) ]
+  in
+  check_flags "undefined-read"
+    (Verify_alloc.run ~regfile:rt_pc (aproc ~slots:1 code))
+
+let mutation_branch_to_missing_block () =
+  let good =
+    [ Instr.Li (ri 0, 1); Instr.Br 1; Instr.Label 1; Instr.Ret (Some (ri 0)) ]
+  in
+  check_no_errors "baseline branch lints clean" (Lint.run (aproc good));
+  let bad =
+    List.map (function Instr.Br 1 -> Instr.Br 9 | i -> i) good
+  in
+  check_flags "undefined-label" (Lint.run (aproc bad))
+
+let mutation_caller_save_across_call () =
+  let cs = List.hd rt_pc.Verify_alloc.caller_save_int in
+  let safe =
+    (* a callee-save register: any id outside the caller-save list *)
+    List.find
+      (fun i -> not (List.mem i rt_pc.Verify_alloc.caller_save_int))
+      (List.init rt_pc.Verify_alloc.k_int Fun.id)
+  in
+  let code hold =
+    [ Instr.Li (ri hold, 1);
+      Instr.Call { callee = "g"; args = []; ret = Some (ri safe) };
+      Instr.Binop (Instr.Iadd, ri safe, ri hold, ri safe);
+      Instr.Ret (Some (ri safe)) ]
+  in
+  (* held in a callee-save register: fine *)
+  let ok =
+    List.filter
+      (fun (d : Diagnostic.t) -> d.check = "caller-save-across-call")
+      (Verify_alloc.run ~regfile:rt_pc (aproc (code safe)))
+  in
+  Alcotest.(check int) "callee-save across call accepted" 0 (List.length ok);
+  (* swapped into a caller-save register: caught *)
+  check_flags "caller-save-across-call"
+    (Verify_alloc.run ~regfile:rt_pc (aproc (code cs)))
+
+let mutation_register_out_of_range () =
+  let code =
+    [ Instr.Li (ri (rt_pc.Verify_alloc.k_int + 4), 1); Instr.Ret None ]
+  in
+  check_flags "reg-range"
+    (Verify_alloc.run ~regfile:rt_pc (aproc ~ret_cls:None code))
+
+let mutation_swapped_assignment () =
+  (* Corrupt the coloring, not the code: two simultaneously-live webs
+     forced onto one register must be caught by the assignment check. *)
+  let src =
+    {| proc f(a: int, b: int) : int {
+         var s: int; var i: int;
+         s = b;
+         for i = 1 to a { s = s + i * b; }
+         return s;
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Ra_analysis.Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let n = Ra_analysis.Webs.n_webs webs in
+  let alias = Ra_support.Union_find.create n in
+  (* a trivially-correct coloring: every web its own register, counted
+     per class (the toy has far fewer webs than registers) *)
+  let color = Array.make n 0 in
+  let next = Hashtbl.create 2 in
+  for w = 0 to n - 1 do
+    let cls = (Ra_analysis.Webs.web webs w).Ra_analysis.Webs.cls in
+    let c = Option.value ~default:0 (Hashtbl.find_opt next cls) in
+    color.(w) <- c;
+    Hashtbl.replace next cls (c + 1)
+  done;
+  check_no_errors "distinct colors pass the assignment check"
+    (Verify_alloc.check_assignment ~regfile:rt_pc p cfg webs ~alias
+       ~color:(fun w -> color.(w)));
+  check_flags "interference"
+    (Verify_alloc.check_assignment ~regfile:rt_pc p cfg webs ~alias
+       ~color:(fun _ -> 0))
+
+(* ---- the benchmark suite under every heuristic and ablation ---- *)
+
+let heuristics = [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
+
+let suite_sweep () =
+  List.iter
+    (fun (prog : Ra_programs.Suite.program) ->
+      let procs = Ra_programs.Suite.compile prog in
+      List.iter
+        (fun (p : Proc.t) ->
+          check_no_errors
+            (Printf.sprintf "%s/%s input lint" prog.Ra_programs.Suite.pname
+               p.Proc.name)
+            (Lint.run p);
+          List.iter
+            (fun h ->
+              List.iter
+                (fun (coalesce, rematerialize) ->
+                  (* Matula is cost-blind and may legitimately diverge;
+                     cap it and accept only that failure mode *)
+                  let max_passes =
+                    if h = Heuristic.Matula then 6 else 32
+                  in
+                  match
+                    Allocator.allocate ~coalesce ~rematerialize ~max_passes
+                      ~verify:true Machine.rt_pc h p
+                  with
+                  | r ->
+                    let label =
+                      Printf.sprintf "%s/%s %s coalesce:%b remat:%b"
+                        prog.Ra_programs.Suite.pname p.Proc.name
+                        (Heuristic.name h) coalesce rematerialize
+                    in
+                    check_no_errors (label ^ " output lint")
+                      (Lint.run r.Allocator.proc);
+                    check_no_errors (label ^ " output verify")
+                      (Verify_alloc.run ~regfile:rt_pc r.Allocator.proc)
+                  | exception Allocator.Allocation_failure msg ->
+                    if h <> Heuristic.Matula then
+                      Alcotest.failf "%s/%s %s: %s"
+                        prog.Ra_programs.Suite.pname p.Proc.name
+                        (Heuristic.name h) msg)
+                [ true, true; true, false; false, true; false, false ])
+            heuristics)
+        procs)
+    Ra_programs.Suite.all
+
+(* ---- random programs ---- *)
+
+let prop_random_allocations_verify =
+  QCheck.Test.make
+    ~name:"random programs allocate verified under chaitin and briggs"
+    ~count:15
+    QCheck.(triple (int_bound 1000000) (int_range 5 30) (int_range 4 16))
+    (fun (seed, size, k) ->
+      let k = max 4 k and size = max 1 size in
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      let machine = Machine.with_int_regs Machine.rt_pc k in
+      let regfile = regfile_of machine in
+      List.for_all
+        (fun h ->
+          List.for_all
+            (fun p ->
+              (* verify:true makes the allocator raise on any violation;
+                 re-running the output checks here asserts the public
+                 entry points agree *)
+              let r = Allocator.allocate ~verify:true machine h p in
+              (not (Diagnostic.has_errors (Lint.run r.Allocator.proc)))
+              && not
+                   (Diagnostic.has_errors
+                      (Verify_alloc.run ~regfile r.Allocator.proc)))
+            procs)
+        [ Heuristic.Chaitin; Heuristic.Briggs ])
+
+let suites =
+  [ ( "check.lint",
+      [ Alcotest.test_case "clean proc" `Quick lint_clean;
+        Alcotest.test_case "empty proc" `Quick lint_empty;
+        Alcotest.test_case "undefined label" `Quick lint_undefined_label;
+        Alcotest.test_case "duplicate label" `Quick lint_duplicate_label;
+        Alcotest.test_case "class mismatch" `Quick lint_class_mismatch;
+        Alcotest.test_case "use before def" `Quick lint_use_before_def;
+        Alcotest.test_case "use before def on one path" `Quick
+          lint_use_before_def_one_path;
+        Alcotest.test_case "ret arity" `Quick lint_ret_arity;
+        Alcotest.test_case "slot class" `Quick lint_slot_class;
+        Alcotest.test_case "slot range" `Quick lint_slot_range;
+        Alcotest.test_case "args defined on entry" `Quick
+          lint_args_count_as_defined ] );
+    ( "check.mutations",
+      [ Alcotest.test_case "clean baseline" `Quick verify_clean_baseline;
+        Alcotest.test_case "dropped reload" `Quick mutation_dropped_reload;
+        Alcotest.test_case "retargeted reload" `Quick
+          mutation_retargeted_reload;
+        Alcotest.test_case "load before store" `Quick
+          mutation_load_before_store;
+        Alcotest.test_case "branch to missing block" `Quick
+          mutation_branch_to_missing_block;
+        Alcotest.test_case "caller-save across call" `Quick
+          mutation_caller_save_across_call;
+        Alcotest.test_case "register out of range" `Quick
+          mutation_register_out_of_range;
+        Alcotest.test_case "swapped assignment" `Quick
+          mutation_swapped_assignment ] );
+    ( "check.sweep",
+      [ Alcotest.test_case "benchmarks x heuristics x ablations" `Quick
+          suite_sweep ] );
+    ( "check.properties", [ qtest prop_random_allocations_verify ] ) ]
