@@ -11,23 +11,34 @@ type alloc_pair = {
   new_result : Allocator.result;
 }
 
-(* Allocate every routine of a program with both heuristics. *)
-let allocate_program ?(machine = Machine.rt_pc) (p : Ra_programs.Suite.program) =
+(* Allocate every routine of a program with both heuristics, reusing one
+   warm allocation context for the whole batch (its graph/bucket buffers
+   and incremental structures carry across routines and passes). *)
+let allocate_program ?(machine = Machine.rt_pc) ?context
+    (p : Ra_programs.Suite.program) =
+  let ctx =
+    match context with Some c -> c | None -> Context.create machine
+  in
   let procs = Ra_programs.Suite.compile p in
   List.map
     (fun (proc : Ra_ir.Proc.t) ->
       { routine = proc.Ra_ir.Proc.name;
-        old_result = Allocator.allocate machine old_heuristic proc;
-        new_result = Allocator.allocate machine new_heuristic proc })
+        old_result = Allocator.allocate ~context:ctx machine old_heuristic proc;
+        new_result = Allocator.allocate ~context:ctx machine new_heuristic proc })
     procs
 
 (* Run a program's driver on the given allocated procedure set. *)
-let run_allocated ?(machine = Machine.rt_pc) heuristic
+let run_allocated ?(machine = Machine.rt_pc) ?context heuristic
     (p : Ra_programs.Suite.program) =
+  let ctx =
+    match context with Some c -> c | None -> Context.create machine
+  in
   let procs = Ra_programs.Suite.compile p in
   let allocated =
     List.map
-      (fun proc -> (Allocator.allocate machine heuristic proc).Allocator.proc)
+      (fun proc ->
+        (Allocator.allocate ~context:ctx machine heuristic proc)
+          .Allocator.proc)
       procs
   in
   Ra_vm.Exec.run ~fuel:p.Ra_programs.Suite.fuel ~procs:allocated

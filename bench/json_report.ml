@@ -1,0 +1,175 @@
+(* `bench/main.exe [picks] --json` — machine-readable allocation report.
+
+   Every selected routine is allocated twice per heuristic: once with an
+   incremental context (structures patched across spill passes) and once
+   with incrementality disabled (from-scratch builds every pass). The two
+   runs must agree on everything except CPU time — pass-by-pass counters,
+   spill totals, and the final allocated code — and the report records
+   both time series so the pass-2+ build-time saving is visible in the
+   committed artifact. Any disagreement is a divergence: it is reported
+   in the JSON and the process exits non-zero (CI runs this as a smoke
+   check). *)
+
+open Ra_core
+
+let heuristics = [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
+
+type timed_pass = {
+  counters : int * int * int * int * int * int * int * int * float;
+    (* pass_index, webs, coalesced, nodes_int, nodes_flt, edges_int,
+       edges_flt, spilled, spill_cost *)
+  times : float * float * float * float; (* build, simplify, color, spill *)
+}
+
+let strip (p : Allocator.pass_record) =
+  { counters =
+      ( p.Allocator.pass_index,
+        p.Allocator.webs_initial,
+        p.Allocator.webs_coalesced,
+        p.Allocator.nodes_int,
+        p.Allocator.nodes_flt,
+        p.Allocator.edges_int,
+        p.Allocator.edges_flt,
+        p.Allocator.spilled,
+        p.Allocator.spill_cost );
+    times =
+      ( p.Allocator.build_time,
+        p.Allocator.simplify_time,
+        p.Allocator.color_time,
+        p.Allocator.spill_time ) }
+
+(* Everything observable about a result except CPU time. *)
+let fingerprint (r : Allocator.result) =
+  ( List.map (fun p -> (strip p).counters) r.Allocator.passes,
+    r.Allocator.live_ranges,
+    r.Allocator.total_spilled,
+    r.Allocator.total_spill_cost,
+    r.Allocator.moves_removed,
+    Ra_ir.Proc.to_string r.Allocator.proc )
+
+let buf_time b t = Buffer.add_string b (Printf.sprintf "%.6f" t)
+
+(* cost-blind Matula assigns infinite spill costs; JSON has no inf *)
+let json_cost c =
+  if Float.is_finite c then Printf.sprintf "%.1f" c
+  else Printf.sprintf "\"%s\"" (if c > 0.0 then "inf" else "-inf")
+
+let buf_times b label { times = bt, st, ct, spt; _ } =
+  Buffer.add_string b (Printf.sprintf "\"%s\": {\"build\": " label);
+  buf_time b bt;
+  Buffer.add_string b ", \"simplify\": ";
+  buf_time b st;
+  Buffer.add_string b ", \"color\": ";
+  buf_time b ct;
+  Buffer.add_string b ", \"spill\": ";
+  buf_time b spt;
+  Buffer.add_string b "}"
+
+let routines_for picks =
+  let fig7_only =
+    picks <> [] && List.for_all (fun p -> p = "fig7") picks
+  in
+  if fig7_only then
+    List.map
+      (fun (routine, pname) -> (Ra_programs.Suite.find pname, Some routine))
+      Fig7.routines_of_interest
+  else List.map (fun p -> (p, None)) Ra_programs.Suite.all
+
+let run ~picks () =
+  let machine = Machine.rt_pc in
+  let inc_ctx = Context.create ~incremental:true machine in
+  let scr_ctx = Context.create ~incremental:false machine in
+  let divergences = ref [] in
+  let entries = ref 0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"benchmarks\": [";
+  let first_entry = ref true in
+  List.iter
+    (fun (program, only) ->
+      let procs = Ra_programs.Suite.compile program in
+      let procs =
+        match only with
+        | None -> procs
+        | Some routine ->
+          List.filter (fun (p : Ra_ir.Proc.t) -> p.name = routine) procs
+      in
+      List.iter
+        (fun (proc : Ra_ir.Proc.t) ->
+          List.iter
+            (fun h ->
+              let inc = Allocator.allocate ~context:inc_ctx machine h proc in
+              let scr = Allocator.allocate ~context:scr_ctx machine h proc in
+              let equivalent = fingerprint inc = fingerprint scr in
+              if not equivalent then
+                divergences :=
+                  Printf.sprintf "%s/%s/%s"
+                    program.Ra_programs.Suite.pname proc.name
+                    (Heuristic.name h)
+                  :: !divergences;
+              if not !first_entry then Buffer.add_string buf ",";
+              first_entry := false;
+              incr entries;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "\n    {\"program\": \"%s\", \"routine\": \"%s\", \
+                    \"heuristic\": \"%s\",\n     \"equivalent\": %b, \
+                    \"live_ranges\": %d, \"passes\": %d, \"spilled\": %d, \
+                    \"spill_cost\": %s, \"moves_removed\": %d,\n     \
+                    \"per_pass\": ["
+                   program.Ra_programs.Suite.pname proc.name
+                   (Heuristic.name h) equivalent inc.Allocator.live_ranges
+                   (List.length inc.Allocator.passes)
+                   inc.Allocator.total_spilled
+                   (json_cost inc.Allocator.total_spill_cost)
+                   inc.Allocator.moves_removed);
+              (* zip without raising when a divergence changed the pass
+                 count; the shorter series bounds the table *)
+              let rec zip a b =
+                match a, b with
+                | x :: a, y :: b -> (x, y) :: zip a b
+                | _, _ -> []
+              in
+              List.iteri
+                (fun i (pi, ps) ->
+                  if i > 0 then Buffer.add_string buf ",";
+                  let idx, webs, coalesced, _, _, _, _, spilled, spill_cost =
+                    (strip pi).counters
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "\n       {\"pass\": %d, \"webs\": %d, \
+                        \"coalesced\": %d, \"spilled\": %d, \
+                        \"spill_cost\": %s,\n        "
+                       idx webs coalesced spilled (json_cost spill_cost));
+                  buf_times buf "incremental" (strip pi);
+                  Buffer.add_string buf ",\n        ";
+                  buf_times buf "scratch" (strip ps);
+                  Buffer.add_string buf "}")
+                (zip inc.Allocator.passes scr.Allocator.passes);
+              Buffer.add_string buf "]}")
+            heuristics)
+        procs)
+    (routines_for picks);
+  let inc_stats = Context.stats inc_ctx in
+  let scr_stats = Context.stats scr_ctx in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"context\": {\"incremental_builds\": %d, \
+        \"scratch_builds\": %d, \"verified_builds\": %d, \
+        \"reference_scratch_builds\": %d},\n  \"divergences\": [%s]\n}\n"
+       inc_stats.Context.incremental_builds inc_stats.Context.scratch_builds
+       inc_stats.Context.verified_builds scr_stats.Context.scratch_builds
+       (String.concat ", "
+          (List.rev_map (Printf.sprintf "\"%s\"") !divergences)));
+  let path = "BENCH_alloc.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmark entries, %d divergence(s))\n" path
+    !entries (List.length !divergences);
+  if !divergences <> [] then begin
+    List.iter
+      (fun d -> Printf.eprintf "divergence: incremental != scratch for %s\n" d)
+      (List.rev !divergences);
+    exit 1
+  end

@@ -6,7 +6,14 @@
      dune exec bench/main.exe fig6 fig7  -- a selection
 
    Outputs are deterministic except the CPU-time columns of Figure 7 and
-   the microbenchmark timings. *)
+   the microbenchmark timings.
+
+   With --json the harness instead allocates the selected routine set
+   (fig7's four multi-pass routines for `fig7 --json`, the whole suite
+   otherwise) with incremental allocation contexts AND with
+   incrementality disabled, writes the per-pass phase times of both
+   modes to BENCH_alloc.json, and exits non-zero if the two modes
+   disagree on anything but CPU time. *)
 
 let available =
   [ "fig3", (fun () ->
@@ -39,17 +46,23 @@ let available =
     "micro", Micro.run ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) -> picks
-    | _ :: [] | [] -> List.map fst available
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name available with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown benchmark %S; available: %s\n" name
-          (String.concat ", " (List.map fst available));
-        exit 1)
-    requested
+  let json_mode = List.mem "--json" args in
+  let picks = List.filter (fun a -> a <> "--json") args in
+  if json_mode then Json_report.run ~picks ()
+  else begin
+    let requested =
+      match picks with [] -> List.map fst available | picks -> picks
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name available with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown benchmark %S; available: %s\n" name
+            (String.concat ", " (List.map fst available));
+          exit 1)
+      requested
+  end

@@ -104,12 +104,14 @@ let alloc_cmd =
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
+    (* one warm context across the whole file's procedures *)
+    let context = Ra_core.Context.create machine in
     List.iter
       (fun p ->
         let r =
           Ra_core.Allocator.allocate
             ?verify:(if verify then Some true else None)
-            machine h p
+            ~context machine h p
         in
         Printf.printf
           "%s: live ranges %d, passes %d, spilled %d (cost %.0f), \
@@ -148,11 +150,12 @@ let run_cmd =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
+        let context = Ra_core.Context.create machine in
         List.map
           (fun p ->
             (Ra_core.Allocator.allocate
                ?verify:(if verify then Some true else None)
-               machine h p)
+               ~context machine h p)
               .Ra_core.Allocator.proc)
           procs
       end
@@ -213,8 +216,11 @@ let suite_cmd =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
+        let context = Ra_core.Context.create machine in
         List.map
-          (fun p -> (Ra_core.Allocator.allocate machine h p).Ra_core.Allocator.proc)
+          (fun p ->
+            (Ra_core.Allocator.allocate ~context machine h p)
+              .Ra_core.Allocator.proc)
           procs
       end
       else procs
@@ -248,6 +254,7 @@ let compare_cmd =
   let run file k optimize =
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
+    let context = Ra_core.Context.create machine in
     let table =
       Ra_support.Table.create
         [ "routine"; "live ranges"; "spilled(old)"; "spilled(new)";
@@ -255,8 +262,12 @@ let compare_cmd =
     in
     List.iter
       (fun p ->
-        let old_r = Ra_core.Allocator.allocate machine Ra_core.Heuristic.Chaitin p in
-        let new_r = Ra_core.Allocator.allocate machine Ra_core.Heuristic.Briggs p in
+        let old_r =
+          Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Chaitin p
+        in
+        let new_r =
+          Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Briggs p
+        in
         Ra_support.Table.add_row table
           [ p.Ra_ir.Proc.name;
             string_of_int old_r.Ra_core.Allocator.live_ranges;

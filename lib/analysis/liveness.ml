@@ -9,6 +9,8 @@ type numbering = {
 type t = {
   numbering : numbering;
   cfg : Ra_ir.Cfg.t;
+  gen : Bitset.t array; (* upward-exposed uses, per block *)
+  kill : Bitset.t array; (* defs, per block *)
   result : Dataflow.result;
   scratch : Bitset.t;
 }
@@ -25,27 +27,114 @@ let vreg_numbering (proc : Ra_ir.Proc.t) =
     defs_of = (fun i -> List.map index (Ra_ir.Instr.defs (code.(i)).ins));
     uses_of = (fun i -> List.map index (Ra_ir.Instr.uses (code.(i)).ins)) }
 
+(* Upward-exposed uses and defs of one block, into cleared sets. *)
+let block_gen_kill numbering (b : Ra_ir.Cfg.block) ~gen ~kill =
+  for i = b.first to b.last do
+    List.iter
+      (fun u -> if not (Bitset.mem kill u) then Bitset.add gen u)
+      (numbering.uses_of i);
+    List.iter (fun d -> Bitset.add kill d) (numbering.defs_of i)
+  done
+
 let compute ~code ~cfg numbering =
   let n = Ra_ir.Cfg.n_blocks cfg in
   let universe = numbering.universe in
   let gen = Array.init n (fun _ -> Bitset.create universe) in
   let kill = Array.init n (fun _ -> Bitset.create universe) in
-  (* upward-exposed uses and defs, per block *)
   Array.iter
     (fun (b : Ra_ir.Cfg.block) ->
-      let g = gen.(b.bindex) and k = kill.(b.bindex) in
-      for i = b.first to b.last do
-        List.iter
-          (fun u -> if not (Bitset.mem k u) then Bitset.add g u)
-          (numbering.uses_of i);
-        List.iter (fun d -> Bitset.add k d) (numbering.defs_of i)
-      done)
+      block_gen_kill numbering b ~gen:gen.(b.bindex) ~kill:kill.(b.bindex))
     cfg.blocks;
   let result =
     Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
   in
   ignore code;
-  { numbering; cfg; result; scratch = Bitset.create universe }
+  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe }
+
+(* Incremental re-solve after a code edit that preserved the block
+   structure (spill insertion). The previous solution carries over
+   exactly for every id that survives the edit:
+
+   - a surviving id's occurrences are untouched outside dirty blocks, so
+     clean blocks keep their gen/kill/live facts for it verbatim (modulo
+     the renumbering [remap]);
+   - a retired id (a spilled web) is dropped from every set by [remap]
+     returning [-1], so no stale bit can sustain itself around a loop;
+   - a brand-new id (a spill temporary) is born and dies between two
+     adjacent instructions of a dirty block and never crosses a block
+     boundary.
+
+   The remapped old solution is therefore a sound starting point at or
+   below the new least fixpoint, and a worklist seeded with the dirty
+   blocks (the only blocks whose transfer functions changed) suffices to
+   reach it. Under RA_VERIFY the allocator cross-checks this against a
+   from-scratch [compute]. *)
+let update ~old ~code ~cfg numbering ~remap ~dirty_blocks =
+  ignore code;
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  let universe = numbering.universe in
+  if Ra_ir.Cfg.n_blocks old.cfg <> n then
+    invalid_arg "Liveness.update: block structure changed";
+  let remap_set src =
+    let dst = Bitset.create universe in
+    Bitset.iter
+      (fun i ->
+        let j = remap i in
+        if j >= 0 then Bitset.add dst j)
+      src;
+    dst
+  in
+  let dirty = Array.make n false in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= n then invalid_arg "Liveness.update: dirty block";
+      dirty.(b) <- true)
+    dirty_blocks;
+  let gen =
+    Array.init n (fun b ->
+      if dirty.(b) then Bitset.create universe else remap_set old.gen.(b))
+  in
+  let kill =
+    Array.init n (fun b ->
+      if dirty.(b) then Bitset.create universe else remap_set old.kill.(b))
+  in
+  Array.iter
+    (fun (b : Ra_ir.Cfg.block) ->
+      if dirty.(b.bindex) then
+        block_gen_kill numbering b ~gen:gen.(b.bindex) ~kill:kill.(b.bindex))
+    cfg.blocks;
+  let live_in =
+    Array.init n (fun b -> remap_set old.result.Dataflow.live_in.(b))
+  in
+  let live_out =
+    Array.init n (fun b -> remap_set old.result.Dataflow.live_out.(b))
+  in
+  let scratch = Bitset.create universe in
+  let on_work = Array.make n false in
+  let work = Queue.create () in
+  let push b =
+    if not on_work.(b) then begin
+      on_work.(b) <- true;
+      Queue.add b work
+    end
+  in
+  List.iter push (List.sort_uniq Int.compare dirty_blocks);
+  while not (Queue.is_empty work) do
+    let b = Queue.pop work in
+    on_work.(b) <- false;
+    let block = cfg.Ra_ir.Cfg.blocks.(b) in
+    List.iter
+      (fun s -> ignore (Bitset.union_into ~into:live_out.(b) live_in.(s)))
+      block.Ra_ir.Cfg.succs;
+    ignore (Bitset.assign ~into:scratch live_out.(b));
+    ignore (Bitset.diff_into ~into:scratch kill.(b));
+    ignore (Bitset.union_into ~into:scratch gen.(b));
+    if Bitset.assign ~into:live_in.(b) scratch then
+      List.iter push block.Ra_ir.Cfg.preds
+  done;
+  { numbering; cfg; gen; kill;
+    result = { Dataflow.live_in; live_out };
+    scratch = Bitset.create universe }
 
 let block_live_in t b = t.result.Dataflow.live_in.(b)
 let block_live_out t b = t.result.Dataflow.live_out.(b)

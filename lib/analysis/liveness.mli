@@ -22,6 +22,25 @@ val vreg_index : Ra_ir.Proc.t -> Ra_ir.Reg.t -> int
 val compute :
   code:Ra_ir.Proc.node array -> cfg:Ra_ir.Cfg.t -> numbering -> t
 
+(** [update ~old ~code ~cfg numbering ~remap ~dirty_blocks] re-solves the
+    analysis after a code edit that preserved the block structure (spill
+    insertion widens blocks but adds no edge, label or branch). [cfg] must
+    have the same blocks and edges as [old]'s; [remap] translates an id of
+    [old]'s universe into the new universe, or [-1] for an id the edit
+    retired (a spilled web); [dirty_blocks] are the blocks whose
+    instructions changed. Facts for surviving ids carry over exactly;
+    gen/kill are recomputed for dirty blocks only, and a worklist seeded
+    with them runs the solution to the same least fixpoint a from-scratch
+    {!compute} reaches. *)
+val update :
+  old:t ->
+  code:Ra_ir.Proc.node array ->
+  cfg:Ra_ir.Cfg.t ->
+  numbering ->
+  remap:(int -> int) ->
+  dirty_blocks:int list ->
+  t
+
 (** Live-in/out of a whole block. Do not mutate the returned sets. *)
 val block_live_in : t -> int -> Ra_support.Bitset.t
 val block_live_out : t -> int -> Ra_support.Bitset.t

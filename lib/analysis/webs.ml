@@ -77,10 +77,25 @@ let build (proc : Ra_ir.Proc.t) (cfg : Ra_ir.Cfg.t) ~is_spill_vreg : t =
     let rep = Union_find.find uf v in
     if Hashtbl.mem vreg_of_rep rep then Hashtbl.replace entry_def_of_rep rep ()
   done;
-  (* assign dense web ids *)
+  (* Assign dense web ids in canonical order: ascending minimum def id of
+     the class (entry defs occupy ids 0 .. n_vregs-1, instruction defs
+     follow in instruction order). The minimum is a property of the
+     class's contents, unlike the union-find representative, whose
+     identity depends on union order and ranks — [rebuild] reproduces
+     this numbering without re-running reaching definitions, which only
+     works against an internals-independent order. *)
+  let min_def_of_rep = Hashtbl.create 64 in
+  for d = 0 to Reaching_defs.n_defs rd - 1 do
+    let rep = Union_find.find uf d in
+    if Hashtbl.mem vreg_of_rep rep && not (Hashtbl.mem min_def_of_rep rep)
+    then Hashtbl.replace min_def_of_rep rep d
+  done;
   let reps =
     Hashtbl.fold (fun rep _ acc -> rep :: acc) vreg_of_rep []
-    |> List.sort compare
+    |> List.sort (fun a b ->
+         Int.compare
+           (Hashtbl.find min_def_of_rep a)
+           (Hashtbl.find min_def_of_rep b))
   in
   let flt_base = proc.next_int in
   let reg_of_index v =
@@ -139,7 +154,7 @@ let use_web t i reg = List.assoc (key_of t reg) t.use_maps.(i)
 
 let def_web t i reg = List.assoc (key_of t reg) t.def_maps.(i)
 
-let uses_at t i = List.sort_uniq compare (List.map snd t.use_maps.(i))
+let uses_at t i = List.sort_uniq Int.compare (List.map snd t.use_maps.(i))
 let defs_at t i = List.map snd t.def_maps.(i)
 
 let entry_webs t =
@@ -151,3 +166,132 @@ let numbering t : Liveness.numbering =
   { Liveness.universe = n_webs t;
     defs_of = defs_at t;
     uses_of = uses_at t }
+
+(* ---- incremental rebuild after spill insertion ---- *)
+
+type edit = {
+  instr_map : int array;
+  retired : bool array;
+  new_temp_regs : Ra_ir.Reg.t list;
+}
+
+(* Why renumbering only the edited webs is exact: spill insertion removes
+   every occurrence of a retired web and mints temporaries whose def and
+   uses are adjacent instructions of one block. A surviving web's def/use
+   sites are untouched (only shifted), and removing a retired web's
+   definitions cannot re-route reaching definitions into a surviving web:
+   any path from a removed def (or from procedure entry past one) to a
+   use with no intervening definition would have made that use reach the
+   removed def — i.e. the use would itself belong to the retired web and
+   be rewritten. So the surviving-web partition, each web's entry flag,
+   and each web's site lists (shifted through [instr_map]) carry over
+   verbatim; fresh webs are exactly the temporaries. The canonical
+   min-def-id order of [build] is then reproducible: entry keys are vreg
+   indices under the new float base, instruction-def keys follow the new
+   code's definition sequence, and [instr_map] is strictly increasing, so
+   survivors keep their relative order and temporaries interleave by def
+   site. *)
+let rebuild (proc : Ra_ir.Proc.t) ~(old : t) (edit : edit) : t * int array =
+  let code = proc.code in
+  let n_instr = Array.length code in
+  let n_old = n_webs old in
+  if Array.length edit.retired <> n_old then
+    invalid_arg "Webs.rebuild: retired arity";
+  let flt_base = proc.next_int in
+  let n_vregs = proc.next_int + proc.next_flt in
+  let key_of_reg (r : Ra_ir.Reg.t) =
+    match r.cls with
+    | Ra_ir.Reg.Int_reg -> r.id
+    | Ra_ir.Reg.Flt_reg -> flt_base + r.id
+  in
+  (* fresh def-id of the instruction-level def at new index i *)
+  let def_seq = Array.make (max n_instr 1) 0 in
+  let count = ref 0 in
+  for i = 0 to n_instr - 1 do
+    def_seq.(i) <- n_vregs + !count;
+    match Ra_ir.Instr.defs (code.(i)).ins with
+    | [] -> ()
+    | _ :: _ -> incr count
+  done;
+  (* surviving webs with shifted sites, keyed for the canonical order *)
+  let shift i = edit.instr_map.(i) in
+  let survivors = ref [] in
+  for w = n_old - 1 downto 0 do
+    if not edit.retired.(w) then begin
+      let web = old.webs.(w) in
+      let def_sites = List.map shift web.def_sites in
+      let use_sites = List.map shift web.use_sites in
+      let key =
+        if web.has_entry_def then key_of_reg web.vreg
+        else
+          match def_sites with
+          | first :: _ -> def_seq.(first)
+          | [] -> invalid_arg "Webs.rebuild: web without def or entry"
+      in
+      survivors := (key, w, { web with def_sites; use_sites }) :: !survivors
+    end
+  done;
+  (* temporary webs: one scan of the new code over the minted registers *)
+  let temp_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ra_ir.Reg.t) ->
+      Hashtbl.replace temp_tbl (r.id, r.cls) (ref [], ref []))
+    edit.new_temp_regs;
+  for i = n_instr - 1 downto 0 do
+    let ins = (code.(i)).ins in
+    List.iter
+      (fun (r : Ra_ir.Reg.t) ->
+        match Hashtbl.find_opt temp_tbl (r.id, r.cls) with
+        | Some (defs, _) -> defs := i :: !defs
+        | None -> ())
+      (Ra_ir.Instr.defs ins);
+    List.iter
+      (fun (r : Ra_ir.Reg.t) ->
+        match Hashtbl.find_opt temp_tbl (r.id, r.cls) with
+        | Some (_, uses) -> uses := i :: !uses
+        | None -> ())
+      (Ra_ir.Instr.uses ins)
+  done;
+  let temps =
+    List.filter_map
+      (fun (r : Ra_ir.Reg.t) ->
+        let defs, uses = Hashtbl.find temp_tbl (r.id, r.cls) in
+        match !defs with
+        | [] -> None (* a minted register the rewrite ended up not using *)
+        | first :: _ ->
+          Some
+            ( def_seq.(first), -1,
+              { w_id = -1;
+                cls = r.cls;
+                vreg = r;
+                def_sites = !defs;
+                use_sites = !uses;
+                has_entry_def = false;
+                spill_temp = true } ))
+      edit.new_temp_regs
+  in
+  let ordered =
+    List.sort
+      (fun (ka, _, _) (kb, _, _) -> Int.compare ka kb)
+      (!survivors @ temps)
+  in
+  let old_to_new = Array.make (max n_old 1) (-1) in
+  let webs =
+    Array.of_list ordered
+    |> Array.mapi (fun w_id (_, old_id, web) ->
+         if old_id >= 0 then old_to_new.(old_id) <- w_id;
+         { web with w_id })
+  in
+  let use_maps = Array.make n_instr [] in
+  let def_maps = Array.make n_instr [] in
+  Array.iter
+    (fun web ->
+      let key = key_of_reg web.vreg in
+      List.iter
+        (fun i -> def_maps.(i) <- [ (key, web.w_id) ])
+        web.def_sites;
+      List.iter
+        (fun i -> use_maps.(i) <- (key, web.w_id) :: use_maps.(i))
+        web.use_sites)
+    webs;
+  { webs; use_maps; def_maps; flt_base }, old_to_new

@@ -50,3 +50,24 @@ val entry_webs : t -> int list
 
 (** A {!Liveness.numbering} over web ids, for interference construction. *)
 val numbering : t -> Liveness.numbering
+
+(** Description of a spill-insertion edit, for {!rebuild}. *)
+type edit = {
+  instr_map : int array;
+    (** Old instruction index -> its index in the new code (strictly
+        increasing: spill insertion only widens blocks). *)
+  retired : bool array;
+    (** Old web id -> was it spilled away (every occurrence rewritten)? *)
+  new_temp_regs : Ra_ir.Reg.t list;
+    (** Registers minted by the edit; each with at least one definition in
+        the new code becomes a fresh [spill_temp] web. *)
+}
+
+(** [rebuild proc ~old edit] renumbers only the webs the edit touched:
+    surviving webs keep their partition and site lists (shifted through
+    [edit.instr_map]); retired webs disappear; minted temporaries become
+    fresh webs. Returns the new table and an old-web-id -> new-web-id map
+    ([-1] for retired ids). The result is equal to re-running {!build} on
+    the edited procedure — see the exactness argument in the
+    implementation — without recomputing reaching definitions. *)
+val rebuild : Ra_ir.Proc.t -> old:t -> edit -> t * int array

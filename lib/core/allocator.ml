@@ -75,12 +75,18 @@ let spill_groups built cls nodes =
 
 let allocate ?(coalesce = true) ?(max_passes = 32)
     ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
-    ?(verify = verify_default) machine heuristic (original : Proc.t) :
+    ?(verify = verify_default) ?context machine heuristic (original : Proc.t) :
     result =
   if verify then
     fail_on_errors
       ~stage:(original.Proc.name ^ ": input lint")
       (Ra_check.Lint.run original);
+  let ctx =
+    match context with
+    | Some c -> c
+    | None -> Context.create ~verify machine
+  in
+  Context.begin_proc ctx;
   let proc = copy_proc original in
   let spill_vreg_ids : (int * Reg.cls, unit) Hashtbl.t = Hashtbl.create 16 in
   let is_spill_vreg (r : Reg.t) = Hashtbl.mem spill_vreg_ids (r.id, r.cls) in
@@ -138,17 +144,22 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
         | ins -> out := { node with Proc.ins } :: !out)
       proc.code;
     proc.code <- Array.of_list (List.rev !out);
-    (* arguments arrive in the physical registers of their entry webs *)
+    (* arguments arrive in the physical registers of their entry webs;
+       one table lookup per argument instead of a scan of every web *)
+    let entry_web_of_vreg : (int * Reg.cls, int) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    Array.iter
+      (fun (w : Webs.web) ->
+        if w.has_entry_def then
+          Hashtbl.replace entry_web_of_vreg
+            (w.vreg.Reg.id, w.vreg.Reg.cls)
+            w.w_id)
+      (Webs.webs webs);
     let args =
       List.map
         (fun (a : Reg.t) ->
-          let entry_web = ref None in
-          Array.iter
-            (fun (w : Webs.web) ->
-              if w.has_entry_def && Reg.equal w.vreg a then
-                entry_web := Some w.w_id)
-            (Webs.webs webs);
-          match !entry_web with
+          match Hashtbl.find_opt entry_web_of_vreg (a.id, a.cls) with
           | Some w -> phys a (color_of a.cls (Build.node_of built w))
           | None ->
             (* unused argument: park it above the physical file so binding
@@ -161,16 +172,13 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
     proc.Proc.allocated <- true;
     proc, !moves_removed
   in
-  let rec run_pass pass_index =
+  let rec run_pass pass_index ~edit =
     if pass_index > max_passes then
       fail "%s: no convergence after %d passes" proc.name max_passes;
     let timer = Timer.create () in
     let cfg, webs, built =
       Timer.record timer ~phase:"build" (fun () ->
-        let cfg = Cfg.build proc.code in
-        let webs = Webs.build proc cfg ~is_spill_vreg in
-        let built = Build.build machine proc cfg ~webs ~coalesce () in
-        cfg, webs, built)
+        Context.build_pass ctx proc ~is_spill_vreg ~coalesce ~edit)
     in
     if pass_index = 1 then live_ranges := Webs.n_webs webs;
     (* spill costs are part of Build in the paper's accounting *)
@@ -182,12 +190,12 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
     let k_int = Machine.regs machine Reg.Int_reg in
     let k_flt = Machine.regs machine Reg.Flt_reg in
     let out_int =
-      Heuristic.run ~timer heuristic built.Build.int_graph ~k:k_int
-        ~costs:costs_int
+      Heuristic.run ~timer ~buckets:(Context.buckets ctx) heuristic
+        built.Build.int_graph ~k:k_int ~costs:costs_int
     in
     let out_flt =
-      Heuristic.run ~timer heuristic built.Build.flt_graph ~k:k_flt
-        ~costs:costs_flt
+      Heuristic.run ~timer ~buckets:(Context.buckets ctx) heuristic
+        built.Build.flt_graph ~k:k_flt ~costs:costs_flt
     in
     let spills_of cls costs = function
       | Heuristic.Colored _ -> [], 0.0
@@ -249,14 +257,18 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
           proc.name pass_index k_int k_flt;
       total_spilled := !total_spilled + n_spilled;
       total_spill_cost := !total_spill_cost +. spill_cost;
-      Timer.record timer ~phase:"spill" (fun () ->
-        let { Spill.new_temps; _ } =
-          Spill.insert ~rematerialize proc webs
-            ~spilled:(groups_int @ groups_flt)
-        in
-        List.iter
-          (fun (r : Reg.t) -> Hashtbl.replace spill_vreg_ids (r.id, r.cls) ())
-          new_temps);
+      let sp =
+        Timer.record timer ~phase:"spill" (fun () ->
+          let sp =
+            Spill.insert ~rematerialize proc webs
+              ~spilled:(groups_int @ groups_flt)
+          in
+          List.iter
+            (fun (r : Reg.t) ->
+              Hashtbl.replace spill_vreg_ids (r.id, r.cls) ())
+            sp.Spill.new_temps;
+          sp)
+      in
       if debug_enabled then begin
         Printf.eprintf
           "[ra] %s pass %d: webs %d, spilled %d (cost %g), int %d/%d flt %d/%d\n%!"
@@ -275,10 +287,10 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
           (groups_int @ groups_flt)
       end;
       passes := record ~spilled:n_spilled ~spill_cost :: !passes;
-      run_pass (pass_index + 1)
+      run_pass (pass_index + 1) ~edit:(Some sp)
     end
   in
-  let allocated, moves_removed = run_pass 1 in
+  let allocated, moves_removed = run_pass 1 ~edit:None in
   if verify then begin
     fail_on_errors
       ~stage:(allocated.Proc.name ^ ": output lint")

@@ -53,13 +53,23 @@ exception Allocation_failure of string
     output is linted and verified ({!Ra_check.Verify_alloc.run}). Any
     error-severity diagnostic raises {!Allocation_failure} carrying the
     full report. Defaults to true iff the [RA_VERIFY] environment
-    variable is set to a non-empty value other than ["0"]. *)
+    variable is set to a non-empty value other than ["0"].
+
+    [context], when given, supplies the {!Context} whose buffers and
+    incremental structures the passes run on — batch drivers pass one
+    context across many procedures so the buffers stay warm. Without it
+    a private context is created (incrementality still governed by
+    [RA_INCREMENTAL]; the context inherits [verify], so an incremental
+    build that diverges from a from-scratch one also fails). Results
+    are identical either way, and identical with incrementality on or
+    off. *)
 val allocate :
   ?coalesce:bool ->
   ?max_passes:int ->
   ?spill_base:float ->
   ?rematerialize:bool ->
   ?verify:bool ->
+  ?context:Context.t ->
   Machine.t ->
   Heuristic.t ->
   Ra_ir.Proc.t ->

@@ -11,12 +11,16 @@ type t = {
   web_of_node_int : int array;
   web_of_node_flt : int array;
   moves_coalesced : int;
+  base_live : Liveness.t;
 }
 
 let cls_of_web (webs : Webs.t) w = (Webs.web webs w).cls
 
-(* Build the two class graphs for the current aliasing. *)
-let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias =
+(* Build the two class graphs for the current aliasing. [numbering] maps
+   instructions to alias representatives; [live] is the liveness solution
+   under that numbering. *)
+let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias
+    ~numbering ~(live : Liveness.t) ~scratch =
   let n_webs = Webs.n_webs webs in
   let find = Union_find.find alias in
   (* dense node numbering per class, representatives only *)
@@ -40,20 +44,20 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias =
   done;
   let web_of_node_int = Array.of_list (List.rev !rev_int) in
   let web_of_node_flt = Array.of_list (List.rev !rev_flt) in
-  let int_graph = Igraph.create ~n_nodes:(k_int + !n_int) ~n_precolored:k_int in
-  let flt_graph = Igraph.create ~n_nodes:(k_flt + !n_flt) ~n_precolored:k_flt in
+  let int_graph, flt_graph =
+    match scratch with
+    | Some (ig, fg) ->
+      Igraph.reset ig ~n_nodes:(k_int + !n_int) ~n_precolored:k_int;
+      Igraph.reset fg ~n_nodes:(k_flt + !n_flt) ~n_precolored:k_flt;
+      ig, fg
+    | None ->
+      Igraph.create ~n_nodes:(k_int + !n_int) ~n_precolored:k_int,
+      Igraph.create ~n_nodes:(k_flt + !n_flt) ~n_precolored:k_flt
+  in
   let graph_of = function
     | Reg.Int_reg -> int_graph
     | Reg.Flt_reg -> flt_graph
   in
-  (* liveness over representatives *)
-  let base = Webs.numbering webs in
-  let numbering =
-    { Liveness.universe = n_webs;
-      defs_of = (fun i -> List.sort_uniq compare (List.map find (base.Liveness.defs_of i)));
-      uses_of = (fun i -> List.sort_uniq compare (List.map find (base.Liveness.uses_of i))) }
-  in
-  let live = Liveness.compute ~code:proc.code ~cfg numbering in
   let add_def_edges def_rep ~excluding ~live_after =
     let cls = cls_of_web webs def_rep in
     let g = graph_of cls in
@@ -150,24 +154,56 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
     proc.code;
   !merged
 
-let build machine proc cfg ~webs ?(coalesce = true) () : t =
+let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
+    () : t =
   let n_webs = Webs.n_webs webs in
   let alias = Union_find.create (max n_webs 1) in
-  let rec fixpoint total =
-    let ig, fg, now, wni, wnf = build_graphs machine proc cfg webs alias in
+  let base = Webs.numbering webs in
+  (* Iteration 0 runs with the identity aliasing, where the representative
+     numbering coincides with the plain web numbering — so a caller who
+     already holds the web-granularity liveness (the allocation context,
+     carrying it across spill passes via [Liveness.update]) can pass it as
+     [live0] and skip the from-scratch solve. Once coalescing merges
+     classes the transfer functions change (a merged class's gen can
+     shrink), so every later iteration recomputes liveness in full. *)
+  let base_live =
+    match live0 with
+    | Some l -> l
+    | None -> Liveness.compute ~code:proc.code ~cfg base
+  in
+  let rep_numbering () =
+    let find = Union_find.find alias in
+    { Liveness.universe = n_webs;
+      defs_of =
+        (fun i ->
+          List.sort_uniq Int.compare (List.map find (base.Liveness.defs_of i)));
+      uses_of =
+        (fun i ->
+          List.sort_uniq Int.compare (List.map find (base.Liveness.uses_of i)))
+    }
+  in
+  let rec fixpoint total ~first =
+    let numbering = rep_numbering () in
+    let live =
+      if first then base_live
+      else Liveness.compute ~code:proc.code ~cfg numbering
+    in
+    let ig, fg, now, wni, wnf =
+      build_graphs machine proc cfg webs alias ~numbering ~live ~scratch
+    in
     if not coalesce then ig, fg, now, wni, wnf, total
     else begin
       let merged = find_coalescable proc webs alias now ig fg in
       if merged = 0 then ig, fg, now, wni, wnf, total
-      else fixpoint (total + merged)
+      else fixpoint (total + merged) ~first:false
     end
   in
   let int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt,
       moves_coalesced =
-    fixpoint 0
+    fixpoint 0 ~first:true
   in
   { webs; alias; int_graph; flt_graph; node_of_web;
-    web_of_node_int; web_of_node_flt; moves_coalesced }
+    web_of_node_int; web_of_node_flt; moves_coalesced; base_live }
 
 let graph_of_class t = function
   | Reg.Int_reg -> t.int_graph

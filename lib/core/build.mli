@@ -28,14 +28,27 @@ type t = {
   web_of_node_int : int array; (* node id - k -> rep web id *)
   web_of_node_flt : int array;
   moves_coalesced : int;
+  base_live : Liveness.t;
+    (* web-granularity liveness under the identity aliasing (coalescing
+       iteration 0) — the allocation context seeds the next spill pass's
+       build from it via [Liveness.update] *)
 }
 
+(** [live0], when given, must be the liveness of [proc] under
+    {!Webs.numbering} of [webs] — it spares the iteration-0 solve (later
+    coalescing iterations always recompute, since merging classes changes
+    the transfer functions). [scratch], when given, is a pair of graph
+    buffers (int class, flt class) that every iteration {!Igraph.reset}s
+    and builds into: the returned [t] then aliases those buffers, which
+    stay valid until the next build that reuses them. *)
 val build :
   Machine.t ->
   Ra_ir.Proc.t ->
   Ra_ir.Cfg.t ->
   webs:Webs.t ->
   ?coalesce:bool ->
+  ?live0:Liveness.t ->
+  ?scratch:Igraph.t * Igraph.t ->
   unit ->
   t
 

@@ -128,10 +128,16 @@ let select (g : Igraph.t) ~k ~order : select_result =
   List.iter color_node (List.rev order);
   { colors; uncolored = List.rev !uncolored }
 
-let smallest_last_order (g : Igraph.t) : int list =
+let smallest_last_order ?buckets (g : Igraph.t) : int list =
   let n = Igraph.n_nodes g in
   let max_degree = max 1 (n - 1) in
-  let buckets = Degree_buckets.create ~max_degree in
+  let buckets =
+    match buckets with
+    | Some b ->
+      Degree_buckets.reset b ~max_degree;
+      b
+    | None -> Degree_buckets.create ~max_degree
+  in
   let removed = Array.make n false in
   for i = Igraph.n_precolored g to n - 1 do
     Degree_buckets.add buckets i (Igraph.degree g i)

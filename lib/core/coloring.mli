@@ -43,5 +43,7 @@ val select : Igraph.t -> k:int -> order:int list -> select_result
 
 (** Smallest-last (Matula–Beck) removal order over the same graph,
     implemented with the degree-bucket structure of §2.2 and the
-    restart-at-[i-1] search shortcut. Ignores spill costs. *)
-val smallest_last_order : Igraph.t -> int list
+    restart-at-[i-1] search shortcut. Ignores spill costs. [buckets] is
+    an optional reusable bucket structure (reset before use). *)
+val smallest_last_order :
+  ?buckets:Ra_support.Degree_buckets.t -> Igraph.t -> int list

@@ -1,0 +1,72 @@
+(** Persistent per-procedure allocation context.
+
+    The Figure-4 loop historically rebuilt the world on every spill pass:
+    CFG, webs, liveness, both class interference graphs, all freshly
+    allocated. A context makes the pipeline incremental instead:
+
+    - it owns reusable buffers (two {!Igraph} scratch graphs, a
+      {!Ra_support.Degree_buckets} buffer) that survive passes — and, in
+      batch drivers, whole procedures;
+    - after spill insertion it patches the previous pass's structures
+      rather than recomputing them: {!Ra_ir.Cfg.patch_insertions} shifts
+      block boundaries, {!Ra_analysis.Webs.rebuild} renumbers only the
+      webs the spill touched, and {!Ra_analysis.Liveness.update} re-solves
+      from a worklist seeded with the dirtied blocks.
+
+    Spill passes after the first are where multi-pass procedures spend
+    their build time, so this is the difference between O(passes × proc)
+    and O(proc + passes × edit) analysis work.
+
+    Exactness, not approximation: coloring outcomes are sensitive to node
+    numbering and adjacency insertion order, so the incremental path is
+    engineered to reproduce the from-scratch structures bit for bit
+    (canonical web numbering, replayed graph construction into reset
+    buffers). Under [RA_VERIFY=1] every incremental build is cross-checked
+    against a fresh one and any difference raises {!Divergence}.
+
+    [RA_INCREMENTAL=0] disables the incremental path entirely — every
+    pass then rebuilds from scratch (still into the reused buffers). *)
+
+exception Divergence of string
+
+type stats = {
+  mutable incremental_builds : int; (* passes served by patching *)
+  mutable scratch_builds : int; (* passes built from scratch *)
+  mutable verified_builds : int; (* incremental builds cross-checked *)
+}
+
+type t
+
+(** [create machine] makes an empty context. [incremental] defaults to
+    the [RA_INCREMENTAL] environment variable (unset or any value but
+    ["0"] means enabled); [verify] to [RA_VERIFY] (enabled when set
+    non-empty and not ["0"]). *)
+val create : ?incremental:bool -> ?verify:bool -> Machine.t -> t
+
+val machine : t -> Machine.t
+val incremental_enabled : t -> bool
+
+(** Reusable degree-bucket buffer for {!Heuristic.run}. *)
+val buckets : t -> Ra_support.Degree_buckets.t
+
+val stats : t -> stats
+
+(** Forget the previous pass's structures. Call when starting a new
+    procedure; the buffers stay warm. *)
+val begin_proc : t -> unit
+
+(** [build_pass t proc ~is_spill_vreg ~coalesce ~edit] produces the CFG,
+    webs and coalesced interference graphs for the current pass. [edit]
+    is the {!Spill.result} of the previous pass's spill insertion ([None]
+    on the first pass). With a previous pass on record and incrementality
+    enabled, the structures are derived from it; otherwise they are built
+    from scratch into the context's buffers. Raises {!Divergence} if
+    verification is on and an incremental build differs from a fresh
+    one. *)
+val build_pass :
+  t ->
+  Ra_ir.Proc.t ->
+  is_spill_vreg:(Ra_ir.Reg.t -> bool) ->
+  coalesce:bool ->
+  edit:Spill.result option ->
+  Ra_ir.Cfg.t * Ra_analysis.Webs.t * Build.t

@@ -23,7 +23,7 @@ let assert_total (g : Igraph.t) (colors : int option array) =
     assert (colors.(n) <> None)
   done
 
-let run ?timer t g ~k ~costs : outcome =
+let run ?timer ?buckets t g ~k ~costs : outcome =
   let timed phase f =
     match timer with
     | Some tm -> Ra_support.Timer.record tm ~phase f
@@ -60,7 +60,9 @@ let run ?timer t g ~k ~costs : outcome =
       Colored colors
     end
   | Matula ->
-    let order = timed "simplify" (fun () -> Coloring.smallest_last_order g) in
+    let order =
+      timed "simplify" (fun () -> Coloring.smallest_last_order ?buckets g)
+    in
     let { Coloring.colors; uncolored } =
       timed "color" (fun () -> Coloring.select g ~k ~order)
     in

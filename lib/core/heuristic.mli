@@ -29,7 +29,9 @@ val of_name : string -> t option
     {!Coloring.simplify}. Matula ignores [costs]. When [timer] is given,
     simplification time accumulates under phase "simplify" and select time
     under "color" (Chaitin runs no select on a pass that spills, exactly as
-    the empty Color cells of Figure 7 show). *)
+    the empty Color cells of Figure 7 show). [buckets] is a reusable
+    degree-bucket buffer for Matula's smallest-last ordering. *)
 val run :
   ?timer:Ra_support.Timer.t ->
+  ?buckets:Ra_support.Degree_buckets.t ->
   t -> Igraph.t -> k:int -> costs:float array -> outcome

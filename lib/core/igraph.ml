@@ -2,9 +2,9 @@ open Ra_support
 
 type t = {
   matrix : Bit_matrix.t;
-  adjacency : int list array; (* reversed insertion order *)
-  degrees : int array;
-  n_precolored : int;
+  mutable adjacency : int list array; (* reversed insertion order *)
+  mutable degrees : int array;
+  mutable n_precolored : int;
   mutable edges : int;
 }
 
@@ -15,6 +15,21 @@ let create ~n_nodes ~n_precolored =
     degrees = Array.make (max n_nodes 1) 0;
     n_precolored;
     edges = 0 }
+
+let reset t ~n_nodes ~n_precolored =
+  if n_precolored > n_nodes then invalid_arg "Igraph.reset";
+  Bit_matrix.resize t.matrix n_nodes;
+  let cap = max n_nodes 1 in
+  if Array.length t.adjacency < cap then begin
+    t.adjacency <- Array.make cap [];
+    t.degrees <- Array.make cap 0
+  end
+  else begin
+    Array.fill t.adjacency 0 (Array.length t.adjacency) [];
+    Array.fill t.degrees 0 (Array.length t.degrees) 0
+  end;
+  t.n_precolored <- n_precolored;
+  t.edges <- 0
 
 let n_nodes t = Bit_matrix.dimension t.matrix
 let n_precolored t = t.n_precolored

@@ -10,6 +10,14 @@ type t
 
 val create : n_nodes:int -> n_precolored:int -> t
 
+(** [reset t ~n_nodes ~n_precolored] empties [t] and re-targets it at a
+    (possibly different-sized) node set, reusing the bit matrix and the
+    adjacency/degree arrays when they are large enough. A graph built into
+    a reset buffer is indistinguishable from a freshly {!create}d one —
+    the allocation context uses this to avoid reallocating the two class
+    graphs on every coalescing iteration of every spill pass. *)
+val reset : t -> n_nodes:int -> n_precolored:int -> unit
+
 val n_nodes : t -> int
 val n_precolored : t -> int
 val is_precolored : t -> int -> bool

@@ -6,10 +6,21 @@ type result = {
   loads_inserted : int;
   stores_inserted : int;
   rematerialized : int;
+  edit : Webs.edit;
+  inserted_before : int array;
+  inserted_after : int array;
+  dirty_instrs : int list;
 }
 
 let insert ?(rematerialize = true) (proc : Proc.t) (webs : Webs.t) ~spilled :
     result =
+  let n_old = Array.length proc.code in
+  let instr_map = Array.make (max n_old 1) 0 in
+  let inserted_before = Array.make (max n_old 1) 0 in
+  let inserted_after = Array.make (max n_old 1) 0 in
+  let dirty = ref [] in
+  let retired = Array.make (max (Webs.n_webs webs) 1) false in
+  List.iter (List.iter (fun w -> retired.(w) <- true)) spilled;
   let slot_of_web = Hashtbl.create 8 in
   let remat_of_web = Hashtbl.create 8 in
   let remat_groups = ref 0 in
@@ -35,7 +46,11 @@ let insert ?(rematerialize = true) (proc : Proc.t) (webs : Webs.t) ~spilled :
     t
   in
   let out = ref [] in
-  let emit node = out := node :: !out in
+  let pos = ref 0 in
+  let emit node =
+    out := node :: !out;
+    incr pos
+  in
   (* spilled argument webs become stack-passed: the frame setup deposits
      the value straight into the slot, so no entry store (and no entry
      register) is needed *)
@@ -51,6 +66,7 @@ let insert ?(rematerialize = true) (proc : Proc.t) (webs : Webs.t) ~spilled :
     (Webs.webs webs);
   Array.iteri
     (fun i (node : Proc.node) ->
+      let before_start = !pos in
       (* reloads: one fresh temp per spilled web used here; constant
          webs recompute their value instead of touching memory *)
       let use_sub = Hashtbl.create 4 in
@@ -100,14 +116,31 @@ let insert ?(rematerialize = true) (proc : Proc.t) (webs : Webs.t) ~spilled :
         | Some t -> t
         | None -> r
       in
+      inserted_before.(i) <- !pos - before_start;
+      instr_map.(i) <- !pos;
       emit
         { node with
           Proc.ins =
             Instr.map_regs ~def:(subst def_sub) ~use:(subst use_sub) node.ins };
-      List.iter emit (List.rev !post))
+      let after_start = !pos in
+      List.iter emit (List.rev !post);
+      inserted_after.(i) <- !pos - after_start;
+      (* a substitution-only site (a rematerialized dead definition
+         inserts nothing) still changes the instruction and must count
+         as dirty for the incremental structures *)
+      if
+        inserted_before.(i) > 0 || inserted_after.(i) > 0
+        || Hashtbl.length use_sub > 0
+        || Hashtbl.length def_sub > 0
+      then dirty := i :: !dirty)
     proc.code;
   proc.code <- Array.of_list (List.rev !out);
-  { new_temps = List.rev !new_temps;
+  let new_temps = List.rev !new_temps in
+  { new_temps;
     loads_inserted = !loads;
     stores_inserted = !stores;
-    rematerialized = !remat_groups }
+    rematerialized = !remat_groups;
+    edit = { Webs.instr_map; retired; new_temp_regs = new_temps };
+    inserted_before;
+    inserted_after;
+    dirty_instrs = List.rev !dirty }

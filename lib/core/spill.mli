@@ -13,6 +13,15 @@ type result = {
   loads_inserted : int;
   stores_inserted : int;
   rematerialized : int; (* groups recomputed as constants, no slot *)
+  edit : Webs.edit;
+    (* old-instruction map, retired webs and minted registers — exactly
+       what {!Webs.rebuild} needs to renumber without reaching defs *)
+  inserted_before : int array; (* per old instruction, for Cfg.patch *)
+  inserted_after : int array;
+  dirty_instrs : int list;
+    (* old instruction indexes whose code changed (insertion beside them
+       or operand substitution — including substitution-only sites, like
+       a rematerialized dead definition); ascending *)
 }
 
 (** [insert proc webs ~spilled] spills the given web groups; each group is

@@ -50,11 +50,11 @@ let rep_costs ?(base = default_base) proc (webs : Webs.t) ~alias =
       else begin
         let def_sites =
           List.concat_map (fun (w : Webs.web) -> w.def_sites) ws
-          |> List.sort compare
+          |> List.sort Int.compare
         in
         let use_sites =
           List.concat_map (fun (w : Webs.web) -> w.use_sites) ws
-          |> List.sort compare
+          |> List.sort Int.compare
         in
         let has_entry =
           List.exists (fun (w : Webs.web) -> w.has_entry_def) ws

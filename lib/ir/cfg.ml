@@ -84,6 +84,44 @@ let build (code : Proc.node array) : t =
   in
   { blocks; block_of_instr }
 
+(* Spill code is branch- and label-free: inserting it never creates or
+   destroys a block, an edge, or a leader — it only widens blocks. Given
+   how many instructions were inserted before and after each old
+   instruction, the old CFG can be re-targeted at the new code by shifting
+   block boundaries; [bindex], [succs] and [preds] are unchanged. An
+   insertion before old instruction [i] lands in [i]'s block (a reload
+   feeding it); an insertion after [i] lands in the same block too (a
+   store off a definition — never after a terminator, which defines
+   nothing). *)
+let patch_insertions (t : t) ~inserted_before ~inserted_after : t =
+  let n_old = Array.length inserted_before in
+  if Array.length inserted_after <> n_old then
+    invalid_arg "Cfg.patch_insertions: arity";
+  (* shift.(i): instructions inserted strictly before old instruction i's
+     reloads; the old instruction itself lands at shift.(i) + inserted_before.(i) + i *)
+  let shift = Array.make (n_old + 1) 0 in
+  for i = 0 to n_old - 1 do
+    shift.(i + 1) <- shift.(i) + inserted_before.(i) + inserted_after.(i)
+  done;
+  let n_new = n_old + shift.(n_old) in
+  let blocks =
+    Array.map
+      (fun b ->
+        { b with
+          first = b.first + shift.(b.first);
+          last = b.last + shift.(b.last) + inserted_before.(b.last)
+                 + inserted_after.(b.last) })
+      t.blocks
+  in
+  let block_of_instr = Array.make n_new 0 in
+  Array.iter
+    (fun b ->
+      for i = b.first to b.last do
+        block_of_instr.(i) <- b.bindex
+      done)
+    blocks;
+  { blocks; block_of_instr }
+
 let n_blocks t = Array.length t.blocks
 
 let entry t = t.blocks.(0)

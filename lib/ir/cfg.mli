@@ -22,6 +22,17 @@ type t = {
     instruction of a fall-through path must be a return/branch). *)
 val build : Proc.node array -> t
 
+(** [patch_insertions t ~inserted_before ~inserted_after] re-targets [t]
+    at code into which branch- and label-free instructions were inserted:
+    [inserted_before.(i)] (resp. [inserted_after.(i)]) instructions were
+    placed immediately before (after) old instruction [i]. Spill code is
+    exactly such an insertion, so the spill loop can shift block
+    boundaries instead of re-scanning the procedure; block indices, edges
+    and predecessor lists are preserved. The result is structurally equal
+    to [build] on the new code. *)
+val patch_insertions :
+  t -> inserted_before:int array -> inserted_after:int array -> t
+
 val n_blocks : t -> int
 
 (** Entry block is always block 0. *)

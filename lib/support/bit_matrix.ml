@@ -1,17 +1,29 @@
 type t = {
-  n : int;
-  bits : Bytes.t;
+  mutable n : int;
+  mutable bits : Bytes.t;
 }
 
 (* Pair (i, j) with i >= j lives at triangular index i*(i+1)/2 + j. *)
 
 let triangle_size n = n * (n + 1) / 2
 
+let bytes_for n = (triangle_size n + 7) / 8
+
 let create n =
   if n < 0 then invalid_arg "Bit_matrix.create";
-  { n; bits = Bytes.make ((triangle_size n + 7) / 8) '\000' }
+  { n; bits = Bytes.make (bytes_for n) '\000' }
 
 let dimension t = t.n
+
+(* Clear-and-reuse: empty the relation and retarget it to [0, n), growing
+   the byte buffer only when needed. Reused by the allocation context so
+   each pass's interference matrix does not reallocate O(n^2/8) bytes. *)
+let resize t n =
+  if n < 0 then invalid_arg "Bit_matrix.resize";
+  let needed = bytes_for n in
+  if Bytes.length t.bits < needed then t.bits <- Bytes.make needed '\000'
+  else Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.n <- n
 
 let index t i j =
   if i < 0 || i >= t.n || j < 0 || j >= t.n then

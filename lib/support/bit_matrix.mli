@@ -11,6 +11,11 @@ val create : int -> t
 
 val dimension : t -> int
 
+(** [resize t n] empties the relation and retargets it to [0, n), reusing
+    the byte buffer when it is large enough (clear-and-reuse for the
+    allocation context's per-pass interference matrices). *)
+val resize : t -> int -> unit
+
 (** [set t i j] adds the (unordered) pair {i, j} to the relation. *)
 val set : t -> int -> int -> unit
 

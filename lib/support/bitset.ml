@@ -1,15 +1,28 @@
 type t = {
-  n : int;
-  words : int array; (* 63-bit words; OCaml ints *)
+  mutable n : int;
+  mutable words : int array; (* 63-bit words; OCaml ints *)
 }
 
 let bits_per_word = 63
 
+let words_for n = ((n + bits_per_word - 1) / bits_per_word) + 1
+
 let create n =
   if n < 0 then invalid_arg "Bitset.create";
-  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0 }
+  { n; words = Array.make (words_for n) 0 }
 
 let capacity t = t.n
+
+(* Clear-and-reuse: empty the set and retarget it to universe [n],
+   growing the word array only when the current one is too small. The
+   allocation context resets the same buffers pass after pass instead of
+   creating fresh sets. *)
+let reset t n =
+  if n < 0 then invalid_arg "Bitset.reset";
+  let needed = words_for n in
+  if Array.length t.words < needed then t.words <- Array.make needed 0
+  else Array.fill t.words 0 (Array.length t.words) 0;
+  t.n <- n
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Bitset: out of bounds"
@@ -34,10 +47,14 @@ let copy t = { n = t.n; words = Array.copy t.words }
 let same_universe a b =
   if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
 
+(* Word arrays may be longer than the universe needs (a reused buffer
+   shrunk by [reset]); bulk operations walk only the words the universe
+   occupies. Words past that point are zero by invariant. *)
+
 let union_into ~into src =
   same_universe into src;
   let changed = ref false in
-  for w = 0 to Array.length into.words - 1 do
+  for w = 0 to words_for into.n - 1 do
     let next = into.words.(w) lor src.words.(w) in
     if next <> into.words.(w) then begin
       into.words.(w) <- next;
@@ -49,7 +66,7 @@ let union_into ~into src =
 let diff_into ~into src =
   same_universe into src;
   let changed = ref false in
-  for w = 0 to Array.length into.words - 1 do
+  for w = 0 to words_for into.n - 1 do
     let next = into.words.(w) land lnot src.words.(w) in
     if next <> into.words.(w) then begin
       into.words.(w) <- next;
@@ -61,7 +78,7 @@ let diff_into ~into src =
 let assign ~into src =
   same_universe into src;
   let changed = ref false in
-  for w = 0 to Array.length into.words - 1 do
+  for w = 0 to words_for into.n - 1 do
     if into.words.(w) <> src.words.(w) then begin
       into.words.(w) <- src.words.(w);
       changed := true
@@ -72,7 +89,7 @@ let assign ~into src =
 let equal a b =
   same_universe a b;
   let rec go w =
-    w = Array.length a.words || (a.words.(w) = b.words.(w) && go (w + 1))
+    w = words_for a.n || (a.words.(w) = b.words.(w) && go (w + 1))
   in
   go 0
 

@@ -9,6 +9,12 @@ val create : int -> t
 (** Universe size. *)
 val capacity : t -> int
 
+(** [reset t n] empties the set and retargets it to universe [n],
+    reusing the backing storage when it is large enough. The
+    clear-and-reuse primitive behind the allocation context's scratch
+    buffers. *)
+val reset : t -> int -> unit
+
 val add : t -> int -> unit
 val remove : t -> int -> unit
 val mem : t -> int -> bool

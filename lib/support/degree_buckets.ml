@@ -6,7 +6,7 @@ type cell = {
 }
 
 type t = {
-  buckets : cell option array;
+  mutable buckets : cell option array;
   cells : (int, cell) Hashtbl.t;
   mutable population : int;
 }
@@ -16,6 +16,16 @@ let create ~max_degree =
   { buckets = Array.make (max_degree + 1) None;
     cells = Hashtbl.create 64;
     population = 0 }
+
+(* Clear-and-reuse: empty the structure and retarget it to degrees
+   [0 .. max_degree], growing the bucket array only when needed. *)
+let reset t ~max_degree =
+  if max_degree < 0 then invalid_arg "Degree_buckets.reset";
+  if Array.length t.buckets < max_degree + 1 then
+    t.buckets <- Array.make (max_degree + 1) None
+  else Array.fill t.buckets 0 (Array.length t.buckets) None;
+  Hashtbl.reset t.cells;
+  t.population <- 0
 
 let unlink t c =
   (match c.prev with

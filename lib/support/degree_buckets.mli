@@ -13,6 +13,11 @@ type t
     node ids may be arbitrary (a hash table maps them to cells). *)
 val create : max_degree:int -> t
 
+(** [reset t ~max_degree] empties the structure and retargets it to degrees
+    [0 .. max_degree], reusing the bucket array when it is large enough
+    (clear-and-reuse across coloring passes). *)
+val reset : t -> max_degree:int -> unit
+
 (** [add t node degree] inserts [node] with the given current degree.
     Raises [Invalid_argument] if [node] is already present or the degree is
     out of range. *)

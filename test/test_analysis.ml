@@ -138,6 +138,193 @@ let prop_liveness_matches_naive =
           !ok)
         procs)
 
+(* ---- incremental liveness (Liveness.update) ---- *)
+
+(* Compare a patched solution against a from-scratch [compute] on the
+   edited code, block by block, and return it for further probing. *)
+let check_update_matches_compute ~msg ~old_live (p : Proc.t) ~remap
+    ~dirty_blocks =
+  let cfg = Cfg.build p.Proc.code in
+  let numbering = Liveness.vreg_numbering p in
+  let fresh = Liveness.compute ~code:p.Proc.code ~cfg numbering in
+  let updated =
+    Liveness.update ~old:old_live ~code:p.Proc.code ~cfg numbering ~remap
+      ~dirty_blocks
+  in
+  for b = 0 to Cfg.n_blocks cfg - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: live-in of block %d" msg b)
+      true
+      (Ra_support.Bitset.equal
+         (Liveness.block_live_in updated b)
+         (Liveness.block_live_in fresh b));
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: live-out of block %d" msg b)
+      true
+      (Ra_support.Bitset.equal
+         (Liveness.block_live_out updated b)
+         (Liveness.block_live_out fresh b))
+  done;
+  updated
+
+let update_propagates_to_clean_blocks () =
+  (* Inserting a use of a previously dead value into one block must make
+     it live in CLEAN predecessor blocks too: the worklist seeded with
+     the dirty block has to run the change uphill. *)
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  let old_p =
+    mk_proc
+      [ Instr.Li (i0, 1); (* 0  block 0: i0 dead after this *)
+        Instr.Li (i1, 2); (* 1 *)
+        Instr.Cbr (Instr.Lt, i1, i1, 0, 1); (* 2 *)
+        Instr.Label 0; (* 3  block 1 *)
+        Instr.Ret (Some i1); (* 4 *)
+        Instr.Label 1; (* 5  block 2 *)
+        Instr.Ret (Some i1) (* 6 *) ]
+  in
+  let old_cfg = Cfg.build old_p.Proc.code in
+  let old_live =
+    Liveness.compute ~code:old_p.Proc.code ~cfg:old_cfg
+      (Liveness.vreg_numbering old_p)
+  in
+  Alcotest.(check bool) "i0 dead across the branch before the edit" false
+    (Ra_support.Bitset.mem (Liveness.block_live_out old_live 0) 0);
+  (* the edit widens block 1 with a use of i0; blocks 0 and 2 untouched *)
+  let new_p =
+    mk_proc
+      [ Instr.Li (i0, 1);
+        Instr.Li (i1, 2);
+        Instr.Cbr (Instr.Lt, i1, i1, 0, 1);
+        Instr.Label 0;
+        Instr.Binop (Instr.Iadd, i1, i1, i0); (* inserted *)
+        Instr.Ret (Some i1);
+        Instr.Label 1;
+        Instr.Ret (Some i1) ]
+  in
+  let updated =
+    check_update_matches_compute ~msg:"insertion" ~old_live new_p
+      ~remap:(fun i -> i) ~dirty_blocks:[ 1 ]
+  in
+  Alcotest.(check bool) "i0 now live out of the clean entry block" true
+    (Ra_support.Bitset.mem (Liveness.block_live_out updated 0) 0)
+
+let update_retires_ids_everywhere () =
+  (* A spilled web's id is remapped to -1; its bits must vanish from the
+     carried-over facts of clean blocks, not just the dirty ones. *)
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  let i2 = Reg.int 2 and i3 = Reg.int 3 in
+  let old_p =
+    mk_proc
+      [ Instr.Li (i0, 1); (* 0  block 0 *)
+        Instr.Li (i1, 5); (* 1 *)
+        Instr.Br 0; (* 2 *)
+        Instr.Label 0; (* 3  block 1: i1 live straight through *)
+        Instr.Binop (Instr.Iadd, i0, i0, i0); (* 4 *)
+        Instr.Br 1; (* 5 *)
+        Instr.Label 1; (* 6  block 2 *)
+        Instr.Binop (Instr.Iadd, i0, i0, i1); (* 7 *)
+        Instr.Ret (Some i0) (* 8 *) ]
+  in
+  let old_cfg = Cfg.build old_p.Proc.code in
+  let old_live =
+    Liveness.compute ~code:old_p.Proc.code ~cfg:old_cfg
+      (Liveness.vreg_numbering old_p)
+  in
+  Alcotest.(check bool) "i1 live through the middle block before" true
+    (Ra_support.Bitset.mem (Liveness.block_live_in old_live 1) 1);
+  (* the edit retires i1 the way spilling does: its def site becomes a
+     temp (i2), its use site a reload temp (i3); block 1 is untouched *)
+  let new_p =
+    mk_proc
+      [ Instr.Li (i0, 1);
+        Instr.Li (i2, 5); (* was the def of i1 *)
+        Instr.Br 0;
+        Instr.Label 0;
+        Instr.Binop (Instr.Iadd, i0, i0, i0);
+        Instr.Br 1;
+        Instr.Label 1;
+        Instr.Li (i3, 5); (* the reload *)
+        Instr.Binop (Instr.Iadd, i0, i0, i3);
+        Instr.Ret (Some i0) ]
+  in
+  let remap i = if i = 1 then -1 else i in
+  let updated =
+    check_update_matches_compute ~msg:"retirement" ~old_live new_p ~remap
+      ~dirty_blocks:[ 0; 2 ]
+  in
+  let n_blocks = 3 in
+  for b = 0 to n_blocks - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "retired id absent from live-in of block %d" b)
+      false
+      (Ra_support.Bitset.mem (Liveness.block_live_in updated b) 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "retired id absent from live-out of block %d" b)
+      false
+      (Ra_support.Bitset.mem (Liveness.block_live_out updated b) 1)
+  done
+
+let update_noop_is_identity () =
+  let i0 = Reg.int 0 and i1 = Reg.int 1 in
+  let p =
+    mk_proc
+      [ Instr.Li (i0, 1);
+        Instr.Li (i1, 10);
+        Instr.Label 0;
+        Instr.Binop (Instr.Isub, i1, i1, i1);
+        Instr.Cbr (Instr.Lt, i1, i1, 0, 1);
+        Instr.Label 1;
+        Instr.Ret (Some i0) ]
+  in
+  let cfg = Cfg.build p.Proc.code in
+  let old_live =
+    Liveness.compute ~code:p.Proc.code ~cfg (Liveness.vreg_numbering p)
+  in
+  ignore
+    (check_update_matches_compute ~msg:"noop" ~old_live p ~remap:(fun i -> i)
+       ~dirty_blocks:[])
+
+let prop_update_extremes_match_compute =
+  (* Two degenerate edits bound the incremental solver on arbitrary
+     programs: nothing dirty (pure carry-over) and everything dirty
+     (full recomputation through the update path). Both must land on the
+     least fixpoint [compute] reaches. *)
+  QCheck.Test.make
+    ~name:"liveness update with no dirt / all dirty reproduces compute"
+    ~count:25
+    QCheck.(pair (int_bound 100000) (int_range 5 25))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      List.for_all
+        (fun (p : Proc.t) ->
+          let cfg = Cfg.build p.Proc.code in
+          let numbering = Liveness.vreg_numbering p in
+          let live = Liveness.compute ~code:p.Proc.code ~cfg numbering in
+          let n = Cfg.n_blocks cfg in
+          let same a b =
+            let ok = ref true in
+            for blk = 0 to n - 1 do
+              if
+                not
+                  (Ra_support.Bitset.equal
+                     (Liveness.block_live_in a blk)
+                     (Liveness.block_live_in b blk)
+                  && Ra_support.Bitset.equal
+                       (Liveness.block_live_out a blk)
+                       (Liveness.block_live_out b blk))
+              then ok := false
+            done;
+            !ok
+          in
+          let update dirty_blocks =
+            Liveness.update ~old:live ~code:p.Proc.code ~cfg numbering
+              ~remap:(fun i -> i) ~dirty_blocks
+          in
+          same (update []) live
+          && same (update (List.init n (fun b -> b))) live)
+        procs)
+
 (* ---- dominators ---- *)
 
 let naive_dominators (cfg : Cfg.t) =
@@ -377,12 +564,58 @@ let webs_spill_temp_flag () =
   in
   Alcotest.(check int) "exactly the marked vreg's web" 1 (List.length flagged)
 
+let webs_rebuild_noop_is_identity () =
+  (* rebuilding through an edit that touched nothing must reproduce the
+     table bit for bit — ids, partition, site lists — because surviving
+     webs keep the canonical min-def-id numbering *)
+  let src =
+    {| proc f(n: int) : int {
+         var s: int; var i: int;
+         s = 0;
+         for i = 1 to n { s = s + i * n; }
+         return s;
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let n_old = Array.length p.Proc.code in
+  let edit =
+    { Webs.instr_map = Array.init n_old (fun i -> i);
+      retired = Array.make (Webs.n_webs webs) false;
+      new_temp_regs = [] }
+  in
+  let rebuilt, old_to_new = Webs.rebuild p ~old:webs edit in
+  Alcotest.(check int) "same web count" (Webs.n_webs webs)
+    (Webs.n_webs rebuilt);
+  Alcotest.(check (list int)) "identity renumbering"
+    (List.init (Webs.n_webs webs) (fun i -> i))
+    (Array.to_list old_to_new);
+  Alcotest.(check bool) "web tables equal" true
+    (Webs.webs rebuilt = Webs.webs webs);
+  Array.iteri
+    (fun i (_ : Proc.node) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "uses at %d" i)
+        (Webs.uses_at webs i) (Webs.uses_at rebuilt i);
+      Alcotest.(check (list int))
+        (Printf.sprintf "defs at %d" i)
+        (Webs.defs_at webs i) (Webs.defs_at rebuilt i))
+    p.Proc.code
+
 let suites =
   [ ( "analysis.liveness",
       [ Alcotest.test_case "straight line" `Quick liveness_straight_line;
         Alcotest.test_case "branch" `Quick liveness_branch;
         Alcotest.test_case "loop" `Quick liveness_loop;
         qtest prop_liveness_matches_naive ] );
+    ( "analysis.liveness_update",
+      [ Alcotest.test_case "propagates to clean blocks" `Quick
+          update_propagates_to_clean_blocks;
+        Alcotest.test_case "retires ids everywhere" `Quick
+          update_retires_ids_everywhere;
+        Alcotest.test_case "noop is identity" `Quick update_noop_is_identity;
+        qtest prop_update_extremes_match_compute ] );
     ( "analysis.dominators",
       [ Alcotest.test_case "diamond" `Quick dominators_diamond;
         qtest prop_dominators_match_naive ] );
@@ -396,4 +629,6 @@ let suites =
         Alcotest.test_case "join at merge" `Quick webs_join_at_merge;
         Alcotest.test_case "args have entry defs" `Quick
           webs_args_have_entry_defs;
-        Alcotest.test_case "spill temp flag" `Quick webs_spill_temp_flag ] ) ]
+        Alcotest.test_case "spill temp flag" `Quick webs_spill_temp_flag;
+        Alcotest.test_case "rebuild noop is identity" `Quick
+          webs_rebuild_noop_is_identity ] ) ]

@@ -9,6 +9,7 @@ let () =
     @ Test_opt.suites
     @ Test_coloring.suites
     @ Test_alloc.suites
+    @ Test_context.suites
     @ Test_check.suites
     @ Test_build.suites
     @ Test_spill.suites

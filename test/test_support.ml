@@ -91,6 +91,28 @@ let bm_reset () =
   Bit_matrix.reset m;
   Alcotest.(check int) "reset" 0 (Bit_matrix.count m)
 
+let bm_resize_reuses () =
+  let m = Bit_matrix.create 4 in
+  Bit_matrix.set m 1 3;
+  Bit_matrix.resize m 64;
+  Alcotest.(check int) "grown and emptied" 0 (Bit_matrix.count m);
+  Alcotest.(check int) "dimension" 64 (Bit_matrix.dimension m);
+  Alcotest.(check bool) "old pair gone" false (Bit_matrix.mem m 1 3);
+  Bit_matrix.set m 63 0;
+  Alcotest.(check bool) "new extremes" true (Bit_matrix.mem m 0 63);
+  Alcotest.check_raises "new bound enforced"
+    (Invalid_argument "Bit_matrix: index out of bounds") (fun () ->
+      ignore (Bit_matrix.mem m 0 64));
+  (* shrink: buffer is reused, contents must still be emptied *)
+  Bit_matrix.resize m 3;
+  Alcotest.(check int) "shrunk and emptied" 0 (Bit_matrix.count m);
+  Alcotest.(check int) "small dimension" 3 (Bit_matrix.dimension m);
+  Bit_matrix.set m 2 1;
+  Alcotest.(check int) "usable after shrink" 1 (Bit_matrix.count m);
+  Alcotest.check_raises "small bound enforced"
+    (Invalid_argument "Bit_matrix: index out of bounds") (fun () ->
+      ignore (Bit_matrix.mem m 0 3))
+
 let bm_prop_matches_naive =
   QCheck.Test.make ~name:"bit_matrix agrees with a naive set of pairs"
     ~count:200
@@ -176,6 +198,27 @@ let db_duplicate_add () =
     (Invalid_argument "Degree_buckets.add: node already present") (fun () ->
       Degree_buckets.add b 1 3)
 
+let db_reset_reuses () =
+  let b = Degree_buckets.create ~max_degree:5 in
+  Degree_buckets.add b 1 2;
+  Degree_buckets.add b 2 5;
+  Degree_buckets.reset b ~max_degree:12;
+  Alcotest.(check bool) "emptied" true (Degree_buckets.is_empty b);
+  Alcotest.(check bool) "old node forgotten" false (Degree_buckets.mem b 1);
+  (* the retargeted range is usable, including the new top degree *)
+  Degree_buckets.add b 1 12;
+  Degree_buckets.add b 3 0;
+  Alcotest.(check int) "two nodes" 2 (Degree_buckets.cardinal b);
+  (match Degree_buckets.pop_min b ~hint:0 with
+   | Some (n, d) ->
+     Alcotest.(check (pair int int)) "min after reset" (3, 0) (n, d)
+   | None -> Alcotest.fail "empty after reset+add");
+  (* shrink back down; a node may be re-added at a previously used degree *)
+  Degree_buckets.reset b ~max_degree:3;
+  Alcotest.(check bool) "emptied again" true (Degree_buckets.is_empty b);
+  Degree_buckets.add b 7 3;
+  Alcotest.(check int) "degree tracked" 3 (Degree_buckets.degree b 7)
+
 let db_prop_pops_sorted_when_static =
   QCheck.Test.make
     ~name:"degree_buckets pops in nondecreasing degree order (no decreases)"
@@ -226,6 +269,54 @@ let bs_set_ops () =
   Alcotest.check_raises "universe mismatch"
     (Invalid_argument "Bitset: universe mismatch") (fun () ->
       ignore (Bitset.union_into ~into:(Bitset.create 10) (Bitset.create 11)))
+
+let bs_reset_reuses () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 9;
+  Bitset.reset s 200;
+  Alcotest.(check bool) "grown and emptied" true (Bitset.is_empty s);
+  Alcotest.(check int) "capacity retargeted" 200 (Bitset.capacity s);
+  Bitset.add s 199;
+  Alcotest.(check (list int)) "usable at new top" [ 199 ] (Bitset.elements s);
+  (* shrink: the backing array is longer than the universe needs; no
+     stale high bits may leak into cardinality, equality or iteration *)
+  Bitset.reset s 5;
+  Alcotest.(check int) "shrunk capacity" 5 (Bitset.capacity s);
+  Alcotest.(check bool) "emptied on shrink" true (Bitset.is_empty s);
+  Alcotest.(check bool) "equal to a fresh empty set" true
+    (Bitset.equal s (Bitset.create 5));
+  Bitset.add s 4;
+  Alcotest.(check int) "cardinal after shrink" 1 (Bitset.cardinal s);
+  Alcotest.check_raises "shrunk bound enforced"
+    (Invalid_argument "Bitset: out of bounds") (fun () -> Bitset.add s 5);
+  (* bulk ops against a fresh set of the same universe still work *)
+  let fresh = Bitset.of_list 5 [ 2; 4 ] in
+  Alcotest.(check bool) "union grew" true (Bitset.union_into ~into:s fresh);
+  Alcotest.(check (list int)) "union exact" [ 2; 4 ] (Bitset.elements s)
+
+let bs_prop_reset_equals_fresh =
+  QCheck.Test.make
+    ~name:"a reset bitset behaves exactly like a freshly created one"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 150) (list (int_bound 149)) (int_range 1 150)
+        (list (int_bound 149)))
+    (fun (n1, xs1, n2, xs2) ->
+      let s = Bitset.create n1 in
+      List.iter (fun x -> if x < n1 then Bitset.add s x) xs1;
+      Bitset.reset s n2;
+      let fresh = Bitset.create n2 in
+      List.iter
+        (fun x ->
+          if x < n2 then begin
+            Bitset.add s x;
+            Bitset.add fresh x
+          end)
+        xs2;
+      Bitset.equal s fresh
+      && Bitset.elements s = Bitset.elements fresh
+      && Bitset.cardinal s = Bitset.cardinal fresh)
 
 let bs_prop_matches_stdlib_set =
   let module IS = Set.Make (Int) in
@@ -330,6 +421,7 @@ let suites =
       [ Alcotest.test_case "basic" `Quick bm_basic;
         Alcotest.test_case "diagonal and bounds" `Quick bm_diagonal_and_bounds;
         Alcotest.test_case "reset" `Quick bm_reset;
+        Alcotest.test_case "resize reuses" `Quick bm_resize_reuses;
         qtest bm_prop_matches_naive ] );
     ( "support.degree_buckets",
       [ Alcotest.test_case "pop order" `Quick db_pop_order;
@@ -337,10 +429,13 @@ let suites =
         Alcotest.test_case "hint overshoot" `Quick db_hint_overshoot;
         Alcotest.test_case "remove middle" `Quick db_remove_middle;
         Alcotest.test_case "duplicate add" `Quick db_duplicate_add;
+        Alcotest.test_case "reset reuses" `Quick db_reset_reuses;
         qtest db_prop_pops_sorted_when_static ] );
     ( "support.bitset",
       [ Alcotest.test_case "basics" `Quick bs_basics;
         Alcotest.test_case "set ops" `Quick bs_set_ops;
+        Alcotest.test_case "reset reuses" `Quick bs_reset_reuses;
+        qtest bs_prop_reset_equals_fresh;
         qtest bs_prop_matches_stdlib_set ] );
     ( "support.timer",
       [ Alcotest.test_case "accumulates" `Quick timer_accumulates;
