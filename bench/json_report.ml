@@ -1,14 +1,19 @@
 (* `bench/main.exe [picks] --json` — machine-readable allocation report.
 
-   Every selected routine is allocated twice per heuristic: once with an
-   incremental context (structures patched across spill passes) and once
-   with incrementality disabled (from-scratch builds every pass). The two
-   runs must agree on everything except CPU time — pass-by-pass counters,
+   Every selected routine is allocated three times per heuristic: with an
+   incremental context (structures patched across spill passes), with
+   incrementality disabled (from-scratch builds every pass), and with an
+   incremental context whose graph build runs on a domain pool. The runs
+   must agree on everything except CPU time — pass-by-pass counters,
    spill totals, and the final allocated code — and the report records
-   both time series so the pass-2+ build-time saving is visible in the
-   committed artifact. Any disagreement is a divergence: it is reported
-   in the JSON and the process exits non-zero (CI runs this as a smoke
-   check). *)
+   all three time series so both the pass-2+ build-time saving and the
+   parallel build time are visible in the committed artifact. It also
+   times the whole routine set allocated sequentially (one warm context)
+   versus dispatched procedure-per-task onto the pool, the suite-level
+   speedup. Any disagreement is a divergence: it is reported in the JSON
+   and the process exits non-zero (CI runs this as a smoke check with
+   RA_JOBS=4, so zero divergences is asserted for the parallel path on
+   every push). *)
 
 open Ra_core
 
@@ -75,15 +80,28 @@ let routines_for picks =
       Fig7.routines_of_interest
   else List.map (fun p -> (p, None)) Ra_programs.Suite.all
 
+(* Wall-clock (not Sys.time's CPU time — parallel runs burn CPU on every
+   domain) for the suite-level sequential-vs-dispatched comparison. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
 let run ~picks () =
   let machine = Machine.rt_pc in
-  let inc_ctx = Context.create ~incremental:true machine in
-  let scr_ctx = Context.create ~incremental:false machine in
+  (* at least 2 workers so the parallel path is exercised — and asserted
+     against the sequential builds — even on a single-core runner *)
+  let jobs = max 2 (Ra_support.Pool.default_jobs ()) in
+  let pool = Ra_support.Pool.create ~jobs in
+  let inc_ctx = Context.create ~incremental:true ~jobs:1 machine in
+  let scr_ctx = Context.create ~incremental:false ~jobs:1 machine in
+  let par_ctx = Context.create ~incremental:true ~pool machine in
   let divergences = ref [] in
   let entries = ref 0 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"benchmarks\": [";
   let first_entry = ref true in
+  let selected_procs = ref [] in
   List.iter
     (fun (program, only) ->
       let procs = Ra_programs.Suite.compile program in
@@ -93,19 +111,25 @@ let run ~picks () =
         | Some routine ->
           List.filter (fun (p : Ra_ir.Proc.t) -> p.name = routine) procs
       in
+      selected_procs := !selected_procs @ procs;
       List.iter
         (fun (proc : Ra_ir.Proc.t) ->
           List.iter
             (fun h ->
               let inc = Allocator.allocate ~context:inc_ctx machine h proc in
               let scr = Allocator.allocate ~context:scr_ctx machine h proc in
-              let equivalent = fingerprint inc = fingerprint scr in
-              if not equivalent then
+              let par = Allocator.allocate ~context:par_ctx machine h proc in
+              let diverge tag =
                 divergences :=
-                  Printf.sprintf "%s/%s/%s"
+                  Printf.sprintf "%s/%s/%s/%s"
                     program.Ra_programs.Suite.pname proc.name
-                    (Heuristic.name h)
-                  :: !divergences;
+                    (Heuristic.name h) tag
+                  :: !divergences
+              in
+              let inc_ok = fingerprint inc = fingerprint scr in
+              let par_ok = fingerprint par = fingerprint scr in
+              if not inc_ok then diverge "incremental";
+              if not par_ok then diverge "parallel";
               if not !first_entry then Buffer.add_string buf ",";
               first_entry := false;
               incr entries;
@@ -117,20 +141,21 @@ let run ~picks () =
                     \"spill_cost\": %s, \"moves_removed\": %d,\n     \
                     \"per_pass\": ["
                    program.Ra_programs.Suite.pname proc.name
-                   (Heuristic.name h) equivalent inc.Allocator.live_ranges
+                   (Heuristic.name h) (inc_ok && par_ok)
+                   inc.Allocator.live_ranges
                    (List.length inc.Allocator.passes)
                    inc.Allocator.total_spilled
                    (json_cost inc.Allocator.total_spill_cost)
                    inc.Allocator.moves_removed);
               (* zip without raising when a divergence changed the pass
-                 count; the shorter series bounds the table *)
-              let rec zip a b =
-                match a, b with
-                | x :: a, y :: b -> (x, y) :: zip a b
-                | _, _ -> []
+                 count; the shortest series bounds the table *)
+              let rec zip3 a b c =
+                match a, b, c with
+                | x :: a, y :: b, z :: c -> (x, y, z) :: zip3 a b c
+                | _, _, _ -> []
               in
               List.iteri
-                (fun i (pi, ps) ->
+                (fun i (pi, ps, pp) ->
                   if i > 0 then Buffer.add_string buf ",";
                   let idx, webs, coalesced, _, _, _, _, spilled, spill_cost =
                     (strip pi).counters
@@ -144,19 +169,50 @@ let run ~picks () =
                   buf_times buf "incremental" (strip pi);
                   Buffer.add_string buf ",\n        ";
                   buf_times buf "scratch" (strip ps);
+                  Buffer.add_string buf ",\n        ";
+                  buf_times buf "parallel" (strip pp);
                   Buffer.add_string buf "}")
-                (zip inc.Allocator.passes scr.Allocator.passes);
+                (zip3 inc.Allocator.passes scr.Allocator.passes
+                   par.Allocator.passes);
               Buffer.add_string buf "]}")
             heuristics)
         procs)
     (routines_for picks);
+  (* suite-level wall-clock: the routine set end to end, one warm
+     context sequentially vs procedure-per-task on the pool *)
+  let procs = !selected_procs in
+  let alloc_all ctx =
+    List.iter
+      (fun p ->
+        List.iter
+          (fun h -> ignore (Allocator.allocate ~context:ctx machine h p))
+          heuristics)
+      procs
+  in
+  let (), seq_s =
+    wall (fun () -> alloc_all (Context.create ~jobs:1 machine))
+  in
+  let (), par_s =
+    wall (fun () ->
+      ignore
+        (Ra_support.Pool.map_list pool
+           (fun p ->
+             let ctx = Context.create ~pool machine in
+             List.map
+               (fun h -> (Allocator.allocate ~context:ctx machine h p).Allocator.total_spilled)
+               heuristics)
+           procs))
+  in
   let inc_stats = Context.stats inc_ctx in
   let scr_stats = Context.stats scr_ctx in
   Buffer.add_string buf
     (Printf.sprintf
-       "\n  ],\n  \"context\": {\"incremental_builds\": %d, \
+       "\n  ],\n  \"jobs\": %d,\n  \"suite\": {\"routines\": %d, \
+        \"sequential_wall_s\": %.6f, \"parallel_wall_s\": %.6f},\n  \
+        \"context\": {\"incremental_builds\": %d, \
         \"scratch_builds\": %d, \"verified_builds\": %d, \
         \"reference_scratch_builds\": %d},\n  \"divergences\": [%s]\n}\n"
+       jobs (List.length procs) seq_s par_s
        inc_stats.Context.incremental_builds inc_stats.Context.scratch_builds
        inc_stats.Context.verified_builds scr_stats.Context.scratch_builds
        (String.concat ", "
@@ -165,11 +221,13 @@ let run ~picks () =
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s (%d benchmark entries, %d divergence(s))\n" path
-    !entries (List.length !divergences);
+  Printf.printf
+    "wrote %s (%d benchmark entries, %d jobs, suite %.3fs seq / %.3fs par, \
+     %d divergence(s))\n"
+    path !entries jobs seq_s par_s (List.length !divergences);
   if !divergences <> [] then begin
     List.iter
-      (fun d -> Printf.eprintf "divergence: incremental != scratch for %s\n" d)
+      (fun d -> Printf.eprintf "divergence: modes disagree for %s\n" d)
       (List.rev !divergences);
     exit 1
   end

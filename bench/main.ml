@@ -10,10 +10,13 @@
 
    With --json the harness instead allocates the selected routine set
    (fig7's four multi-pass routines for `fig7 --json`, the whole suite
-   otherwise) with incremental allocation contexts AND with
-   incrementality disabled, writes the per-pass phase times of both
-   modes to BENCH_alloc.json, and exits non-zero if the two modes
-   disagree on anything but CPU time. *)
+   otherwise) three ways — incremental context, incrementality disabled,
+   and incremental with the pool-parallel graph build — writes the
+   per-pass phase times of all modes plus a sequential-vs-dispatched
+   suite wall-clock to BENCH_alloc.json, and exits non-zero if any mode
+   disagrees with another on anything but CPU time.
+
+   --jobs=N (any mode) sets the worker-domain count, like RA_JOBS. *)
 
 let available =
   [ "fig3", (fun () ->
@@ -51,6 +54,20 @@ let () =
   in
   let json_mode = List.mem "--json" args in
   let picks = List.filter (fun a -> a <> "--json") args in
+  let picks =
+    List.filter
+      (fun a ->
+        match String.length a > 7 && String.sub a 0 7 = "--jobs=" with
+        | true ->
+          (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+           | Some j -> Ra_support.Pool.set_default_jobs j
+           | None ->
+             Printf.eprintf "invalid --jobs value %S\n" a;
+             exit 1);
+          false
+        | false -> true)
+      picks
+  in
   if json_mode then Json_report.run ~picks ()
   else begin
     let requested =

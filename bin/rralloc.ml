@@ -65,6 +65,21 @@ let verify_arg =
                against an independent liveness recomputation, lint and \
                verify the output (same as setting RA_VERIFY)")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for parallel graph construction and, in \
+               compare/suite, procedure-level dispatch (default: RA_JOBS \
+               or the core count; 1 disables). Results are bit-identical \
+               at any setting.")
+
+(* --jobs overrides RA_JOBS for everything downstream (the shared pool is
+   created lazily, after this runs). Returns the pool for drivers that
+   dispatch whole procedures, or None when sequential. *)
+let apply_jobs jobs =
+  (match jobs with Some j -> Ra_support.Pool.set_default_jobs j | None -> ());
+  if Ra_support.Pool.default_jobs () > 1 then Some (Ra_support.Pool.global ())
+  else None
+
 let select_procs procs = function
   | None -> procs
   | Some name ->
@@ -100,11 +115,13 @@ let dump_cmd =
 (* ---- alloc ---- *)
 
 let alloc_cmd =
-  let run file proc heuristic k verbose optimize verify =
+  let run file proc heuristic k verbose optimize verify jobs =
+    ignore (apply_jobs jobs);
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
-    (* one warm context across the whole file's procedures *)
+    (* one warm context across the whole file's procedures; its graph
+       scans run on the shared pool when jobs > 1 *)
     let context = Ra_core.Context.create machine in
     List.iter
       (fun p ->
@@ -129,7 +146,7 @@ let alloc_cmd =
   in
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
-          $ opt_arg $ verify_arg)
+          $ opt_arg $ verify_arg $ jobs_arg)
 
 (* ---- run ---- *)
 
@@ -144,7 +161,8 @@ let parse_value s =
        exit 1)
 
 let run_cmd =
-  let run file entry args heuristic allocate k optimize verify =
+  let run file entry args heuristic allocate k optimize verify jobs =
+    ignore (apply_jobs jobs);
     let procs = compile ~optimize file in
     let procs =
       if allocate then begin
@@ -188,12 +206,31 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
-          $ k_arg $ opt_arg $ verify_arg)
+          $ k_arg $ opt_arg $ verify_arg $ jobs_arg)
 
 (* ---- suite ---- *)
 
+(* Allocate each procedure as one pool task with a context of its own —
+   multi-routine batches then scale with cores. Falls back to one warm
+   context when sequential; either way the results are identical. *)
+let allocate_batch pool machine h ~verify procs =
+  let verify = if verify then Some true else None in
+  match pool with
+  | Some pool ->
+    Ra_support.Pool.map_list pool
+      (fun p ->
+        let context = Ra_core.Context.create ~pool machine in
+        Ra_core.Allocator.allocate ?verify ~context machine h p)
+      procs
+  | None ->
+    let context = Ra_core.Context.create machine in
+    List.map
+      (fun p -> Ra_core.Allocator.allocate ?verify ~context machine h p)
+      procs
+
 let suite_cmd =
-  let run name heuristic k allocate =
+  let run name heuristic k allocate jobs =
+    let pool = apply_jobs jobs in
     let program =
       match
         List.find_opt
@@ -216,12 +253,9 @@ let suite_cmd =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
-        let context = Ra_core.Context.create machine in
         List.map
-          (fun p ->
-            (Ra_core.Allocator.allocate ~context machine h p)
-              .Ra_core.Allocator.proc)
-          procs
+          (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
+          (allocate_batch pool machine h ~verify:false procs)
       end
       else procs
     in
@@ -246,28 +280,36 @@ let suite_cmd =
            ~doc:"Run register-allocated code")
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
-    Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate)
+    Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize =
+  let run file k optimize jobs =
+    let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
-    let context = Ra_core.Context.create machine in
+    let allocate_both context p =
+      ( Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Chaitin p,
+        Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Briggs p )
+    in
+    let results =
+      match pool with
+      | Some pool ->
+        Ra_support.Pool.map_list pool
+          (fun p -> allocate_both (Ra_core.Context.create ~pool machine) p)
+          procs
+      | None ->
+        let context = Ra_core.Context.create machine in
+        List.map (allocate_both context) procs
+    in
     let table =
       Ra_support.Table.create
         [ "routine"; "live ranges"; "spilled(old)"; "spilled(new)";
           "cost(old)"; "cost(new)" ]
     in
-    List.iter
-      (fun p ->
-        let old_r =
-          Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Chaitin p
-        in
-        let new_r =
-          Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Briggs p
-        in
+    List.iter2
+      (fun (p : Ra_ir.Proc.t) (old_r, new_r) ->
         Ra_support.Table.add_row table
           [ p.Ra_ir.Proc.name;
             string_of_int old_r.Ra_core.Allocator.live_ranges;
@@ -275,12 +317,12 @@ let compare_cmd =
             string_of_int new_r.Ra_core.Allocator.total_spilled;
             Printf.sprintf "%.0f" old_r.Ra_core.Allocator.total_spill_cost;
             Printf.sprintf "%.0f" new_r.Ra_core.Allocator.total_spill_cost ])
-      procs;
+      procs results;
     Ra_support.Table.print table
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
-    Term.(const run $ file_arg $ k_arg $ opt_arg)
+    Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

@@ -136,12 +136,65 @@ let update ~old ~code ~cfg numbering ~remap ~dirty_blocks =
     result = { Dataflow.live_in; live_out };
     scratch = Bitset.create universe }
 
+(* Re-solve after a change of numbering that kept the universe and the
+   block structure (coalescing: web ids are renamed to their new class
+   representatives). Unlike [update], the old solution is of no use as a
+   starting point — merging classes strengthens kills, so live sets can
+   *shrink*, and a worklist that only grows sets from an over-approximate
+   seed would never come back down. What does carry over is the expensive
+   part: a clean block's gen/kill sets are the rep-mapped def/use lists of
+   its instructions, so any block none of whose webs changed
+   representative keeps them verbatim. We share those bitsets with [old]
+   (they are never mutated after construction; [Dataflow.solve] only
+   reads them), recompute gen/kill for the dirty blocks, and run a full
+   solve from empty sets — reaching the exact least fixpoint a
+   from-scratch [compute] would. *)
+let refresh ~old ~code ~cfg numbering ~dirty_blocks =
+  ignore code;
+  let n = Ra_ir.Cfg.n_blocks cfg in
+  let universe = numbering.universe in
+  if old.numbering.universe <> universe then
+    invalid_arg "Liveness.refresh: universe changed";
+  if Ra_ir.Cfg.n_blocks old.cfg <> n then
+    invalid_arg "Liveness.refresh: block structure changed";
+  let dirty = Array.make n false in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= n then invalid_arg "Liveness.refresh: dirty block";
+      dirty.(b) <- true)
+    dirty_blocks;
+  let gen =
+    Array.init n (fun b ->
+      if dirty.(b) then Bitset.create universe else old.gen.(b))
+  in
+  let kill =
+    Array.init n (fun b ->
+      if dirty.(b) then Bitset.create universe else old.kill.(b))
+  in
+  Array.iter
+    (fun (b : Ra_ir.Cfg.block) ->
+      if dirty.(b.bindex) then
+        block_gen_kill numbering b ~gen:gen.(b.bindex) ~kill:kill.(b.bindex))
+    cfg.blocks;
+  let result =
+    Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
+  in
+  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe }
+
+let universe t = t.numbering.universe
+
 let block_live_in t b = t.result.Dataflow.live_in.(b)
 let block_live_out t b = t.result.Dataflow.live_out.(b)
 
-let iter_block_backward t b ~f =
+let iter_block_backward ?scratch t b ~f =
   let block = t.cfg.blocks.(b) in
-  let live = t.scratch in
+  let live =
+    match scratch with
+    | None -> t.scratch
+    | Some s ->
+      Bitset.reset s t.numbering.universe;
+      s
+  in
   ignore (Bitset.assign ~into:live (block_live_out t b));
   for i = block.last downto block.first do
     f i ~live_after:live;

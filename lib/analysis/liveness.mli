@@ -41,6 +41,27 @@ val update :
   dirty_blocks:int list ->
   t
 
+(** [refresh ~old ~code ~cfg numbering ~dirty_blocks] re-solves the
+    analysis after a change of numbering over the *same* universe and
+    block structure (coalescing renames web ids to their merged-class
+    representatives). [dirty_blocks] must include every block whose
+    rep-mapped def/use lists changed — i.e. every block containing an
+    occurrence of a web whose representative changed. Clean blocks share
+    their gen/kill sets with [old] (never copied, never mutated); dirty
+    blocks are recomputed; the dataflow solve runs in full from empty
+    sets, since the old solution can sit *above* the new least fixpoint
+    (merged classes kill more) and cannot seed a grow-only worklist. *)
+val refresh :
+  old:t ->
+  code:Ra_ir.Proc.node array ->
+  cfg:Ra_ir.Cfg.t ->
+  numbering ->
+  dirty_blocks:int list ->
+  t
+
+(** Size of the id universe the analysis was solved over. *)
+val universe : t -> int
+
 (** Live-in/out of a whole block. Do not mutate the returned sets. *)
 val block_live_in : t -> int -> Ra_support.Bitset.t
 val block_live_out : t -> int -> Ra_support.Bitset.t
@@ -48,9 +69,15 @@ val block_live_out : t -> int -> Ra_support.Bitset.t
 (** [iter_block_backward t b ~f] walks block [b]'s instructions from last to
     first, calling [f idx ~live_after] with the live set *after* each
     instruction. The set is a scratch buffer reused between calls: inspect
-    it inside [f], do not retain it. *)
+    it inside [f], do not retain it. By default the buffer is owned by [t],
+    so concurrent walks of different blocks must each pass their own
+    [scratch] (reset and resized by the call). *)
 val iter_block_backward :
-  t -> int -> f:(int -> live_after:Ra_support.Bitset.t -> unit) -> unit
+  ?scratch:Ra_support.Bitset.t ->
+  t ->
+  int ->
+  f:(int -> live_after:Ra_support.Bitset.t -> unit) ->
+  unit
 
 (** Per-instruction live-after set, computed fresh (convenient, O(block)). *)
 val live_after : t -> int -> Ra_support.Bitset.t

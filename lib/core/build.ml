@@ -2,6 +2,10 @@ open Ra_support
 open Ra_ir
 open Ra_analysis
 
+exception Divergence of string
+
+let div fmt = Format.kasprintf (fun m -> raise (Divergence m)) fmt
+
 type t = {
   webs : Webs.t;
   alias : Union_find.t;
@@ -16,13 +20,109 @@ type t = {
 
 let cls_of_web (webs : Webs.t) w = (Webs.web webs w).cls
 
-(* Build the two class graphs for the current aliasing. [numbering] maps
-   instructions to alias representatives; [live] is the liveness solution
-   under that numbering. *)
-let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias
-    ~numbering ~(live : Liveness.t) ~scratch =
+(* ---- staging buffers for the parallel scan ----
+
+   Each worker owns a stage: a private dedup matrix per class plus a flat
+   pair array recording, in scan order, the first occurrence within the
+   worker's block range of every edge it discovers. Nothing shared is
+   written during the scan; the merge replays the stages in block order. *)
+
+type stage = {
+  seen_int : Bit_matrix.t;
+  seen_flt : Bit_matrix.t;
+  mutable pairs_int : int array; (* flat (a, b) pairs, scan order *)
+  mutable n_int : int;
+  mutable pairs_flt : int array;
+  mutable n_flt : int;
+  stage_live : Bitset.t; (* per-worker liveness walk scratch *)
+}
+
+let fresh_stage () =
+  { seen_int = Bit_matrix.create 0;
+    seen_flt = Bit_matrix.create 0;
+    pairs_int = [||];
+    n_int = 0;
+    pairs_flt = [||];
+    n_flt = 0;
+    stage_live = Bitset.create 0 }
+
+type par_scratch = { mutable stages : stage array }
+
+let par_scratch () = { stages = [||] }
+
+let stage_emit s cls a b =
+  if a <> b then
+    match cls with
+    | Reg.Int_reg ->
+      if not (Bit_matrix.mem s.seen_int a b) then begin
+        Bit_matrix.set s.seen_int a b;
+        let cap = Array.length s.pairs_int in
+        if (2 * s.n_int) + 2 > cap then begin
+          let grown = Array.make (max 64 (2 * cap)) 0 in
+          Array.blit s.pairs_int 0 grown 0 (2 * s.n_int);
+          s.pairs_int <- grown
+        end;
+        s.pairs_int.(2 * s.n_int) <- a;
+        s.pairs_int.((2 * s.n_int) + 1) <- b;
+        s.n_int <- s.n_int + 1
+      end
+    | Reg.Flt_reg ->
+      if not (Bit_matrix.mem s.seen_flt a b) then begin
+        Bit_matrix.set s.seen_flt a b;
+        let cap = Array.length s.pairs_flt in
+        if (2 * s.n_flt) + 2 > cap then begin
+          let grown = Array.make (max 64 (2 * cap)) 0 in
+          Array.blit s.pairs_flt 0 grown 0 (2 * s.n_flt);
+          s.pairs_flt <- grown
+        end;
+        s.pairs_flt.(2 * s.n_flt) <- a;
+        s.pairs_flt.((2 * s.n_flt) + 1) <- b;
+        s.n_flt <- s.n_flt + 1
+      end
+
+(* Cut the blocks into [n_chunks] contiguous ranges of roughly equal
+   instruction count. [starts.(c)] is chunk [c]'s first block; every chunk
+   is non-empty (requires n_chunks <= n_blocks). *)
+let chunk_starts (cfg : Cfg.t) ~n_chunks =
+  let n_blocks = Cfg.n_blocks cfg in
+  let cum = Array.make (n_blocks + 1) 0 in
+  for b = 0 to n_blocks - 1 do
+    let blk = cfg.blocks.(b) in
+    cum.(b + 1) <- cum.(b) + (blk.last - blk.first + 1)
+  done;
+  let total = cum.(n_blocks) in
+  let starts = Array.make (n_chunks + 1) 0 in
+  starts.(n_chunks) <- n_blocks;
+  let b = ref 0 in
+  for c = 1 to n_chunks - 1 do
+    let target = c * total / n_chunks in
+    while !b < n_blocks && cum.(!b) < target do
+      incr b
+    done;
+    let lo = starts.(c - 1) + 1 in
+    let hi = n_blocks - (n_chunks - c) in
+    starts.(c) <- max lo (min !b hi);
+    b := starts.(c)
+  done;
+  starts
+
+(* Build the two class graphs for the current aliasing. [rep] is a
+   snapshot of the alias representatives ([rep.(w) = Union_find.find w]),
+   precomputed so the scan never touches the path-compressing union-find;
+   [numbering] maps instructions to representatives through it; [live] is
+   the liveness solution under that numbering.
+
+   With a pool of width > 1 the per-block scan is sharded: each worker
+   stages its chunk's edges privately (first occurrence per chunk, in
+   scan order) and the merge replays the stages chunk by chunk through
+   [Igraph.add_edge]. The pair sequence surviving add_edge's global dedup
+   is then exactly the sequence of global first occurrences in block/scan
+   order — the same events, in the same order, with the same argument
+   order, as the sequential scan — so adjacency insertion order (which
+   coloring is sensitive to) is bit-identical to the sequential build. *)
+let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
+    ~(rep : int array) ~numbering ~(live : Liveness.t) ~scratch ~pool ~par =
   let n_webs = Webs.n_webs webs in
-  let find = Union_find.find alias in
   (* dense node numbering per class, representatives only *)
   let node_of_web = Array.make (max n_webs 1) (-1) in
   let k_int = Machine.regs machine Reg.Int_reg in
@@ -30,7 +130,7 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias
   let rev_int = ref [] and rev_flt = ref [] in
   let n_int = ref 0 and n_flt = ref 0 in
   for w = 0 to n_webs - 1 do
-    if find w = w then begin
+    if rep.(w) = w then begin
       match cls_of_web webs w with
       | Reg.Int_reg ->
         node_of_web.(w) <- k_int + !n_int;
@@ -58,51 +158,98 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias
     | Reg.Int_reg -> int_graph
     | Reg.Flt_reg -> flt_graph
   in
-  let add_def_edges def_rep ~excluding ~live_after =
-    let cls = cls_of_web webs def_rep in
-    let g = graph_of cls in
-    Bitset.iter
-      (fun l ->
-        if l <> def_rep && Some l <> excluding && cls_of_web webs l = cls then
-          Igraph.add_edge g node_of_web.(def_rep) node_of_web.(l))
-      live_after
-  in
-  let add_clobber_edges ~ret_rep ~live_after =
-    let clobber cls =
-      let g = graph_of cls in
-      let saves = Machine.caller_save machine cls in
+  (* Scan blocks [lo, hi] backward against [live], handing every
+     interference to [emit cls node_a node_b] in deterministic scan
+     order. Read-only on all shared state: [live_scratch], when given,
+     carries the walk's live set (workers each pass their own). *)
+  let scan_blocks ~emit ~live_scratch lo hi =
+    let add_def_edges def_rep ~excluding ~live_after =
+      let cls = cls_of_web webs def_rep in
       Bitset.iter
         (fun l ->
-          if Some l <> ret_rep && cls_of_web webs l = cls then
-            List.iter (fun p -> Igraph.add_edge g p node_of_web.(l)) saves)
+          if l <> def_rep && Some l <> excluding && cls_of_web webs l = cls
+          then emit cls node_of_web.(def_rep) node_of_web.(l))
         live_after
     in
-    clobber Reg.Int_reg;
-    clobber Reg.Flt_reg
+    let add_clobber_edges ~ret_rep ~live_after =
+      let clobber cls =
+        let saves = Machine.caller_save machine cls in
+        Bitset.iter
+          (fun l ->
+            if Some l <> ret_rep && cls_of_web webs l = cls then
+              List.iter (fun p -> emit cls p node_of_web.(l)) saves)
+          live_after
+      in
+      clobber Reg.Int_reg;
+      clobber Reg.Flt_reg
+    in
+    for b = lo to hi do
+      Liveness.iter_block_backward ?scratch:live_scratch live b
+        ~f:(fun i ~live_after ->
+          let node = proc.code.(i) in
+          (match Instr.move_of node.ins with
+           | Some (dreg, sreg) ->
+             let d = rep.(Webs.def_web webs i dreg) in
+             let s = rep.(Webs.use_web webs i sreg) in
+             add_def_edges d ~excluding:(Some s) ~live_after
+           | None ->
+             List.iter
+               (fun d -> add_def_edges d ~excluding:None ~live_after)
+               (numbering.Liveness.defs_of i));
+          match node.ins with
+          | Instr.Call { ret; _ } ->
+            let ret_rep =
+              Option.map (fun r -> rep.(Webs.def_web webs i r)) ret
+            in
+            add_clobber_edges ~ret_rep ~live_after
+          | Instr.Label _ | Instr.Li _ | Instr.Lf _ | Instr.Mov _
+          | Instr.Unop _ | Instr.Binop _ | Instr.Load _ | Instr.Store _
+          | Instr.Alloc _ | Instr.Dim _ | Instr.Br _ | Instr.Cbr _
+          | Instr.Ret _ | Instr.Spill_st _ | Instr.Spill_ld _ -> ())
+    done
   in
-  for b = 0 to Cfg.n_blocks cfg - 1 do
-    Liveness.iter_block_backward live b ~f:(fun i ~live_after ->
-      let node = proc.code.(i) in
-      (match Instr.move_of node.ins with
-       | Some (dreg, sreg) ->
-         let d = find (Webs.def_web webs i dreg) in
-         let s = find (Webs.use_web webs i sreg) in
-         add_def_edges d ~excluding:(Some s) ~live_after
-       | None ->
-         List.iter
-           (fun d -> add_def_edges d ~excluding:None ~live_after)
-           (numbering.Liveness.defs_of i));
-      match node.ins with
-      | Instr.Call { ret; _ } ->
-        let ret_rep =
-          Option.map (fun r -> find (Webs.def_web webs i r)) ret
-        in
-        add_clobber_edges ~ret_rep ~live_after
-      | Instr.Label _ | Instr.Li _ | Instr.Lf _ | Instr.Mov _ | Instr.Unop _
-      | Instr.Binop _ | Instr.Load _ | Instr.Store _ | Instr.Alloc _
-      | Instr.Dim _ | Instr.Br _ | Instr.Cbr _ | Instr.Ret _
-      | Instr.Spill_st _ | Instr.Spill_ld _ -> ())
-  done;
+  let n_blocks = Cfg.n_blocks cfg in
+  let n_chunks =
+    match pool with
+    | Some p when Pool.jobs p > 1 -> min (Pool.jobs p) n_blocks
+    | Some _ | None -> 1
+  in
+  if n_chunks <= 1 then
+    scan_blocks
+      ~emit:(fun cls a b -> Igraph.add_edge (graph_of cls) a b)
+      ~live_scratch:None 0 (n_blocks - 1)
+  else begin
+    let pool = Option.get pool in
+    let ps = match par with Some p -> p | None -> par_scratch () in
+    if Array.length ps.stages < n_chunks then begin
+      let old = ps.stages in
+      ps.stages <-
+        Array.init n_chunks (fun j ->
+          if j < Array.length old then old.(j) else fresh_stage ())
+    end;
+    let starts = chunk_starts cfg ~n_chunks in
+    let nn_int = Igraph.n_nodes int_graph in
+    let nn_flt = Igraph.n_nodes flt_graph in
+    Pool.run pool ~n:n_chunks (fun j ->
+      let s = ps.stages.(j) in
+      Bit_matrix.resize s.seen_int nn_int;
+      Bit_matrix.resize s.seen_flt nn_flt;
+      s.n_int <- 0;
+      s.n_flt <- 0;
+      scan_blocks ~emit:(stage_emit s) ~live_scratch:(Some s.stage_live)
+        starts.(j)
+        (starts.(j + 1) - 1));
+    (* deterministic merge, chunk by chunk in block order *)
+    for j = 0 to n_chunks - 1 do
+      let s = ps.stages.(j) in
+      for p = 0 to s.n_int - 1 do
+        Igraph.add_edge int_graph s.pairs_int.(2 * p) s.pairs_int.((2 * p) + 1)
+      done;
+      for p = 0 to s.n_flt - 1 do
+        Igraph.add_edge flt_graph s.pairs_flt.(2 * p) s.pairs_flt.((2 * p) + 1)
+      done
+    done
+  end;
   (* webs live into the entry block are defined simultaneously at entry *)
   let entry_in = Liveness.block_live_in live 0 in
   Bitset.iter
@@ -118,13 +265,13 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t) alias
   int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt
 
 let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
-    (int_graph : Igraph.t) (flt_graph : Igraph.t) =
+    (int_graph : Igraph.t) (flt_graph : Igraph.t) ~touched =
   let find = Union_find.find alias in
   let merged = ref 0 in
   (* The graph describes the aliasing we entered the scan with, so within
      one scan each representative may take part in at most one merge;
      moves touching an already-merged class wait for the next rebuild. *)
-  let touched = Hashtbl.create 16 in
+  Bitset.reset touched (max (Webs.n_webs webs) 1);
   Array.iteri
     (fun i (node : Proc.node) ->
       match Instr.move_of node.ins with
@@ -132,8 +279,8 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
       | Some (dreg, sreg) ->
         let wd = find (Webs.def_web webs i dreg) in
         let ws = find (Webs.use_web webs i sreg) in
-        if wd <> ws && (not (Hashtbl.mem touched wd))
-           && not (Hashtbl.mem touched ws)
+        if wd <> ws && (not (Bitset.mem touched wd))
+           && not (Bitset.mem touched ws)
         then begin
           let spill_temp w = (Webs.web webs w).Webs.spill_temp in
           if (not (spill_temp wd)) && not (spill_temp ws) then begin
@@ -145,8 +292,8 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
             if not (Igraph.interferes g node_of_web.(wd) node_of_web.(ws))
             then begin
               ignore (Union_find.union alias wd ws);
-              Hashtbl.replace touched wd ();
-              Hashtbl.replace touched ws ();
+              Bitset.add touched wd;
+              Bitset.add touched ws;
               incr merged
             end
           end
@@ -155,7 +302,7 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
   !merged
 
 let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
-    () : t =
+    ?pool ?par ?touched ?(verify = false) () : t =
   let n_webs = Webs.n_webs webs in
   let alias = Union_find.create (max n_webs 1) in
   let base = Webs.numbering webs in
@@ -163,44 +310,129 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
      numbering coincides with the plain web numbering — so a caller who
      already holds the web-granularity liveness (the allocation context,
      carrying it across spill passes via [Liveness.update]) can pass it as
-     [live0] and skip the from-scratch solve. Once coalescing merges
-     classes the transfer functions change (a merged class's gen can
-     shrink), so every later iteration recomputes liveness in full. *)
+     [live0] and skip the from-scratch solve. Later iterations refresh it:
+     coalescing changes the transfer functions (a merged class's gen can
+     shrink), but only in the blocks that mention a web whose
+     representative moved, so [Liveness.refresh] recomputes gen/kill for
+     those blocks alone and re-solves. *)
   let base_live =
     match live0 with
     | Some l -> l
     | None -> Liveness.compute ~code:proc.code ~cfg base
   in
-  let rep_numbering () =
-    let find = Union_find.find alias in
+  let touched =
+    match touched with Some b -> b | None -> Bitset.create 0
+  in
+  let rep_numbering rep =
     { Liveness.universe = n_webs;
       defs_of =
         (fun i ->
-          List.sort_uniq Int.compare (List.map find (base.Liveness.defs_of i)));
+          List.sort_uniq Int.compare
+            (List.map (fun w -> rep.(w)) (base.Liveness.defs_of i)));
       uses_of =
         (fun i ->
-          List.sort_uniq Int.compare (List.map find (base.Liveness.uses_of i)))
-    }
+          List.sort_uniq Int.compare
+            (List.map (fun w -> rep.(w)) (base.Liveness.uses_of i))) }
   in
-  let rec fixpoint total ~first =
-    let numbering = rep_numbering () in
+  (* Blocks whose rep-mapped def/use lists changed since the previous
+     round: exactly the blocks containing a def or use site of a web
+     whose representative moved. gen/kill of every other block is
+     untouched by the merge. *)
+  let dirty_blocks ~prev_rep ~rep =
+    let mark = Array.make (Cfg.n_blocks cfg) false in
+    for w = 0 to n_webs - 1 do
+      if prev_rep.(w) <> rep.(w) then begin
+        let web = Webs.web webs w in
+        let mark_site i = mark.(cfg.Cfg.block_of_instr.(i)) <- true in
+        List.iter mark_site web.Webs.def_sites;
+        List.iter mark_site web.Webs.use_sites
+      end
+    done;
+    let out = ref [] in
+    for b = Cfg.n_blocks cfg - 1 downto 0 do
+      if mark.(b) then out := b :: !out
+    done;
+    !out
+  in
+  let check_same_live ~refreshed ~reference =
+    for b = 0 to Cfg.n_blocks cfg - 1 do
+      if
+        not
+          (Bitset.equal
+             (Liveness.block_live_in refreshed b)
+             (Liveness.block_live_in reference b))
+      then
+        div "%s: refreshed live-in of block %d differs from a full solve"
+          proc.name b;
+      if
+        not
+          (Bitset.equal
+             (Liveness.block_live_out refreshed b)
+             (Liveness.block_live_out reference b))
+      then
+        div "%s: refreshed live-out of block %d differs from a full solve"
+          proc.name b
+    done
+  in
+  let check_same_graph name (gp : Igraph.t) (gs : Igraph.t) =
+    if Igraph.n_nodes gp <> Igraph.n_nodes gs then
+      div "%s: %d nodes in parallel vs %d sequentially" name
+        (Igraph.n_nodes gp) (Igraph.n_nodes gs);
+    if Igraph.n_edges gp <> Igraph.n_edges gs then
+      div "%s: %d edges in parallel vs %d sequentially" name
+        (Igraph.n_edges gp) (Igraph.n_edges gs);
+    for n = 0 to Igraph.n_nodes gp - 1 do
+      (* adjacency must match as *lists*: coloring is sensitive to
+         neighbor insertion order, not just the edge set *)
+      if Igraph.neighbors gp n <> Igraph.neighbors gs n then
+        div "%s: parallel adjacency of node %d diverges" name n
+    done
+  in
+  let parallel =
+    match pool with Some p -> Pool.jobs p > 1 | None -> false
+  in
+  let rec fixpoint total ~first ~prev_rep ~prev_live =
+    let rep = Array.init (max n_webs 1) (Union_find.find alias) in
+    let numbering = rep_numbering rep in
     let live =
       if first then base_live
-      else Liveness.compute ~code:proc.code ~cfg numbering
+      else begin
+        let dirty = dirty_blocks ~prev_rep ~rep in
+        let refreshed =
+          Liveness.refresh ~old:prev_live ~code:proc.code ~cfg numbering
+            ~dirty_blocks:dirty
+        in
+        if verify then
+          check_same_live ~refreshed
+            ~reference:(Liveness.compute ~code:proc.code ~cfg numbering);
+        refreshed
+      end
     in
     let ig, fg, now, wni, wnf =
-      build_graphs machine proc cfg webs alias ~numbering ~live ~scratch
+      build_graphs machine proc cfg webs ~rep ~numbering ~live ~scratch ~pool
+        ~par
     in
+    if verify && parallel then begin
+      (* sequential reference into fresh graphs; the parallel result must
+         be indistinguishable from it, down to adjacency order *)
+      let ig_s, fg_s, _, _, _ =
+        build_graphs machine proc cfg webs ~rep ~numbering ~live
+          ~scratch:None ~pool:None ~par:None
+      in
+      check_same_graph (proc.name ^ ": int graph") ig ig_s;
+      check_same_graph (proc.name ^ ": flt graph") fg fg_s
+    end;
     if not coalesce then ig, fg, now, wni, wnf, total
     else begin
-      let merged = find_coalescable proc webs alias now ig fg in
+      let merged = find_coalescable proc webs alias now ig fg ~touched in
       if merged = 0 then ig, fg, now, wni, wnf, total
-      else fixpoint (total + merged) ~first:false
+      else
+        fixpoint (total + merged) ~first:false ~prev_rep:rep ~prev_live:live
     end
   in
   let int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt,
       moves_coalesced =
-    fixpoint 0 ~first:true
+    fixpoint 0 ~first:true ~prev_rep:[||] ~prev_live:base_live
   in
   { webs; alias; int_graph; flt_graph; node_of_web;
     web_of_node_int; web_of_node_flt; moves_coalesced; base_live }

@@ -17,7 +17,18 @@ open Ra_analysis
     Coalescing (Chaitin's aggressive kind): a copy whose source and
     destination webs do not interfere is merged and the graph rebuilt,
     repeating until no copy can be merged. Copies touching spill
-    temporaries are left alone so spill code stays intact. *)
+    temporaries are left alone so spill code stays intact.
+
+    The per-block edge scan — the dominant cost of every allocation
+    pass — can run on a {!Ra_support.Pool}: blocks are sharded into
+    contiguous chunks, each worker stages its chunk's edges in a private
+    deduplicated buffer, and a deterministic merge replays the stages in
+    block order, reproducing the sequential graph bit for bit (adjacency
+    insertion order included, which coloring outcomes depend on). *)
+
+(** Raised when a [verify] cross-check finds the parallel graph or the
+    refreshed liveness differing from a sequential/full recomputation. *)
+exception Divergence of string
 
 type t = {
   webs : Webs.t;
@@ -34,13 +45,26 @@ type t = {
        build from it via [Liveness.update] *)
 }
 
+(** Reusable staging buffers for the parallel scan (one per pool worker,
+    grown on demand). Owned by the allocation context so they survive
+    fixpoint rounds, passes and procedures. *)
+type par_scratch
+
+val par_scratch : unit -> par_scratch
+
 (** [live0], when given, must be the liveness of [proc] under
-    {!Webs.numbering} of [webs] — it spares the iteration-0 solve (later
-    coalescing iterations always recompute, since merging classes changes
-    the transfer functions). [scratch], when given, is a pair of graph
-    buffers (int class, flt class) that every iteration {!Igraph.reset}s
-    and builds into: the returned [t] then aliases those buffers, which
-    stay valid until the next build that reuses them. *)
+    {!Webs.numbering} of [webs] — it spares the iteration-0 solve. Later
+    coalescing iterations re-solve through {!Liveness.refresh}, reusing
+    the gen/kill sets of every block no merge touched. [scratch], when
+    given, is a pair of graph buffers (int class, flt class) that every
+    iteration {!Igraph.reset}s and builds into: the returned [t] then
+    aliases those buffers, which stay valid until the next build that
+    reuses them. [pool] parallelizes the per-block edge scan ([par]
+    supplies the staging buffers; [touched] the coalescing scan's
+    scratch set). [verify] cross-checks, every fixpoint round, the
+    parallel graphs against a sequential rebuild and the refreshed
+    liveness against a full solve, raising {!Divergence} on any
+    difference. Results are bit-identical with and without a pool. *)
 val build :
   Machine.t ->
   Ra_ir.Proc.t ->
@@ -49,6 +73,10 @@ val build :
   ?coalesce:bool ->
   ?live0:Liveness.t ->
   ?scratch:Igraph.t * Igraph.t ->
+  ?pool:Ra_support.Pool.t ->
+  ?par:par_scratch ->
+  ?touched:Ra_support.Bitset.t ->
+  ?verify:bool ->
   unit ->
   t
 

@@ -31,16 +31,14 @@ let simplify (g : Igraph.t) ~k ~costs ~policy : simplify_result =
   let remove node =
     removed.(node) <- true;
     decr remaining;
-    List.iter
-      (fun nb ->
-        if not (removed.(nb)) && not (Igraph.is_precolored g nb) then begin
-          deg.(nb) <- deg.(nb) - 1;
-          if deg.(nb) < k && not in_low.(nb) then begin
-            low := nb :: !low;
-            in_low.(nb) <- true
-          end
-        end)
-      (Igraph.neighbors g node)
+    Igraph.iter_neighbors g node ~f:(fun nb ->
+      if not (removed.(nb)) && not (Igraph.is_precolored g nb) then begin
+        deg.(nb) <- deg.(nb) - 1;
+        if deg.(nb) < k && not in_low.(nb) then begin
+          low := nb :: !low;
+          in_low.(nb) <- true
+        end
+      end)
   in
   let pick_spill_candidate () =
     (* minimum cost/degree ratio; ties by lowest id; infinite-cost nodes
@@ -106,23 +104,19 @@ let select (g : Igraph.t) ~k ~order : select_result =
   let uncolored = ref [] in
   let in_use = Array.make (max k 1) false in
   let color_node node =
-    List.iter
-      (fun nb ->
-        match colors.(nb) with
-        | Some c when c < k -> in_use.(c) <- true
-        | Some _ | None -> ())
-      (Igraph.neighbors g node);
+    Igraph.iter_neighbors g node ~f:(fun nb ->
+      match colors.(nb) with
+      | Some c when c < k -> in_use.(c) <- true
+      | Some _ | None -> ());
     let rec first_free c = if c >= k then None else if in_use.(c) then first_free (c + 1) else Some c in
     (match first_free 0 with
      | Some c -> colors.(node) <- Some c
      | None -> uncolored := node :: !uncolored);
     (* reset scratch *)
-    List.iter
-      (fun nb ->
-        match colors.(nb) with
-        | Some c when c < k -> in_use.(c) <- false
-        | Some _ | None -> ())
-      (Igraph.neighbors g node)
+    Igraph.iter_neighbors g node ~f:(fun nb ->
+      match colors.(nb) with
+      | Some c when c < k -> in_use.(c) <- false
+      | Some _ | None -> ())
   in
   (* reinsert in reverse removal order *)
   List.iter color_node (List.rev order);
@@ -149,11 +143,9 @@ let smallest_last_order ?buckets (g : Igraph.t) : int list =
     | Some (node, d) ->
       removed.(node) <- true;
       rev_order := node :: !rev_order;
-      List.iter
-        (fun nb ->
-          if (not removed.(nb)) && Degree_buckets.mem buckets nb then
-            Degree_buckets.decrease buckets nb)
-        (Igraph.neighbors g node);
+      Igraph.iter_neighbors g node ~f:(fun nb ->
+        if (not removed.(nb)) && Degree_buckets.mem buckets nb then
+          Degree_buckets.decrease buckets nb);
       (* the paper's observation: restart the search at N[d-1] *)
       drain (d - 1)
   in

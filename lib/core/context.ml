@@ -19,6 +19,9 @@ type t = {
   machine : Machine.t;
   incremental : bool;
   verify : bool;
+  pool : Pool.t option;
+  par : Build.par_scratch;
+  touched : Bitset.t;
   scratch_int : Igraph.t;
   scratch_flt : Igraph.t;
   buckets : Degree_buckets.t;
@@ -37,10 +40,26 @@ let verify_default =
   | Some _ -> true
 
 let create ?(incremental = incremental_default) ?(verify = verify_default)
-    machine =
+    ?jobs ?pool machine =
+  let pool =
+    match pool with
+    | Some p -> if Pool.jobs p > 1 then Some p else None
+    | None ->
+      let j = match jobs with Some j -> j | None -> Pool.default_jobs () in
+      if j > 1 then begin
+        (* the shared pool, so contexts never spawn domains of their own;
+           its width is fixed by RA_JOBS / the core count at first use *)
+        let g = Pool.global () in
+        if Pool.jobs g > 1 then Some g else None
+      end
+      else None
+  in
   { machine;
     incremental;
     verify;
+    pool;
+    par = Build.par_scratch ();
+    touched = Bitset.create 0;
     scratch_int = Igraph.create ~n_nodes:0 ~n_precolored:0;
     scratch_flt = Igraph.create ~n_nodes:0 ~n_precolored:0;
     buckets = Degree_buckets.create ~max_degree:1;
@@ -49,6 +68,8 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
 
 let machine t = t.machine
 let incremental_enabled t = t.incremental
+let pool t = t.pool
+let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
 let buckets t = t.buckets
 let stats t = t.stats
 
@@ -117,10 +138,19 @@ let check_equal proc_name ~(cfg_i : Cfg.t) ~(built_i : Build.t)
 
 (* ---- pass construction ---- *)
 
-let scratch_build t (proc : Proc.t) ~is_spill_vreg ~coalesce ~scratch =
+(* [reference] builds are the from-scratch side of a verify cross-check:
+   they run sequentially into fresh buffers so they share nothing with
+   the build under test. *)
+let scratch_build ?(reference = false) t (proc : Proc.t) ~is_spill_vreg
+    ~coalesce ~scratch =
   let cfg = Cfg.build proc.code in
   let webs = Webs.build proc cfg ~is_spill_vreg in
-  let built = Build.build t.machine proc cfg ~webs ~coalesce ?scratch () in
+  let built =
+    if reference then Build.build t.machine proc cfg ~webs ~coalesce ()
+    else
+      Build.build t.machine proc cfg ~webs ~coalesce ?scratch ?pool:t.pool
+        ~par:t.par ~touched:t.touched ~verify:t.verify ()
+  in
   cfg, webs, built
 
 let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
@@ -145,7 +175,8 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
   in
   let built =
     Build.build t.machine proc cfg ~webs ~coalesce ~live0
-      ~scratch:(t.scratch_int, t.scratch_flt) ()
+      ~scratch:(t.scratch_int, t.scratch_flt) ?pool:t.pool ~par:t.par
+      ~touched:t.touched ~verify:t.verify ()
   in
   cfg, webs, built
 
@@ -158,10 +189,12 @@ let build_pass t (proc : Proc.t) ~is_spill_vreg ~coalesce ~edit =
       in
       t.stats.incremental_builds <- t.stats.incremental_builds + 1;
       if t.verify then begin
-        (* reference build into fresh buffers; the incremental result must
-           be indistinguishable from it, down to adjacency order *)
+        (* reference build into fresh buffers, sequentially; the
+           incremental result must be indistinguishable from it, down to
+           adjacency order *)
         let cfg_s, _, built_s =
-          scratch_build t proc ~is_spill_vreg ~coalesce ~scratch:None
+          scratch_build ~reference:true t proc ~is_spill_vreg ~coalesce
+            ~scratch:None
         in
         check_equal proc.Proc.name ~cfg_i ~built_i ~cfg_s ~built_s;
         t.stats.verified_builds <- t.stats.verified_builds + 1

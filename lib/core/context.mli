@@ -40,11 +40,32 @@ type t
 (** [create machine] makes an empty context. [incremental] defaults to
     the [RA_INCREMENTAL] environment variable (unset or any value but
     ["0"] means enabled); [verify] to [RA_VERIFY] (enabled when set
-    non-empty and not ["0"]). *)
-val create : ?incremental:bool -> ?verify:bool -> Machine.t -> t
+    non-empty and not ["0"]).
+
+    [pool], when given, parallelizes the interference-graph block scan
+    (see {!Build.build}); a width-1 pool means sequential. Without it,
+    [jobs] decides: [1] forces sequential, [> 1] uses the shared
+    {!Ra_support.Pool.global} pool. The default is [Pool.default_jobs ()]
+    — i.e. [RA_JOBS] / the core count — so multi-core parallelism is on
+    by default and [RA_JOBS=1] is the escape hatch. Either way the
+    allocation results are engineered to be bit-identical to a
+    sequential build (cross-checked under [RA_VERIFY]). *)
+val create :
+  ?incremental:bool ->
+  ?verify:bool ->
+  ?jobs:int ->
+  ?pool:Ra_support.Pool.t ->
+  Machine.t ->
+  t
 
 val machine : t -> Machine.t
 val incremental_enabled : t -> bool
+
+(** The pool builds run on, if any. *)
+val pool : t -> Ra_support.Pool.t option
+
+(** Effective build parallelism: the pool's width, or 1. *)
+val jobs : t -> int
 
 (** Reusable degree-bucket buffer for {!Heuristic.run}. *)
 val buckets : t -> Ra_support.Degree_buckets.t

@@ -51,6 +51,17 @@ let degree t n = t.degrees.(n)
 
 let neighbors t n = List.rev t.adjacency.(n)
 
+(* Insertion order without the List.rev allocation: walk the reversed
+   adjacency list to its end on the stack, apply [f] on the way back. *)
+let iter_neighbors t n ~f =
+  let rec go = function
+    | [] -> ()
+    | nb :: rest ->
+      go rest;
+      f nb
+  in
+  go t.adjacency.(n)
+
 let n_edges t = t.edges
 
 let check_coloring t ~colors =
@@ -63,12 +74,10 @@ let check_coloring t ~colors =
     | Some _ | None -> ()
   done;
   for a = 0 to n_nodes t - 1 do
-    List.iter
-      (fun b ->
-        if a < b then
-          match colors.(a), colors.(b) with
-          | Some ca, Some cb when ca = cb -> if !bad = None then bad := Some (a, b)
-          | (Some _ | None), (Some _ | None) -> ())
-      t.adjacency.(a)
+    iter_neighbors t a ~f:(fun b ->
+      if a < b then
+        match colors.(a), colors.(b) with
+        | Some ca, Some cb when ca = cb -> if !bad = None then bad := Some (a, b)
+        | (Some _ | None), (Some _ | None) -> ())
   done;
   !bad

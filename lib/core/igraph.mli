@@ -30,8 +30,13 @@ val interferes : t -> int -> int -> bool
 (** Full-graph degree (simplification tracks its own residual degrees). *)
 val degree : t -> int -> int
 
-(** Neighbors in insertion order. Do not mutate. *)
+(** Neighbors in insertion order. Do not mutate. Allocates a fresh list
+    per call — hot loops should use {!iter_neighbors}. *)
 val neighbors : t -> int -> int list
+
+(** [iter_neighbors t n ~f] applies [f] to [n]'s neighbors in insertion
+    order (same order as {!neighbors}) without allocating. *)
+val iter_neighbors : t -> int -> f:(int -> unit) -> unit
 
 (** Number of distinct edges. *)
 val n_edges : t -> int

@@ -171,6 +171,79 @@ let node_web_round_trip () =
         (Ra_support.Union_find.find built.Build.alias w.Webs.w_id = back))
     (Webs.webs webs)
 
+(* ---- parallel build == sequential build, structurally ---- *)
+
+(* Shared across qcheck trials: domains are never reclaimed before
+   process exit, so pools must not be created per trial. *)
+let pools = lazy (List.map (fun jobs -> Ra_support.Pool.create ~jobs) [ 2; 4; 8 ])
+
+let same_graph (a : Igraph.t) (b : Igraph.t) =
+  Igraph.n_nodes a = Igraph.n_nodes b
+  && Igraph.n_precolored a = Igraph.n_precolored b
+  && Igraph.n_edges a = Igraph.n_edges b
+  && List.for_all
+       (fun n -> Igraph.neighbors a n = Igraph.neighbors b n)
+       (List.init (Igraph.n_nodes a) Fun.id)
+
+let same_build (x : Build.t) (y : Build.t) =
+  same_graph x.Build.int_graph y.Build.int_graph
+  && same_graph x.Build.flt_graph y.Build.flt_graph
+  && x.Build.node_of_web = y.Build.node_of_web
+  && x.Build.web_of_node_int = y.Build.web_of_node_int
+  && x.Build.web_of_node_flt = y.Build.web_of_node_flt
+  && x.Build.moves_coalesced = y.Build.moves_coalesced
+
+let same_outcome g_seq g_par h ~k =
+  let costs g = Array.make (Igraph.n_nodes g) 1.0 in
+  Heuristic.run h g_seq ~k ~costs:(costs g_seq)
+  = Heuristic.run h g_par ~k ~costs:(costs g_par)
+
+let prop_parallel_build_identical =
+  (* The tentpole property: sharding the block scan over worker domains
+     and replaying the staged edges must reproduce the sequential graph
+     bit for bit — same edges, same adjacency insertion order (which
+     simplify/select are sensitive to), same node numbering, same
+     coalescing — and therefore identical coloring/spill decisions for
+     every heuristic, with and without coalescing, at any pool width. *)
+  QCheck.Test.make
+    ~name:
+      "parallel graph build is structurally identical to sequential \
+       (jobs 2/4/8, with/without coalescing, all heuristics agree)"
+    ~count:12
+    QCheck.(pair (int_bound 1000000) (int_range 5 30))
+    (fun (seed, size) ->
+      let src = Progen.generate ~seed ~size in
+      let procs = Codegen.compile_source src in
+      List.for_all
+        (fun (p : Proc.t) ->
+          let cfg = Cfg.build p.Proc.code in
+          let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+          List.for_all
+            (fun coalesce ->
+              let seq = Build.build Machine.rt_pc p cfg ~webs ~coalesce () in
+              List.for_all
+                (fun pool ->
+                  let par =
+                    Build.build Machine.rt_pc p cfg ~webs ~coalesce ~pool
+                      ~par:(Build.par_scratch ())
+                      ~touched:(Ra_support.Bitset.create 0)
+                      ~verify:true ()
+                  in
+                  same_build seq par
+                  && List.for_all
+                       (fun h ->
+                         same_outcome seq.Build.int_graph par.Build.int_graph
+                           h
+                           ~k:(Machine.regs Machine.rt_pc Reg.Int_reg)
+                         && same_outcome seq.Build.flt_graph
+                              par.Build.flt_graph h
+                              ~k:(Machine.regs Machine.rt_pc Reg.Flt_reg))
+                       [ Heuristic.Chaitin; Heuristic.Briggs;
+                         Heuristic.Matula ])
+                (Lazy.force pools))
+            [ true; false ])
+        procs)
+
 let suites =
   [ ( "build.interference",
       [ Alcotest.test_case "overlapping vars interfere" `Quick
@@ -184,4 +257,6 @@ let suites =
           coalescing_merges_copy_chain;
         Alcotest.test_case "refuses interfering" `Quick
           coalesce_refuses_interfering;
-        Alcotest.test_case "node/web round trip" `Quick node_web_round_trip ] ) ]
+        Alcotest.test_case "node/web round trip" `Quick node_web_round_trip ] );
+    ( "build.parallel",
+      [ QCheck_alcotest.to_alcotest prop_parallel_build_identical ] ) ]

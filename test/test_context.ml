@@ -185,6 +185,53 @@ let prop_incremental_equals_scratch =
             [ true; false ])
         heuristics)
 
+let prop_parallel_equals_sequential =
+  (* Pool-backed contexts must be a pure performance knob: allocation
+     through a context whose graph builds run on a domain pool (and
+     whose spill passes therefore replay staged parallel edges) is
+     observably identical to a jobs=1 context, for every heuristic and
+     pool width, with and without coalescing. *)
+  let pools =
+    (* shared across trials — domains are only reclaimed at process
+       exit, so per-trial pools would exhaust the domain limit *)
+    lazy (List.map (fun jobs -> Ra_support.Pool.create ~jobs) [ 2; 4; 8 ])
+  in
+  QCheck.Test.make
+    ~name:
+      "pool-backed context reproduces sequential allocation exactly \
+       (all heuristics, jobs 2/4/8, with/without coalescing)"
+    ~count:8
+    QCheck.(triple (int_bound 1000000) (int_range 5 30) (int_range 3 10))
+    (fun (seed, size, k) ->
+      let k = max 3 k and size = max 1 size in
+      let src = Progen.generate ~seed ~size in
+      let procs = compile src in
+      let machine = machine_k ~flt:4 k in
+      List.for_all
+        (fun h ->
+          let max_passes = if h = Heuristic.Matula then 6 else 32 in
+          let seq_ctx = Context.create ~jobs:1 machine in
+          List.for_all
+            (fun pool ->
+              let par_ctx = Context.create ~pool machine in
+              List.for_all
+                (fun coalesce ->
+                  List.for_all
+                    (fun p ->
+                      let alloc ctx =
+                        match
+                          Allocator.allocate ~coalesce ~max_passes
+                            ~context:ctx machine h p
+                        with
+                        | r -> Some (fingerprint r)
+                        | exception Allocator.Allocation_failure _ -> None
+                      in
+                      alloc seq_ctx = alloc par_ctx)
+                    procs)
+                [ true; false ])
+            (Lazy.force pools))
+        heuristics)
+
 let suites =
   [ ( "core.context",
       [ Alcotest.test_case "incremental equals scratch" `Quick
@@ -195,4 +242,5 @@ let suites =
           verify_mode_cross_checks;
         Alcotest.test_case "escape hatch disables patching" `Quick
           escape_hatch_disables_patching;
-        qtest prop_incremental_equals_scratch ] ) ]
+        qtest prop_incremental_equals_scratch;
+        qtest prop_parallel_equals_sequential ] ) ]
