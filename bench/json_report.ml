@@ -1,18 +1,23 @@
 (* `bench/main.exe [picks] --json` — machine-readable allocation report.
 
-   Every selected routine is allocated three times per heuristic: with an
-   incremental context (structures patched across spill passes), with
-   incrementality disabled (from-scratch builds every pass), and with an
-   incremental context whose graph build runs on a domain pool. The runs
-   must agree on everything except CPU time — pass-by-pass counters,
-   spill totals, and the final allocated code — and the report records
-   all three time series so both the pass-2+ build-time saving and the
-   parallel build time are visible in the committed artifact. It also
-   times the whole routine set allocated sequentially (one warm context)
-   versus dispatched procedure-per-task onto the pool, the suite-level
-   speedup. Any disagreement is a divergence: it is reported in the JSON
-   and the process exits non-zero (CI runs this as a smoke check with
-   RA_JOBS=4, so zero divergences is asserted for the parallel path on
+   Every selected routine is allocated in four modes per heuristic: with
+   an incremental context (structures patched across spill passes, edge
+   cache off), with incrementality disabled (from-scratch builds every
+   pass), with an incremental context whose graph build runs on a domain
+   pool, and with the per-block edge cache on (dirty-block rescans across
+   coalescing rounds and spill passes). Each mode runs a few times and
+   the per-pass phase times keep the element-wise minimum. The runs must agree on everything
+   except CPU time — pass-by-pass counters, spill totals, and the final
+   allocated code — and the report records all four time series so the
+   pass-2+ build-time saving, the parallel build time, and the cached
+   rescan saving are visible in the committed artifact. Each pass also
+   records the cached run's coalescing-round count, edge-cache hit rate
+   and fraction of blocks rescanned. It also times the whole routine set
+   allocated sequentially (one warm context) versus dispatched
+   procedure-per-task onto the pool, the suite-level speedup. Any
+   disagreement is a divergence: it is reported in the JSON and the
+   process exits non-zero (CI runs this as a smoke check with RA_JOBS=4,
+   so zero divergences is asserted for the parallel and cached paths on
    every push). *)
 
 open Ra_core
@@ -43,7 +48,8 @@ let strip (p : Allocator.pass_record) =
         p.Allocator.color_time,
         p.Allocator.spill_time ) }
 
-(* Everything observable about a result except CPU time. *)
+(* Everything observable about a result except CPU time (and the cache
+   hit counters, which legitimately differ between modes). *)
 let fingerprint (r : Allocator.result) =
   ( List.map (fun p -> (strip p).counters) r.Allocator.passes,
     r.Allocator.live_ranges,
@@ -80,6 +86,31 @@ let routines_for picks =
       Fig7.routines_of_interest
   else List.map (fun p -> (p, None)) Ra_programs.Suite.all
 
+(* One timing sample per pass is hostage to scheduler noise, so each
+   mode allocates every routine [reps] times and the report keeps the
+   element-wise minimum of the per-pass phase times. Everything else
+   about the runs is deterministic — the repetitions must produce equal
+   fingerprints, which the divergence check below sees through the
+   returned (first-run) result. *)
+let reps = 5
+
+let min_times (a : Allocator.pass_record) (b : Allocator.pass_record) =
+  { a with
+    Allocator.build_time = Float.min a.Allocator.build_time b.Allocator.build_time;
+    simplify_time = Float.min a.Allocator.simplify_time b.Allocator.simplify_time;
+    color_time = Float.min a.Allocator.color_time b.Allocator.color_time;
+    spill_time = Float.min a.Allocator.spill_time b.Allocator.spill_time }
+
+let allocate_best ~context machine h proc =
+  let first = Allocator.allocate ~context machine h proc in
+  let best = ref first.Allocator.passes in
+  for _ = 2 to reps do
+    let again = Allocator.allocate ~context machine h proc in
+    if fingerprint again = fingerprint first then
+      best := List.map2 min_times !best again.Allocator.passes
+  done;
+  { first with Allocator.passes = !best }
+
 (* Wall-clock (not Sys.time's CPU time — parallel runs burn CPU on every
    domain) for the suite-level sequential-vs-dispatched comparison. *)
 let wall f =
@@ -93,11 +124,19 @@ let run ~picks () =
      against the sequential builds — even on a single-core runner *)
   let jobs = max 2 (Ra_support.Pool.default_jobs ()) in
   let pool = Ra_support.Pool.create ~jobs in
-  let inc_ctx = Context.create ~incremental:true ~jobs:1 machine in
-  let scr_ctx = Context.create ~incremental:false ~jobs:1 machine in
+  let inc_ctx =
+    Context.create ~incremental:true ~edge_cache:false ~jobs:1 machine
+  in
+  let scr_ctx =
+    Context.create ~incremental:false ~edge_cache:false ~jobs:1 machine
+  in
   let par_ctx = Context.create ~incremental:true ~pool machine in
+  let cac_ctx =
+    Context.create ~incremental:true ~edge_cache:true ~jobs:1 machine
+  in
   let divergences = ref [] in
   let entries = ref 0 in
+  let cache_hits_total = ref 0 and cache_misses_total = ref 0 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"benchmarks\": [";
   let first_entry = ref true in
@@ -116,9 +155,10 @@ let run ~picks () =
         (fun (proc : Ra_ir.Proc.t) ->
           List.iter
             (fun h ->
-              let inc = Allocator.allocate ~context:inc_ctx machine h proc in
-              let scr = Allocator.allocate ~context:scr_ctx machine h proc in
-              let par = Allocator.allocate ~context:par_ctx machine h proc in
+              let inc = allocate_best ~context:inc_ctx machine h proc in
+              let scr = allocate_best ~context:scr_ctx machine h proc in
+              let par = allocate_best ~context:par_ctx machine h proc in
+              let cac = allocate_best ~context:cac_ctx machine h proc in
               let diverge tag =
                 divergences :=
                   Printf.sprintf "%s/%s/%s/%s"
@@ -128,8 +168,10 @@ let run ~picks () =
               in
               let inc_ok = fingerprint inc = fingerprint scr in
               let par_ok = fingerprint par = fingerprint scr in
+              let cac_ok = fingerprint cac = fingerprint scr in
               if not inc_ok then diverge "incremental";
               if not par_ok then diverge "parallel";
+              if not cac_ok then diverge "cached";
               if not !first_entry then Buffer.add_string buf ",";
               first_entry := false;
               incr entries;
@@ -141,7 +183,7 @@ let run ~picks () =
                     \"spill_cost\": %s, \"moves_removed\": %d,\n     \
                     \"per_pass\": ["
                    program.Ra_programs.Suite.pname proc.name
-                   (Heuristic.name h) (inc_ok && par_ok)
+                   (Heuristic.name h) (inc_ok && par_ok && cac_ok)
                    inc.Allocator.live_ranges
                    (List.length inc.Allocator.passes)
                    inc.Allocator.total_spilled
@@ -149,31 +191,47 @@ let run ~picks () =
                    inc.Allocator.moves_removed);
               (* zip without raising when a divergence changed the pass
                  count; the shortest series bounds the table *)
-              let rec zip3 a b c =
-                match a, b, c with
-                | x :: a, y :: b, z :: c -> (x, y, z) :: zip3 a b c
-                | _, _, _ -> []
+              let rec zip4 a b c d =
+                match a, b, c, d with
+                | x :: a, y :: b, z :: c, w :: d -> (x, y, z, w) :: zip4 a b c d
+                | _, _, _, _ -> []
               in
               List.iteri
-                (fun i (pi, ps, pp) ->
+                (fun i (pi, ps, pp, pc) ->
                   if i > 0 then Buffer.add_string buf ",";
                   let idx, webs, coalesced, _, _, _, _, spilled, spill_cost =
                     (strip pi).counters
+                  in
+                  let hits = pc.Allocator.cache_hits in
+                  let misses = pc.Allocator.cache_misses in
+                  cache_hits_total := !cache_hits_total + hits;
+                  cache_misses_total := !cache_misses_total + misses;
+                  let scans = hits + misses in
+                  let rate part =
+                    if scans = 0 then "null"
+                    else Printf.sprintf "%.4f" (float part /. float scans)
                   in
                   Buffer.add_string buf
                     (Printf.sprintf
                        "\n       {\"pass\": %d, \"webs\": %d, \
                         \"coalesced\": %d, \"spilled\": %d, \
-                        \"spill_cost\": %s,\n        "
-                       idx webs coalesced spilled (json_cost spill_cost));
+                        \"spill_cost\": %s, \"build_rounds\": %d,\n        \
+                        \"cache_hits\": %d, \"cache_misses\": %d, \
+                        \"cache_hit_rate\": %s, \
+                        \"blocks_rescanned_frac\": %s,\n        "
+                       idx webs coalesced spilled (json_cost spill_cost)
+                       pc.Allocator.build_rounds hits misses (rate hits)
+                       (rate misses));
                   buf_times buf "incremental" (strip pi);
                   Buffer.add_string buf ",\n        ";
                   buf_times buf "scratch" (strip ps);
                   Buffer.add_string buf ",\n        ";
                   buf_times buf "parallel" (strip pp);
+                  Buffer.add_string buf ",\n        ";
+                  buf_times buf "cached" (strip pc);
                   Buffer.add_string buf "}")
-                (zip3 inc.Allocator.passes scr.Allocator.passes
-                   par.Allocator.passes);
+                (zip4 inc.Allocator.passes scr.Allocator.passes
+                   par.Allocator.passes cac.Allocator.passes);
               Buffer.add_string buf "]}")
             heuristics)
         procs)
@@ -205,16 +263,24 @@ let run ~picks () =
   in
   let inc_stats = Context.stats inc_ctx in
   let scr_stats = Context.stats scr_ctx in
+  let total_scans = !cache_hits_total + !cache_misses_total in
   Buffer.add_string buf
     (Printf.sprintf
        "\n  ],\n  \"jobs\": %d,\n  \"suite\": {\"routines\": %d, \
         \"sequential_wall_s\": %.6f, \"parallel_wall_s\": %.6f},\n  \
         \"context\": {\"incremental_builds\": %d, \
         \"scratch_builds\": %d, \"verified_builds\": %d, \
-        \"reference_scratch_builds\": %d},\n  \"divergences\": [%s]\n}\n"
+        \"reference_scratch_builds\": %d},\n  \
+        \"edge_cache\": {\"hits\": %d, \"misses\": %d, \
+        \"hit_rate\": %s},\n  \"divergences\": [%s]\n}\n"
        jobs (List.length procs) seq_s par_s
        inc_stats.Context.incremental_builds inc_stats.Context.scratch_builds
        inc_stats.Context.verified_builds scr_stats.Context.scratch_builds
+       !cache_hits_total !cache_misses_total
+       (if total_scans = 0 then "null"
+        else
+          Printf.sprintf "%.4f"
+            (float !cache_hits_total /. float total_scans))
        (String.concat ", "
           (List.rev_map (Printf.sprintf "\"%s\"") !divergences)));
   let path = "BENCH_alloc.json" in
@@ -223,8 +289,13 @@ let run ~picks () =
   close_out oc;
   Printf.printf
     "wrote %s (%d benchmark entries, %d jobs, suite %.3fs seq / %.3fs par, \
-     %d divergence(s))\n"
-    path !entries jobs seq_s par_s (List.length !divergences);
+     cache hit rate %s, %d divergence(s))\n"
+    path !entries jobs seq_s par_s
+    (if total_scans = 0 then "n/a"
+     else
+       Printf.sprintf "%.1f%%"
+         (100.0 *. float !cache_hits_total /. float total_scans))
+    (List.length !divergences);
   if !divergences <> [] then begin
     List.iter
       (fun d -> Printf.eprintf "divergence: modes disagree for %s\n" d)

@@ -72,6 +72,15 @@ let jobs_arg =
                or the core count; 1 disables). Results are bit-identical \
                at any setting.")
 
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-edge-cache" ]
+         ~doc:"Disable the per-block interference edge cache: every build \
+               round rescans all blocks (same as RA_EDGE_CACHE=0). \
+               Results are bit-identical either way.")
+
+(* None = follow the RA_EDGE_CACHE default; Some false = --no-edge-cache *)
+let edge_cache_opt no_cache = if no_cache then Some false else None
+
 (* --jobs overrides RA_JOBS for everything downstream (the shared pool is
    created lazily, after this runs). Returns the pool for drivers that
    dispatch whole procedures, or None when sequential. *)
@@ -115,14 +124,16 @@ let dump_cmd =
 (* ---- alloc ---- *)
 
 let alloc_cmd =
-  let run file proc heuristic k verbose optimize verify jobs =
+  let run file proc heuristic k verbose optimize verify jobs no_cache =
     ignore (apply_jobs jobs);
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
     (* one warm context across the whole file's procedures; its graph
        scans run on the shared pool when jobs > 1 *)
-    let context = Ra_core.Context.create machine in
+    let context =
+      Ra_core.Context.create ?edge_cache:(edge_cache_opt no_cache) machine
+    in
     List.iter
       (fun p ->
         let r =
@@ -146,7 +157,7 @@ let alloc_cmd =
   in
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
-          $ opt_arg $ verify_arg $ jobs_arg)
+          $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg)
 
 (* ---- run ---- *)
 
@@ -161,14 +172,16 @@ let parse_value s =
        exit 1)
 
 let run_cmd =
-  let run file entry args heuristic allocate k optimize verify jobs =
+  let run file entry args heuristic allocate k optimize verify jobs no_cache =
     ignore (apply_jobs jobs);
     let procs = compile ~optimize file in
     let procs =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
-        let context = Ra_core.Context.create machine in
+        let context =
+          Ra_core.Context.create ?edge_cache:(edge_cache_opt no_cache) machine
+        in
         List.map
           (fun p ->
             (Ra_core.Allocator.allocate
@@ -206,30 +219,30 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
-          $ k_arg $ opt_arg $ verify_arg $ jobs_arg)
+          $ k_arg $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg)
 
 (* ---- suite ---- *)
 
 (* Allocate each procedure as one pool task with a context of its own —
    multi-routine batches then scale with cores. Falls back to one warm
    context when sequential; either way the results are identical. *)
-let allocate_batch pool machine h ~verify procs =
+let allocate_batch pool machine h ~verify ?edge_cache procs =
   let verify = if verify then Some true else None in
   match pool with
   | Some pool ->
     Ra_support.Pool.map_list pool
       (fun p ->
-        let context = Ra_core.Context.create ~pool machine in
+        let context = Ra_core.Context.create ?edge_cache ~pool machine in
         Ra_core.Allocator.allocate ?verify ~context machine h p)
       procs
   | None ->
-    let context = Ra_core.Context.create machine in
+    let context = Ra_core.Context.create ?edge_cache machine in
     List.map
       (fun p -> Ra_core.Allocator.allocate ?verify ~context machine h p)
       procs
 
 let suite_cmd =
-  let run name heuristic k allocate jobs =
+  let run name heuristic k allocate jobs no_cache =
     let pool = apply_jobs jobs in
     let program =
       match
@@ -255,7 +268,8 @@ let suite_cmd =
         let h = heuristic_of_name heuristic in
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
-          (allocate_batch pool machine h ~verify:false procs)
+          (allocate_batch pool machine h ~verify:false
+             ?edge_cache:(edge_cache_opt no_cache) procs)
       end
       else procs
     in
@@ -280,13 +294,15 @@ let suite_cmd =
            ~doc:"Run register-allocated code")
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
-    Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg)
+    Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg
+          $ no_cache_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize jobs =
+  let run file k optimize jobs no_cache =
     let pool = apply_jobs jobs in
+    let edge_cache = edge_cache_opt no_cache in
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
     let allocate_both context p =
@@ -297,10 +313,11 @@ let compare_cmd =
       match pool with
       | Some pool ->
         Ra_support.Pool.map_list pool
-          (fun p -> allocate_both (Ra_core.Context.create ~pool machine) p)
+          (fun p ->
+            allocate_both (Ra_core.Context.create ?edge_cache ~pool machine) p)
           procs
       | None ->
-        let context = Ra_core.Context.create machine in
+        let context = Ra_core.Context.create ?edge_cache machine in
         List.map (allocate_both context) procs
     in
     let table =
@@ -322,7 +339,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
-    Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg)
+    Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

@@ -13,6 +13,12 @@ type t = {
   kill : Bitset.t array; (* defs, per block *)
   result : Dataflow.result;
   scratch : Bitset.t;
+  dirty : int list;
+    (* blocks whose gen/kill this solution recomputed relative to the
+       [old] it was derived from (ascending, deduplicated); [] for a
+       from-scratch [compute]. Exposed via [dirty_blocks] so downstream
+       incremental consumers — the interference edge cache — rescan
+       exactly the set of blocks the solver did. *)
 }
 
 let vreg_index (proc : Ra_ir.Proc.t) (r : Ra_ir.Reg.t) =
@@ -49,7 +55,8 @@ let compute ~code ~cfg numbering =
     Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
   in
   ignore code;
-  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe }
+  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe;
+    dirty = [] }
 
 (* Incremental re-solve after a code edit that preserved the block
    structure (spill insertion). The previous solution carries over
@@ -118,7 +125,8 @@ let update ~old ~code ~cfg numbering ~remap ~dirty_blocks =
       Queue.add b work
     end
   in
-  List.iter push (List.sort_uniq Int.compare dirty_blocks);
+  let dirty_blocks = List.sort_uniq Int.compare dirty_blocks in
+  List.iter push dirty_blocks;
   while not (Queue.is_empty work) do
     let b = Queue.pop work in
     on_work.(b) <- false;
@@ -134,7 +142,8 @@ let update ~old ~code ~cfg numbering ~remap ~dirty_blocks =
   done;
   { numbering; cfg; gen; kill;
     result = { Dataflow.live_in; live_out };
-    scratch = Bitset.create universe }
+    scratch = Bitset.create universe;
+    dirty = dirty_blocks }
 
 (* Re-solve after a change of numbering that kept the universe and the
    block structure (coalescing: web ids are renamed to their new class
@@ -179,9 +188,12 @@ let refresh ~old ~code ~cfg numbering ~dirty_blocks =
   let result =
     Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
   in
-  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe }
+  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe;
+    dirty = List.sort_uniq Int.compare dirty_blocks }
 
 let universe t = t.numbering.universe
+
+let dirty_blocks t = t.dirty
 
 let block_live_in t b = t.result.Dataflow.live_in.(b)
 let block_live_out t b = t.result.Dataflow.live_out.(b)

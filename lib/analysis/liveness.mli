@@ -62,6 +62,15 @@ val refresh :
 (** Size of the id universe the analysis was solved over. *)
 val universe : t -> int
 
+(** The dirty-block set the solution was derived with: for a result of
+    {!update} or {!refresh}, the blocks whose gen/kill were recomputed
+    (ascending, deduplicated); [[]] for a from-scratch {!compute}. The
+    solver used to consume this set internally — it is exposed so the
+    incremental interference-graph construction (the Build edge cache)
+    can rescan exactly the blocks the liveness re-solve did, instead of
+    recomputing or re-plumbing the set. *)
+val dirty_blocks : t -> int list
+
 (** Live-in/out of a whole block. Do not mutate the returned sets. *)
 val block_live_in : t -> int -> Ra_support.Bitset.t
 val block_live_out : t -> int -> Ra_support.Bitset.t

@@ -12,6 +12,9 @@ type pass_record = {
   edges_flt : int;
   spilled : int;
   spill_cost : float;
+  build_rounds : int;
+  cache_hits : int;
+  cache_misses : int;
   build_time : float;
   simplify_time : float;
   color_time : float;
@@ -218,6 +221,9 @@ let allocate ?(coalesce = true) ?(max_passes = 32)
         edges_flt = Igraph.n_edges built.Build.flt_graph;
         spilled;
         spill_cost;
+        build_rounds = built.Build.rounds;
+        cache_hits = built.Build.cache_hits;
+        cache_misses = built.Build.cache_misses;
         build_time = Timer.elapsed timer ~phase:"build";
         simplify_time = Timer.elapsed timer ~phase:"simplify";
         color_time = Timer.elapsed timer ~phase:"color";

@@ -16,6 +16,9 @@ type pass_record = {
   edges_flt : int;
   spilled : int; (* live ranges spilled on this pass *)
   spill_cost : float; (* their total estimated spill cost *)
+  build_rounds : int; (* edge-scan rounds (1 + coalescing re-rounds) *)
+  cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
+  cache_misses : int; (* blocks rescanned (equals blocks x rounds uncached) *)
   build_time : float; (* seconds *)
   simplify_time : float;
   color_time : float;

@@ -16,16 +16,34 @@ type t = {
   web_of_node_flt : int array;
   moves_coalesced : int;
   base_live : Liveness.t;
+  rounds : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let cls_of_web (webs : Webs.t) w = (Webs.web webs w).cls
+
+(* ---- encoded scan events ----
+
+   The per-block scan hands every interference to its emitter as a pair
+   of *encoded endpoints*: a web id [w >= 0] (always a representative
+   under the aliasing the scan ran with), or a physical register [p]
+   encoded as [-1 - p] (call clobbers pair physical registers with live
+   webs). Web-granular events are what the edge cache stores — node ids
+   are renumbered every coalescing round, web ids survive the round (and,
+   renamed through [Webs.rebuild]'s canonical map, the spill pass). *)
+
+let enc_phys p = -1 - p
 
 (* ---- staging buffers for the parallel scan ----
 
    Each worker owns a stage: a private dedup matrix per class plus a flat
    pair array recording, in scan order, the first occurrence within the
    worker's block range of every edge it discovers. Nothing shared is
-   written during the scan; the merge replays the stages in block order. *)
+   written during the scan; the merge replays the stages in block order.
+   The cache-backed parallel path reuses the same stages, but only for
+   their dedup matrices and liveness scratch — rescanned edges then land
+   in the per-block cache entries instead of the chunk pair arrays. *)
 
 type stage = {
   seen_int : Bit_matrix.t;
@@ -49,6 +67,14 @@ let fresh_stage () =
 type par_scratch = { mutable stages : stage array }
 
 let par_scratch () = { stages = [||] }
+
+let ensure_stages ps n =
+  if Array.length ps.stages < n then begin
+    let old = ps.stages in
+    ps.stages <-
+      Array.init n (fun j ->
+        if j < Array.length old then old.(j) else fresh_stage ())
+  end
 
 let stage_emit s cls a b =
   if a <> b then
@@ -80,31 +106,229 @@ let stage_emit s cls a b =
         s.n_flt <- s.n_flt + 1
       end
 
-(* Cut the blocks into [n_chunks] contiguous ranges of roughly equal
-   instruction count. [starts.(c)] is chunk [c]'s first block; every chunk
-   is non-empty (requires n_chunks <= n_blocks). *)
-let chunk_starts (cfg : Cfg.t) ~n_chunks =
-  let n_blocks = Cfg.n_blocks cfg in
-  let cum = Array.make (n_blocks + 1) 0 in
-  for b = 0 to n_blocks - 1 do
-    let blk = cfg.blocks.(b) in
-    cum.(b + 1) <- cum.(b) + (blk.last - blk.first + 1)
+(* ---- the per-block edge cache ----
+
+   For each CFG block, the cache records the encoded pair sequence the
+   scan emitted there: per class, the raw emission stream in scan order
+   (within-block duplicates and all — [Igraph.add_edge]'s global
+   first-occurrence dedup collapses them on replay, so storing the
+   stream undeduplicated trades a little memory for a scan with no
+   per-pair bookkeeping beyond the push). Two layers per block:
+
+   - [base]: the block's pairs under the *identity* aliasing (coalescing
+     round 0). This is the layer that survives spill passes — renamed
+     through [Webs.rebuild]'s old-to-new map by {!Edge_cache.remap}, with
+     pairs touching a retired (spilled) web dropped, and the blocks that
+     received spill code invalidated.
+   - [round]: the block's pairs as of its latest rescan in a coalescing
+     round >= 1, under that round's representatives. Valid only within
+     the pass (a new pass restarts from the identity aliasing); replay
+     remaps the stored ids through the *current* rep snapshot, which is
+     exact because representatives compose.
+
+   Replay walks every block in block order and pushes the remapped pairs
+   through [Igraph.add_edge], whose global first-occurrence dedup then
+   reproduces exactly the adjacency insertion order of a from-scratch
+   scan (see the exactness argument at [build_graphs]). *)
+
+module Edge_cache = struct
+  type layer = {
+    mutable lp_int : int array; (* flat encoded (a, b) pairs, scan order *)
+    mutable ln_int : int;
+    mutable lp_flt : int array;
+    mutable ln_flt : int;
+  }
+
+  let fresh_layer () =
+    { lp_int = [||]; ln_int = 0; lp_flt = [||]; ln_flt = 0 }
+
+  type entry = {
+    e_base : layer;
+    e_round : layer;
+    mutable base_valid : bool;
+    mutable round_valid : bool;
+  }
+
+  let fresh_entry () =
+    { e_base = fresh_layer ();
+      e_round = fresh_layer ();
+      base_valid = false;
+      round_valid = false }
+
+  type t = {
+    mutable entries : entry array;
+    mutable cached_blocks : int; (* entries in use: the proc's block count *)
+    seq_live : Bitset.t; (* sequential-scan liveness scratch *)
+    (* per-build counters, reset at each Build.build *)
+    mutable hits : int; (* blocks replayed without a rescan *)
+    mutable misses : int; (* blocks rescanned *)
+  }
+
+  let create () =
+    { entries = [||];
+      cached_blocks = 0;
+      seq_live = Bitset.create 0;
+      hits = 0;
+      misses = 0 }
+
+  let hits t = t.hits
+  let misses t = t.misses
+  let reset_stats t =
+    t.hits <- 0;
+    t.misses <- 0
+
+  let invalidate_entry e =
+    e.base_valid <- false;
+    e.round_valid <- false
+
+  let clear t =
+    for b = 0 to t.cached_blocks - 1 do
+      invalidate_entry t.entries.(b)
+    done;
+    t.cached_blocks <- 0
+
+  (* Retarget at a procedure's block count. A size change means a
+     different procedure (or a restructured one): nothing carries over. *)
+  let prepare t ~n_blocks =
+    if n_blocks <> t.cached_blocks then begin
+      clear t;
+      if Array.length t.entries < n_blocks then begin
+        let old = t.entries in
+        t.entries <-
+          Array.init n_blocks (fun b ->
+            if b < Array.length old then old.(b) else fresh_entry ())
+      end;
+      for b = 0 to n_blocks - 1 do
+        invalidate_entry t.entries.(b)
+      done;
+      t.cached_blocks <- n_blocks
+    end
+
+  let invalidate_blocks t bs =
+    List.iter
+      (fun b ->
+        if b >= 0 && b < t.cached_blocks then invalidate_entry t.entries.(b))
+      bs
+
+  let push layer cls a b =
+    match cls with
+    | Reg.Int_reg ->
+      let cap = Array.length layer.lp_int in
+      if (2 * layer.ln_int) + 2 > cap then begin
+        let grown = Array.make (max 64 (2 * cap)) 0 in
+        Array.blit layer.lp_int 0 grown 0 (2 * layer.ln_int);
+        layer.lp_int <- grown
+      end;
+      Array.unsafe_set layer.lp_int (2 * layer.ln_int) a;
+      Array.unsafe_set layer.lp_int ((2 * layer.ln_int) + 1) b;
+      layer.ln_int <- layer.ln_int + 1
+    | Reg.Flt_reg ->
+      let cap = Array.length layer.lp_flt in
+      if (2 * layer.ln_flt) + 2 > cap then begin
+        let grown = Array.make (max 64 (2 * cap)) 0 in
+        Array.blit layer.lp_flt 0 grown 0 (2 * layer.ln_flt);
+        layer.lp_flt <- grown
+      end;
+      Array.unsafe_set layer.lp_flt (2 * layer.ln_flt) a;
+      Array.unsafe_set layer.lp_flt ((2 * layer.ln_flt) + 1) b;
+      layer.ln_flt <- layer.ln_flt + 1
+
+  (* Rename one layer's web endpoints through [old_to_new], dropping any
+     pair with a retired endpoint, compacting in place. Physical-register
+     endpoints (< 0) pass through unchanged. *)
+  let remap_pairs pairs n ~old_to_new =
+    let m = ref 0 in
+    for p = 0 to n - 1 do
+      let a = Array.unsafe_get pairs (2 * p)
+      and b = Array.unsafe_get pairs ((2 * p) + 1) in
+      (* physical endpoints (< 0) pass through — note phys reg 0 encodes
+         to -1, so the retired test must only ever see web endpoints *)
+      let a' = if a < 0 then a else Array.unsafe_get old_to_new a in
+      let b' = if b < 0 then b else Array.unsafe_get old_to_new b in
+      if (a < 0 || a' >= 0) && (b < 0 || b' >= 0) then begin
+        Array.unsafe_set pairs (2 * !m) a';
+        Array.unsafe_set pairs ((2 * !m) + 1) b';
+        incr m
+      end
+    done;
+    !m
+
+  (* Cross-pass invalidation: the blocks that received spill code (the
+     same dirty set the liveness update re-solved from) are rescanned;
+     every other block's base layer survives, renamed through the
+     canonical renumbering [Webs.rebuild] produced. Round layers are
+     discarded wholesale — they are granular to the *last* pass's
+     aliasing, and the next pass restarts from the identity. *)
+  let remap t ~old_to_new ~dirty_blocks =
+    invalidate_blocks t dirty_blocks;
+    for b = 0 to t.cached_blocks - 1 do
+      let e = t.entries.(b) in
+      e.round_valid <- false;
+      if e.base_valid then begin
+        e.e_base.ln_int <-
+          remap_pairs e.e_base.lp_int e.e_base.ln_int ~old_to_new;
+        e.e_base.ln_flt <-
+          remap_pairs e.e_base.lp_flt e.e_base.ln_flt ~old_to_new
+      end
+    done
+
+  (* Test hook: make one valid base entry stale by appending an edge
+     between two precolored nodes — a pair no scan ever stages — so a
+     verified cache-backed build must raise [Divergence]. *)
+  let poison t =
+    let found = ref false in
+    for b = 0 to t.cached_blocks - 1 do
+      let e = t.entries.(b) in
+      if (not !found) && e.base_valid then begin
+        push e.e_base Reg.Int_reg (enc_phys 0) (enc_phys 1);
+        found := true
+      end
+    done;
+    !found
+end
+
+(* Which layer a cache-backed scan writes: round 0 of a pass refreshes
+   invalid [base] entries (identity aliasing); later coalescing rounds
+   rescan the rep-dirty blocks into their [round] layer. *)
+type cache_round =
+  | Round0
+  | Later of int list (* rep-dirty blocks, ascending *)
+
+(* Cut [n_items] weighted items into [n_chunks] contiguous ranges of
+   roughly equal total weight. [starts.(c)] is chunk [c]'s first item;
+   every chunk is non-empty. [n_chunks] is clamped to the item count (and
+   to at least 1), so callers may pass any pool width — the returned
+   array has [effective_chunks + 1] entries. *)
+let chunk_weights ~weights ~n_chunks =
+  let n_items = Array.length weights in
+  let n_chunks = max 1 (min n_chunks n_items) in
+  let cum = Array.make (n_items + 1) 0 in
+  for i = 0 to n_items - 1 do
+    cum.(i + 1) <- cum.(i) + weights.(i)
   done;
-  let total = cum.(n_blocks) in
+  let total = cum.(n_items) in
   let starts = Array.make (n_chunks + 1) 0 in
-  starts.(n_chunks) <- n_blocks;
-  let b = ref 0 in
+  starts.(n_chunks) <- n_items;
+  let i = ref 0 in
   for c = 1 to n_chunks - 1 do
     let target = c * total / n_chunks in
-    while !b < n_blocks && cum.(!b) < target do
-      incr b
+    while !i < n_items && cum.(!i) < target do
+      incr i
     done;
     let lo = starts.(c - 1) + 1 in
-    let hi = n_blocks - (n_chunks - c) in
-    starts.(c) <- max lo (min !b hi);
-    b := starts.(c)
+    let hi = n_items - (n_chunks - c) in
+    starts.(c) <- max lo (min !i hi);
+    i := starts.(c)
   done;
   starts
+
+(* Cut the blocks into at most [n_chunks] contiguous ranges of roughly
+   equal instruction count, clamping to the block count. *)
+let chunk_starts (cfg : Cfg.t) ~n_chunks =
+  let weights =
+    Array.map (fun (blk : Cfg.block) -> blk.last - blk.first + 1) cfg.blocks
+  in
+  chunk_weights ~weights ~n_chunks
 
 (* Build the two class graphs for the current aliasing. [rep] is a
    snapshot of the alias representatives ([rep.(w) = Union_find.find w]),
@@ -119,9 +343,25 @@ let chunk_starts (cfg : Cfg.t) ~n_chunks =
    is then exactly the sequence of global first occurrences in block/scan
    order — the same events, in the same order, with the same argument
    order, as the sequential scan — so adjacency insertion order (which
-   coloring is sensitive to) is bit-identical to the sequential build. *)
+   coloring is sensitive to) is bit-identical to the sequential build.
+
+   With [cache] the scan is incremental: only blocks without a valid
+   cache entry for this round (spill-dirtied blocks at round 0, blocks
+   holding a site of a web whose representative just moved at rounds
+   >= 1) are rescanned — sequentially or sharded across the pool — into
+   their per-block entries; every block is then replayed in block order
+   through [add_edge], stored web ids remapped through the current [rep]
+   snapshot. Exactness for clean blocks: a coalescing merge only renames
+   entries in their live sets (merging webs that interfere is impossible,
+   and the move-source exclusion cases land in dirty blocks), and a
+   spill edit only renames or retires them — so the remapped image of a
+   clean block's cached pairs is, pair for pair and in order, what a
+   rescan would stage. Global first occurrences, and therefore adjacency
+   insertion order, match the from-scratch scan exactly; [RA_VERIFY]
+   cross-checks this every round. *)
 let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
-    ~(rep : int array) ~numbering ~(live : Liveness.t) ~scratch ~pool ~par =
+    ~(rep : int array) ~numbering ~(live : Liveness.t) ~scratch ~pool ~par
+    ~cache =
   let n_webs = Webs.n_webs webs in
   (* dense node numbering per class, representatives only *)
   let node_of_web = Array.make (max n_webs 1) (-1) in
@@ -158,17 +398,21 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
     | Reg.Int_reg -> int_graph
     | Reg.Flt_reg -> flt_graph
   in
+  (* node id of an encoded endpoint *at scan time* (web endpoints are
+     representatives of the aliasing being scanned) *)
+  let node_of_enc x = if x >= 0 then node_of_web.(x) else -1 - x in
   (* Scan blocks [lo, hi] backward against [live], handing every
-     interference to [emit cls node_a node_b] in deterministic scan
-     order. Read-only on all shared state: [live_scratch], when given,
-     carries the walk's live set (workers each pass their own). *)
+     interference to [emit cls a b] — encoded endpoints — in
+     deterministic scan order. Read-only on all shared state:
+     [live_scratch], when given, carries the walk's live set (workers
+     each pass their own). *)
   let scan_blocks ~emit ~live_scratch lo hi =
     let add_def_edges def_rep ~excluding ~live_after =
       let cls = cls_of_web webs def_rep in
       Bitset.iter
         (fun l ->
           if l <> def_rep && Some l <> excluding && cls_of_web webs l = cls
-          then emit cls node_of_web.(def_rep) node_of_web.(l))
+          then emit cls def_rep l)
         live_after
     in
     let add_clobber_edges ~ret_rep ~live_after =
@@ -177,7 +421,7 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
         Bitset.iter
           (fun l ->
             if Some l <> ret_rep && cls_of_web webs l = cls then
-              List.iter (fun p -> emit cls p node_of_web.(l)) saves)
+              List.iter (fun p -> emit cls (enc_phys p) l) saves)
           live_after
       in
       clobber Reg.Int_reg;
@@ -209,47 +453,155 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
     done
   in
   let n_blocks = Cfg.n_blocks cfg in
-  let n_chunks =
-    match pool with
-    | Some p when Pool.jobs p > 1 -> min (Pool.jobs p) n_blocks
-    | Some _ | None -> 1
-  in
-  if n_chunks <= 1 then
-    scan_blocks
-      ~emit:(fun cls a b -> Igraph.add_edge (graph_of cls) a b)
-      ~live_scratch:None 0 (n_blocks - 1)
-  else begin
-    let pool = Option.get pool in
-    let ps = match par with Some p -> p | None -> par_scratch () in
-    if Array.length ps.stages < n_chunks then begin
-      let old = ps.stages in
-      ps.stages <-
-        Array.init n_chunks (fun j ->
-          if j < Array.length old then old.(j) else fresh_stage ())
-    end;
-    let starts = chunk_starts cfg ~n_chunks in
-    let nn_int = Igraph.n_nodes int_graph in
-    let nn_flt = Igraph.n_nodes flt_graph in
-    Pool.run pool ~n:n_chunks (fun j ->
-      let s = ps.stages.(j) in
-      Bit_matrix.resize s.seen_int nn_int;
-      Bit_matrix.resize s.seen_flt nn_flt;
-      s.n_int <- 0;
-      s.n_flt <- 0;
-      scan_blocks ~emit:(stage_emit s) ~live_scratch:(Some s.stage_live)
-        starts.(j)
-        (starts.(j + 1) - 1));
-    (* deterministic merge, chunk by chunk in block order *)
-    for j = 0 to n_chunks - 1 do
-      let s = ps.stages.(j) in
-      for p = 0 to s.n_int - 1 do
-        Igraph.add_edge int_graph s.pairs_int.(2 * p) s.pairs_int.((2 * p) + 1)
-      done;
-      for p = 0 to s.n_flt - 1 do
-        Igraph.add_edge flt_graph s.pairs_flt.(2 * p) s.pairs_flt.((2 * p) + 1)
-      done
-    done
-  end;
+  (match cache with
+   | Some (ec, round) ->
+     let open Edge_cache in
+     prepare ec ~n_blocks;
+     let rescan =
+       match round with
+       | Round0 ->
+         (* a pass starts at the identity aliasing: drop last pass's
+            rep-granular round layers, rescan whatever base entries the
+            context invalidated (all of them on a scratch pass) *)
+         let acc = ref [] in
+         for b = n_blocks - 1 downto 0 do
+           let e = ec.entries.(b) in
+           e.round_valid <- false;
+           if not e.base_valid then acc := b :: !acc
+         done;
+         !acc
+       | Later dirty -> dirty
+     in
+     let n_rescan = List.length rescan in
+     ec.misses <- ec.misses + n_rescan;
+     ec.hits <- ec.hits + (n_blocks - n_rescan);
+     let fresh_layer_of b =
+       let e = ec.entries.(b) in
+       let layer =
+         match round with Round0 -> e.e_base | Later _ -> e.e_round
+       in
+       layer.ln_int <- 0;
+       layer.ln_flt <- 0;
+       layer
+     in
+     let mark_valid b =
+       let e = ec.entries.(b) in
+       match round with
+       | Round0 -> e.base_valid <- true
+       | Later _ -> e.round_valid <- true
+     in
+     (* replay one block through add_edge's global first-occurrence
+        dedup; stored web endpoints go through the current rep snapshot
+        (representatives compose across rounds) *)
+     let replay_node x =
+       if x >= 0 then
+         Array.unsafe_get node_of_web (Array.unsafe_get rep x)
+       else -1 - x
+     in
+     let replay_pairs graph pairs n =
+       for p = 0 to n - 1 do
+         Igraph.add_edge graph
+           (replay_node (Array.unsafe_get pairs (2 * p)))
+           (replay_node (Array.unsafe_get pairs ((2 * p) + 1)))
+       done
+     in
+     let replay_block b =
+       let e = ec.entries.(b) in
+       let layer = if e.round_valid then e.e_round else e.e_base in
+       replay_pairs int_graph layer.lp_int layer.ln_int;
+       replay_pairs flt_graph layer.lp_flt layer.ln_flt
+     in
+     (match pool with
+      | Some p when Pool.jobs p > 1 && n_rescan > 1 ->
+        (* workers rescan only the dirty blocks of their chunk; each
+           writes its blocks' private cache entries, nothing shared.
+           The merge then replays every block in block order. *)
+        let blocks = Array.of_list rescan in
+        let weights =
+          Array.map
+            (fun b ->
+              let blk = cfg.blocks.(b) in
+              blk.Cfg.last - blk.Cfg.first + 1)
+            blocks
+        in
+        let starts = chunk_weights ~weights ~n_chunks:(Pool.jobs p) in
+        let n_chunks = Array.length starts - 1 in
+        let ps = match par with Some q -> q | None -> par_scratch () in
+        ensure_stages ps n_chunks;
+        Pool.run p ~n:n_chunks (fun j ->
+          let s = ps.stages.(j) in
+          for idx = starts.(j) to starts.(j + 1) - 1 do
+            let b = blocks.(idx) in
+            let layer = fresh_layer_of b in
+            scan_blocks ~live_scratch:(Some s.stage_live)
+              ~emit:(fun cls a b -> push layer cls a b)
+              b b;
+            mark_valid b
+          done);
+        for b = 0 to n_blocks - 1 do
+          replay_block b
+        done
+      | Some _ | None ->
+        (* stage, then replay — even sequentially. Scanning into the
+           compact layer arrays first and streaming them into the graphs
+           afterward beats emitting into the graphs mid-scan: the walk's
+           working set (live sets, webs) and the graphs' matrices stop
+           evicting each other. *)
+        List.iter
+          (fun b ->
+            let layer = fresh_layer_of b in
+            scan_blocks ~live_scratch:(Some ec.seq_live)
+              ~emit:(fun cls a b -> push layer cls a b)
+              b b;
+            mark_valid b)
+          rescan;
+        for b = 0 to n_blocks - 1 do
+          replay_block b
+        done)
+   | None ->
+     let n_chunks =
+       match pool with
+       | Some p when Pool.jobs p > 1 -> min (Pool.jobs p) n_blocks
+       | Some _ | None -> 1
+     in
+     if n_chunks <= 1 then
+       scan_blocks
+         ~emit:(fun cls a b ->
+           Igraph.add_edge (graph_of cls) (node_of_enc a) (node_of_enc b))
+         ~live_scratch:None 0 (n_blocks - 1)
+     else begin
+       let pool = Option.get pool in
+       let ps = match par with Some p -> p | None -> par_scratch () in
+       ensure_stages ps n_chunks;
+       let starts = chunk_starts cfg ~n_chunks in
+       let n_chunks = Array.length starts - 1 in
+       let nn_int = Igraph.n_nodes int_graph in
+       let nn_flt = Igraph.n_nodes flt_graph in
+       Pool.run pool ~n:n_chunks (fun j ->
+         let s = ps.stages.(j) in
+         Bit_matrix.resize s.seen_int nn_int;
+         Bit_matrix.resize s.seen_flt nn_flt;
+         s.n_int <- 0;
+         s.n_flt <- 0;
+         scan_blocks
+           ~emit:(fun cls a b ->
+             stage_emit s cls (node_of_enc a) (node_of_enc b))
+           ~live_scratch:(Some s.stage_live)
+           starts.(j)
+           (starts.(j + 1) - 1));
+       (* deterministic merge, chunk by chunk in block order *)
+       for j = 0 to n_chunks - 1 do
+         let s = ps.stages.(j) in
+         for p = 0 to s.n_int - 1 do
+           Igraph.add_edge int_graph s.pairs_int.(2 * p)
+             s.pairs_int.((2 * p) + 1)
+         done;
+         for p = 0 to s.n_flt - 1 do
+           Igraph.add_edge flt_graph s.pairs_flt.(2 * p)
+             s.pairs_flt.((2 * p) + 1)
+         done
+       done
+     end);
   (* webs live into the entry block are defined simultaneously at entry *)
   let entry_in = Liveness.block_live_in live 0 in
   Bitset.iter
@@ -302,7 +654,7 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
   !merged
 
 let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
-    ?pool ?par ?touched ?(verify = false) () : t =
+    ?pool ?par ?touched ?cache ?(verify = false) () : t =
   let n_webs = Webs.n_webs webs in
   let alias = Union_find.create (max n_webs 1) in
   let base = Webs.numbering webs in
@@ -323,6 +675,7 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
   let touched =
     match touched with Some b -> b | None -> Bitset.create 0
   in
+  (match cache with Some ec -> Edge_cache.reset_stats ec | None -> ());
   let rep_numbering rep =
     { Liveness.universe = n_webs;
       defs_of =
@@ -354,6 +707,43 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
     done;
     !out
   in
+  (* The edge cache must rescan a *superset* of the liveness-dirty set: a
+     block whose gen/kill survived a merge untouched can still see its
+     scan output change, because a web merged into an *unchanged*
+     representative renames entries of the block's live sets — shifting
+     the emission order within a live-set walk (Bitset iteration follows
+     the new numeric order), or newly hitting the move-source /
+     call-result exclusion. Either effect needs a re-aliased web
+     (equivalently, its previous-round representative) live in the block
+     or holding a site there, so rescanning exactly those blocks keeps
+     the replay bit-identical. *)
+  let cache_dirty_blocks ~prev_rep ~rep ~prev_live ~site_dirty =
+    let n_blocks = Cfg.n_blocks cfg in
+    let mark = Array.make n_blocks false in
+    List.iter (fun b -> mark.(b) <- true) site_dirty;
+    let changed = ref [] in
+    for w = n_webs - 1 downto 0 do
+      if prev_rep.(w) <> rep.(w) then changed := prev_rep.(w) :: !changed
+    done;
+    (match List.sort_uniq Int.compare !changed with
+     | [] -> ()
+     | changed ->
+       for b = 0 to n_blocks - 1 do
+         if not mark.(b) then
+           if
+             List.exists
+               (fun r ->
+                 Bitset.mem (Liveness.block_live_in prev_live b) r
+                 || Bitset.mem (Liveness.block_live_out prev_live b) r)
+               changed
+           then mark.(b) <- true
+       done);
+    let out = ref [] in
+    for b = n_blocks - 1 downto 0 do
+      if mark.(b) then out := b :: !out
+    done;
+    !out
+  in
   let check_same_live ~refreshed ~reference =
     for b = 0 to Cfg.n_blocks cfg - 1 do
       if
@@ -376,26 +766,26 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
   in
   let check_same_graph name (gp : Igraph.t) (gs : Igraph.t) =
     if Igraph.n_nodes gp <> Igraph.n_nodes gs then
-      div "%s: %d nodes in parallel vs %d sequentially" name
+      div "%s: %d nodes against %d in the reference scan" name
         (Igraph.n_nodes gp) (Igraph.n_nodes gs);
     if Igraph.n_edges gp <> Igraph.n_edges gs then
-      div "%s: %d edges in parallel vs %d sequentially" name
+      div "%s: %d edges against %d in the reference scan" name
         (Igraph.n_edges gp) (Igraph.n_edges gs);
     for n = 0 to Igraph.n_nodes gp - 1 do
       (* adjacency must match as *lists*: coloring is sensitive to
          neighbor insertion order, not just the edge set *)
       if Igraph.neighbors gp n <> Igraph.neighbors gs n then
-        div "%s: parallel adjacency of node %d diverges" name n
+        div "%s: adjacency of node %d diverges" name n
     done
   in
   let parallel =
     match pool with Some p -> Pool.jobs p > 1 | None -> false
   in
-  let rec fixpoint total ~first ~prev_rep ~prev_live =
+  let rec fixpoint total ~first ~rounds ~prev_rep ~prev_live =
     let rep = Array.init (max n_webs 1) (Union_find.find alias) in
     let numbering = rep_numbering rep in
-    let live =
-      if first then base_live
+    let live, cache_dirty =
+      if first then base_live, []
       else begin
         let dirty = dirty_blocks ~prev_rep ~rep in
         let refreshed =
@@ -405,37 +795,56 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
         if verify then
           check_same_live ~refreshed
             ~reference:(Liveness.compute ~code:proc.code ~cfg numbering);
-        refreshed
+        let cache_dirty =
+          match cache with
+          | None -> []
+          | Some _ ->
+            cache_dirty_blocks ~prev_rep ~rep ~prev_live ~site_dirty:dirty
+        in
+        refreshed, cache_dirty
       end
+    in
+    let round_cache =
+      match cache with
+      | None -> None
+      | Some ec -> Some (ec, if first then Round0 else Later cache_dirty)
     in
     let ig, fg, now, wni, wnf =
       build_graphs machine proc cfg webs ~rep ~numbering ~live ~scratch ~pool
-        ~par
+        ~par ~cache:round_cache
     in
-    if verify && parallel then begin
-      (* sequential reference into fresh graphs; the parallel result must
-         be indistinguishable from it, down to adjacency order *)
+    if verify && (parallel || cache <> None) then begin
+      (* reference scan into fresh graphs, sequentially and uncached; the
+         parallel/cache-backed result must be indistinguishable from it,
+         down to adjacency order *)
       let ig_s, fg_s, _, _, _ =
         build_graphs machine proc cfg webs ~rep ~numbering ~live
-          ~scratch:None ~pool:None ~par:None
+          ~scratch:None ~pool:None ~par:None ~cache:None
       in
       check_same_graph (proc.name ^ ": int graph") ig ig_s;
       check_same_graph (proc.name ^ ": flt graph") fg fg_s
     end;
-    if not coalesce then ig, fg, now, wni, wnf, total
+    if not coalesce then ig, fg, now, wni, wnf, total, rounds
     else begin
       let merged = find_coalescable proc webs alias now ig fg ~touched in
-      if merged = 0 then ig, fg, now, wni, wnf, total
+      if merged = 0 then ig, fg, now, wni, wnf, total, rounds
       else
-        fixpoint (total + merged) ~first:false ~prev_rep:rep ~prev_live:live
+        fixpoint (total + merged) ~first:false ~rounds:(rounds + 1)
+          ~prev_rep:rep ~prev_live:live
     end
   in
   let int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt,
-      moves_coalesced =
-    fixpoint 0 ~first:true ~prev_rep:[||] ~prev_live:base_live
+      moves_coalesced, rounds =
+    fixpoint 0 ~first:true ~rounds:1 ~prev_rep:[||] ~prev_live:base_live
+  in
+  let cache_hits, cache_misses =
+    match cache with
+    | Some ec -> Edge_cache.hits ec, Edge_cache.misses ec
+    | None -> 0, 0
   in
   { webs; alias; int_graph; flt_graph; node_of_web;
-    web_of_node_int; web_of_node_flt; moves_coalesced; base_live }
+    web_of_node_int; web_of_node_flt; moves_coalesced; base_live;
+    rounds; cache_hits; cache_misses }
 
 let graph_of_class t = function
   | Reg.Int_reg -> t.int_graph

@@ -24,10 +24,19 @@ open Ra_analysis
     contiguous chunks, each worker stages its chunk's edges in a private
     deduplicated buffer, and a deterministic merge replays the stages in
     block order, reproducing the sequential graph bit for bit (adjacency
-    insertion order included, which coloring outcomes depend on). *)
+    insertion order included, which coloring outcomes depend on).
 
-(** Raised when a [verify] cross-check finds the parallel graph or the
-    refreshed liveness differing from a sequential/full recomputation. *)
+    The scan can also run *incrementally* against an {!Edge_cache}: only
+    blocks invalidated since the previous round — spill-dirtied blocks at
+    a pass's first round, blocks holding a site of a re-aliased web at
+    later coalescing rounds — are rescanned; every other block replays
+    its cached pair sequence remapped through the current aliasing. The
+    replayed event stream is identical to a from-scratch scan's, so the
+    resulting graphs (adjacency order included) are bit-identical. *)
+
+(** Raised when a [verify] cross-check finds the parallel or cache-backed
+    graph, or the refreshed liveness, differing from a sequential
+    uncached recomputation. *)
 exception Divergence of string
 
 type t = {
@@ -43,6 +52,9 @@ type t = {
     (* web-granularity liveness under the identity aliasing (coalescing
        iteration 0) — the allocation context seeds the next spill pass's
        build from it via [Liveness.update] *)
+  rounds : int; (* edge-scan rounds this build ran (1 + re-coalesces) *)
+  cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
+  cache_misses : int; (* blocks rescanned, all rounds (0 without cache) *)
 }
 
 (** Reusable staging buffers for the parallel scan (one per pool worker,
@@ -51,6 +63,62 @@ type t = {
 type par_scratch
 
 val par_scratch : unit -> par_scratch
+
+(** Per-block cache of the edge scan's staged pair sequences, owned by
+    the allocation context (one per context, reused across rounds, passes
+    and procedures of a run). Entries are keyed by CFG block and store
+    *web-granular* pairs, so they survive the per-round node renumbering;
+    the invalidation protocol is the caller's contract:
+
+    - {!Edge_cache.clear} before an unrelated procedure (or to drop all
+      state): every block rescans on the next build.
+    - {!Edge_cache.remap} between spill passes of the *same* procedure:
+      renames surviving web ids through {!Webs.rebuild}'s canonical
+      old-to-new map (dropping pairs that touch a retired web) and
+      invalidates the blocks that received spill code — the same dirty
+      set handed to {!Liveness.update}.
+
+    Within one {!build}, invalidation is automatic: a coalescing round
+    rescans the blocks {!Liveness.refresh} re-solved plus every block
+    where a re-aliased web's former representative was live or had a
+    site — a merge can reorder another web's scan position or newly
+    capture it in a copy/call exclusion even where liveness sets are
+    unchanged (see the rationale in build.ml). *)
+module Edge_cache : sig
+  type t
+
+  val create : unit -> t
+
+  (** Drop every entry; the next cache-backed build rescans everything. *)
+  val clear : t -> unit
+
+  (** Invalidate the given blocks (out-of-range ids ignored). *)
+  val invalidate_blocks : t -> int list -> unit
+
+  (** Cross-pass renumbering: [old_to_new.(w)] is web [w]'s id after
+      {!Webs.rebuild}, or [-1] if the pass retired it. [dirty_blocks] are
+      the blocks whose instructions changed (spill code); they are
+      invalidated, every other block's entry is renamed in place. *)
+  val remap : t -> old_to_new:int array -> dirty_blocks:int list -> unit
+
+  (** Blocks replayed / rescanned by the most recent {!build} using this
+      cache (summed over its coalescing rounds). *)
+  val hits : t -> int
+
+  val misses : t -> int
+
+  (** Test hook: corrupt one valid entry with an edge no scan ever
+      stages, so the next verified cache-backed build must raise
+      {!Divergence}. Returns [false] if no entry was valid. *)
+  val poison : t -> bool
+end
+
+(** Cut the CFG's blocks into at most [n_chunks] contiguous ranges of
+    roughly equal instruction count. [starts.(c)] is chunk [c]'s first
+    block; every chunk is non-empty, and [n_chunks] is clamped to the
+    block count, so the result has [min n_chunks n_blocks + 1] entries.
+    Exposed for the parallel path's tests. *)
+val chunk_starts : Ra_ir.Cfg.t -> n_chunks:int -> int array
 
 (** [live0], when given, must be the liveness of [proc] under
     {!Webs.numbering} of [webs] — it spares the iteration-0 solve. Later
@@ -61,10 +129,13 @@ val par_scratch : unit -> par_scratch
     aliases those buffers, which stay valid until the next build that
     reuses them. [pool] parallelizes the per-block edge scan ([par]
     supplies the staging buffers; [touched] the coalescing scan's
-    scratch set). [verify] cross-checks, every fixpoint round, the
-    parallel graphs against a sequential rebuild and the refreshed
-    liveness against a full solve, raising {!Divergence} on any
-    difference. Results are bit-identical with and without a pool. *)
+    scratch set). [cache] makes the scan incremental (see
+    {!Edge_cache}); with a pool, workers rescan only the dirty blocks of
+    their chunk. [verify] cross-checks, every fixpoint round, the
+    parallel/cached graphs against a sequential uncached rebuild and the
+    refreshed liveness against a full solve, raising {!Divergence} on
+    any difference. Results are bit-identical with and without a pool,
+    and with and without a cache. *)
 val build :
   Machine.t ->
   Ra_ir.Proc.t ->
@@ -76,6 +147,7 @@ val build :
   ?pool:Ra_support.Pool.t ->
   ?par:par_scratch ->
   ?touched:Ra_support.Bitset.t ->
+  ?cache:Edge_cache.t ->
   ?verify:bool ->
   unit ->
   t

@@ -25,6 +25,7 @@ type t = {
   scratch_int : Igraph.t;
   scratch_flt : Igraph.t;
   buckets : Degree_buckets.t;
+  edge_cache : Build.Edge_cache.t option;
   stats : stats;
   mutable prev : prev option;
 }
@@ -39,8 +40,13 @@ let verify_default =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
+let edge_cache_default =
+  match Sys.getenv_opt "RA_EDGE_CACHE" with
+  | Some "0" -> false
+  | None | Some _ -> true
+
 let create ?(incremental = incremental_default) ?(verify = verify_default)
-    ?jobs ?pool machine =
+    ?(edge_cache = edge_cache_default) ?jobs ?pool machine =
   let pool =
     match pool with
     | Some p -> if Pool.jobs p > 1 then Some p else None
@@ -63,6 +69,7 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
     scratch_int = Igraph.create ~n_nodes:0 ~n_precolored:0;
     scratch_flt = Igraph.create ~n_nodes:0 ~n_precolored:0;
     buckets = Degree_buckets.create ~max_degree:1;
+    edge_cache = (if edge_cache then Some (Build.Edge_cache.create ()) else None);
     stats = { incremental_builds = 0; scratch_builds = 0; verified_builds = 0 };
     prev = None }
 
@@ -72,8 +79,11 @@ let pool t = t.pool
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
 let buckets t = t.buckets
 let stats t = t.stats
+let edge_cache_enabled t = t.edge_cache <> None
 
-let begin_proc t = t.prev <- None
+let begin_proc t =
+  t.prev <- None;
+  Option.iter Build.Edge_cache.clear t.edge_cache
 
 let div fmt = Format.kasprintf (fun m -> raise (Divergence m)) fmt
 
@@ -147,9 +157,15 @@ let scratch_build ?(reference = false) t (proc : Proc.t) ~is_spill_vreg
   let webs = Webs.build proc cfg ~is_spill_vreg in
   let built =
     if reference then Build.build t.machine proc cfg ~webs ~coalesce ()
-    else
+    else begin
+      (* A scratch pass starts from a web numbering the cache knows
+         nothing about (no remap ran), so whatever it holds is stale:
+         drop it. Round 0 rescans everything; the cache still pays off
+         within the pass, on the coalescing rounds. *)
+      Option.iter Build.Edge_cache.clear t.edge_cache;
       Build.build t.machine proc cfg ~webs ~coalesce ?scratch ?pool:t.pool
-        ~par:t.par ~touched:t.touched ~verify:t.verify ()
+        ~par:t.par ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ()
+    end
   in
   cfg, webs, built
 
@@ -173,10 +189,16 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
       ~remap:(fun w -> old_to_new.(w))
       ~dirty_blocks
   in
+  (* The edge cache survives the pass boundary the same way liveness
+     does: rename surviving web ids through the canonical renumbering
+     and invalidate exactly the blocks that received spill code. *)
+  Option.iter
+    (fun ec -> Build.Edge_cache.remap ec ~old_to_new ~dirty_blocks)
+    t.edge_cache;
   let built =
     Build.build t.machine proc cfg ~webs ~coalesce ~live0
       ~scratch:(t.scratch_int, t.scratch_flt) ?pool:t.pool ~par:t.par
-      ~touched:t.touched ~verify:t.verify ()
+      ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ()
   in
   cfg, webs, built
 

@@ -24,8 +24,16 @@
     buffers). Under [RA_VERIFY=1] every incremental build is cross-checked
     against a fresh one and any difference raises {!Divergence}.
 
+    The context also owns the {!Build.Edge_cache}: per-block staged edge
+    pairs that let every build after a procedure's first round rescan
+    only dirty blocks (coalescing rounds reuse clean blocks within a
+    pass; spill passes carry the cache across via the same canonical
+    renumbering and dirty-block report the liveness update uses).
+
     [RA_INCREMENTAL=0] disables the incremental path entirely — every
-    pass then rebuilds from scratch (still into the reused buffers). *)
+    pass then rebuilds from scratch (still into the reused buffers);
+    [RA_EDGE_CACHE=0] disables the edge cache alone, forcing a full
+    block scan every round. *)
 
 exception Divergence of string
 
@@ -40,7 +48,8 @@ type t
 (** [create machine] makes an empty context. [incremental] defaults to
     the [RA_INCREMENTAL] environment variable (unset or any value but
     ["0"] means enabled); [verify] to [RA_VERIFY] (enabled when set
-    non-empty and not ["0"]).
+    non-empty and not ["0"]); [edge_cache] to [RA_EDGE_CACHE] (unset or
+    any value but ["0"] means enabled).
 
     [pool], when given, parallelizes the interference-graph block scan
     (see {!Build.build}); a width-1 pool means sequential. Without it,
@@ -53,6 +62,7 @@ type t
 val create :
   ?incremental:bool ->
   ?verify:bool ->
+  ?edge_cache:bool ->
   ?jobs:int ->
   ?pool:Ra_support.Pool.t ->
   Machine.t ->
@@ -60,6 +70,7 @@ val create :
 
 val machine : t -> Machine.t
 val incremental_enabled : t -> bool
+val edge_cache_enabled : t -> bool
 
 (** The pool builds run on, if any. *)
 val pool : t -> Ra_support.Pool.t option

@@ -21,7 +21,11 @@ type result = {
   dirty_instrs : int list;
     (* old instruction indexes whose code changed (insertion beside them
        or operand substitution — including substitution-only sites, like
-       a rematerialized dead definition); ascending *)
+       a rematerialized dead definition); ascending. The blocks holding
+       them are the next pass's dirty set for both {!Liveness.update}
+       and {!Build.Edge_cache.remap} — every temporary minted here is
+       used only beside its own instruction, so no *other* block's
+       liveness or cached edge-scan output can change *)
 }
 
 (** [insert proc webs ~spilled] spills the given web groups; each group is

@@ -13,7 +13,8 @@ val dimension : t -> int
 
 (** [resize t n] empties the relation and retargets it to [0, n), reusing
     the byte buffer when it is large enough (clear-and-reuse for the
-    allocation context's per-pass interference matrices). *)
+    allocation context's per-pass interference matrices). Like {!reset},
+    clearing is O(rows touched since the last reset), not O(n^2/64). *)
 val resize : t -> int -> unit
 
 (** [set t i j] adds the (unordered) pair {i, j} to the relation. *)
@@ -28,5 +29,12 @@ val mem : t -> int -> int -> bool
 (** Number of set (unordered) pairs, diagonal included if ever set. *)
 val count : t -> int
 
-(** Remove every pair. *)
+(** Remove every pair. The matrix tracks which rows {!set} touched since
+    the previous reset and clears only their byte ranges, so a reset
+    after [k] scattered insertions costs O(k) — the edge-scan stage
+    matrices rely on this to afford a reset per CFG block. *)
 val reset : t -> unit
+
+(** Rows holding at least one {!set} since the last reset (an upper
+    bound after {!clear}); exposed for tests and diagnostics. *)
+val touched_rows : t -> int

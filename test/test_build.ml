@@ -244,6 +244,152 @@ let prop_parallel_build_identical =
             [ true; false ])
         procs)
 
+(* ---- block chunking ---- *)
+
+let chunk_starts_clamped_to_blocks () =
+  (* a 1-block CFG handed to a wide pool must degrade to one chunk, not
+     produce empty chunks or out-of-range starts (compiled procedures
+     always end in a separate return block, so build the straight-line
+     procedure by hand) *)
+  let a = Reg.int 0 and b = Reg.int 1 in
+  let p = Proc.create ~name:"f" ~args:[ a; b ] ~ret_cls:(Some Reg.Int_reg) in
+  let t = Proc.fresh_reg p Reg.Int_reg in
+  p.Proc.code <-
+    [| { Proc.ins = Instr.Binop (Instr.Imul, t, a, b); depth = 0 };
+       { Proc.ins = Instr.Binop (Instr.Iadd, t, t, a); depth = 0 };
+       { Proc.ins = Instr.Ret (Some t); depth = 0 } |];
+  let cfg = Cfg.build p.Proc.code in
+  Alcotest.(check int) "single-block program" 1 (Cfg.n_blocks cfg);
+  let starts = Build.chunk_starts cfg ~n_chunks:8 in
+  Alcotest.(check (array int)) "one chunk" [| 0; 1 |] starts;
+  (* and the parallel build over that degenerate chunking still matches
+     the sequential one *)
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let seq = Build.build Machine.rt_pc p cfg ~webs () in
+  let par =
+    Build.build Machine.rt_pc p cfg ~webs
+      ~pool:(List.nth (Lazy.force pools) 2)
+      ~par:(Build.par_scratch ())
+      ~touched:(Ra_support.Bitset.create 0)
+      ~verify:true ()
+  in
+  Alcotest.(check bool) "parallel matches sequential" true (same_build seq par)
+
+let chunk_starts_cover_every_block () =
+  let src =
+    {| proc f(n: int) : int {
+         var s: int; var i: int;
+         s = 0;
+         for i = 1 to n {
+           if (s > i) { s = s + i; } else { s = s - i; }
+         }
+         return s;
+       } |}
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let n = Cfg.n_blocks cfg in
+  List.iter
+    (fun n_chunks ->
+      let starts = Build.chunk_starts cfg ~n_chunks in
+      let chunks = Array.length starts - 1 in
+      Alcotest.(check int)
+        (Printf.sprintf "clamped (%d requested)" n_chunks)
+        (min n_chunks n) chunks;
+      Alcotest.(check int) "starts at 0" 0 starts.(0);
+      Alcotest.(check int) "ends at n_blocks" n starts.(chunks);
+      for c = 0 to chunks - 1 do
+        Alcotest.(check bool) "chunk non-empty" true (starts.(c) < starts.(c + 1))
+      done)
+    [ 1; 2; 3; n; n + 5; 64 ]
+
+(* ---- edge cache ---- *)
+
+let cached_rebuild_replays_all_blocks () =
+  let src =
+    "proc f(a: int, b: int, c: int) : int {\n\
+    \  var t: int;\n\
+    \  if (a > b) { t = a * c; } else { t = b - c; }\n\
+    \  return t + a;\n\
+     }"
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let n = Cfg.n_blocks cfg in
+  let cache = Build.Edge_cache.create () in
+  (* coalescing off pins the build to one scan round, making the hit and
+     miss counts exact *)
+  let plain = Build.build Machine.rt_pc p cfg ~webs ~coalesce:false () in
+  let cold =
+    Build.build Machine.rt_pc p cfg ~webs ~coalesce:false ~cache ~verify:true
+      ()
+  in
+  Alcotest.(check int) "cold build rescans every block" n
+    cold.Build.cache_misses;
+  Alcotest.(check int) "cold build replays none" 0 cold.Build.cache_hits;
+  let warm =
+    Build.build Machine.rt_pc p cfg ~webs ~coalesce:false ~cache ~verify:true
+      ()
+  in
+  Alcotest.(check int) "warm build rescans nothing" 0 warm.Build.cache_misses;
+  Alcotest.(check int) "warm build replays every block" n
+    warm.Build.cache_hits;
+  Alcotest.(check bool) "cached graphs match uncached" true
+    (same_build plain warm);
+  (* invalidating one block forces exactly that block's rescan *)
+  Build.Edge_cache.invalidate_blocks cache [ 0 ];
+  let partial =
+    Build.build Machine.rt_pc p cfg ~webs ~coalesce:false ~cache ~verify:true
+      ()
+  in
+  Alcotest.(check int) "one miss on the invalidated block" 1
+    partial.Build.cache_misses;
+  Alcotest.(check int) "other blocks replayed" (n - 1)
+    partial.Build.cache_hits;
+  Alcotest.(check bool) "partially-cached graphs match" true
+    (same_build plain partial);
+  (* with coalescing the round count varies, but totals must add up and
+     the verified graphs still match an uncached build *)
+  Build.Edge_cache.clear cache;
+  let seq = Build.build Machine.rt_pc p cfg ~webs () in
+  ignore (Build.build Machine.rt_pc p cfg ~webs ~cache ~verify:true ());
+  let rebuilt = Build.build Machine.rt_pc p cfg ~webs ~cache ~verify:true () in
+  Alcotest.(check int) "scans account for every block every round"
+    (n * rebuilt.Build.rounds)
+    (rebuilt.Build.cache_hits + rebuilt.Build.cache_misses);
+  Alcotest.(check bool) "first round fully cached" true
+    (rebuilt.Build.cache_hits >= n);
+  Alcotest.(check bool) "coalescing cached build matches" true
+    (same_build seq rebuilt)
+
+let poisoned_cache_trips_verify () =
+  (* the mutation test: a stale/corrupt cache entry must not survive a
+     verified build — the cross-check against the reference scan has to
+     catch it *)
+  let src =
+    "proc f(a: int, b: int) : int {\n\
+    \  var s: int; s = a;\n\
+    \  if (a > b) { s = s + b; }\n\
+    \  return s * a;\n\
+     }"
+  in
+  let p = List.hd (Codegen.compile_source src) in
+  let cfg = Cfg.build p.Proc.code in
+  let webs = Webs.build p cfg ~is_spill_vreg:(fun _ -> false) in
+  let cache = Build.Edge_cache.create () in
+  ignore (Build.build Machine.rt_pc p cfg ~webs ~cache ());
+  Alcotest.(check bool) "an entry was poisoned" true
+    (Build.Edge_cache.poison cache);
+  (match Build.build Machine.rt_pc p cfg ~webs ~cache ~verify:true () with
+   | _ -> Alcotest.fail "verified build accepted a poisoned cache"
+   | exception Build.Divergence _ -> ());
+  (* and without the cross-check, clearing recovers a correct graph *)
+  Build.Edge_cache.clear cache;
+  let rebuilt = Build.build Machine.rt_pc p cfg ~webs ~cache ~verify:true () in
+  let plain = Build.build Machine.rt_pc p cfg ~webs () in
+  Alcotest.(check bool) "clear recovers" true (same_build plain rebuilt)
+
 let suites =
   [ ( "build.interference",
       [ Alcotest.test_case "overlapping vars interfere" `Quick
@@ -259,4 +405,13 @@ let suites =
           coalesce_refuses_interfering;
         Alcotest.test_case "node/web round trip" `Quick node_web_round_trip ] );
     ( "build.parallel",
-      [ QCheck_alcotest.to_alcotest prop_parallel_build_identical ] ) ]
+      [ Alcotest.test_case "chunk_starts clamps to block count" `Quick
+          chunk_starts_clamped_to_blocks;
+        Alcotest.test_case "chunk_starts covers every block" `Quick
+          chunk_starts_cover_every_block;
+        QCheck_alcotest.to_alcotest prop_parallel_build_identical ] );
+    ( "build.edge_cache",
+      [ Alcotest.test_case "cached rebuild replays all blocks" `Quick
+          cached_rebuild_replays_all_blocks;
+        Alcotest.test_case "poisoned cache trips verify" `Quick
+          poisoned_cache_trips_verify ] ) ]

@@ -232,6 +232,93 @@ let prop_parallel_equals_sequential =
             (Lazy.force pools))
         heuristics)
 
+let edge_cache_reused_across_passes () =
+  (* a multi-pass spilling allocation through a cache-backed context must
+     replay clean blocks from the cache on every pass after the first —
+     and still reproduce the uncached result exactly *)
+  let machine = machine_k 3 in
+  let p = List.hd (compile spilling_src) in
+  let cac_ctx = Context.create ~incremental:true ~edge_cache:true machine in
+  let scr_ctx = Context.create ~incremental:false ~edge_cache:false machine in
+  Alcotest.(check bool) "cache-backed context reports enabled" true
+    (Context.edge_cache_enabled cac_ctx);
+  Alcotest.(check bool) "uncached context reports disabled" false
+    (Context.edge_cache_enabled scr_ctx);
+  let cac = Allocator.allocate ~context:cac_ctx machine Heuristic.Briggs p in
+  let scr = Allocator.allocate ~context:scr_ctx machine Heuristic.Briggs p in
+  Alcotest.(check bool) "multi-pass program" true
+    (List.length cac.Allocator.passes >= 2);
+  Alcotest.(check bool) "identical to uncached" true
+    (fingerprint cac = fingerprint scr);
+  List.iteri
+    (fun i (pr : Allocator.pass_record) ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "pass %d replays some blocks from the cache" (i + 1))
+          true
+          (pr.Allocator.cache_hits > 0))
+    cac.Allocator.passes;
+  List.iter
+    (fun (pr : Allocator.pass_record) ->
+      Alcotest.(check int)
+        "uncached passes never touch a cache" 0
+        (pr.Allocator.cache_hits + pr.Allocator.cache_misses))
+    scr.Allocator.passes
+
+let prop_edge_cache_equals_scratch =
+  (* The tentpole property: for random programs — hence random
+     coalescing-round and spill-pass sequences — allocation through a
+     cache-backed context (sequential and pool-backed) is
+     indistinguishable from a from-scratch context, for every heuristic,
+     with and without coalescing. Small k forces the multi-pass spilling
+     that exercises the cross-pass remap; [verify] additionally
+     cross-checks every cached round in-flight against a reference
+     rescan, so a silent cache corruption fails the trial even where the
+     end state happens to agree. *)
+  let pool = lazy (Ra_support.Pool.create ~jobs:4) in
+  QCheck.Test.make
+    ~name:
+      "edge-cache-backed context reproduces from-scratch allocation \
+       exactly (all heuristics, jobs 1/4, with/without coalescing)"
+    ~count:12
+    QCheck.(triple (int_bound 1000000) (int_range 5 30) (int_range 3 10))
+    (fun (seed, size, k) ->
+      let k = max 3 k and size = max 1 size in
+      let src = Progen.generate ~seed ~size in
+      let procs = compile src in
+      let machine = machine_k ~flt:4 k in
+      List.for_all
+        (fun h ->
+          let max_passes = if h = Heuristic.Matula then 6 else 32 in
+          let scr_ctx =
+            Context.create ~incremental:false ~edge_cache:false machine
+          in
+          let cac_ctx =
+            Context.create ~incremental:true ~edge_cache:true ~verify:true
+              machine
+          in
+          let par_ctx =
+            Context.create ~incremental:true ~edge_cache:true ~verify:true
+              ~pool:(Lazy.force pool) machine
+          in
+          List.for_all
+            (fun coalesce ->
+              List.for_all
+                (fun p ->
+                  let alloc ctx =
+                    match
+                      Allocator.allocate ~coalesce ~max_passes ~context:ctx
+                        machine h p
+                    with
+                    | r -> Some (fingerprint r)
+                    | exception Allocator.Allocation_failure _ -> None
+                  in
+                  let reference = alloc scr_ctx in
+                  alloc cac_ctx = reference && alloc par_ctx = reference)
+                procs)
+            [ true; false ])
+        heuristics)
+
 let suites =
   [ ( "core.context",
       [ Alcotest.test_case "incremental equals scratch" `Quick
@@ -242,5 +329,8 @@ let suites =
           verify_mode_cross_checks;
         Alcotest.test_case "escape hatch disables patching" `Quick
           escape_hatch_disables_patching;
+        Alcotest.test_case "edge cache reused across passes" `Quick
+          edge_cache_reused_across_passes;
         qtest prop_incremental_equals_scratch;
-        qtest prop_parallel_equals_sequential ] ) ]
+        qtest prop_parallel_equals_sequential;
+        qtest prop_edge_cache_equals_scratch ] ) ]

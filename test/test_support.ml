@@ -113,6 +113,59 @@ let bm_resize_reuses () =
     (Invalid_argument "Bit_matrix: index out of bounds") (fun () ->
       ignore (Bit_matrix.mem m 0 3))
 
+(* The sparse reset only clears byte ranges of rows touched since the
+   last reset; a stray bit surviving in an untouched row's range would
+   corrupt the next block's scan. Exercise both the sparse path (few
+   touched rows in a big matrix) and the flat-fill fallback. *)
+let bm_sparse_reset () =
+  let m = Bit_matrix.create 512 in
+  Alcotest.(check int) "no rows touched" 0 (Bit_matrix.touched_rows m);
+  Bit_matrix.set m 500 3;
+  Bit_matrix.set m 500 7;
+  Bit_matrix.set m 2 101;
+  Bit_matrix.set m 0 0;
+  Alcotest.(check int) "distinct hi rows" 3 (Bit_matrix.touched_rows m);
+  Bit_matrix.reset m;
+  Alcotest.(check int) "empty after sparse reset" 0 (Bit_matrix.count m);
+  Alcotest.(check int) "touched forgotten" 0 (Bit_matrix.touched_rows m);
+  (* row-boundary bytes are shared between adjacent rows: clearing row
+     hi must not disturb a later-set neighbour from a previous round *)
+  Bit_matrix.set m 100 99;
+  Bit_matrix.reset m;
+  Bit_matrix.set m 101 0;
+  Bit_matrix.set m 99 98;
+  Alcotest.(check int) "neighbours intact" 2 (Bit_matrix.count m);
+  Alcotest.(check bool) "pair (101,0)" true (Bit_matrix.mem m 101 0);
+  Alcotest.(check bool) "pair (99,98)" true (Bit_matrix.mem m 99 98);
+  (* dense: most rows touched triggers the flat-fill fallback *)
+  for i = 1 to 511 do
+    Bit_matrix.set m i (i - 1)
+  done;
+  Bit_matrix.reset m;
+  Alcotest.(check int) "empty after dense reset" 0 (Bit_matrix.count m);
+  Alcotest.(check int) "dense touched forgotten" 0 (Bit_matrix.touched_rows m)
+
+let bm_prop_sparse_reset_rounds =
+  QCheck.Test.make
+    ~name:"bit_matrix reset leaves no residue across random rounds" ~count:100
+    QCheck.(small_list (small_list (pair (int_bound 63) (int_bound 63))))
+    (fun rounds ->
+      let m = Bit_matrix.create 64 in
+      List.for_all
+        (fun pairs ->
+          List.iter (fun (i, j) -> Bit_matrix.set m i j) pairs;
+          let naive = Hashtbl.create 16 in
+          List.iter
+            (fun (i, j) -> Hashtbl.replace naive (min i j, max i j) ())
+            pairs;
+          let agree = ref (Bit_matrix.count m = Hashtbl.length naive) in
+          List.iter
+            (fun (i, j) -> if not (Bit_matrix.mem m i j) then agree := false)
+            pairs;
+          Bit_matrix.reset m;
+          !agree && Bit_matrix.count m = 0)
+        rounds)
+
 let bm_prop_matches_naive =
   QCheck.Test.make ~name:"bit_matrix agrees with a naive set of pairs"
     ~count:200
@@ -422,6 +475,8 @@ let suites =
         Alcotest.test_case "diagonal and bounds" `Quick bm_diagonal_and_bounds;
         Alcotest.test_case "reset" `Quick bm_reset;
         Alcotest.test_case "resize reuses" `Quick bm_resize_reuses;
+        Alcotest.test_case "sparse reset" `Quick bm_sparse_reset;
+        qtest bm_prop_sparse_reset_rounds;
         qtest bm_prop_matches_naive ] );
     ( "support.degree_buckets",
       [ Alcotest.test_case "pop order" `Quick db_pop_order;
