@@ -13,31 +13,19 @@ type alloc_pair = {
 
 (* The pool whole-procedure allocations are dispatched on when RA_JOBS /
    --jobs asks for parallelism; None on a sequential run. *)
-let default_pool () =
-  if Ra_support.Pool.default_jobs () > 1 then Some (Ra_support.Pool.global ())
-  else None
+let default_pool = Batch.default_pool
 
-(* Allocate every routine of a program with both heuristics. Sequentially
-   this reuses one warm allocation context for the whole batch (its
-   graph/bucket buffers and incremental structures carry across routines
-   and passes); with a pool each routine is a task with a context of its
-   own, and the result list keeps routine order. Results are identical
-   either way. *)
+(* Allocate every routine of a program with both heuristics, on the
+   shared {!Batch} driver: one warm context for the batch when [context]
+   is given or the run is sequential, otherwise each routine is a pool
+   task with a context of its own. Results are identical either way. *)
 let allocate_program ?(machine = Machine.rt_pc) ?context
     ?(pool = default_pool ()) (p : Ra_programs.Suite.program) =
   let procs = Ra_programs.Suite.compile p in
-  let both ctx (proc : Ra_ir.Proc.t) =
+  Batch.map_procs ~pool ?context machine procs ~f:(fun ctx proc ->
     { routine = proc.Ra_ir.Proc.name;
       old_result = Allocator.allocate ~context:ctx machine old_heuristic proc;
-      new_result = Allocator.allocate ~context:ctx machine new_heuristic proc }
-  in
-  match context, pool with
-  | None, Some pool ->
-    Ra_support.Pool.map_list pool
-      (fun proc -> both (Context.create ~pool machine) proc)
-      procs
-  | Some ctx, _ -> List.map (both ctx) procs
-  | None, None -> List.map (both (Context.create machine)) procs
+      new_result = Allocator.allocate ~context:ctx machine new_heuristic proc })
 
 (* Run a program's driver on the given allocated procedure set. *)
 let run_allocated ?(machine = Machine.rt_pc) ?context heuristic

@@ -14,11 +14,14 @@
    records the cached run's coalescing-round count, edge-cache hit rate
    and fraction of blocks rescanned. It also times the whole routine set
    allocated sequentially (one warm context) versus dispatched
-   procedure-per-task onto the pool, the suite-level speedup. Any
-   disagreement is a divergence: it is reported in the JSON and the
-   process exits non-zero (CI runs this as a smoke check with RA_JOBS=4,
-   so zero divergences is asserted for the parallel and cached paths on
-   every push). *)
+   procedure-per-task onto the pool, the suite-level speedup — and with
+   telemetry disabled versus buffering every span, asserting the
+   disabled path stays free. Aggregate cache behaviour comes straight
+   off the pipeline's telemetry counters (the cached context reports
+   into a sink). Any disagreement is a divergence: it is reported in the
+   JSON and the process exits non-zero (CI runs this as a smoke check
+   with RA_JOBS=4, so zero divergences is asserted for the parallel and
+   cached paths on every push). *)
 
 open Ra_core
 
@@ -124,6 +127,10 @@ let run ~picks () =
      against the sequential builds — even on a single-core runner *)
   let jobs = max 2 (Ra_support.Pool.default_jobs ()) in
   let pool = Ra_support.Pool.create ~jobs in
+  (* the cached mode's context reports into a real sink: the aggregate
+     edge-cache section below reads the pipeline's own counters off it
+     instead of re-accumulating pass records by hand *)
+  let cac_tele = Ra_support.Telemetry.create () in
   let inc_ctx =
     Context.create ~incremental:true ~edge_cache:false ~jobs:1 machine
   in
@@ -132,11 +139,11 @@ let run ~picks () =
   in
   let par_ctx = Context.create ~incremental:true ~pool machine in
   let cac_ctx =
-    Context.create ~incremental:true ~edge_cache:true ~jobs:1 machine
+    Context.create ~incremental:true ~edge_cache:true ~tele:cac_tele ~jobs:1
+      machine
   in
   let divergences = ref [] in
   let entries = ref 0 in
-  let cache_hits_total = ref 0 and cache_misses_total = ref 0 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"benchmarks\": [";
   let first_entry = ref true in
@@ -204,8 +211,6 @@ let run ~picks () =
                   in
                   let hits = pc.Allocator.cache_hits in
                   let misses = pc.Allocator.cache_misses in
-                  cache_hits_total := !cache_hits_total + hits;
-                  cache_misses_total := !cache_misses_total + misses;
                   let scans = hits + misses in
                   let rate part =
                     if scans = 0 then "null"
@@ -253,34 +258,75 @@ let run ~picks () =
   let (), par_s =
     wall (fun () ->
       ignore
-        (Ra_support.Pool.map_list pool
-           (fun p ->
-             let ctx = Context.create ~pool machine in
-             List.map
-               (fun h -> (Allocator.allocate ~context:ctx machine h p).Allocator.total_spilled)
-               heuristics)
-           procs))
+        (Batch.map_procs ~pool:(Some pool) machine procs ~f:(fun ctx p ->
+           List.map
+             (fun h ->
+               (Allocator.allocate ~context:ctx machine h p)
+                 .Allocator.total_spilled)
+             heuristics)))
+  in
+  (* telemetry overhead: the routine set end to end with the sink
+     disabled (the default) vs buffering every span and counter.
+     Min-of-reps on both sides; the disabled path must not be slower
+     than the enabled one beyond noise — it is a no-op by construction,
+     and this assertion is what keeps it one. *)
+  let overhead_reps = 3 in
+  let min_wall f =
+    let best = ref infinity in
+    for _ = 1 to overhead_reps do
+      let (), s = wall f in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let tele_off_s =
+    min_wall (fun () ->
+      alloc_all
+        (Context.create ~tele:Ra_support.Telemetry.null ~jobs:1 machine))
+  in
+  let tele_on_s =
+    min_wall (fun () ->
+      alloc_all
+        (Context.create ~tele:(Ra_support.Telemetry.create ()) ~jobs:1 machine))
   in
   let inc_stats = Context.stats inc_ctx in
   let scr_stats = Context.stats scr_ctx in
-  let total_scans = !cache_hits_total + !cache_misses_total in
+  (* aggregate cache behaviour straight off the pipeline's counters on
+     the cached context's sink — totals cover every cached-mode
+     allocation above, timing repetitions included, so the hit *rate* is
+     the comparable number *)
+  let cache_hits_total =
+    Ra_support.Telemetry.counter_total cac_tele "edge_cache.hits"
+  in
+  let cache_misses_total =
+    Ra_support.Telemetry.counter_total cac_tele "edge_cache.misses"
+  in
+  let total_scans = cache_hits_total + cache_misses_total in
   Buffer.add_string buf
     (Printf.sprintf
        "\n  ],\n  \"jobs\": %d,\n  \"suite\": {\"routines\": %d, \
         \"sequential_wall_s\": %.6f, \"parallel_wall_s\": %.6f},\n  \
+        \"telemetry\": {\"disabled_wall_s\": %.6f, \
+        \"enabled_wall_s\": %.6f, \"enabled_overhead_frac\": %.4f,\n    \
+        \"counters\": {%s}},\n  \
         \"context\": {\"incremental_builds\": %d, \
         \"scratch_builds\": %d, \"verified_builds\": %d, \
         \"reference_scratch_builds\": %d},\n  \
         \"edge_cache\": {\"hits\": %d, \"misses\": %d, \
         \"hit_rate\": %s},\n  \"divergences\": [%s]\n}\n"
-       jobs (List.length procs) seq_s par_s
+       jobs (List.length procs) seq_s par_s tele_off_s tele_on_s
+       ((tele_on_s -. tele_off_s) /. Float.max tele_off_s 1e-9)
+       (String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+             (Ra_support.Telemetry.counter_totals cac_tele)))
        inc_stats.Context.incremental_builds inc_stats.Context.scratch_builds
        inc_stats.Context.verified_builds scr_stats.Context.scratch_builds
-       !cache_hits_total !cache_misses_total
+       cache_hits_total cache_misses_total
        (if total_scans = 0 then "null"
         else
           Printf.sprintf "%.4f"
-            (float !cache_hits_total /. float total_scans))
+            (float cache_hits_total /. float total_scans))
        (String.concat ", "
           (List.rev_map (Printf.sprintf "\"%s\"") !divergences)));
   let path = "BENCH_alloc.json" in
@@ -289,13 +335,22 @@ let run ~picks () =
   close_out oc;
   Printf.printf
     "wrote %s (%d benchmark entries, %d jobs, suite %.3fs seq / %.3fs par, \
-     cache hit rate %s, %d divergence(s))\n"
-    path !entries jobs seq_s par_s
+     telemetry off %.3fs / on %.3fs, cache hit rate %s, %d divergence(s))\n"
+    path !entries jobs seq_s par_s tele_off_s tele_on_s
     (if total_scans = 0 then "n/a"
      else
        Printf.sprintf "%.1f%%"
-         (100.0 *. float !cache_hits_total /. float total_scans))
+         (100.0 *. float cache_hits_total /. float total_scans))
     (List.length !divergences);
+  (* disabled telemetry must stay free: allow 2% plus an absolute 2ms of
+     timer noise before calling it a regression *)
+  if tele_off_s > (tele_on_s *. 1.02) +. 0.002 then begin
+    Printf.eprintf
+      "telemetry: disabled path slower than enabled (%.6fs vs %.6fs) — the \
+       no-op path has stopped being one\n"
+      tele_off_s tele_on_s;
+    exit 1
+  end;
   if !divergences <> [] then begin
     List.iter
       (fun d -> Printf.eprintf "divergence: modes disagree for %s\n" d)

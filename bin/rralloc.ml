@@ -78,8 +78,20 @@ let no_cache_arg =
                round rescans all blocks (same as RA_EDGE_CACHE=0). \
                Results are bit-identical either way.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Record a structured trace of the allocation and write it \
+               to PATH at exit: a Chrome trace_event JSON array \
+               (about://tracing / Perfetto), or JSON lines when PATH \
+               ends in .jsonl (same as setting RA_TRACE=PATH)")
+
 (* None = follow the RA_EDGE_CACHE default; Some false = --no-edge-cache *)
 let edge_cache_opt no_cache = if no_cache then Some false else None
+
+(* --trace overrides RA_TRACE; must run before the first allocation
+   configures the ambient telemetry sink. *)
+let apply_trace trace =
+  Option.iter Ra_support.Telemetry.set_trace_path trace
 
 (* --jobs overrides RA_JOBS for everything downstream (the shared pool is
    created lazily, after this runs). Returns the pool for drivers that
@@ -124,23 +136,20 @@ let dump_cmd =
 (* ---- alloc ---- *)
 
 let alloc_cmd =
-  let run file proc heuristic k verbose optimize verify jobs no_cache =
-    ignore (apply_jobs jobs);
+  let run file proc heuristic k verbose optimize verify jobs no_cache trace =
+    apply_trace trace;
+    let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
-    (* one warm context across the whole file's procedures; its graph
-       scans run on the shared pool when jobs > 1 *)
-    let context =
-      Ra_core.Context.create ?edge_cache:(edge_cache_opt no_cache) machine
+    let results =
+      Ra_core.Batch.allocate_all ~pool
+        ?edge_cache:(edge_cache_opt no_cache)
+        ?verify:(if verify then Some true else None)
+        machine h procs
     in
-    List.iter
-      (fun p ->
-        let r =
-          Ra_core.Allocator.allocate
-            ?verify:(if verify then Some true else None)
-            ~context machine h p
-        in
+    List.iter2
+      (fun (p : Ra_ir.Proc.t) (r : Ra_core.Allocator.result) ->
         Printf.printf
           "%s: live ranges %d, passes %d, spilled %d (cost %.0f), \
            object size %d bytes\n"
@@ -150,14 +159,14 @@ let alloc_cmd =
           r.Ra_core.Allocator.total_spill_cost
           (Ra_ir.Proc.object_size r.Ra_core.Allocator.proc);
         if verbose then print_string (Ra_ir.Proc.to_string r.Ra_core.Allocator.proc))
-      procs
+      procs results
   in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print allocated code")
   in
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
-          $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg)
+          $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg $ trace_arg)
 
 (* ---- run ---- *)
 
@@ -172,23 +181,21 @@ let parse_value s =
        exit 1)
 
 let run_cmd =
-  let run file entry args heuristic allocate k optimize verify jobs no_cache =
-    ignore (apply_jobs jobs);
+  let run file entry args heuristic allocate k optimize verify jobs no_cache
+      trace =
+    apply_trace trace;
+    let pool = apply_jobs jobs in
     let procs = compile ~optimize file in
     let procs =
       if allocate then begin
         let machine = machine_of_k k in
         let h = heuristic_of_name heuristic in
-        let context =
-          Ra_core.Context.create ?edge_cache:(edge_cache_opt no_cache) machine
-        in
         List.map
-          (fun p ->
-            (Ra_core.Allocator.allocate
-               ?verify:(if verify then Some true else None)
-               ~context machine h p)
-              .Ra_core.Allocator.proc)
-          procs
+          (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
+          (Ra_core.Batch.allocate_all ~pool
+             ?edge_cache:(edge_cache_opt no_cache)
+             ?verify:(if verify then Some true else None)
+             machine h procs)
       end
       else procs
     in
@@ -219,30 +226,14 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
-          $ k_arg $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg)
+          $ k_arg $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg
+          $ trace_arg)
 
 (* ---- suite ---- *)
 
-(* Allocate each procedure as one pool task with a context of its own —
-   multi-routine batches then scale with cores. Falls back to one warm
-   context when sequential; either way the results are identical. *)
-let allocate_batch pool machine h ~verify ?edge_cache procs =
-  let verify = if verify then Some true else None in
-  match pool with
-  | Some pool ->
-    Ra_support.Pool.map_list pool
-      (fun p ->
-        let context = Ra_core.Context.create ?edge_cache ~pool machine in
-        Ra_core.Allocator.allocate ?verify ~context machine h p)
-      procs
-  | None ->
-    let context = Ra_core.Context.create ?edge_cache machine in
-    List.map
-      (fun p -> Ra_core.Allocator.allocate ?verify ~context machine h p)
-      procs
-
 let suite_cmd =
-  let run name heuristic k allocate jobs no_cache =
+  let run name heuristic k allocate jobs no_cache trace =
+    apply_trace trace;
     let pool = apply_jobs jobs in
     let program =
       match
@@ -268,8 +259,8 @@ let suite_cmd =
         let h = heuristic_of_name heuristic in
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
-          (allocate_batch pool machine h ~verify:false
-             ?edge_cache:(edge_cache_opt no_cache) procs)
+          (Ra_core.Batch.allocate_all ~pool
+             ?edge_cache:(edge_cache_opt no_cache) machine h procs)
       end
       else procs
     in
@@ -295,30 +286,23 @@ let suite_cmd =
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
     Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg
-          $ no_cache_arg)
+          $ no_cache_arg $ trace_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize jobs no_cache =
+  let run file k optimize jobs no_cache trace =
+    apply_trace trace;
     let pool = apply_jobs jobs in
-    let edge_cache = edge_cache_opt no_cache in
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
-    let allocate_both context p =
-      ( Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Chaitin p,
-        Ra_core.Allocator.allocate ~context machine Ra_core.Heuristic.Briggs p )
-    in
     let results =
-      match pool with
-      | Some pool ->
-        Ra_support.Pool.map_list pool
-          (fun p ->
-            allocate_both (Ra_core.Context.create ?edge_cache ~pool machine) p)
-          procs
-      | None ->
-        let context = Ra_core.Context.create ?edge_cache machine in
-        List.map (allocate_both context) procs
+      Ra_core.Batch.map_procs ~pool ?edge_cache:(edge_cache_opt no_cache)
+        machine procs ~f:(fun context p ->
+          ( Ra_core.Allocator.allocate ~context machine
+              Ra_core.Heuristic.Chaitin p,
+            Ra_core.Allocator.allocate ~context machine
+              Ra_core.Heuristic.Briggs p ))
     in
     let table =
       Ra_support.Table.create
@@ -339,7 +323,8 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
-    Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg
+          $ trace_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

@@ -1,8 +1,9 @@
-open Ra_support
-open Ra_ir
-open Ra_analysis
+(* The convenience wrapper over the explicit pass pipeline: resolves
+   defaults (environment flags, a private context when none is given)
+   and re-exports the pipeline's typed results under the historical
+   names. The pass chain itself lives in {!Pipeline}. *)
 
-type pass_record = {
+type pass_record = Pipeline.pass_record = {
   pass_index : int;
   webs_initial : int;
   webs_coalesced : int;
@@ -22,7 +23,7 @@ type pass_record = {
 }
 
 type result = {
-  proc : Proc.t;
+  proc : Ra_ir.Proc.t;
   heuristic : Heuristic.t;
   machine : Machine.t;
   passes : pass_record list;
@@ -32,286 +33,33 @@ type result = {
   moves_removed : int;
 }
 
-exception Allocation_failure of string
-
-let fail fmt = Format.kasprintf (fun m -> raise (Allocation_failure m)) fmt
-
-let debug_enabled = Sys.getenv_opt "RA_DEBUG" <> None
+exception Allocation_failure = Pipeline.Allocation_failure
 
 let verify_default =
   match Sys.getenv_opt "RA_VERIFY" with
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
-let regfile_of (machine : Machine.t) : Ra_check.Verify_alloc.regfile =
-  { Ra_check.Verify_alloc.k_int = Machine.regs machine Reg.Int_reg;
-    k_flt = Machine.regs machine Reg.Flt_reg;
-    caller_save_int = Machine.caller_save machine Reg.Int_reg;
-    caller_save_flt = Machine.caller_save machine Reg.Flt_reg }
-
-let fail_on_errors ~stage diags =
-  if Ra_check.Diagnostic.has_errors diags then
-    fail "%s failed:\n%s" stage (Ra_check.Diagnostic.report diags)
-
-let copy_proc (p : Proc.t) : Proc.t =
-  { p with Proc.code = Array.copy p.code }
-
-(* Expand a spill decision (node ids of one class graph) into groups of
-   member web ids sharing a slot, plus the paper's counters. *)
-let spill_groups built cls nodes =
-  let alias = built.Build.alias in
-  let webs = built.Build.webs in
-  let members_of_rep = Hashtbl.create 8 in
-  List.iter
-    (fun node ->
-      let rep = Build.web_of_node built cls node in
-      Hashtbl.replace members_of_rep rep [])
-    nodes;
-  for w = 0 to Webs.n_webs webs - 1 do
-    let rep = Union_find.find alias w in
-    match Hashtbl.find_opt members_of_rep rep with
-    | Some members -> Hashtbl.replace members_of_rep rep (w :: members)
-    | None -> ()
-  done;
-  Hashtbl.fold (fun _rep members acc -> List.rev members :: acc)
-    members_of_rep []
-
 let allocate ?(coalesce = true) ?(max_passes = 32)
     ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
-    ?(verify = verify_default) ?context machine heuristic (original : Proc.t) :
-    result =
-  if verify then
-    fail_on_errors
-      ~stage:(original.Proc.name ^ ": input lint")
-      (Ra_check.Lint.run original);
-  let ctx =
+    ?(verify = verify_default) ?context machine heuristic
+    (original : Ra_ir.Proc.t) : result =
+  let context =
     match context with
     | Some c -> c
     | None -> Context.create ~verify machine
   in
-  Context.begin_proc ctx;
-  let proc = copy_proc original in
-  let spill_vreg_ids : (int * Reg.cls, unit) Hashtbl.t = Hashtbl.create 16 in
-  let is_spill_vreg (r : Reg.t) = Hashtbl.mem spill_vreg_ids (r.id, r.cls) in
-  let passes = ref [] in
-  let live_ranges = ref 0 in
-  let total_spilled = ref 0 in
-  let total_spill_cost = ref 0.0 in
-  let finish_pass ~cfg ~built ~colors_int ~colors_flt =
-    (* Paranoia: the coloring must be proper on both class graphs. *)
-    (match Igraph.check_coloring built.Build.int_graph ~colors:colors_int with
-     | Some (a, b) -> fail "improper int coloring: nodes %d and %d" a b
-     | None -> ());
-    (match Igraph.check_coloring built.Build.flt_graph ~colors:colors_flt with
-     | Some (a, b) -> fail "improper flt coloring: nodes %d and %d" a b
-     | None -> ());
-    (* Rewrite virtual registers to their colors; drop self-copies. *)
-    let webs = built.Build.webs in
-    let color_of cls node =
-      let colors =
-        match cls with Reg.Int_reg -> colors_int | Reg.Flt_reg -> colors_flt
-      in
-      match colors.(node) with
-      | Some c -> c
-      | None -> fail "uncolored node survived to rewrite"
-    in
-    let phys (r : Reg.t) c : Reg.t = { r with Reg.id = c } in
-    (* Before rewriting, validate the assignment against a from-scratch
-       liveness recomputation: the only stage with both the web structure
-       and the pre-rewrite code in hand. *)
-    if verify then begin
-      let color w =
-        color_of (Webs.web webs w).Webs.cls (Build.node_of built w)
-      in
-      fail_on_errors
-        ~stage:(proc.name ^ ": assignment check")
-        (Ra_check.Verify_alloc.check_assignment ~regfile:(regfile_of machine)
-           proc cfg webs ~alias:built.Build.alias ~color)
-    end;
-    let rewrite_occurrence which i (r : Reg.t) =
-      let w = which i r in
-      phys r (color_of r.cls (Build.node_of built w))
-    in
-    let moves_removed = ref 0 in
-    let out = ref [] in
-    Array.iteri
-      (fun i (node : Proc.node) ->
-        let ins =
-          Instr.map_regs
-            ~def:(rewrite_occurrence (Webs.def_web webs) i)
-            ~use:(rewrite_occurrence (Webs.use_web webs) i)
-            node.ins
-        in
-        match ins with
-        | Instr.Mov (d, s) when Reg.equal d s -> incr moves_removed
-        | ins -> out := { node with Proc.ins } :: !out)
-      proc.code;
-    proc.code <- Array.of_list (List.rev !out);
-    (* arguments arrive in the physical registers of their entry webs;
-       one table lookup per argument instead of a scan of every web *)
-    let entry_web_of_vreg : (int * Reg.cls, int) Hashtbl.t =
-      Hashtbl.create 8
-    in
-    Array.iter
-      (fun (w : Webs.web) ->
-        if w.has_entry_def then
-          Hashtbl.replace entry_web_of_vreg
-            (w.vreg.Reg.id, w.vreg.Reg.cls)
-            w.w_id)
-      (Webs.webs webs);
-    let args =
-      List.map
-        (fun (a : Reg.t) ->
-          match Hashtbl.find_opt entry_web_of_vreg (a.id, a.cls) with
-          | Some w -> phys a (color_of a.cls (Build.node_of built w))
-          | None ->
-            (* unused argument: park it above the physical file so binding
-               it at frame setup can never clobber a live register *)
-            let k = Machine.regs machine a.cls in
-            phys a (k + List.length proc.args))
-        proc.args
-    in
-    let proc = { proc with Proc.args } in
-    proc.Proc.allocated <- true;
-    proc, !moves_removed
+  let cfgn =
+    { Pipeline.coalesce; max_passes; spill_base; rematerialize; verify }
   in
-  let rec run_pass pass_index ~edit =
-    if pass_index > max_passes then
-      fail "%s: no convergence after %d passes" proc.name max_passes;
-    let timer = Timer.create () in
-    let cfg, webs, built =
-      Timer.record timer ~phase:"build" (fun () ->
-        Context.build_pass ctx proc ~is_spill_vreg ~coalesce ~edit)
-    in
-    if pass_index = 1 then live_ranges := Webs.n_webs webs;
-    (* spill costs are part of Build in the paper's accounting *)
-    let costs_int, costs_flt =
-      Timer.record timer ~phase:"build" (fun () ->
-        Build.node_costs ~base:spill_base built proc Reg.Int_reg,
-        Build.node_costs ~base:spill_base built proc Reg.Flt_reg)
-    in
-    let k_int = Machine.regs machine Reg.Int_reg in
-    let k_flt = Machine.regs machine Reg.Flt_reg in
-    let out_int =
-      Heuristic.run ~timer ~buckets:(Context.buckets ctx) heuristic
-        built.Build.int_graph ~k:k_int ~costs:costs_int
-    in
-    let out_flt =
-      Heuristic.run ~timer ~buckets:(Context.buckets ctx) heuristic
-        built.Build.flt_graph ~k:k_flt ~costs:costs_flt
-    in
-    let spills_of cls costs = function
-      | Heuristic.Colored _ -> [], 0.0
-      | Heuristic.Spill nodes ->
-        let cost =
-          List.fold_left (fun acc n -> acc +. costs.(n)) 0.0 nodes
-        in
-        spill_groups built cls nodes, cost
-    in
-    let groups_int, cost_int = spills_of Reg.Int_reg costs_int out_int in
-    let groups_flt, cost_flt = spills_of Reg.Flt_reg costs_flt out_flt in
-    let n_spilled = List.length groups_int + List.length groups_flt in
-    let record ~spilled ~spill_cost =
-      { pass_index;
-        webs_initial = Webs.n_webs webs;
-        webs_coalesced = built.Build.moves_coalesced;
-        nodes_int = Igraph.n_nodes built.Build.int_graph - k_int;
-        nodes_flt = Igraph.n_nodes built.Build.flt_graph - k_flt;
-        edges_int = Igraph.n_edges built.Build.int_graph;
-        edges_flt = Igraph.n_edges built.Build.flt_graph;
-        spilled;
-        spill_cost;
-        build_rounds = built.Build.rounds;
-        cache_hits = built.Build.cache_hits;
-        cache_misses = built.Build.cache_misses;
-        build_time = Timer.elapsed timer ~phase:"build";
-        simplify_time = Timer.elapsed timer ~phase:"simplify";
-        color_time = Timer.elapsed timer ~phase:"color";
-        spill_time = Timer.elapsed timer ~phase:"spill" }
-    in
-    if n_spilled = 0 then begin
-      match out_int, out_flt with
-      | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
-        passes := record ~spilled:0 ~spill_cost:0.0 :: !passes;
-        finish_pass ~cfg ~built ~colors_int ~colors_flt
-      | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
-    end
-    else begin
-      let spill_cost = cost_int +. cost_flt in
-      (* When every elected live range is unspillable (infinite cost:
-         spill temporaries or no-benefit ranges), another pass would
-         recreate the identical conflict: some program point — typically
-         a call site, whose arguments must all be register-resident at
-         once in this calling convention — demands more registers than
-         the machine has. Fail with a diagnosis instead of looping. *)
-      if spill_cost = infinity
-         && List.for_all
-              (fun n -> costs_int.(n) = infinity)
-              (match out_int with
-               | Heuristic.Spill nodes -> nodes
-               | Heuristic.Colored _ -> [])
-         && List.for_all
-              (fun n -> costs_flt.(n) = infinity)
-              (match out_flt with
-               | Heuristic.Spill nodes -> nodes
-               | Heuristic.Colored _ -> [])
-      then
-        fail
-          "%s: only unspillable live ranges remain at pass %d -- some \
-           program point (likely a call site) needs more than the %d int / \
-           %d flt registers available"
-          proc.name pass_index k_int k_flt;
-      total_spilled := !total_spilled + n_spilled;
-      total_spill_cost := !total_spill_cost +. spill_cost;
-      let sp =
-        Timer.record timer ~phase:"spill" (fun () ->
-          let sp =
-            Spill.insert ~rematerialize proc webs
-              ~spilled:(groups_int @ groups_flt)
-          in
-          List.iter
-            (fun (r : Reg.t) ->
-              Hashtbl.replace spill_vreg_ids (r.id, r.cls) ())
-            sp.Spill.new_temps;
-          sp)
-      in
-      if debug_enabled then begin
-        Printf.eprintf
-          "[ra] %s pass %d: webs %d, spilled %d (cost %g), int %d/%d flt %d/%d\n%!"
-          proc.name pass_index (Webs.n_webs webs) n_spilled spill_cost
-          (List.length groups_int) k_int (List.length groups_flt) k_flt;
-        List.iter
-          (fun group ->
-            List.iter
-              (fun w ->
-                let web = Webs.web webs w in
-                Printf.eprintf "[ra]   web %d %s defs=[%s] uses=[%s]\n%!" w
-                  (Reg.to_string web.Webs.vreg)
-                  (String.concat ";" (List.map string_of_int web.Webs.def_sites))
-                  (String.concat ";" (List.map string_of_int web.Webs.use_sites)))
-              group)
-          (groups_int @ groups_flt)
-      end;
-      passes := record ~spilled:n_spilled ~spill_cost :: !passes;
-      run_pass (pass_index + 1) ~edit:(Some sp)
-    end
-  in
-  let allocated, moves_removed = run_pass 1 ~edit:None in
-  if verify then begin
-    fail_on_errors
-      ~stage:(allocated.Proc.name ^ ": output lint")
-      (Ra_check.Lint.run allocated);
-    fail_on_errors
-      ~stage:(allocated.Proc.name ^ ": output verification")
-      (Ra_check.Verify_alloc.run ~regfile:(regfile_of machine) allocated)
-  end;
-  { proc = allocated;
+  let o = Pipeline.run cfgn ~context machine heuristic original in
+  { proc = o.Pipeline.proc;
     heuristic;
     machine;
-    passes = List.rev !passes;
-    live_ranges = !live_ranges;
-    total_spilled = !total_spilled;
-    total_spill_cost = !total_spill_cost;
-    moves_removed }
+    passes = o.Pipeline.passes;
+    live_ranges = o.Pipeline.live_ranges;
+    total_spilled = o.Pipeline.total_spilled;
+    total_spill_cost = o.Pipeline.total_spill_cost;
+    moves_removed = o.Pipeline.moves_removed }
 
 let summary r = r.total_spilled, r.total_spill_cost

@@ -2,11 +2,17 @@
     until both register classes color, then rewrite the procedure onto
     physical registers.
 
+    This is the convenience face of {!Pipeline}: it resolves defaults
+    (environment flags, a private {!Context} when none is given) and
+    re-exports the pipeline's typed results under their historical
+    names — [pass_record] and {!Allocation_failure} are equal to the
+    pipeline's, so the two APIs interoperate freely.
+
     Each pass is timed per phase (build / simplify / color / spill) with
     the counts the paper reports: live ranges, edges, registers spilled and
     their precomputed spill cost. *)
 
-type pass_record = {
+type pass_record = Pipeline.pass_record = {
   pass_index : int; (* 1-based *)
   webs_initial : int; (* webs found by renumbering, before coalescing *)
   webs_coalesced : int; (* moves coalesced away during Build *)
@@ -36,11 +42,14 @@ type result = {
   moves_removed : int; (* copies deleted by coalescing/same-color *)
 }
 
+(** The same exception as {!Pipeline.Allocation_failure} (a rebinding,
+    so handlers for either name catch both). *)
 exception Allocation_failure of string
 
 (** Debugging aid: when the environment variable [RA_DEBUG] is set, every
     spilling pass prints its web/spill counts and the spilled webs' sites
-    to stderr. *)
+    to stderr (a {!Ra_support.Telemetry} subscriber on the ambient sink);
+    [RA_TRACE=<path>] records a structured trace of the same run. *)
 
 (** [allocate machine heuristic proc] register-allocates a *copy* of
     [proc] (the input is untouched, so the same IR can be allocated with

@@ -1,0 +1,28 @@
+open Ra_ir
+
+let default_pool () =
+  if Ra_support.Pool.default_jobs () > 1 then Some (Ra_support.Pool.global ())
+  else None
+
+let map_procs ?pool ?context ?edge_cache machine ~f (procs : Proc.t list) =
+  let pool = match pool with Some p -> p | None -> default_pool () in
+  match context, pool with
+  | Some ctx, _ ->
+    (* an explicit context wins: the caller wants its warm buffers (and
+       its stats) across the whole batch, so the batch runs sequentially
+       over it — the context's own pool still parallelizes each build *)
+    List.map (f ctx) procs
+  | None, Some pool when Ra_support.Pool.jobs pool > 1 ->
+    (* procedure-level dispatch: each routine is one pool task with a
+       context of its own (contexts are single-threaded); the result
+       list keeps routine order *)
+    Ra_support.Pool.map_list pool
+      (fun proc -> f (Context.create ?edge_cache ~pool machine) proc)
+      procs
+  | None, (Some _ | None) ->
+    let ctx = Context.create ?edge_cache machine in
+    List.map (f ctx) procs
+
+let allocate_all ?pool ?context ?edge_cache ?verify machine heuristic procs =
+  map_procs ?pool ?context ?edge_cache machine procs ~f:(fun ctx proc ->
+    Allocator.allocate ?verify ~context:ctx machine heuristic proc)

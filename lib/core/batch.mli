@@ -1,0 +1,42 @@
+(** The one suite runner every driver shares: allocate a batch of
+    procedures with warm contexts, optionally dispatching whole
+    procedures across a pool.
+
+    The policy, identical results either way:
+
+    - an explicit [context] wins — the batch runs sequentially over it
+      so its buffers (and stats) stay warm across every routine; the
+      context's own pool still parallelizes each graph build;
+    - otherwise, with a pool of width > 1, each procedure is one pool
+      task with a private context (contexts are single-threaded) and
+      the result list keeps procedure order;
+    - otherwise one fresh warm context serves the whole batch. *)
+
+(** The shared pool when [RA_JOBS] / the core count asks for
+    parallelism; [None] on a sequential run. *)
+val default_pool : unit -> Ra_support.Pool.t option
+
+(** [map_procs machine ~f procs] runs [f context proc] for every
+    procedure under the policy above. [pool] defaults to
+    {!default_pool}; [edge_cache] is passed to created contexts
+    (ignored when [context] is given). *)
+val map_procs :
+  ?pool:Ra_support.Pool.t option ->
+  ?context:Context.t ->
+  ?edge_cache:bool ->
+  Machine.t ->
+  f:(Context.t -> Ra_ir.Proc.t -> 'a) ->
+  Ra_ir.Proc.t list ->
+  'a list
+
+(** [allocate_all machine heuristic procs]: {!map_procs} specialized to
+    {!Allocator.allocate}, results in procedure order. *)
+val allocate_all :
+  ?pool:Ra_support.Pool.t option ->
+  ?context:Context.t ->
+  ?edge_cache:bool ->
+  ?verify:bool ->
+  Machine.t ->
+  Heuristic.t ->
+  Ra_ir.Proc.t list ->
+  Allocator.result list

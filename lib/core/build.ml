@@ -361,7 +361,7 @@ let chunk_starts (cfg : Cfg.t) ~n_chunks =
    cross-checks this every round. *)
 let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
     ~(rep : int array) ~numbering ~(live : Liveness.t) ~scratch ~pool ~par
-    ~cache =
+    ~cache ~tele =
   let n_webs = Webs.n_webs webs in
   (* dense node numbering per class, representatives only *)
   let node_of_web = Array.make (max n_webs 1) (-1) in
@@ -529,15 +529,23 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
         let ps = match par with Some q -> q | None -> par_scratch () in
         ensure_stages ps n_chunks;
         Pool.run p ~n:n_chunks (fun j ->
-          let s = ps.stages.(j) in
-          for idx = starts.(j) to starts.(j + 1) - 1 do
-            let b = blocks.(idx) in
-            let layer = fresh_layer_of b in
-            scan_blocks ~live_scratch:(Some s.stage_live)
-              ~emit:(fun cls a b -> push layer cls a b)
-              b b;
-            mark_valid b
-          done);
+          (* span emitted from the worker: carries the worker domain's
+             id, so the trace shows the rescans as per-domain tracks *)
+          Telemetry.span tele Phase.Scan
+            ~args:(fun () ->
+              [ "proc", proc.name;
+                "chunk", string_of_int j;
+                "blocks", string_of_int (starts.(j + 1) - starts.(j)) ])
+            (fun () ->
+              let s = ps.stages.(j) in
+              for idx = starts.(j) to starts.(j + 1) - 1 do
+                let b = blocks.(idx) in
+                let layer = fresh_layer_of b in
+                scan_blocks ~live_scratch:(Some s.stage_live)
+                  ~emit:(fun cls a b -> push layer cls a b)
+                  b b;
+                mark_valid b
+              done));
         for b = 0 to n_blocks - 1 do
           replay_block b
         done
@@ -547,14 +555,18 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
            afterward beats emitting into the graphs mid-scan: the walk's
            working set (live sets, webs) and the graphs' matrices stop
            evicting each other. *)
-        List.iter
-          (fun b ->
-            let layer = fresh_layer_of b in
-            scan_blocks ~live_scratch:(Some ec.seq_live)
-              ~emit:(fun cls a b -> push layer cls a b)
-              b b;
-            mark_valid b)
-          rescan;
+        Telemetry.span tele Phase.Scan
+          ~args:(fun () ->
+            [ "proc", proc.name; "blocks", string_of_int n_rescan ])
+          (fun () ->
+            List.iter
+              (fun b ->
+                let layer = fresh_layer_of b in
+                scan_blocks ~live_scratch:(Some ec.seq_live)
+                  ~emit:(fun cls a b -> push layer cls a b)
+                  b b;
+                mark_valid b)
+              rescan);
         for b = 0 to n_blocks - 1 do
           replay_block b
         done)
@@ -565,10 +577,14 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
        | Some _ | None -> 1
      in
      if n_chunks <= 1 then
-       scan_blocks
-         ~emit:(fun cls a b ->
-           Igraph.add_edge (graph_of cls) (node_of_enc a) (node_of_enc b))
-         ~live_scratch:None 0 (n_blocks - 1)
+       Telemetry.span tele Phase.Scan
+         ~args:(fun () ->
+           [ "proc", proc.name; "blocks", string_of_int n_blocks ])
+         (fun () ->
+           scan_blocks
+             ~emit:(fun cls a b ->
+               Igraph.add_edge (graph_of cls) (node_of_enc a) (node_of_enc b))
+             ~live_scratch:None 0 (n_blocks - 1))
      else begin
        let pool = Option.get pool in
        let ps = match par with Some p -> p | None -> par_scratch () in
@@ -578,17 +594,25 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
        let nn_int = Igraph.n_nodes int_graph in
        let nn_flt = Igraph.n_nodes flt_graph in
        Pool.run pool ~n:n_chunks (fun j ->
-         let s = ps.stages.(j) in
-         Bit_matrix.resize s.seen_int nn_int;
-         Bit_matrix.resize s.seen_flt nn_flt;
-         s.n_int <- 0;
-         s.n_flt <- 0;
-         scan_blocks
-           ~emit:(fun cls a b ->
-             stage_emit s cls (node_of_enc a) (node_of_enc b))
-           ~live_scratch:(Some s.stage_live)
-           starts.(j)
-           (starts.(j + 1) - 1));
+         (* span emitted from the worker: carries the worker domain's id,
+            so the trace shows the sharded scan as per-domain tracks *)
+         Telemetry.span tele Phase.Scan
+           ~args:(fun () ->
+             [ "proc", proc.name;
+               "chunk", string_of_int j;
+               "blocks", string_of_int (starts.(j + 1) - starts.(j)) ])
+           (fun () ->
+             let s = ps.stages.(j) in
+             Bit_matrix.resize s.seen_int nn_int;
+             Bit_matrix.resize s.seen_flt nn_flt;
+             s.n_int <- 0;
+             s.n_flt <- 0;
+             scan_blocks
+               ~emit:(fun cls a b ->
+                 stage_emit s cls (node_of_enc a) (node_of_enc b))
+               ~live_scratch:(Some s.stage_live)
+               starts.(j)
+               (starts.(j + 1) - 1)));
        (* deterministic merge, chunk by chunk in block order *)
        for j = 0 to n_chunks - 1 do
          let s = ps.stages.(j) in
@@ -654,7 +678,8 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
   !merged
 
 let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
-    ?pool ?par ?touched ?cache ?(verify = false) () : t =
+    ?pool ?par ?touched ?cache ?(verify = false) ?(tele = Telemetry.null) () :
+    t =
   let n_webs = Webs.n_webs webs in
   let alias = Union_find.create (max n_webs 1) in
   let base = Webs.numbering webs in
@@ -670,7 +695,9 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
   let base_live =
     match live0 with
     | Some l -> l
-    | None -> Liveness.compute ~code:proc.code ~cfg base
+    | None ->
+      Telemetry.span tele Phase.Liveness (fun () ->
+        Liveness.compute ~code:proc.code ~cfg base)
   in
   let touched =
     match touched with Some b -> b | None -> Bitset.create 0
@@ -789,12 +816,14 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
       else begin
         let dirty = dirty_blocks ~prev_rep ~rep in
         let refreshed =
-          Liveness.refresh ~old:prev_live ~code:proc.code ~cfg numbering
-            ~dirty_blocks:dirty
+          Telemetry.span tele Phase.Liveness (fun () ->
+            Liveness.refresh ~old:prev_live ~code:proc.code ~cfg numbering
+              ~dirty_blocks:dirty)
         in
         if verify then
-          check_same_live ~refreshed
-            ~reference:(Liveness.compute ~code:proc.code ~cfg numbering);
+          Telemetry.span tele Phase.Verify (fun () ->
+            check_same_live ~refreshed
+              ~reference:(Liveness.compute ~code:proc.code ~cfg numbering));
         let cache_dirty =
           match cache with
           | None -> []
@@ -811,22 +840,27 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
     in
     let ig, fg, now, wni, wnf =
       build_graphs machine proc cfg webs ~rep ~numbering ~live ~scratch ~pool
-        ~par ~cache:round_cache
+        ~par ~cache:round_cache ~tele
     in
-    if verify && (parallel || cache <> None) then begin
-      (* reference scan into fresh graphs, sequentially and uncached; the
-         parallel/cache-backed result must be indistinguishable from it,
-         down to adjacency order *)
-      let ig_s, fg_s, _, _, _ =
-        build_graphs machine proc cfg webs ~rep ~numbering ~live
-          ~scratch:None ~pool:None ~par:None ~cache:None
-      in
-      check_same_graph (proc.name ^ ": int graph") ig ig_s;
-      check_same_graph (proc.name ^ ": flt graph") fg fg_s
-    end;
+    if verify && (parallel || cache <> None) then
+      Telemetry.span tele Phase.Verify (fun () ->
+        (* reference scan into fresh graphs, sequentially and uncached;
+           the parallel/cache-backed result must be indistinguishable
+           from it, down to adjacency order. The reference scan reports
+           nowhere — its spans would pollute the Scan totals. *)
+        let ig_s, fg_s, _, _, _ =
+          build_graphs machine proc cfg webs ~rep ~numbering ~live
+            ~scratch:None ~pool:None ~par:None ~cache:None
+            ~tele:Telemetry.null
+        in
+        check_same_graph (proc.name ^ ": int graph") ig ig_s;
+        check_same_graph (proc.name ^ ": flt graph") fg fg_s);
     if not coalesce then ig, fg, now, wni, wnf, total, rounds
     else begin
-      let merged = find_coalescable proc webs alias now ig fg ~touched in
+      let merged =
+        Telemetry.span tele Phase.Coalesce (fun () ->
+          find_coalescable proc webs alias now ig fg ~touched)
+      in
       if merged = 0 then ig, fg, now, wni, wnf, total, rounds
       else
         fixpoint (total + merged) ~first:false ~rounds:(rounds + 1)

@@ -135,7 +135,14 @@ val chunk_starts : Ra_ir.Cfg.t -> n_chunks:int -> int array
     parallel/cached graphs against a sequential uncached rebuild and the
     refreshed liveness against a full solve, raising {!Divergence} on
     any difference. Results are bit-identical with and without a pool,
-    and with and without a cache. *)
+    and with and without a cache.
+
+    [tele] (default {!Ra_support.Telemetry.null}) receives the build's
+    internal spans: {!Ra_support.Phase.Scan} around every edge scan —
+    emitted from inside the pool workers, so a sharded scan traces as
+    per-domain tracks — {!Ra_support.Phase.Liveness} around solves and
+    refreshes, {!Ra_support.Phase.Coalesce} around the copy-merge scan,
+    and {!Ra_support.Phase.Verify} around the [verify] cross-checks. *)
 val build :
   Machine.t ->
   Ra_ir.Proc.t ->
@@ -149,6 +156,7 @@ val build :
   ?touched:Ra_support.Bitset.t ->
   ?cache:Edge_cache.t ->
   ?verify:bool ->
+  ?tele:Ra_support.Telemetry.t ->
   unit ->
   t
 

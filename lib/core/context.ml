@@ -19,6 +19,7 @@ type t = {
   machine : Machine.t;
   incremental : bool;
   verify : bool;
+  tele : Telemetry.t;
   pool : Pool.t option;
   par : Build.par_scratch;
   touched : Bitset.t;
@@ -46,7 +47,8 @@ let edge_cache_default =
   | None | Some _ -> true
 
 let create ?(incremental = incremental_default) ?(verify = verify_default)
-    ?(edge_cache = edge_cache_default) ?jobs ?pool machine =
+    ?(edge_cache = edge_cache_default) ?tele ?jobs ?pool machine =
+  let tele = match tele with Some t -> t | None -> Telemetry.ambient () in
   let pool =
     match pool with
     | Some p -> if Pool.jobs p > 1 then Some p else None
@@ -63,6 +65,7 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
   { machine;
     incremental;
     verify;
+    tele;
     pool;
     par = Build.par_scratch ();
     touched = Bitset.create 0;
@@ -74,6 +77,7 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
     prev = None }
 
 let machine t = t.machine
+let telemetry t = t.tele
 let incremental_enabled t = t.incremental
 let pool t = t.pool
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
@@ -164,7 +168,8 @@ let scratch_build ?(reference = false) t (proc : Proc.t) ~is_spill_vreg
          within the pass, on the coalescing rounds. *)
       Option.iter Build.Edge_cache.clear t.edge_cache;
       Build.build t.machine proc cfg ~webs ~coalesce ?scratch ?pool:t.pool
-        ~par:t.par ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ()
+        ~par:t.par ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify
+        ~tele:t.tele ()
     end
   in
   cfg, webs, built
@@ -184,10 +189,11 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
     |> List.sort_uniq Int.compare
   in
   let live0 =
-    Liveness.update ~old:prev.p_built.Build.base_live ~code:proc.code ~cfg
-      (Webs.numbering webs)
-      ~remap:(fun w -> old_to_new.(w))
-      ~dirty_blocks
+    Telemetry.span t.tele Phase.Liveness (fun () ->
+      Liveness.update ~old:prev.p_built.Build.base_live ~code:proc.code ~cfg
+        (Webs.numbering webs)
+        ~remap:(fun w -> old_to_new.(w))
+        ~dirty_blocks)
   in
   (* The edge cache survives the pass boundary the same way liveness
      does: rename surviving web ids through the canonical renumbering
@@ -198,7 +204,7 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
   let built =
     Build.build t.machine proc cfg ~webs ~coalesce ~live0
       ~scratch:(t.scratch_int, t.scratch_flt) ?pool:t.pool ~par:t.par
-      ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ()
+      ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ~tele:t.tele ()
   in
   cfg, webs, built
 
@@ -210,17 +216,17 @@ let build_pass t (proc : Proc.t) ~is_spill_vreg ~coalesce ~edit =
         incremental_build t proc prev sp ~coalesce
       in
       t.stats.incremental_builds <- t.stats.incremental_builds + 1;
-      if t.verify then begin
-        (* reference build into fresh buffers, sequentially; the
-           incremental result must be indistinguishable from it, down to
-           adjacency order *)
-        let cfg_s, _, built_s =
-          scratch_build ~reference:true t proc ~is_spill_vreg ~coalesce
-            ~scratch:None
-        in
-        check_equal proc.Proc.name ~cfg_i ~built_i ~cfg_s ~built_s;
-        t.stats.verified_builds <- t.stats.verified_builds + 1
-      end;
+      if t.verify then
+        Telemetry.span t.tele Phase.Verify (fun () ->
+          (* reference build into fresh buffers, sequentially; the
+             incremental result must be indistinguishable from it, down
+             to adjacency order *)
+          let cfg_s, _, built_s =
+            scratch_build ~reference:true t proc ~is_spill_vreg ~coalesce
+              ~scratch:None
+          in
+          check_equal proc.Proc.name ~cfg_i ~built_i ~cfg_s ~built_s;
+          t.stats.verified_builds <- t.stats.verified_builds + 1);
       res
     | _, _ ->
       let res =

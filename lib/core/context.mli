@@ -51,6 +51,11 @@ type t
     non-empty and not ["0"]); [edge_cache] to [RA_EDGE_CACHE] (unset or
     any value but ["0"] means enabled).
 
+    [tele] is the telemetry sink every pass built over this context
+    reports into; it defaults to the process-wide
+    {!Ra_support.Telemetry.ambient} sink (so [RA_TRACE] / [--trace]
+    work without threading anything).
+
     [pool], when given, parallelizes the interference-graph block scan
     (see {!Build.build}); a width-1 pool means sequential. Without it,
     [jobs] decides: [1] forces sequential, [> 1] uses the shared
@@ -63,12 +68,17 @@ val create :
   ?incremental:bool ->
   ?verify:bool ->
   ?edge_cache:bool ->
+  ?tele:Ra_support.Telemetry.t ->
   ?jobs:int ->
   ?pool:Ra_support.Pool.t ->
   Machine.t ->
   t
 
 val machine : t -> Machine.t
+
+(** The sink this context's builds report into ({!create}'s [tele]). *)
+val telemetry : t -> Ra_support.Telemetry.t
+
 val incremental_enabled : t -> bool
 val edge_cache_enabled : t -> bool
 

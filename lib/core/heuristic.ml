@@ -23,22 +23,19 @@ let assert_total (g : Igraph.t) (colors : int option array) =
     assert (colors.(n) <> None)
   done
 
-let run ?timer ?buckets t g ~k ~costs : outcome =
-  let timed phase f =
-    match timer with
-    | Some tm -> Ra_support.Timer.record tm ~phase f
-    | None -> f ()
-  in
+let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets t g ~k ~costs :
+    outcome =
+  let timed phase f = Ra_support.Telemetry.span tele ?timer phase f in
   match t with
   | Chaitin ->
     let { Coloring.order; marked } =
-      timed "simplify" (fun () ->
+      timed Ra_support.Phase.Simplify (fun () ->
         Coloring.simplify g ~k ~costs ~policy:Coloring.Spill_during_simplify)
     in
     if marked <> [] then Spill marked
     else begin
       let { Coloring.colors; uncolored } =
-        timed "color" (fun () -> Coloring.select g ~k ~order)
+        timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
       in
       (* simplification only removed degree-< k nodes: coloring must work *)
       assert (uncolored = []);
@@ -47,12 +44,12 @@ let run ?timer ?buckets t g ~k ~costs : outcome =
     end
   | Briggs ->
     let { Coloring.order; marked } =
-      timed "simplify" (fun () ->
+      timed Ra_support.Phase.Simplify (fun () ->
         Coloring.simplify g ~k ~costs ~policy:Coloring.Defer_to_select)
     in
     assert (marked = []);
     let { Coloring.colors; uncolored } =
-      timed "color" (fun () -> Coloring.select g ~k ~order)
+      timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
     in
     if uncolored <> [] then Spill uncolored
     else begin
@@ -61,10 +58,11 @@ let run ?timer ?buckets t g ~k ~costs : outcome =
     end
   | Matula ->
     let order =
-      timed "simplify" (fun () -> Coloring.smallest_last_order ?buckets g)
+      timed Ra_support.Phase.Simplify (fun () ->
+        Coloring.smallest_last_order ?buckets g)
     in
     let { Coloring.colors; uncolored } =
-      timed "color" (fun () -> Coloring.select g ~k ~order)
+      timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
     in
     if uncolored <> [] then Spill uncolored
     else begin

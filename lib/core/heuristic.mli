@@ -26,12 +26,14 @@ val name : t -> string
 val of_name : string -> t option
 
 (** [run t g ~k ~costs] attempts a k-coloring of [g]. [costs] follows
-    {!Coloring.simplify}. Matula ignores [costs]. When [timer] is given,
-    simplification time accumulates under phase "simplify" and select time
-    under "color" (Chaitin runs no select on a pass that spills, exactly as
-    the empty Color cells of Figure 7 show). [buckets] is a reusable
-    degree-bucket buffer for Matula's smallest-last ordering. *)
+    {!Coloring.simplify}. Matula ignores [costs]. Simplification reports
+    into [tele]/[timer] under {!Ra_support.Phase.Simplify} and select
+    under {!Ra_support.Phase.Color} (Chaitin runs no select on a pass
+    that spills, exactly as the empty Color cells of Figure 7 show).
+    [buckets] is a reusable degree-bucket buffer for Matula's
+    smallest-last ordering. *)
 val run :
   ?timer:Ra_support.Timer.t ->
+  ?tele:Ra_support.Telemetry.t ->
   ?buckets:Ra_support.Degree_buckets.t ->
   t -> Igraph.t -> k:int -> costs:float array -> outcome

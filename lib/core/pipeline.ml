@@ -1,0 +1,450 @@
+open Ra_support
+open Ra_ir
+open Ra_analysis
+
+type pass_record = {
+  pass_index : int;
+  webs_initial : int;
+  webs_coalesced : int;
+  nodes_int : int;
+  nodes_flt : int;
+  edges_int : int;
+  edges_flt : int;
+  spilled : int;
+  spill_cost : float;
+  build_rounds : int;
+  cache_hits : int;
+  cache_misses : int;
+  build_time : float;
+  simplify_time : float;
+  color_time : float;
+  spill_time : float;
+}
+
+type outcome = {
+  proc : Proc.t;
+  passes : pass_record list;
+  live_ranges : int;
+  total_spilled : int;
+  total_spill_cost : float;
+  moves_removed : int;
+}
+
+exception Allocation_failure of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Allocation_failure m)) fmt
+
+type config = {
+  coalesce : bool;
+  max_passes : int;
+  spill_base : float;
+  rematerialize : bool;
+  verify : bool;
+}
+
+let stages =
+  [ Phase.Lint, "structural lint of the input IR (RA_VERIFY)";
+    Phase.Build, "interference graphs + spill costs, once per pass";
+    Phase.Simplify, "simplify / ordering (per class graph)";
+    Phase.Color, "optimistic select (per class graph)";
+    Phase.Spill_elect, "expand spill decisions into slot-sharing web groups";
+    Phase.Spill_insert, "spill-code insertion and temp registration";
+    Phase.Rewrite, "rewrite virtual registers onto their colors";
+    Phase.Verify, "assignment + output verification (RA_VERIFY)" ]
+
+let regfile_of (machine : Machine.t) : Ra_check.Verify_alloc.regfile =
+  { Ra_check.Verify_alloc.k_int = Machine.regs machine Reg.Int_reg;
+    k_flt = Machine.regs machine Reg.Flt_reg;
+    caller_save_int = Machine.caller_save machine Reg.Int_reg;
+    caller_save_flt = Machine.caller_save machine Reg.Flt_reg }
+
+let fail_on_errors ~stage diags =
+  if Ra_check.Diagnostic.has_errors diags then
+    fail "%s failed:\n%s" stage (Ra_check.Diagnostic.report diags)
+
+let copy_proc (p : Proc.t) : Proc.t =
+  { p with Proc.code = Array.copy p.code }
+
+(* Expand a spill decision (node ids of one class graph) into groups of
+   member web ids sharing a slot, plus the paper's counters. Group order
+   is part of the allocator's observable behavior (slots are assigned in
+   group order), so it is fixed by construction: ascending representative
+   web id, never the Hashtbl's bucket layout. *)
+let spill_groups built cls nodes =
+  let alias = built.Build.alias in
+  let webs = built.Build.webs in
+  let members_of_rep = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let rep = Build.web_of_node built cls node in
+      Hashtbl.replace members_of_rep rep [])
+    nodes;
+  for w = 0 to Webs.n_webs webs - 1 do
+    let rep = Union_find.find alias w in
+    match Hashtbl.find_opt members_of_rep rep with
+    | Some members -> Hashtbl.replace members_of_rep rep (w :: members)
+    | None -> ()
+  done;
+  Hashtbl.fold
+    (fun rep members acc -> (rep, List.rev members) :: acc)
+    members_of_rep []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+(* ---- the state one allocation threads through its passes ---- *)
+
+type state = {
+  cfgn : config;
+  machine : Machine.t;
+  heuristic : Heuristic.t;
+  ctx : Context.t;
+  tele : Telemetry.t;
+  proc : Proc.t; (* the working copy; spill passes mutate its code *)
+  spill_vreg_ids : (int * Reg.cls, unit) Hashtbl.t;
+  mutable live_ranges : int;
+  mutable total_spilled : int;
+  mutable total_spill_cost : float;
+  mutable passes_rev : pass_record list;
+}
+
+(* ---- the pass modules, in pipeline order ---- *)
+
+module Lint_pass = struct
+  let phase = Phase.Lint
+
+  let run st ~stage proc =
+    if st.cfgn.verify then
+      Telemetry.span st.tele phase
+        ~args:(fun () -> [ "stage", stage ])
+        (fun () ->
+          fail_on_errors
+            ~stage:(proc.Proc.name ^ ": " ^ stage)
+            (Ra_check.Lint.run proc))
+end
+
+module Build_pass = struct
+  let phase = Phase.Build
+
+  (* Graph construction and spill costs are one phase in the paper's
+     accounting, so both record under Build. *)
+  let run st ~timer ~edit =
+    let cfg, webs, built =
+      Telemetry.span st.tele ~timer phase (fun () ->
+        Context.build_pass st.ctx st.proc
+          ~is_spill_vreg:(fun (r : Reg.t) ->
+            Hashtbl.mem st.spill_vreg_ids (r.id, r.cls))
+          ~coalesce:st.cfgn.coalesce ~edit)
+    in
+    let costs_int, costs_flt =
+      Telemetry.span st.tele ~timer phase (fun () ->
+        ( Build.node_costs ~base:st.cfgn.spill_base built st.proc Reg.Int_reg,
+          Build.node_costs ~base:st.cfgn.spill_base built st.proc Reg.Flt_reg ))
+    in
+    cfg, webs, built, costs_int, costs_flt
+end
+
+module Color_pass = struct
+  (* One class graph through the heuristic; Simplify/Color spans and
+     times are emitted inside Heuristic.run from the same closed
+     phase set. *)
+  let run st ~timer built cls ~costs =
+    let k = Machine.regs st.machine cls in
+    Heuristic.run ~timer ~tele:st.tele ~buckets:(Context.buckets st.ctx)
+      st.heuristic
+      (Build.graph_of_class built cls)
+      ~k ~costs
+end
+
+module Spill_elect = struct
+  let phase = Phase.Spill_elect
+
+  (* Expand one class's spill decision into web groups and its cost. *)
+  let run st ~timer built cls costs outcome =
+    Telemetry.span st.tele ~timer phase (fun () ->
+      match outcome with
+      | Heuristic.Colored _ -> [], 0.0
+      | Heuristic.Spill nodes ->
+        let cost =
+          List.fold_left (fun acc n -> acc +. costs.(n)) 0.0 nodes
+        in
+        spill_groups built cls nodes, cost)
+
+  (* When every elected live range is unspillable (infinite cost: spill
+     temporaries or no-benefit ranges), another pass would recreate the
+     identical conflict: some program point — typically a call site,
+     whose arguments must all be register-resident at once in this
+     calling convention — demands more registers than the machine has.
+     Fail with a diagnosis instead of looping. *)
+  let check_spillable st ~pass_index ~k_int ~k_flt ~spill_cost
+      (costs_int, out_int) (costs_flt, out_flt) =
+    let all_infinite costs = function
+      | Heuristic.Spill nodes ->
+        List.for_all (fun n -> costs.(n) = infinity) nodes
+      | Heuristic.Colored _ -> true
+    in
+    if spill_cost = infinity
+       && all_infinite costs_int out_int
+       && all_infinite costs_flt out_flt
+    then
+      fail
+        "%s: only unspillable live ranges remain at pass %d -- some \
+         program point (likely a call site) needs more than the %d int / \
+         %d flt registers available"
+        st.proc.Proc.name pass_index k_int k_flt
+end
+
+module Spill_insert = struct
+  let phase = Phase.Spill_insert
+
+  let run st ~timer webs ~groups =
+    Telemetry.span st.tele ~timer phase (fun () ->
+      let sp =
+        Spill.insert ~rematerialize:st.cfgn.rematerialize st.proc webs
+          ~spilled:groups
+      in
+      List.iter
+        (fun (r : Reg.t) ->
+          Hashtbl.replace st.spill_vreg_ids (r.id, r.cls) ())
+        sp.Spill.new_temps;
+      sp)
+
+  (* What RA_DEBUG used to eprintf directly is now a structured instant
+     event; the ambient sink's stderr subscriber reproduces the dump. *)
+  let emit_dump st ~pass_index ~webs ~n_spilled ~spill_cost ~k_int ~k_flt
+      ~groups_int ~groups_flt =
+    Telemetry.instant st.tele phase ~args:(fun () ->
+      let b = Buffer.create 256 in
+      Printf.bprintf b
+        "[ra] %s pass %d: webs %d, spilled %d (cost %g), int %d/%d flt %d/%d\n"
+        st.proc.Proc.name pass_index (Webs.n_webs webs) n_spilled spill_cost
+        (List.length groups_int) k_int (List.length groups_flt) k_flt;
+      List.iter
+        (fun group ->
+          List.iter
+            (fun w ->
+              let web = Webs.web webs w in
+              Printf.bprintf b "[ra]   web %d %s defs=[%s] uses=[%s]\n" w
+                (Reg.to_string web.Webs.vreg)
+                (String.concat ";"
+                   (List.map string_of_int web.Webs.def_sites))
+                (String.concat ";"
+                   (List.map string_of_int web.Webs.use_sites)))
+            group)
+        (groups_int @ groups_flt);
+      [ "proc", st.proc.Proc.name;
+        "pass", string_of_int pass_index;
+        "spilled", string_of_int n_spilled;
+        "dump", Buffer.contents b ])
+end
+
+module Rewrite_pass = struct
+  let phase = Phase.Rewrite
+
+  let run st ~cfg ~built ~colors_int ~colors_flt =
+    let proc = st.proc in
+    let machine = st.machine in
+    (* Paranoia: the coloring must be proper on both class graphs. *)
+    (match Igraph.check_coloring built.Build.int_graph ~colors:colors_int with
+     | Some (a, b) -> fail "improper int coloring: nodes %d and %d" a b
+     | None -> ());
+    (match Igraph.check_coloring built.Build.flt_graph ~colors:colors_flt with
+     | Some (a, b) -> fail "improper flt coloring: nodes %d and %d" a b
+     | None -> ());
+    let webs = built.Build.webs in
+    let color_of cls node =
+      let colors =
+        match cls with Reg.Int_reg -> colors_int | Reg.Flt_reg -> colors_flt
+      in
+      match colors.(node) with
+      | Some c -> c
+      | None -> fail "uncolored node survived to rewrite"
+    in
+    let phys (r : Reg.t) c : Reg.t = { r with Reg.id = c } in
+    (* Before rewriting, validate the assignment against a from-scratch
+       liveness recomputation: the only stage with both the web structure
+       and the pre-rewrite code in hand. *)
+    if st.cfgn.verify then
+      Telemetry.span st.tele Phase.Verify
+        ~args:(fun () -> [ "stage", "assignment check" ])
+        (fun () ->
+          let color w =
+            color_of (Webs.web webs w).Webs.cls (Build.node_of built w)
+          in
+          fail_on_errors
+            ~stage:(proc.Proc.name ^ ": assignment check")
+            (Ra_check.Verify_alloc.check_assignment
+               ~regfile:(regfile_of machine) proc cfg webs
+               ~alias:built.Build.alias ~color));
+    Telemetry.span st.tele phase (fun () ->
+      (* Rewrite virtual registers to their colors; drop self-copies. *)
+      let rewrite_occurrence which i (r : Reg.t) =
+        let w = which i r in
+        phys r (color_of r.cls (Build.node_of built w))
+      in
+      let moves_removed = ref 0 in
+      let out = ref [] in
+      Array.iteri
+        (fun i (node : Proc.node) ->
+          let ins =
+            Instr.map_regs
+              ~def:(rewrite_occurrence (Webs.def_web webs) i)
+              ~use:(rewrite_occurrence (Webs.use_web webs) i)
+              node.ins
+          in
+          match ins with
+          | Instr.Mov (d, s) when Reg.equal d s -> incr moves_removed
+          | ins -> out := { node with Proc.ins } :: !out)
+        proc.code;
+      proc.code <- Array.of_list (List.rev !out);
+      (* arguments arrive in the physical registers of their entry webs;
+         one table lookup per argument instead of a scan of every web *)
+      let entry_web_of_vreg : (int * Reg.cls, int) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      Array.iter
+        (fun (w : Webs.web) ->
+          if w.has_entry_def then
+            Hashtbl.replace entry_web_of_vreg
+              (w.vreg.Reg.id, w.vreg.Reg.cls)
+              w.w_id)
+        (Webs.webs webs);
+      let args =
+        List.map
+          (fun (a : Reg.t) ->
+            match Hashtbl.find_opt entry_web_of_vreg (a.id, a.cls) with
+            | Some w -> phys a (color_of a.cls (Build.node_of built w))
+            | None ->
+              (* unused argument: park it above the physical file so binding
+                 it at frame setup can never clobber a live register *)
+              let k = Machine.regs machine a.cls in
+              phys a (k + List.length proc.Proc.args))
+          proc.Proc.args
+      in
+      let proc = { proc with Proc.args } in
+      proc.Proc.allocated <- true;
+      proc, !moves_removed)
+end
+
+module Verify_pass = struct
+  let phase = Phase.Verify
+
+  let run st allocated =
+    if st.cfgn.verify then begin
+      Lint_pass.run st ~stage:"output lint" allocated;
+      Telemetry.span st.tele phase
+        ~args:(fun () -> [ "stage", "output verification" ])
+        (fun () ->
+          fail_on_errors
+            ~stage:(allocated.Proc.name ^ ": output verification")
+            (Ra_check.Verify_alloc.run ~regfile:(regfile_of st.machine)
+               allocated))
+    end
+end
+
+(* ---- the driver ---- *)
+
+let record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt ~spilled
+    ~spill_cost =
+  let r =
+    { pass_index;
+      webs_initial = Webs.n_webs webs;
+      webs_coalesced = built.Build.moves_coalesced;
+      nodes_int = Igraph.n_nodes built.Build.int_graph - k_int;
+      nodes_flt = Igraph.n_nodes built.Build.flt_graph - k_flt;
+      edges_int = Igraph.n_edges built.Build.int_graph;
+      edges_flt = Igraph.n_edges built.Build.flt_graph;
+      spilled;
+      spill_cost;
+      build_rounds = built.Build.rounds;
+      cache_hits = built.Build.cache_hits;
+      cache_misses = built.Build.cache_misses;
+      build_time = Timer.elapsed timer ~phase:Phase.Build;
+      simplify_time = Timer.elapsed timer ~phase:Phase.Simplify;
+      color_time = Timer.elapsed timer ~phase:Phase.Color;
+      spill_time = Timer.elapsed timer ~phase:Phase.Spill_insert }
+  in
+  st.passes_rev <- r :: st.passes_rev;
+  Telemetry.counter st.tele "alloc.passes" 1;
+  Telemetry.counter st.tele "edge_cache.hits" r.cache_hits;
+  Telemetry.counter st.tele "edge_cache.misses" r.cache_misses
+
+let rec run_pass st pass_index ~edit =
+  if pass_index > st.cfgn.max_passes then
+    fail "%s: no convergence after %d passes" st.proc.Proc.name
+      st.cfgn.max_passes;
+  Telemetry.span st.tele Phase.Pass
+    ~args:(fun () ->
+      [ "proc", st.proc.Proc.name; "pass", string_of_int pass_index ])
+    (fun () ->
+      let timer = Timer.create () in
+      let cfg, webs, built, costs_int, costs_flt =
+        Build_pass.run st ~timer ~edit
+      in
+      if pass_index = 1 then st.live_ranges <- Webs.n_webs webs;
+      let k_int = Machine.regs st.machine Reg.Int_reg in
+      let k_flt = Machine.regs st.machine Reg.Flt_reg in
+      let out_int = Color_pass.run st ~timer built Reg.Int_reg ~costs:costs_int in
+      let out_flt = Color_pass.run st ~timer built Reg.Flt_reg ~costs:costs_flt in
+      let groups_int, cost_int =
+        Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int
+      in
+      let groups_flt, cost_flt =
+        Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt
+      in
+      let n_spilled = List.length groups_int + List.length groups_flt in
+      if n_spilled = 0 then begin
+        match out_int, out_flt with
+        | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
+          record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt
+            ~spilled:0 ~spill_cost:0.0;
+          Rewrite_pass.run st ~cfg ~built ~colors_int ~colors_flt
+        | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
+      end
+      else begin
+        let spill_cost = cost_int +. cost_flt in
+        Spill_elect.check_spillable st ~pass_index ~k_int ~k_flt ~spill_cost
+          (costs_int, out_int) (costs_flt, out_flt);
+        st.total_spilled <- st.total_spilled + n_spilled;
+        st.total_spill_cost <- st.total_spill_cost +. spill_cost;
+        Telemetry.counter st.tele "alloc.spilled" n_spilled;
+        Spill_insert.emit_dump st ~pass_index ~webs ~n_spilled ~spill_cost
+          ~k_int ~k_flt ~groups_int ~groups_flt;
+        let sp =
+          Spill_insert.run st ~timer webs ~groups:(groups_int @ groups_flt)
+        in
+        record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt
+          ~spilled:n_spilled ~spill_cost;
+        run_pass st (pass_index + 1) ~edit:(Some sp)
+      end)
+
+let run cfgn ~context machine heuristic (original : Proc.t) : outcome =
+  let tele = Context.telemetry context in
+  Telemetry.span tele Phase.Alloc
+    ~args:(fun () ->
+      [ "proc", original.Proc.name; "heuristic", Heuristic.name heuristic ])
+    (fun () ->
+      let st =
+        { cfgn;
+          machine;
+          heuristic;
+          ctx = context;
+          tele;
+          proc = copy_proc original;
+          spill_vreg_ids = Hashtbl.create 16;
+          live_ranges = 0;
+          total_spilled = 0;
+          total_spill_cost = 0.0;
+          passes_rev = [] }
+      in
+      Lint_pass.run st ~stage:"input lint" original;
+      Context.begin_proc st.ctx;
+      Telemetry.counter tele "alloc.procs" 1;
+      let allocated, moves_removed = run_pass st 1 ~edit:None in
+      Verify_pass.run st allocated;
+      Telemetry.counter tele "alloc.moves_removed" moves_removed;
+      { proc = allocated;
+        passes = List.rev st.passes_rev;
+        live_ranges = st.live_ranges;
+        total_spilled = st.total_spilled;
+        total_spill_cost = st.total_spill_cost;
+        moves_removed })

@@ -1,0 +1,73 @@
+(** The Figure-4 driver as an explicit typed pass pipeline:
+
+    {v
+    lint → [ build → color-int → color-flt → spill-elect → spill-insert ]*
+         → rewrite → verify
+    v}
+
+    Each bracketed pass repeats until both class graphs color; every
+    stage is a named module below reporting into the shared
+    {!Ra_support.Telemetry} tree under its {!Ra_support.Phase.t} — one
+    instrumentation point per stage feeds the paper's CPU accounting
+    (the per-pass {!pass_record} times), the structured trace, and the
+    [RA_DEBUG] dump (a telemetry subscriber).
+
+    {!Allocator.allocate} is a thin wrapper over {!run}; the pipeline is
+    exposed separately so drivers and tests can reach the stages and the
+    typed pass results without the option-heavy convenience layer. *)
+
+type pass_record = {
+  pass_index : int; (* 1-based *)
+  webs_initial : int; (* webs found by renumbering, before coalescing *)
+  webs_coalesced : int; (* moves coalesced away during Build *)
+  nodes_int : int; (* non-precolored nodes in each class graph *)
+  nodes_flt : int;
+  edges_int : int;
+  edges_flt : int;
+  spilled : int; (* live ranges spilled on this pass *)
+  spill_cost : float; (* their total estimated spill cost *)
+  build_rounds : int; (* edge-scan rounds (1 + coalescing re-rounds) *)
+  cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
+  cache_misses : int; (* blocks rescanned (equals blocks x rounds uncached) *)
+  build_time : float; (* seconds *)
+  simplify_time : float;
+  color_time : float;
+  spill_time : float;
+}
+
+type outcome = {
+  proc : Ra_ir.Proc.t; (* rewritten onto physical registers *)
+  passes : pass_record list; (* first pass first *)
+  live_ranges : int; (* webs on the first pass (paper's Live Ranges) *)
+  total_spilled : int;
+  total_spill_cost : float;
+  moves_removed : int; (* copies deleted by coalescing/same-color *)
+}
+
+exception Allocation_failure of string
+
+type config = {
+  coalesce : bool;
+  max_passes : int;
+  spill_base : float;
+  rematerialize : bool;
+  verify : bool;
+}
+
+(** The pass chain in execution order, with one-line descriptions —
+    the structure {!run} executes, for docs and tooling. *)
+val stages : (Ra_support.Phase.t * string) list
+
+(** Expand a spill decision (node ids of one class graph) into groups of
+    member web ids sharing a slot. Deterministic by construction: groups
+    are ordered by ascending representative web id, never by
+    hash-bucket layout. Exposed for the determinism regression test. *)
+val spill_groups : Build.t -> Ra_ir.Reg.cls -> int list -> int list list
+
+(** Run the pipeline on a *copy* of the procedure (the input is
+    untouched) over the given context's buffers, reporting into the
+    context's telemetry sink. Raises {!Allocation_failure} as
+    documented on {!Allocator.allocate}. *)
+val run :
+  config -> context:Context.t -> Machine.t -> Heuristic.t -> Ra_ir.Proc.t ->
+  outcome

@@ -1,0 +1,293 @@
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  start_us : float;
+  dur_us : float;
+  domain : int;
+  depth : int;
+  value : int;
+  args : (string * string) list;
+}
+
+type sink = {
+  epoch : float; (* Unix.gettimeofday at creation *)
+  mutex : Mutex.t;
+  mutable rev_events : event list;
+  mutable subscribers : (event -> unit) list;
+  counters : (string, int) Hashtbl.t;
+}
+
+(* [None] is the disabled sink: the option match is the entire cost of a
+   disabled call site, and nothing is allocated. *)
+type t = sink option
+
+let null = None
+
+let create () =
+  Some
+    { epoch = Unix.gettimeofday ();
+      mutex = Mutex.create ();
+      rev_events = [];
+      subscribers = [];
+      counters = Hashtbl.create 16 }
+
+let enabled = Option.is_some
+
+let now_us s = (Unix.gettimeofday () -. s.epoch) *. 1e6
+
+(* Span nesting depth of the *current domain* — pool workers each track
+   their own stack, so concurrent spans never corrupt each other's depth. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let emit s ev =
+  Mutex.lock s.mutex;
+  s.rev_events <- ev :: s.rev_events;
+  let subs = s.subscribers in
+  (match subs with
+   | [] -> Mutex.unlock s.mutex
+   | _ ->
+     (* deliver inside the lock: subscribers see a total order of events *)
+     (match List.iter (fun f -> f ev) subs with
+      | () -> Mutex.unlock s.mutex
+      | exception e -> Mutex.unlock s.mutex; raise e))
+
+let force_args = function None -> [] | Some f -> f ()
+
+let span t ?timer ?args phase f =
+  match t with
+  | None ->
+    (match timer with
+     | None -> f ()
+     | Some tm -> Timer.record tm ~phase f)
+  | Some s ->
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    d := depth + 1;
+    let cpu0 = match timer with Some _ -> Sys.time () | None -> 0.0 in
+    let t0 = now_us s in
+    let finish () =
+      let t1 = now_us s in
+      d := depth;
+      (match timer with
+       | Some tm -> Timer.add tm ~phase (Sys.time () -. cpu0)
+       | None -> ());
+      emit s
+        { kind = Span;
+          name = Phase.name phase;
+          start_us = t0;
+          dur_us = t1 -. t0;
+          domain = (Domain.self () :> int);
+          depth;
+          value = 0;
+          args = force_args args }
+    in
+    (match f () with
+     | result -> finish (); result
+     | exception e -> finish (); raise e)
+
+let instant t ?args phase =
+  match t with
+  | None -> ()
+  | Some s ->
+    emit s
+      { kind = Instant;
+        name = Phase.name phase;
+        start_us = now_us s;
+        dur_us = 0.0;
+        domain = (Domain.self () :> int);
+        depth = !(Domain.DLS.get depth_key);
+        value = 0;
+        args = force_args args }
+
+let counter t name delta =
+  match t with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.mutex;
+    let total =
+      delta + (match Hashtbl.find_opt s.counters name with Some v -> v | None -> 0)
+    in
+    Hashtbl.replace s.counters name total;
+    Mutex.unlock s.mutex;
+    emit s
+      { kind = Counter;
+        name;
+        start_us = now_us s;
+        dur_us = 0.0;
+        domain = (Domain.self () :> int);
+        depth = !(Domain.DLS.get depth_key);
+        value = total;
+        args = [] }
+
+let counter_total t name =
+  match t with
+  | None -> 0
+  | Some s ->
+    Mutex.lock s.mutex;
+    let v = match Hashtbl.find_opt s.counters name with Some v -> v | None -> 0 in
+    Mutex.unlock s.mutex;
+    v
+
+let counter_totals t =
+  match t with
+  | None -> []
+  | Some s ->
+    Mutex.lock s.mutex;
+    let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.counters [] in
+    Mutex.unlock s.mutex;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let events t =
+  match t with
+  | None -> []
+  | Some s ->
+    Mutex.lock s.mutex;
+    let l = List.rev s.rev_events in
+    Mutex.unlock s.mutex;
+    l
+
+let subscribe t f =
+  match t with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.mutex;
+    s.subscribers <- s.subscribers @ [ f ];
+    Mutex.unlock s.mutex
+
+(* ---- serialization ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let kind_name = function
+  | Span -> "span"
+  | Instant -> "instant"
+  | Counter -> "counter"
+
+let args_json args =
+  String.concat ", "
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+       args)
+
+let jsonl_of_event e =
+  Printf.sprintf
+    "{\"kind\": \"%s\", \"name\": \"%s\", \"ts_us\": %.3f, \"dur_us\": %.3f, \
+     \"domain\": %d, \"depth\": %d, \"value\": %d, \"args\": {%s}}"
+    (kind_name e.kind) (json_escape e.name) e.start_us e.dur_us e.domain
+    e.depth e.value (args_json e.args)
+
+let chrome_of_event e =
+  match e.kind with
+  | Span ->
+    Printf.sprintf
+      "{\"name\": \"%s\", \"cat\": \"ra\", \"ph\": \"X\", \"ts\": %.3f, \
+       \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {%s}}"
+      (json_escape e.name) e.start_us e.dur_us e.domain (args_json e.args)
+  | Instant ->
+    Printf.sprintf
+      "{\"name\": \"%s\", \"cat\": \"ra\", \"ph\": \"i\", \"s\": \"t\", \
+       \"ts\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {%s}}"
+      (json_escape e.name) e.start_us e.domain (args_json e.args)
+  | Counter ->
+    Printf.sprintf
+      "{\"name\": \"%s\", \"cat\": \"ra\", \"ph\": \"C\", \"ts\": %.3f, \
+       \"pid\": 0, \"args\": {\"%s\": %d}}"
+      (json_escape e.name) e.start_us (json_escape e.name) e.value
+
+let write_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (jsonl_of_event e);
+      output_char oc '\n')
+    (events t)
+
+let write_chrome t oc =
+  output_string oc "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",";
+      output_string oc "\n";
+      output_string oc (chrome_of_event e))
+    (events t);
+  output_string oc "\n]\n"
+
+(* ---- the ambient (process-wide) sink ---- *)
+
+let trace_path_override = ref None
+let ambient_state = ref None (* configured sink, once *)
+let ambient_mutex = Mutex.create ()
+
+let set_trace_path path =
+  Mutex.lock ambient_mutex;
+  (match !ambient_state with
+   | None -> trace_path_override := Some path
+   | Some _ -> () (* already configured: too late, keep the first choice *));
+  Mutex.unlock ambient_mutex
+
+(* The pre-telemetry RA_DEBUG dump, now a subscriber: every spilling
+   pass's Spill_elect instant carries its summary and web details. *)
+let debug_subscriber ev =
+  match ev.kind with
+  | Instant ->
+    List.iter
+      (fun (k, v) -> if k = "dump" then Printf.eprintf "%s%!" v)
+      ev.args
+  | Span | Counter -> ()
+
+let configure_ambient () =
+  let path =
+    match !trace_path_override with
+    | Some p -> Some p
+    | None ->
+      (match Sys.getenv_opt "RA_TRACE" with
+       | None | Some "" -> None
+       | Some p -> Some p)
+  in
+  let debug = Sys.getenv_opt "RA_DEBUG" <> None in
+  match path, debug with
+  | None, false -> null
+  | _ ->
+    let t = create () in
+    if debug then subscribe t debug_subscriber;
+    (match path with
+     | None -> ()
+     | Some p ->
+       at_exit (fun () ->
+         let oc = open_out p in
+         let jsonl =
+           String.length p >= 6
+           && String.sub p (String.length p - 6) 6 = ".jsonl"
+         in
+         if jsonl then write_jsonl t oc else write_chrome t oc;
+         close_out oc));
+    t
+
+let ambient () =
+  Mutex.lock ambient_mutex;
+  let t =
+    match !ambient_state with
+    | Some t -> t
+    | None ->
+      let t = configure_ambient () in
+      ambient_state := Some t;
+      t
+  in
+  Mutex.unlock ambient_mutex;
+  t

@@ -1,0 +1,107 @@
+(** Structured allocator telemetry: nested span timers, named counters
+    and an event sink with JSONL and Chrome-[trace_event] emitters.
+
+    A sink is either disabled ({!null}) — every operation is a
+    zero-allocation no-op — or enabled, in which case spans, instants and
+    counter bumps become {!event}s: buffered in emission order, fanned
+    out to {!subscribe}rs as they happen, and serializable as JSON lines
+    ({!write_jsonl}) or as a Chrome-[trace_event] array ({!write_chrome})
+    loadable in [about://tracing] / Perfetto.
+
+    Domain-safe by construction: the sink is mutex-protected, every
+    event records the emitting domain's id (the Chrome [tid], so pooled
+    scans render as per-domain tracks), and span nesting depth is
+    tracked in domain-local storage — {!Pool} workers emit freely.
+
+    Span and instant names come from the closed {!Phase.t} variant;
+    counters are free-form strings (they name quantities, not phases).
+
+    The process-wide {!ambient} sink is configured once from the
+    environment: [RA_TRACE=<path>] (or a {!set_trace_path} from a
+    [--trace] flag) enables it and writes the trace at exit — Chrome
+    format, or JSONL when the path ends in [.jsonl]; [RA_DEBUG] enables
+    it with a stderr subscriber printing each spilling pass's dump. *)
+
+type t
+
+(** The disabled sink: every operation no-ops without allocating. *)
+val null : t
+
+(** A fresh enabled sink buffering its events. *)
+val create : unit -> t
+
+val enabled : t -> bool
+
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;  (** {!Phase.name} for spans/instants; the counter's name *)
+  start_us : float;  (** µs since the sink was created *)
+  dur_us : float;  (** span duration; 0 for instants and counters *)
+  domain : int;  (** id of the emitting domain (Chrome [tid]) *)
+  depth : int;  (** span nesting depth in that domain at emission *)
+  value : int;  (** counters: the running total after this bump *)
+  args : (string * string) list;
+}
+
+(** [span t phase f] runs [f ()] and, on an enabled sink, emits a [Span]
+    event covering its wall-clock extent (emitted at span end, children
+    before parents). [timer], when given, additionally accumulates the
+    CPU time under [phase] — the one instrumentation point feeds both
+    the paper's CPU accounting and the trace. [args] is only forced on
+    an enabled sink, so a disabled call allocates nothing beyond the
+    closure the caller already built. Exceptions still end the span. *)
+val span :
+  t ->
+  ?timer:Timer.t ->
+  ?args:(unit -> (string * string) list) ->
+  Phase.t ->
+  (unit -> 'a) ->
+  'a
+
+(** A zero-duration event (the [RA_DEBUG] spill dump rides on these). *)
+val instant : t -> ?args:(unit -> (string * string) list) -> Phase.t -> unit
+
+(** [counter t name delta] adds [delta] to the named running total and
+    emits a [Counter] event carrying the new total. *)
+val counter : t -> string -> int -> unit
+
+(** Running total of a counter; 0 if never bumped. *)
+val counter_total : t -> string -> int
+
+(** All counters with their totals, sorted by name. *)
+val counter_totals : t -> (string * int) list
+
+(** Buffered events in emission order. *)
+val events : t -> event list
+
+(** [subscribe t f] calls [f] on every subsequent event as it is
+    emitted (under the sink mutex — keep [f] cheap and non-reentrant). *)
+val subscribe : t -> (event -> unit) -> unit
+
+(** One event as a JSON object on one line (the JSONL schema:
+    [{"kind","name","ts_us","dur_us","domain","depth","value","args"}]). *)
+val jsonl_of_event : event -> string
+
+(** One event as a Chrome [trace_event] object — ["ph":"X"] complete
+    events for spans, ["i"] instants, ["C"] counters; [tid] is the
+    domain id. *)
+val chrome_of_event : event -> string
+
+(** Every buffered event, one JSON object per line. *)
+val write_jsonl : t -> out_channel -> unit
+
+(** Every buffered event as a Chrome-[trace_event] JSON array. *)
+val write_chrome : t -> out_channel -> unit
+
+(** Override the trace path the {!ambient} sink will use (a [--trace]
+    flag). Must run before the first {!ambient} call; later calls are
+    ignored. *)
+val set_trace_path : string -> unit
+
+(** The process-wide sink, configured from [RA_TRACE] / [RA_DEBUG] /
+    {!set_trace_path} on first use; {!null} when none of them is set.
+    When a trace path is configured, the trace file is written at
+    process exit. *)
+val ambient : unit -> t

@@ -1,16 +1,10 @@
-type t = {
-  totals : (string, float) Hashtbl.t;
-  mutable order : string list; (* reversed first-recorded order *)
-}
+type t = { totals : float array (* indexed by Phase.index *) }
 
-let create () = { totals = Hashtbl.create 8; order = [] }
+let create () = { totals = Array.make Phase.count 0.0 }
 
 let add t ~phase seconds =
-  match Hashtbl.find_opt t.totals phase with
-  | Some prior -> Hashtbl.replace t.totals phase (prior +. seconds)
-  | None ->
-    Hashtbl.replace t.totals phase seconds;
-    t.order <- phase :: t.order
+  let i = Phase.index phase in
+  t.totals.(i) <- t.totals.(i) +. seconds
 
 let record t ~phase f =
   let start = Sys.time () in
@@ -19,16 +13,15 @@ let record t ~phase f =
   | result -> finish (); result
   | exception e -> finish (); raise e
 
-let elapsed t ~phase =
-  match Hashtbl.find_opt t.totals phase with
-  | Some s -> s
-  | None -> 0.0
+let elapsed t ~phase = t.totals.(Phase.index phase)
 
 let phases t =
-  List.rev_map (fun phase -> phase, Hashtbl.find t.totals phase) t.order
+  List.filter_map
+    (fun p ->
+      let s = t.totals.(Phase.index p) in
+      if s <> 0.0 then Some (p, s) else None)
+    Phase.all
 
-let total t = Hashtbl.fold (fun _ s acc -> s +. acc) t.totals 0.0
+let total t = Array.fold_left ( +. ) 0.0 t.totals
 
-let reset t =
-  Hashtbl.reset t.totals;
-  t.order <- []
+let reset t = Array.fill t.totals 0 Phase.count 0.0

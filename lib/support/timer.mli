@@ -1,8 +1,11 @@
-(** Named accumulating phase timers for the Figure-7 experiment: each
+(** Accumulating per-phase timers for the Figure-7 experiment: each
     allocator pass records how long Build / Simplify / Color / Spill took.
 
-    Times come from [Sys.time] (processor time), matching the paper's
-    CPU-second measurements. *)
+    Phases are the closed {!Phase.t} variant — a phase the compiler has
+    not seen cannot be timed. Times come from [Sys.time] (processor
+    time), matching the paper's CPU-second measurements; for wall-clock
+    spans and structured events see {!Telemetry}, whose [span] can feed a
+    timer and the event sink from one measurement. *)
 
 type t
 
@@ -11,17 +14,17 @@ val create : unit -> t
 (** [record t ~phase f] runs [f ()], adds its elapsed CPU time to the running
     total for [phase], and returns [f]'s result. Re-entrant calls on the same
     phase nest by simple addition (do not nest the same phase). *)
-val record : t -> phase:string -> (unit -> 'a) -> 'a
+val record : t -> phase:Phase.t -> (unit -> 'a) -> 'a
 
 (** [add t ~phase seconds] adds raw seconds to a phase (for externally-timed
     work). *)
-val add : t -> phase:string -> float -> unit
+val add : t -> phase:Phase.t -> float -> unit
 
 (** Accumulated seconds for a phase; 0.0 when the phase never ran. *)
-val elapsed : t -> phase:string -> float
+val elapsed : t -> phase:Phase.t -> float
 
-(** All phases in first-recorded order with their accumulated seconds. *)
-val phases : t -> (string * float) list
+(** Phases with a nonzero total, in {!Phase.all} order. *)
+val phases : t -> (Phase.t * float) list
 
 (** Sum of all phases. *)
 val total : t -> float

@@ -13,6 +13,8 @@ let () =
     @ Test_context.suites
     @ Test_check.suites
     @ Test_build.suites
+    @ Test_pipeline.suites
+    @ Test_telemetry.suites
     @ Test_spill.suites
     @ Test_manyargs.suites
     @ Test_vm.suites

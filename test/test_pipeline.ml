@@ -1,0 +1,236 @@
+(* Tests for the explicit pass pipeline (Ra_core.Pipeline): the
+   decomposition of the old monolithic allocate loop must reproduce the
+   pre-refactor allocator's results exactly, spill-group emission must
+   be deterministic by construction, and every execution mode (jobs,
+   edge cache, incrementality) must agree on everything observable. *)
+
+open Ra_ir
+open Ra_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let machine_k ?(flt = 8) k =
+  { (Machine.with_int_regs Machine.rt_pc k) with Machine.flt_regs = flt }
+
+let compile src =
+  let procs = Codegen.compile_source src in
+  Ra_opt.Opt.optimize_all procs;
+  procs
+
+let heuristics = [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
+
+(* ---- golden: the whole suite against the pre-refactor seed ---- *)
+
+(* Re-allocate every suite routine x heuristic x +/-coalesce and render
+   each outcome in the exact format of [Golden_alloc.expected] — lines
+   captured from the seed allocator before the pipeline refactor. Any
+   drift in passes, live ranges, spill totals, spill cost, coalesced
+   moves, or a convergence-failure message is a regression. (Rewritten
+   code is deliberately not part of the fingerprint: sorting spill
+   groups by representative web id permuted frame-slot numbers.) *)
+let golden () =
+  let machine = Machine.rt_pc in
+  let got = ref [] in
+  List.iter
+    (fun (program : Ra_programs.Suite.program) ->
+      let procs = Ra_programs.Suite.compile program in
+      List.iter
+        (fun (proc : Proc.t) ->
+          List.iter
+            (fun h ->
+              List.iter
+                (fun coalesce ->
+                  let ctx = Context.create machine in
+                  let line =
+                    match
+                      Allocator.allocate ~coalesce ~context:ctx machine h proc
+                    with
+                    | r ->
+                      Printf.sprintf
+                        "%s/%s/%s/coalesce=%b passes=%d live=%d spilled=%d \
+                         cost=%g moves=%d"
+                        program.Ra_programs.Suite.pname proc.Proc.name
+                        (Heuristic.name h) coalesce
+                        (List.length r.Allocator.passes)
+                        r.Allocator.live_ranges r.Allocator.total_spilled
+                        r.Allocator.total_spill_cost r.Allocator.moves_removed
+                    | exception Allocator.Allocation_failure m ->
+                      Printf.sprintf "%s/%s/%s/coalesce=%b FAIL %s"
+                        program.Ra_programs.Suite.pname proc.Proc.name
+                        (Heuristic.name h) coalesce m
+                  in
+                  got := line :: !got)
+                [ true; false ])
+            heuristics)
+        procs)
+    Ra_programs.Suite.all;
+  Alcotest.(check (list string))
+    "every routine x heuristic x coalesce matches the seed allocator"
+    Golden_alloc.expected (List.rev !got)
+
+(* ---- spill-group determinism ---- *)
+
+(* [Pipeline.spill_groups] historically materialized groups by
+   [Hashtbl.fold], coupling spill-code insertion order (and so frame
+   slot numbering) to hash-bucket layout. It must now order groups by
+   ascending representative web id, independent of which member ids the
+   coloring happened to mark. *)
+let spill_groups_sorted () =
+  let proc = List.hd (compile Test_context.spilling_src) in
+  let machine = machine_k 3 in
+  let cfg = Cfg.build proc.Proc.code in
+  let webs =
+    Ra_analysis.Webs.build proc cfg ~is_spill_vreg:(fun _ -> false)
+  in
+  let built = Build.build machine proc cfg ~webs ~coalesce:true () in
+  let g = Build.graph_of_class built Reg.Int_reg in
+  let k = Ra_core.Igraph.n_precolored g in
+  let n = Ra_core.Igraph.n_nodes g in
+  Alcotest.(check bool) "spilling program has colorable-node surplus" true
+    (n - k >= 2);
+  let all_nodes = List.init (n - k) (fun i -> k + i) in
+  let check nodes =
+    let groups = Pipeline.spill_groups built Reg.Int_reg nodes in
+    let reps =
+      List.map
+        (fun group ->
+          match group with
+          | [] -> Alcotest.fail "empty spill group"
+          | w :: _ ->
+            let rep = Ra_support.Union_find.find built.Build.alias w in
+            (* every member of the group shares the representative *)
+            List.iter
+              (fun m ->
+                Alcotest.(check int) "member in rep's class" rep
+                  (Ra_support.Union_find.find built.Build.alias m))
+              group;
+            rep)
+        groups
+    in
+    Alcotest.(check (list int)) "groups ascend by representative web id"
+      (List.sort_uniq Int.compare reps) reps;
+    (* same decision handed over in any order yields the same groups *)
+    Alcotest.(check (list (list int))) "order of the decision is irrelevant"
+      groups
+      (Pipeline.spill_groups built Reg.Int_reg (List.rev nodes))
+  in
+  check all_nodes;
+  check (List.filteri (fun i _ -> i mod 2 = 0) all_nodes)
+
+(* ---- the Allocator facade over the pipeline ---- *)
+
+let facade_equals_pipeline () =
+  let proc = List.hd (compile Test_context.spilling_src) in
+  let machine = machine_k 3 in
+  let via_allocator =
+    Allocator.allocate ~context:(Context.create machine) machine
+      Heuristic.Briggs proc
+  in
+  let cfgn =
+    { Pipeline.coalesce = true;
+      max_passes = 32;
+      spill_base = Spill_costs.default_base;
+      rematerialize = true;
+      verify = false }
+  in
+  let via_pipeline =
+    Pipeline.run cfgn ~context:(Context.create machine) machine
+      Heuristic.Briggs proc
+  in
+  Alcotest.(check int) "same spills" via_pipeline.Pipeline.total_spilled
+    via_allocator.Allocator.total_spilled;
+  Alcotest.(check string) "same code"
+    (Proc.to_string via_pipeline.Pipeline.proc)
+    (Proc.to_string via_allocator.Allocator.proc);
+  (* pass_record is literally the pipeline's record type *)
+  Alcotest.(check bool) "same pass records" true
+    (via_allocator.Allocator.passes
+     |> List.map2
+          (fun (a : Pipeline.pass_record) (b : Allocator.pass_record) ->
+            { a with Pipeline.build_time = 0.;
+              simplify_time = 0.; color_time = 0.; spill_time = 0. }
+            = { b with Allocator.build_time = 0.;
+                simplify_time = 0.; color_time = 0.; spill_time = 0. })
+          via_pipeline.Pipeline.passes
+     |> List.for_all Fun.id);
+  Alcotest.(check bool) "stage list covers the documented chain" true
+    (List.map fst Pipeline.stages
+     = Ra_support.Phase.
+         [ Lint; Build; Simplify; Color; Spill_elect; Spill_insert; Rewrite;
+           Verify ])
+
+(* ---- cross-mode identity ---- *)
+
+let strip_times (p : Allocator.pass_record) =
+  ( p.Allocator.pass_index,
+    p.Allocator.webs_initial,
+    p.Allocator.webs_coalesced,
+    p.Allocator.nodes_int,
+    p.Allocator.nodes_flt,
+    p.Allocator.edges_int,
+    p.Allocator.edges_flt,
+    p.Allocator.spilled,
+    p.Allocator.spill_cost )
+
+let fingerprint (r : Allocator.result) =
+  ( List.map strip_times r.Allocator.passes,
+    r.Allocator.live_ranges,
+    r.Allocator.total_spilled,
+    r.Allocator.total_spill_cost,
+    r.Allocator.moves_removed,
+    Proc.to_string r.Allocator.proc )
+
+let prop_pipeline_mode_invariant =
+  (* The refactored pipeline over every execution mode — sequential,
+     pooled builds, edge cache off, incrementality off — produces one
+     observable allocation per (program, heuristic, coalesce): same
+     pass counters, totals, and rewritten code, or the same failure. *)
+  let pool = lazy (Ra_support.Pool.create ~jobs:4) in
+  QCheck.Test.make
+    ~name:
+      "pipeline is mode-invariant (jobs 1/4 x edge cache x incremental, \
+       all heuristics, with/without coalescing)"
+    ~count:10
+    QCheck.(triple (int_bound 1000000) (int_range 5 30) (int_range 3 10))
+    (fun (seed, size, k) ->
+      let k = max 3 k and size = max 1 size in
+      let src = Progen.generate ~seed ~size in
+      let procs = compile src in
+      let machine = machine_k ~flt:4 k in
+      List.for_all
+        (fun h ->
+          let max_passes = if h = Heuristic.Matula then 6 else 32 in
+          let contexts =
+            [ Context.create ~jobs:1 machine;
+              Context.create ~pool:(Lazy.force pool) machine;
+              Context.create ~jobs:1 ~edge_cache:false machine;
+              Context.create ~jobs:1 ~incremental:false machine ]
+          in
+          List.for_all
+            (fun coalesce ->
+              List.for_all
+                (fun p ->
+                  let alloc ctx =
+                    match
+                      Allocator.allocate ~coalesce ~max_passes ~context:ctx
+                        machine h p
+                    with
+                    | r -> Some (fingerprint r)
+                    | exception Allocator.Allocation_failure _ -> None
+                  in
+                  match List.map alloc contexts with
+                  | [] -> true
+                  | first :: rest -> List.for_all (( = ) first) rest)
+                procs)
+            [ true; false ])
+        heuristics)
+
+let suites =
+  [ ( "core.pipeline",
+      [ Alcotest.test_case "golden: suite matches pre-refactor seed" `Slow
+          golden;
+        Alcotest.test_case "spill groups deterministic by construction"
+          `Quick spill_groups_sorted;
+        Alcotest.test_case "allocator facade equals pipeline" `Quick
+          facade_equals_pipeline;
+        qtest prop_pipeline_mode_invariant ] ) ]

@@ -390,29 +390,31 @@ let bs_prop_matches_stdlib_set =
 
 let timer_accumulates () =
   let t = Timer.create () in
-  Timer.add t ~phase:"build" 1.0;
-  Timer.add t ~phase:"simplify" 0.25;
-  Timer.add t ~phase:"build" 0.5;
-  Alcotest.(check (float 1e-9)) "build" 1.5 (Timer.elapsed t ~phase:"build");
+  Timer.add t ~phase:Phase.Build 1.0;
+  Timer.add t ~phase:Phase.Simplify 0.25;
+  Timer.add t ~phase:Phase.Build 0.5;
+  Alcotest.(check (float 1e-9)) "build" 1.5
+    (Timer.elapsed t ~phase:Phase.Build);
   Alcotest.(check (float 1e-9)) "total" 1.75 (Timer.total t);
-  Alcotest.(check (list string)) "order" [ "build"; "simplify" ]
-    (List.map fst (Timer.phases t));
+  Alcotest.(check (list string)) "order in Phase.all order"
+    [ "build"; "simplify" ]
+    (List.map (fun (p, _) -> Phase.name p) (Timer.phases t));
   Timer.reset t;
   Alcotest.(check (float 1e-9)) "reset" 0.0 (Timer.total t)
 
 let timer_record_returns () =
   let t = Timer.create () in
-  let x = Timer.record t ~phase:"work" (fun () -> 41 + 1) in
+  let x = Timer.record t ~phase:Phase.Color (fun () -> 41 + 1) in
   Alcotest.(check int) "result passes through" 42 x;
   Alcotest.(check bool) "phase recorded" true
-    (List.mem_assoc "work" (Timer.phases t))
+    (List.mem_assoc Phase.Color (Timer.phases t))
 
 let timer_record_reraises () =
   let t = Timer.create () in
   Alcotest.check_raises "exn propagates" Exit (fun () ->
-    Timer.record t ~phase:"boom" (fun () -> raise Exit));
+    Timer.record t ~phase:Phase.Spill_insert (fun () -> raise Exit));
   Alcotest.(check bool) "still recorded" true
-    (List.mem_assoc "boom" (Timer.phases t))
+    (List.mem_assoc Phase.Spill_insert (Timer.phases t))
 
 (* ---- Table ---- *)
 
