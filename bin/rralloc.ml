@@ -78,6 +78,14 @@ let no_cache_arg =
                round rescans all blocks (same as RA_EDGE_CACHE=0). \
                Results are bit-identical either way.")
 
+let race_arg =
+  Arg.(value & flag & info [ "race-check" ]
+         ~doc:"Record every shared-structure access during allocation and \
+               verify race-freedom (vector-clock happens-before over the \
+               pool's synchronization events) plus conformance to each \
+               task's declared footprint; exit non-zero on a finding \
+               (same as setting RA_RACE_CHECK=1)")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
          ~doc:"Record a structured trace of the allocation and write it \
@@ -92,6 +100,18 @@ let edge_cache_opt no_cache = if no_cache then Some false else None
    configures the ambient telemetry sink. *)
 let apply_trace trace =
   Option.iter Ra_support.Telemetry.set_trace_path trace
+
+(* --race-check / RA_RACE_CHECK: run [f] with access logging on, then
+   analyze. Findings are errors: report and exit non-zero. *)
+let race_scope race f =
+  if race || Ra_check.Race.enabled_from_env () then begin
+    let result, diags = Ra_check.Race.with_check f in
+    if diags <> [] then prerr_endline (Ra_check.Diagnostic.report diags);
+    Printf.eprintf "race check: %s\n" (Ra_check.Diagnostic.summary diags);
+    if Ra_check.Diagnostic.has_errors diags then exit 1;
+    result
+  end
+  else f ()
 
 (* --jobs overrides RA_JOBS for everything downstream (the shared pool is
    created lazily, after this runs). Returns the pool for drivers that
@@ -136,17 +156,19 @@ let dump_cmd =
 (* ---- alloc ---- *)
 
 let alloc_cmd =
-  let run file proc heuristic k verbose optimize verify jobs no_cache trace =
+  let run file proc heuristic k verbose optimize verify jobs no_cache race
+      trace =
     apply_trace trace;
     let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
     let results =
-      Ra_core.Batch.allocate_all ~pool
-        ?edge_cache:(edge_cache_opt no_cache)
-        ?verify:(if verify then Some true else None)
-        machine h procs
+      race_scope race (fun () ->
+        Ra_core.Batch.allocate_all ~pool
+          ?edge_cache:(edge_cache_opt no_cache)
+          ?verify:(if verify then Some true else None)
+          machine h procs)
     in
     List.iter2
       (fun (p : Ra_ir.Proc.t) (r : Ra_core.Allocator.result) ->
@@ -166,7 +188,8 @@ let alloc_cmd =
   in
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
-          $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg $ trace_arg)
+          $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg $ race_arg
+          $ trace_arg)
 
 (* ---- run ---- *)
 
@@ -182,7 +205,7 @@ let parse_value s =
 
 let run_cmd =
   let run file entry args heuristic allocate k optimize verify jobs no_cache
-      trace =
+      race trace =
     apply_trace trace;
     let pool = apply_jobs jobs in
     let procs = compile ~optimize file in
@@ -192,10 +215,11 @@ let run_cmd =
         let h = heuristic_of_name heuristic in
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
-          (Ra_core.Batch.allocate_all ~pool
-             ?edge_cache:(edge_cache_opt no_cache)
-             ?verify:(if verify then Some true else None)
-             machine h procs)
+          (race_scope race (fun () ->
+             Ra_core.Batch.allocate_all ~pool
+               ?edge_cache:(edge_cache_opt no_cache)
+               ?verify:(if verify then Some true else None)
+               machine h procs))
       end
       else procs
     in
@@ -227,12 +251,12 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
           $ k_arg $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg)
+          $ race_arg $ trace_arg)
 
 (* ---- suite ---- *)
 
 let suite_cmd =
-  let run name heuristic k allocate jobs no_cache trace =
+  let run name heuristic k allocate jobs no_cache race trace =
     apply_trace trace;
     let pool = apply_jobs jobs in
     let program =
@@ -259,8 +283,9 @@ let suite_cmd =
         let h = heuristic_of_name heuristic in
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
-          (Ra_core.Batch.allocate_all ~pool
-             ?edge_cache:(edge_cache_opt no_cache) machine h procs)
+          (race_scope race (fun () ->
+             Ra_core.Batch.allocate_all ~pool
+               ?edge_cache:(edge_cache_opt no_cache) machine h procs))
       end
       else procs
     in
@@ -286,23 +311,24 @@ let suite_cmd =
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
     Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg
-          $ no_cache_arg $ trace_arg)
+          $ no_cache_arg $ race_arg $ trace_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize jobs no_cache trace =
+  let run file k optimize jobs no_cache race trace =
     apply_trace trace;
     let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
     let results =
-      Ra_core.Batch.map_procs ~pool ?edge_cache:(edge_cache_opt no_cache)
-        machine procs ~f:(fun context p ->
-          ( Ra_core.Allocator.allocate ~context machine
-              Ra_core.Heuristic.Chaitin p,
-            Ra_core.Allocator.allocate ~context machine
-              Ra_core.Heuristic.Briggs p ))
+      race_scope race (fun () ->
+        Ra_core.Batch.map_procs ~pool ?edge_cache:(edge_cache_opt no_cache)
+          machine procs ~f:(fun context p ->
+            ( Ra_core.Allocator.allocate ~context machine
+                Ra_core.Heuristic.Chaitin p,
+              Ra_core.Allocator.allocate ~context machine
+                Ra_core.Heuristic.Briggs p )))
     in
     let table =
       Ra_support.Table.create
@@ -324,7 +350,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
     Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg)
+          $ race_arg $ trace_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

@@ -13,6 +13,11 @@ type t = {
   kill : Bitset.t array; (* defs, per block *)
   result : Dataflow.result;
   scratch : Bitset.t;
+  uid : int;
+    (* the solution's identity in the race checker's resource vocabulary:
+       the live-in/out arrays and the walk scratch are tagged with one
+       [K_liveness uid] key, so a scan task's whole read side is one
+       declared [Footprint.Liveness] resource *)
   dirty : int list;
     (* blocks whose gen/kill this solution recomputed relative to the
        [old] it was derived from (ascending, deduplicated); [] for a
@@ -42,6 +47,20 @@ let block_gen_kill numbering (b : Ra_ir.Cfg.block) ~gen ~kill =
     List.iter (fun d -> Bitset.add kill d) (numbering.defs_of i)
   done
 
+
+(* Tag the shared faces of a solution — the live-in/out arrays and the
+   iteration scratch, exactly what parallel scan tasks touch — with one
+   coarse race-check key. gen/kill stay under their own identities: only
+   the sequential solver reads them. *)
+let stamp ~result ~scratch =
+  let uid = Footprint.fresh_uid () in
+  if !Race_log.on then Race_log.created uid;
+  let key = Footprint.K_liveness uid in
+  Array.iter (fun s -> Bitset.set_key s key) result.Dataflow.live_in;
+  Array.iter (fun s -> Bitset.set_key s key) result.Dataflow.live_out;
+  Bitset.set_key scratch key;
+  uid
+
 let compute ~code ~cfg numbering =
   let n = Ra_ir.Cfg.n_blocks cfg in
   let universe = numbering.universe in
@@ -55,8 +74,9 @@ let compute ~code ~cfg numbering =
     Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
   in
   ignore code;
-  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe;
-    dirty = [] }
+  let scratch = Bitset.create universe in
+  let uid = stamp ~result ~scratch in
+  { numbering; cfg; gen; kill; result; scratch; uid; dirty = [] }
 
 (* Incremental re-solve after a code edit that preserved the block
    structure (spill insertion). The previous solution carries over
@@ -140,10 +160,10 @@ let update ~old ~code ~cfg numbering ~remap ~dirty_blocks =
     if Bitset.assign ~into:live_in.(b) scratch then
       List.iter push block.Ra_ir.Cfg.preds
   done;
-  { numbering; cfg; gen; kill;
-    result = { Dataflow.live_in; live_out };
-    scratch = Bitset.create universe;
-    dirty = dirty_blocks }
+  let result = { Dataflow.live_in; live_out } in
+  let scratch = Bitset.create universe in
+  let uid = stamp ~result ~scratch in
+  { numbering; cfg; gen; kill; result; scratch; uid; dirty = dirty_blocks }
 
 (* Re-solve after a change of numbering that kept the universe and the
    block structure (coalescing: web ids are renamed to their new class
@@ -188,10 +208,14 @@ let refresh ~old ~code ~cfg numbering ~dirty_blocks =
   let result =
     Dataflow.solve ~cfg ~universe ~gen ~kill ~direction:Dataflow.Backward ()
   in
-  { numbering; cfg; gen; kill; result; scratch = Bitset.create universe;
+  let scratch = Bitset.create universe in
+  let uid = stamp ~result ~scratch in
+  { numbering; cfg; gen; kill; result; scratch; uid;
     dirty = List.sort_uniq Int.compare dirty_blocks }
 
 let universe t = t.numbering.universe
+
+let uid t = t.uid
 
 let dirty_blocks t = t.dirty
 

@@ -62,6 +62,12 @@ val refresh :
 (** Size of the id universe the analysis was solved over. *)
 val universe : t -> int
 
+(** The solution's race-check identity: the live-in/out sets and the
+    iteration scratch are all tagged with one [Footprint.K_liveness]
+    key under this uid, so a parallel scan task declares its whole read
+    side as a single [Footprint.Liveness (uid live)] resource. *)
+val uid : t -> int
+
 (** The dirty-block set the solution was derived with: for a result of
     {!update} or {!refresh}, the blocks whose gen/kill were recomputed
     (ascending, deduplicated); [[]] for a from-scratch {!compute}. The

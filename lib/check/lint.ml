@@ -180,7 +180,7 @@ let check_labels (proc : Proc.t) add =
 
 (* ---- CFG structure ---- *)
 
-let check_cfg (proc : Proc.t) (cfg : Cfg.t) add =
+let check_cfg (proc : Proc.t) (cfg : Cfg.t) doms add =
   let n = Cfg.n_blocks cfg in
   Array.iter
     (fun (b : Cfg.block) ->
@@ -218,17 +218,12 @@ let check_cfg (proc : Proc.t) (cfg : Cfg.t) add =
                  b.bindex p p b.bindex))
         b.preds)
     cfg.blocks;
-  (* reachability from the entry block; codegen's safety-net `ret` after an
-     explicit return is an expected unreachable block, so blocks holding
-     only labels and bare rets are benign *)
-  let visited = Array.make n false in
-  let rec dfs b =
-    if not visited.(b) then begin
-      visited.(b) <- true;
-      List.iter dfs cfg.blocks.(b).succs
-    end
-  in
-  dfs 0;
+  (* reachability from the entry block, read off the dominator tree (a
+     block is reachable iff the tree reaches it) instead of a private
+     DFS; codegen's safety-net `ret` after an explicit return is an
+     expected unreachable block, so blocks holding only labels and bare
+     rets are benign *)
+  let visited = Array.init n (Dominators.is_reachable doms) in
   Array.iteri
     (fun b seen ->
       if not seen then begin
@@ -296,6 +291,48 @@ let check_def_before_use (proc : Proc.t) (cfg : Cfg.t) add =
       done)
     cfg.blocks
 
+(* ---- use-before-def along dominator paths ----
+
+   Sharper, per-use-site companion to [check_def_before_use]: at every
+   use occurrence, the *entry* definition of a non-argument register
+   reaching the use (through {!Reaching_defs}) means a definition-free
+   path from procedure entry reaches that read. Deliberately *not*
+   formulated as "no definition dominates the use" — on a diamond whose
+   two branches both define the register, neither definition dominates
+   the join but every path is covered, and reaching definitions get
+   that right where a pure dominance test would cry wolf. The dominator
+   tree instead sharpens the report: when the entry definition reaches
+   a use, no real definition can dominate it (a dominating definition
+   would cut every def-free path), so the message distinguishes "never
+   defined at all" from "defined, but on no dominating path". *)
+let check_dom_use_before_def (proc : Proc.t) (cfg : Cfg.t) doms add =
+  let rd = Reaching_defs.compute proc cfg in
+  let universe = (Liveness.vreg_numbering proc).Liveness.universe in
+  let is_arg = Array.make (max universe 1) false in
+  List.iter
+    (fun a -> is_arg.(Liveness.vreg_index proc a) <- true)
+    proc.args;
+  let reg_of_index v =
+    if v < proc.next_int then Reg.int v else Reg.flt (v - proc.next_int)
+  in
+  Reaching_defs.iter_uses rd ~f:(fun i v defs ->
+    let b = cfg.Cfg.block_of_instr.(i) in
+    if
+      (not is_arg.(v))
+      && Dominators.is_reachable doms b
+      && List.exists (fun d -> Reaching_defs.site_of rd d = Entry) defs
+    then
+      if List.for_all (fun d -> Reaching_defs.site_of rd d = Entry) defs then
+        add
+          (err ~check:"dom-use-before-def" ~proc:proc.name ~block:b ~instr:i
+             "%s is read but no definition of it reaches this use"
+             (Reg.to_string (reg_of_index v)))
+      else
+        add
+          (err ~check:"dom-use-before-def" ~proc:proc.name ~block:b ~instr:i
+             "%s may be read before definition: a definition-free path from               entry reaches this use, so none of its definitions dominates               this block"
+             (Reg.to_string (reg_of_index v))))
+
 let run (proc : Proc.t) : Diagnostic.t list =
   let diags = ref [] in
   let add d = diags := d :: !diags in
@@ -308,13 +345,17 @@ let run (proc : Proc.t) : Diagnostic.t list =
     if labels_ok then begin
       match Cfg.build proc.code with
       | cfg ->
-        let reachable = check_cfg proc cfg add in
+        let doms = Dominators.compute cfg in
+        let reachable = check_cfg proc cfg doms add in
         check_rets proc cfg reachable add;
         (* Physical registers are reused across disjoint live ranges, so
            the virtual-register def-before-use notion only applies pre-
            allocation; Verify_alloc re-checks the allocated form at
            storage-location granularity. *)
-        if not proc.allocated then check_def_before_use proc cfg add
+        if not proc.allocated then begin
+          check_def_before_use proc cfg add;
+          check_dom_use_before_def proc cfg doms add
+        end
       | exception Invalid_argument msg ->
         add (err ~check:"cfg-build" ~proc:proc.name "%s" msg)
     end;

@@ -18,6 +18,11 @@
       every slot is accessed with a single register class;
     - ["use-before-def"] (virtual code only): a dataflow pass flags any
       virtual register readable before being defined along some path from
-      the entry (arguments count as defined on entry). *)
+      the entry (arguments count as defined on entry);
+    - ["dom-use-before-def"] (virtual code only): per use site, through
+      reaching definitions — the entry definition of a non-argument
+      register reaching a use means a definition-free path from entry
+      reaches that read; the dominator tree sharpens the message
+      (never defined vs defined on no dominating path). *)
 
 val run : Ra_ir.Proc.t -> Diagnostic.t list

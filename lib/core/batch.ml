@@ -6,21 +6,34 @@ let default_pool () =
 
 let map_procs ?pool ?context ?edge_cache machine ~f (procs : Proc.t list) =
   let pool = match pool with Some p -> p | None -> default_pool () in
+  let several = match procs with _ :: _ :: _ -> true | [] | [ _ ] -> false in
   match context, pool with
   | Some ctx, _ ->
     (* an explicit context wins: the caller wants its warm buffers (and
        its stats) across the whole batch, so the batch runs sequentially
        over it — the context's own pool still parallelizes each build *)
     List.map (f ctx) procs
-  | None, Some pool when Ra_support.Pool.jobs pool > 1 ->
+  | None, Some pool when Ra_support.Pool.jobs pool > 1 && several ->
     (* procedure-level dispatch: each routine is one pool task with a
        context of its own (contexts are single-threaded); the result
-       list keeps routine order *)
+       list keeps routine order. The per-routine contexts are pinned to
+       [jobs:1] — parallelism is spent at procedure granularity here,
+       and nesting block-sharded builds inside procedure tasks would
+       queue [jobs × jobs] tasks on the same pool for no extra width.
+       Each task's context, graphs and cache are its own creations; the
+       only shared resource it touches is the telemetry sink. *)
     Ra_support.Pool.map_list pool
-      (fun proc -> f (Context.create ?edge_cache ~pool machine) proc)
+      ~meta:(fun proc ->
+        { Ra_support.Pool.tm_name = "alloc:" ^ proc.Proc.name;
+          tm_footprint =
+            { Ra_support.Footprint.reads = [];
+              writes = [ Ra_support.Footprint.Telemetry ] } })
+      (fun proc -> f (Context.create ?edge_cache ~jobs:1 machine) proc)
       procs
   | None, (Some _ | None) ->
-    let ctx = Context.create ?edge_cache machine in
+    (* zero or one routine (or a width-1 pool): spend the pool on
+       block-sharded graph construction inside one context instead *)
+    let ctx = Context.create ?edge_cache ?pool machine in
     List.map (f ctx) procs
 
 let allocate_all ?pool ?context ?edge_cache ?verify machine heuristic procs =

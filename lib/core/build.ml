@@ -162,17 +162,34 @@ module Edge_cache = struct
     (* per-build counters, reset at each Build.build *)
     mutable hits : int; (* blocks replayed without a rescan *)
     mutable misses : int; (* blocks rescanned *)
+    uid : int;
   }
 
   let create () =
+    let uid = Footprint.fresh_uid () in
+    if !Race_log.on then Race_log.created uid;
     { entries = [||];
       cached_blocks = 0;
       seq_live = Bitset.create 0;
       hits = 0;
-      misses = 0 }
+      misses = 0;
+      uid }
+
+  (* Race-check hooks at block-slot granularity: one key per cached
+     block, covering its entry's layers and validity flags together. A
+     rescan task declares the contiguous slot range of its chunk as an
+     [Footprint.Edge_cache_blocks] resource. *)
+  let log_block_write t b =
+    if !Race_log.on then
+      Race_log.write (Footprint.K_edge_cache_block (t.uid, b))
+
+  let log_block_read t b =
+    if !Race_log.on then
+      Race_log.read (Footprint.K_edge_cache_block (t.uid, b))
 
   let hits t = t.hits
   let misses t = t.misses
+  let uid t = t.uid
   let reset_stats t =
     t.hits <- 0;
     t.misses <- 0
@@ -183,6 +200,7 @@ module Edge_cache = struct
 
   let clear t =
     for b = 0 to t.cached_blocks - 1 do
+      log_block_write t b;
       invalidate_entry t.entries.(b)
     done;
     t.cached_blocks <- 0
@@ -199,6 +217,7 @@ module Edge_cache = struct
             if b < Array.length old then old.(b) else fresh_entry ())
       end;
       for b = 0 to n_blocks - 1 do
+        log_block_write t b;
         invalidate_entry t.entries.(b)
       done;
       t.cached_blocks <- n_blocks
@@ -207,7 +226,10 @@ module Edge_cache = struct
   let invalidate_blocks t bs =
     List.iter
       (fun b ->
-        if b >= 0 && b < t.cached_blocks then invalidate_entry t.entries.(b))
+        if b >= 0 && b < t.cached_blocks then begin
+          log_block_write t b;
+          invalidate_entry t.entries.(b)
+        end)
       bs
 
   let push layer cls a b =
@@ -263,6 +285,7 @@ module Edge_cache = struct
     invalidate_blocks t dirty_blocks;
     for b = 0 to t.cached_blocks - 1 do
       let e = t.entries.(b) in
+      log_block_write t b;
       e.round_valid <- false;
       if e.base_valid then begin
         e.e_base.ln_int <-
@@ -286,6 +309,16 @@ module Edge_cache = struct
     done;
     !found
 end
+
+(* Test hook for the race detector: when set, every parallel cached
+   rescan task additionally invalidates the first block of the *next*
+   chunk — plain boolean stores, memory-safe and output-preserving (an
+   invalidated entry keeps its just-scanned layer and is merely
+   rescanned next round), but a logically concurrent write into a
+   sibling task's declared slot range. The detector must report it both
+   as a write/write race and as a footprint violation, under any
+   schedule. *)
+let seeded_cache_race = ref false
 
 (* Which layer a cache-backed scan writes: round 0 of a pass refreshes
    invalid [base] entries (identity aliasing); later coalescing rounds
@@ -506,6 +539,7 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
        done
      in
      let replay_block b =
+       log_block_read ec b;
        let e = ec.entries.(b) in
        let layer = if e.round_valid then e.e_round else e.e_base in
        replay_pairs int_graph layer.lp_int layer.ln_int;
@@ -528,7 +562,20 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
         let n_chunks = Array.length starts - 1 in
         let ps = match par with Some q -> q | None -> par_scratch () in
         ensure_stages ps n_chunks;
-        Pool.run p ~n:n_chunks (fun j ->
+        let meta j =
+          { Pool.tm_name =
+              Printf.sprintf "scan:%s:chunk%d" proc.name j;
+            tm_footprint =
+              { Footprint.reads = [ Footprint.Liveness (Liveness.uid live) ];
+                writes =
+                  [ Footprint.Bitset (Bitset.uid ps.stages.(j).stage_live);
+                    Footprint.Edge_cache_blocks
+                      { id = ec.uid;
+                        lo = blocks.(starts.(j));
+                        hi = blocks.(starts.(j + 1) - 1) };
+                    Footprint.Telemetry ] } }
+        in
+        Pool.run p ~meta ~n:n_chunks (fun j ->
           (* span emitted from the worker: carries the worker domain's
              id, so the trace shows the rescans as per-domain tracks *)
           Telemetry.span tele Phase.Scan
@@ -540,12 +587,15 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
               let s = ps.stages.(j) in
               for idx = starts.(j) to starts.(j + 1) - 1 do
                 let b = blocks.(idx) in
+                log_block_write ec b;
                 let layer = fresh_layer_of b in
                 scan_blocks ~live_scratch:(Some s.stage_live)
                   ~emit:(fun cls a b -> push layer cls a b)
                   b b;
                 mark_valid b
-              done));
+              done;
+              if !seeded_cache_race && j + 1 < n_chunks then
+                invalidate_blocks ec [ blocks.(starts.(j + 1)) ]));
         for b = 0 to n_blocks - 1 do
           replay_block b
         done
@@ -561,6 +611,7 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
           (fun () ->
             List.iter
               (fun b ->
+                log_block_write ec b;
                 let layer = fresh_layer_of b in
                 scan_blocks ~live_scratch:(Some ec.seq_live)
                   ~emit:(fun cls a b -> push layer cls a b)
@@ -593,7 +644,23 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
        let n_chunks = Array.length starts - 1 in
        let nn_int = Igraph.n_nodes int_graph in
        let nn_flt = Igraph.n_nodes flt_graph in
-       Pool.run pool ~n:n_chunks (fun j ->
+       let meta j =
+         let s = ps.stages.(j) in
+         { Pool.tm_name =
+             Printf.sprintf "scan:%s:chunk%d" proc.name j;
+           tm_footprint =
+             { Footprint.reads = [ Footprint.Liveness (Liveness.uid live) ];
+               writes =
+                 (* full row ranges: resize reports row -1 (the whole
+                    matrix), which only a full-range claim covers *)
+                 [ Footprint.Bitset (Bitset.uid s.stage_live);
+                   Footprint.Bit_matrix_rows
+                     { id = Bit_matrix.uid s.seen_int; lo = 0; hi = max_int };
+                   Footprint.Bit_matrix_rows
+                     { id = Bit_matrix.uid s.seen_flt; lo = 0; hi = max_int };
+                   Footprint.Telemetry ] } }
+       in
+       Pool.run pool ~meta ~n:n_chunks (fun j ->
          (* span emitted from the worker: carries the worker domain's id,
             so the trace shows the sharded scan as per-domain tracks *)
          Telemetry.span tele Phase.Scan

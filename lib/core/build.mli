@@ -111,7 +111,21 @@ module Edge_cache : sig
       stages, so the next verified cache-backed build must raise
       {!Divergence}. Returns [false] if no entry was valid. *)
   val poison : t -> bool
+
+  (** The cache's race-check identity: accesses are reported as
+      [Footprint.K_edge_cache_block (uid, block)] keys, one per cached
+      block slot. *)
+  val uid : t -> int
 end
+
+(** Test hook for the race detector: when set, every parallel
+    cache-backed rescan task additionally invalidates the first block of
+    the next chunk — memory-safe and output-preserving (the entry keeps
+    its just-scanned layers and is merely rescanned next round), but a
+    logically concurrent write into a sibling task's declared edge-cache
+    slot range. [RA_RACE_CHECK] must flag it as both a write/write race
+    and a footprint violation, under any schedule. *)
+val seeded_cache_race : bool ref
 
 (** Cut the CFG's blocks into at most [n_chunks] contiguous ranges of
     roughly equal instruction count. [starts.(c)] is chunk [c]'s first

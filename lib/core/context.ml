@@ -48,6 +48,10 @@ let edge_cache_default =
 
 let create ?(incremental = incremental_default) ?(verify = verify_default)
     ?(edge_cache = edge_cache_default) ?tele ?jobs ?pool machine =
+  (* every context installs the dispatch-time footprint validator, so
+     any meta-carrying batch submitted through allocation is statically
+     checked for write-set disjointness (idempotent, one ref store) *)
+  Ra_check.Effects.install ();
   let tele = match tele with Some t -> t | None -> Telemetry.ambient () in
   let pool =
     match pool with
@@ -62,6 +66,11 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
       end
       else None
   in
+  (* scheduling counters (pool.tasks, pool.queue_wait_us, ...) land in
+     this context's sink; with several sinks alive the last one wins *)
+  (match pool with
+   | Some p when Telemetry.enabled tele -> Pool.set_telemetry p tele
+   | Some _ | None -> ());
   { machine;
     incremental;
     verify;

@@ -9,9 +9,25 @@ type t = {
   mutable row_touched : Bytes.t;
   mutable touched : int array;
   mutable n_touched : int;
+  uid : int;
+  mutable quiet : bool;
+    (* an owner that reports accesses at its own granularity (Igraph
+       logs whole igraph rows) silences the inner matrix's hooks *)
 }
 
-(* Pair (i, j) with i >= j lives at triangular index i*(i+1)/2 + j. *)
+(* Pair (i, j) with i >= j lives at triangular index i*(i+1)/2 + j.
+   Race-check hooks report at row granularity — the larger endpoint,
+   matching the sparse-reset bookkeeping; row [-1] is "the whole
+   matrix" (resize/reset). *)
+
+let[@inline never] log_read_on t row =
+  if not t.quiet then Race_log.read (Footprint.K_bit_matrix_row (t.uid, row))
+
+let[@inline never] log_write_on t row =
+  if not t.quiet then Race_log.write (Footprint.K_bit_matrix_row (t.uid, row))
+
+let[@inline always] log_read t row = if !Race_log.on then log_read_on t row
+let[@inline always] log_write t row = if !Race_log.on then log_write_on t row
 
 let triangle_size n = n * (n + 1) / 2
 
@@ -19,11 +35,18 @@ let bytes_for n = (triangle_size n + 7) / 8
 
 let create n =
   if n < 0 then invalid_arg "Bit_matrix.create";
+  let uid = Footprint.fresh_uid () in
+  if !Race_log.on then Race_log.created uid;
   { n;
     bits = Bytes.make (bytes_for n) '\000';
     row_touched = Bytes.make (max n 1) '\000';
     touched = [||];
-    n_touched = 0 }
+    n_touched = 0;
+    uid;
+    quiet = false }
+
+let uid t = t.uid
+let set_quiet t q = t.quiet <- q
 
 let dimension t = t.n
 
@@ -41,6 +64,7 @@ let forget_touched t =
    either 0 (untouched rows hold no bits) or being cleared too. Falls
    back to a flat fill when most rows were touched. *)
 let reset t =
+  log_write t (-1);
   if 2 * t.n_touched >= t.n then
     Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
   else
@@ -58,6 +82,7 @@ let reset t =
    and, through the sparse reset, does not even rewrite them. *)
 let resize t n =
   if n < 0 then invalid_arg "Bit_matrix.resize";
+  log_write t (-1);
   let needed = bytes_for n in
   if Bytes.length t.bits < needed then begin
     t.bits <- Bytes.make needed '\000';
@@ -87,20 +112,24 @@ let mark_touched t hi =
 
 let set t i j =
   let idx = index t i j in
+  log_write t (if i >= j then i else j);
   mark_touched t (if i >= j then i else j);
   let byte = Bytes.get_uint8 t.bits (idx lsr 3) in
   Bytes.set_uint8 t.bits (idx lsr 3) (byte lor (1 lsl (idx land 7)))
 
 let clear t i j =
   let idx = index t i j in
+  log_write t (if i >= j then i else j);
   let byte = Bytes.get_uint8 t.bits (idx lsr 3) in
   Bytes.set_uint8 t.bits (idx lsr 3) (byte land lnot (1 lsl (idx land 7)))
 
 let mem t i j =
   let idx = index t i j in
+  log_read t (if i >= j then i else j);
   Bytes.get_uint8 t.bits (idx lsr 3) land (1 lsl (idx land 7)) <> 0
 
 let count t =
+  log_read t (-1);
   let total = ref 0 in
   let popcount b =
     let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in

@@ -1,15 +1,33 @@
 type t = {
   mutable n : int;
   mutable words : int array; (* 63-bit words; OCaml ints *)
+  uid : int;
+  mutable key : Footprint.key;
+    (* what the race-check hooks log accesses as: the set's own identity
+       by default, overridden by an owner that wants coarser granularity
+       (a liveness solution tags its live-in/out sets with one key) *)
 }
 
 let bits_per_word = 63
 
 let words_for n = ((n + bits_per_word - 1) / bits_per_word) + 1
 
+(* Race-check hooks: each mutator/observer reports under [t.key]. The
+   [!Race_log.on] guard is the entire disabled-mode cost — one load and
+   branch, forced inline so [add]/[mem]/[remove] never pay a call. *)
+let[@inline never] log_read_on t = Race_log.read t.key
+let[@inline never] log_write_on t = Race_log.write t.key
+let[@inline always] log_read t = if !Race_log.on then log_read_on t
+let[@inline always] log_write t = if !Race_log.on then log_write_on t
+
 let create n =
   if n < 0 then invalid_arg "Bitset.create";
-  { n; words = Array.make (words_for n) 0 }
+  let uid = Footprint.fresh_uid () in
+  if !Race_log.on then Race_log.created uid;
+  { n; words = Array.make (words_for n) 0; uid; key = Footprint.K_bitset uid }
+
+let uid t = t.uid
+let set_key t key = t.key <- key
 
 let capacity t = t.n
 
@@ -19,6 +37,7 @@ let capacity t = t.n
    creating fresh sets. *)
 let reset t n =
   if n < 0 then invalid_arg "Bitset.reset";
+  log_write t;
   let needed = words_for n in
   if Array.length t.words < needed then t.words <- Array.make needed 0
   else Array.fill t.words 0 (Array.length t.words) 0;
@@ -29,20 +48,27 @@ let check t i =
 
 let add t i =
   check t i;
+  log_write t;
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) <- t.words.(w) lor (1 lsl b)
 
 let remove t i =
   check t i;
+  log_write t;
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) <- t.words.(w) land lnot (1 lsl b)
 
 let mem t i =
   check t i;
+  log_read t;
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) land (1 lsl b) <> 0
 
-let copy t = { n = t.n; words = Array.copy t.words }
+let copy t =
+  log_read t;
+  let uid = Footprint.fresh_uid () in
+  if !Race_log.on then Race_log.created uid;
+  { n = t.n; words = Array.copy t.words; uid; key = Footprint.K_bitset uid }
 
 let same_universe a b =
   if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
@@ -53,6 +79,8 @@ let same_universe a b =
 
 let union_into ~into src =
   same_universe into src;
+  log_write into;
+  log_read src;
   let changed = ref false in
   for w = 0 to words_for into.n - 1 do
     let next = into.words.(w) lor src.words.(w) in
@@ -65,6 +93,8 @@ let union_into ~into src =
 
 let diff_into ~into src =
   same_universe into src;
+  log_write into;
+  log_read src;
   let changed = ref false in
   for w = 0 to words_for into.n - 1 do
     let next = into.words.(w) land lnot src.words.(w) in
@@ -77,6 +107,8 @@ let diff_into ~into src =
 
 let assign ~into src =
   same_universe into src;
+  log_write into;
+  log_read src;
   let changed = ref false in
   for w = 0 to words_for into.n - 1 do
     if into.words.(w) <> src.words.(w) then begin
@@ -88,23 +120,31 @@ let assign ~into src =
 
 let equal a b =
   same_universe a b;
+  log_read a;
+  log_read b;
   let rec go w =
     w = words_for a.n || (a.words.(w) = b.words.(w) && go (w + 1))
   in
   go 0
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let is_empty t =
+  log_read t;
+  Array.for_all (fun w -> w = 0) t.words
 
 let cardinal t =
+  log_read t;
   let popcount x =
     let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
     go x 0
   in
   Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t =
+  log_write t;
+  Array.fill t.words 0 (Array.length t.words) 0
 
 let iter f t =
+  log_read t;
   for w = 0 to Array.length t.words - 1 do
     let word = t.words.(w) in
     if word <> 0 then

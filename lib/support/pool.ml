@@ -14,7 +14,21 @@
    it itself even if every worker is parked on an outer batch, so
    progress is guaranteed by induction on nesting depth. The queue is
    LIFO so workers that do pick up extra work prefer the innermost
-   (most-blocking) batch. *)
+   (most-blocking) batch.
+
+   Tasks may carry a {!task_meta}: a name and a declared effect
+   footprint. Footprints feed two checkers — a static disjointness
+   validator invoked at dispatch time (installed process-wide by
+   [Ra_check.Effects], a no-op until then) and the dynamic race detector
+   ([Ra_check.Race]), for which the pool logs its queue push/pop and
+   barrier transitions into [Race_log] as the happens-before
+   synchronization edges. Both are off by default and cost one load per
+   batch / per task when off. *)
+
+type task_meta = {
+  tm_name : string;
+  tm_footprint : Footprint.t;
+}
 
 type batch = {
   run_task : int -> unit;
@@ -23,6 +37,8 @@ type batch = {
   mutable active : int;
   mutable failed : (exn * Printexc.raw_backtrace) option;
   finished : Condition.t;
+  race_batch : int; (* Race_log batch id; -1 when not logging *)
+  submitted_at : float; (* Unix.gettimeofday at submit; 0. when no tele *)
 }
 
 type t = {
@@ -32,9 +48,19 @@ type t = {
   mutable closed : bool;
   mutable domains : unit Domain.t list;
   jobs : int;
+  mutable tele : Telemetry.t;
 }
 
 let jobs t = t.jobs
+
+let set_telemetry t tele = t.tele <- tele
+
+(* The dispatch-time footprint validator. Process-wide and off (a no-op)
+   until [Ra_check.Effects.install] replaces it — the pool cannot depend
+   on the checker layer, so the checker reaches down instead. *)
+let validator : (task_meta array -> unit) ref = ref (fun _ -> ())
+
+let set_validator f = validator := f
 
 (* Run one iteration of [b] outside the lock; the lock is held on entry
    and on exit. *)
@@ -43,11 +69,25 @@ let step t (b : batch) =
   b.next <- i + 1;
   b.active <- b.active + 1;
   Mutex.unlock t.mutex;
+  (let tele = t.tele in
+   if Telemetry.enabled tele then begin
+     if b.submitted_at > 0. then
+       Telemetry.counter tele "pool.queue_wait_us"
+         (int_of_float ((Unix.gettimeofday () -. b.submitted_at) *. 1e6));
+     Telemetry.counter tele "pool.tasks" 1;
+     Telemetry.counter tele
+       ("pool.tasks.d" ^ string_of_int (Domain.self () :> int))
+       1
+   end);
+  if b.race_batch >= 0 then Race_log.task_start ~batch:b.race_batch ~index:i;
   let outcome =
     match b.run_task i with
     | () -> None
     | exception e -> Some (e, Printexc.get_raw_backtrace ())
   in
+  (* popped before the pool can observe the task finished, so the batch's
+     join event is appended after every task's end event *)
+  if b.race_batch >= 0 then Race_log.task_end ~batch:b.race_batch ~index:i;
   Mutex.lock t.mutex;
   (match outcome with
    | None -> ()
@@ -82,7 +122,8 @@ let create ~jobs =
       queue = [];
       closed = false;
       domains = [];
-      jobs }
+      jobs;
+      tele = Telemetry.null }
   in
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
@@ -92,42 +133,75 @@ let run_inline ~n f =
     f i
   done
 
-let run t ~n f =
+let run t ?meta ~n f =
   if n <= 0 then ()
-  else if t.jobs = 1 || n = 1 then run_inline ~n f
   else begin
-    let b =
-      { run_task = f;
-        n;
-        next = 0;
-        active = 0;
-        failed = None;
-        finished = Condition.create () }
-    in
-    Mutex.lock t.mutex;
-    if t.closed then begin
+    (* static footprint check at dispatch time, even for batches the
+       width-1 fast path will run inline: a declaration inconsistent at
+       jobs=1 is inconsistent at jobs=8, and catching it in sequential
+       tests is the point of declaring at all *)
+    (match meta with
+     | Some m when n > 1 -> !validator (Array.init n m)
+     | Some _ | None -> ());
+    if t.jobs = 1 || n = 1 then run_inline ~n f
+    else begin
+      let race_batch =
+        if !Race_log.on then
+          let tasks =
+            match meta with
+            | Some m ->
+              Array.init n (fun i ->
+                let tm = m i in
+                { Race_log.t_name = tm.tm_name;
+                  t_footprint = Some tm.tm_footprint })
+            | None ->
+              Array.init n (fun i ->
+                { Race_log.t_name = "task-" ^ string_of_int i;
+                  t_footprint = None })
+          in
+          Race_log.batch_submit ~tasks
+        else -1
+      in
+      let b =
+        { run_task = f;
+          n;
+          next = 0;
+          active = 0;
+          failed = None;
+          finished = Condition.create ();
+          race_batch;
+          submitted_at =
+            (if Telemetry.enabled t.tele then Unix.gettimeofday () else 0.) }
+      in
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.queue <- b :: t.queue;
+      Condition.broadcast t.wake;
+      (* help drain our own batch *)
+      while b.next < b.n do
+        step t b
+      done;
+      while b.active > 0 do
+        Condition.wait b.finished t.mutex
+      done;
       Mutex.unlock t.mutex;
-      invalid_arg "Pool.run: pool is shut down"
-    end;
-    t.queue <- b :: t.queue;
-    Condition.broadcast t.wake;
-    (* help drain our own batch *)
-    while b.next < b.n do
-      step t b
-    done;
-    while b.active > 0 do
-      Condition.wait b.finished t.mutex
-    done;
-    Mutex.unlock t.mutex;
-    match b.failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+      if race_batch >= 0 then Race_log.batch_join ~batch:race_batch;
+      match b.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
   end
 
-let map_list t f xs =
+let map_list t ?meta f xs =
   let arr = Array.of_list xs in
+  let meta =
+    match meta with None -> None | Some g -> Some (fun i -> g arr.(i))
+  in
   let out = Array.make (Array.length arr) None in
-  run t ~n:(Array.length arr) (fun i -> out.(i) <- Some (f arr.(i)));
+  run t ?meta ~n:(Array.length arr) (fun i -> out.(i) <- Some (f arr.(i)));
   Array.to_list
     (Array.map (function Some y -> y | None -> assert false) out)
 

@@ -12,9 +12,22 @@
     to disjoint (per-index) state, and any order-sensitive combination of
     their results must happen after {!run} returns, in index order. The
     interference-graph builder stages per-worker edge buffers and replays
-    them in block order for exactly this reason. *)
+    them in block order for exactly this reason. Batches can make that
+    contract *checkable* by declaring per-task effect {!task_meta}s: a
+    statically validated footprint at dispatch time, and the evidence the
+    [RA_RACE_CHECK] dynamic detector holds observed accesses against. *)
 
 type t
+
+(** A task's declared identity and effects. [tm_name] names the task in
+    conflict diagnostics; [tm_footprint] is checked at dispatch time by
+    the installed {!set_validator} (write sets must be disjoint from
+    every other task's read∪write set) and at analysis time against the
+    accesses the task actually performed. *)
+type task_meta = {
+  tm_name : string;
+  tm_footprint : Footprint.t;
+}
 
 (** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]).
     A pool with [jobs = 1] runs every batch inline in the caller. *)
@@ -27,16 +40,35 @@ val jobs : t -> int
     concurrently, and returns when all have finished. If any task raises,
     the remaining unstarted iterations are abandoned and the first
     exception (by completion order) is re-raised in the caller with its
-    backtrace. Re-entrant: [f] may call [run] on the same pool. *)
-val run : t -> n:int -> (int -> unit) -> unit
+    backtrace. Re-entrant: [f] may call [run] on the same pool.
+
+    [meta], when given, maps each index to its {!task_meta}; batches with
+    [n > 1] are passed through the installed footprint validator before
+    any task starts, and the metas are recorded with the [Race_log]
+    submit event when the race check is on. *)
+val run : t -> ?meta:(int -> task_meta) -> n:int -> (int -> unit) -> unit
 
 (** [map_list t f xs] = [List.map f xs] with the applications distributed
-    over the pool; the result keeps list order. *)
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+    over the pool; the result keeps list order. [meta] as in {!run}. *)
+val map_list : t -> ?meta:('a -> task_meta) -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Joins the workers. Further {!run}s raise [Invalid_argument]; idempotent.
     Optional — an exiting process abandons blocked workers safely. *)
 val shutdown : t -> unit
+
+(** Attach a telemetry sink: every subsequently dispatched task bumps
+    [pool.tasks], [pool.tasks.d<domain>] and [pool.queue_wait_us]
+    (µs between batch submit and the task leaving the queue). The same
+    dispatch points emit the race detector's synchronization events, so
+    scheduling diagnosis and race checking share one instrumentation
+    seam. Pass {!Telemetry.null} to detach. *)
+val set_telemetry : t -> Telemetry.t -> unit
+
+(** [set_validator f] installs the process-wide dispatch-time footprint
+    checker: [f metas] is called before any task of a meta-carrying
+    batch starts and should raise to reject the batch. Installed by
+    [Ra_check.Effects.install]; the default is a no-op. *)
+val set_validator : (task_meta array -> unit) -> unit
 
 (** Parallelism width requested by the environment: [RA_JOBS] when set to
     a positive integer, else [Domain.recommended_domain_count ()], clamped

@@ -42,6 +42,10 @@ let now_us s = (Unix.gettimeofday () -. s.epoch) *. 1e6
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let emit s ev =
+  (* the sink is one shared mutable resource in the race checker's
+     vocabulary: mutex-protected (so never a data race), but tasks must
+     still declare they write it *)
+  if !Race_log.on then Race_log.write Footprint.K_telemetry;
   Mutex.lock s.mutex;
   s.rev_events <- ev :: s.rev_events;
   let subs = s.subscribers in

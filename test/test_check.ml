@@ -52,6 +52,14 @@ let check_flags name diags =
        (fun d -> Diagnostic.is_error d && d.Diagnostic.check = name)
        diags)
 
+let check_warns name diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s warning reported" name)
+    true
+    (List.exists
+       (fun d -> (not (Diagnostic.is_error d)) && d.Diagnostic.check = name)
+       diags)
+
 (* ---- linter unit tests ---- *)
 
 let lint_clean () =
@@ -106,6 +114,63 @@ let lint_use_before_def_one_path () =
         Instr.Ret (Some (ri 2)) ]
   in
   check_flags "use-before-def" (Lint.run p)
+
+let lint_dom_use_before_def_one_path () =
+  (* the same diamond through the dominator-based check: the entry
+     (pseudo-)definition of ri 2 reaches the join, so no real definition
+     dominates the use *)
+  let p =
+    vproc ~args:[ ri 0 ] ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 1, 0);
+        Instr.Cbr (Instr.Lt, ri 0, ri 1, 1, 2);
+        Instr.Label 1;
+        Instr.Li (ri 2, 7);
+        Instr.Br 2;
+        Instr.Label 2;
+        Instr.Ret (Some (ri 2)) ]
+  in
+  check_flags "dom-use-before-def" (Lint.run p)
+
+let lint_dom_use_never_defined () =
+  (* no definition at all: only the entry definition reaches the use *)
+  let p =
+    vproc ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 0, 1);
+        Instr.Binop (Instr.Iadd, ri 1, ri 0, ri 2);
+        Instr.Ret (Some (ri 1)) ]
+  in
+  check_flags "dom-use-before-def" (Lint.run p)
+
+let lint_dom_use_both_branches_clean () =
+  (* mutation control: defining ri 2 on *both* branches must silence the
+     check even though neither defining block dominates the join *)
+  let p =
+    vproc ~args:[ ri 0 ] ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 1, 0);
+        Instr.Cbr (Instr.Lt, ri 0, ri 1, 1, 2);
+        Instr.Label 1;
+        Instr.Li (ri 2, 7);
+        Instr.Br 3;
+        Instr.Label 2;
+        Instr.Li (ri 2, 9);
+        Instr.Br 3;
+        Instr.Label 3;
+        Instr.Ret (Some (ri 2)) ]
+  in
+  check_no_errors "both-branch definitions lint clean" (Lint.run p)
+
+let lint_unreachable_block () =
+  (* a block only reachable from itself: flagged via the dominator
+     computation's reachability, as a warning *)
+  let p =
+    vproc ~ret_cls:(Some Reg.Int_reg)
+      [ Instr.Li (ri 0, 1);
+        Instr.Ret (Some (ri 0));
+        Instr.Label 5;
+        Instr.Li (ri 1, 2);
+        Instr.Br 5 ]
+  in
+  check_warns "unreachable-block" (Lint.run p)
 
 let lint_ret_arity () =
   check_flags "ret-arity"
@@ -342,6 +407,13 @@ let suites =
         Alcotest.test_case "use before def" `Quick lint_use_before_def;
         Alcotest.test_case "use before def on one path" `Quick
           lint_use_before_def_one_path;
+        Alcotest.test_case "dom use before def on one path" `Quick
+          lint_dom_use_before_def_one_path;
+        Alcotest.test_case "dom use never defined" `Quick
+          lint_dom_use_never_defined;
+        Alcotest.test_case "dom use defined on both branches" `Quick
+          lint_dom_use_both_branches_clean;
+        Alcotest.test_case "unreachable block" `Quick lint_unreachable_block;
         Alcotest.test_case "ret arity" `Quick lint_ret_arity;
         Alcotest.test_case "slot class" `Quick lint_slot_class;
         Alcotest.test_case "slot range" `Quick lint_slot_range;

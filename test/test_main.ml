@@ -12,6 +12,7 @@ let () =
     @ Test_alloc.suites
     @ Test_context.suites
     @ Test_check.suites
+    @ Test_race.suites
     @ Test_build.suites
     @ Test_pipeline.suites
     @ Test_telemetry.suites
