@@ -15,17 +15,33 @@ type alloc_pair = {
    --jobs asks for parallelism; None on a sequential run. *)
 let default_pool = Batch.default_pool
 
-(* Allocate every routine of a program with both heuristics, on the
-   shared {!Batch} driver: one warm context for the batch when [context]
-   is given or the run is sequential, otherwise each routine is a pool
-   task with a context of its own. Results are identical either way. *)
-let allocate_program ?(machine = Machine.rt_pc) ?context
-    ?(pool = default_pool ()) (p : Ra_programs.Suite.program) =
+(* Allocate every routine of a program with both heuristics. Without an
+   explicit context this runs as the two-heuristic comparison matrix
+   ({!Batch.allocate_matrix}) — under the default DAG scheduling each
+   routine's first-pass graph build is shared by both pipelines; under
+   RA_SCHED=flat it degenerates to pool batches. An explicit [context]
+   (or [pool]) keeps the historical warm-context batch path. Results are
+   identical every way. *)
+let allocate_program ?(machine = Machine.rt_pc) ?context ?pool
+    (p : Ra_programs.Suite.program) =
   let procs = Ra_programs.Suite.compile p in
-  Batch.map_procs ~pool ?context machine procs ~f:(fun ctx proc ->
-    { routine = proc.Ra_ir.Proc.name;
-      old_result = Allocator.allocate ~context:ctx machine old_heuristic proc;
-      new_result = Allocator.allocate ~context:ctx machine new_heuristic proc })
+  match context, pool with
+  | None, None ->
+    (match
+       Batch.allocate_matrix machine [ old_heuristic; new_heuristic ] procs
+     with
+     | [ olds; news ] ->
+       List.map2
+         (fun (proc : Ra_ir.Proc.t) (old_result, new_result) ->
+           { routine = proc.Ra_ir.Proc.name; old_result; new_result })
+         procs (List.combine olds news)
+     | _ -> assert false)
+  | _, _ ->
+    let pool = match pool with Some p -> p | None -> default_pool () in
+    Batch.map_procs ~pool ?context machine procs ~f:(fun ctx proc ->
+      { routine = proc.Ra_ir.Proc.name;
+        old_result = Allocator.allocate ~context:ctx machine old_heuristic proc;
+        new_result = Allocator.allocate ~context:ctx machine new_heuristic proc })
 
 (* Run a program's driver on the given allocated procedure set. *)
 let run_allocated ?(machine = Machine.rt_pc) ?context heuristic

@@ -12,16 +12,22 @@
    pass-2+ build-time saving, the parallel build time, and the cached
    rescan saving are visible in the committed artifact. Each pass also
    records the cached run's coalescing-round count, edge-cache hit rate
-   and fraction of blocks rescanned. It also times the whole routine set
-   allocated sequentially (one warm context) versus dispatched
-   procedure-per-task onto the pool, the suite-level speedup — and with
+   and fraction of blocks rescanned. It also times the FULL benchmark
+   suite (every routine, every heuristic, regardless of picks) end to
+   end three ways — sequentially on one warm context, procedure-per-task
+   on the flat pool (RA_SCHED=flat), and as the footprint-ordered task
+   DAG on the work-stealing scheduler (RA_SCHED=dag, the default) — and
+   records the DAG run's scheduler counters (tasks, steals, derived
+   edges, queue high-water mark, per-domain utilization). The DAG wall
+   must beat the sequential wall — a slower scheduler is a regression
+   and the process exits non-zero. It also times the suite with
    telemetry disabled versus buffering every span, asserting the
    disabled path stays free. Aggregate cache behaviour comes straight
    off the pipeline's telemetry counters (the cached context reports
    into a sink). Any disagreement is a divergence: it is reported in the
    JSON and the process exits non-zero (CI runs this as a smoke check
-   with RA_JOBS=4, so zero divergences is asserted for the parallel and
-   cached paths on every push). *)
+   with RA_JOBS=4, so zero divergences is asserted for the parallel,
+   cached and DAG paths on every push). *)
 
 open Ra_core
 
@@ -124,8 +130,15 @@ let wall f =
 let run ~picks () =
   let machine = Machine.rt_pc in
   (* at least 2 workers so the parallel path is exercised — and asserted
-     against the sequential builds — even on a single-core runner *)
-  let jobs = max 2 (Ra_support.Pool.default_jobs ()) in
+     against the sequential builds — even on a single-core runner. The
+     default is pinned before anything touches the shared pool or the
+     global scheduler, fixing both at this width. The suite-wall
+     scheduler below is sized to [hw_jobs], the machine's real width:
+     oversubscribing domains onto fewer cores measures contention, not
+     scheduling. *)
+  let hw_jobs = Ra_support.Pool.default_jobs () in
+  let jobs = max 2 hw_jobs in
+  Ra_support.Pool.set_default_jobs jobs;
   let pool = Ra_support.Pool.create ~jobs in
   (* the cached mode's context reports into a real sink: the aggregate
      edge-cache section below reads the pipeline's own counters off it
@@ -241,8 +254,6 @@ let run ~picks () =
             heuristics)
         procs)
     (routines_for picks);
-  (* suite-level wall-clock: the routine set end to end, one warm
-     context sequentially vs procedure-per-task on the pool *)
   let procs = !selected_procs in
   let alloc_all ctx =
     List.iter
@@ -252,38 +263,94 @@ let run ~picks () =
           heuristics)
       procs
   in
-  let (), seq_s =
-    wall (fun () -> alloc_all (Context.create ~jobs:1 machine))
+  (* suite-level wall-clock over the FULL suite — every routine of every
+     program, however narrow the picks above were (a four-routine wall
+     says nothing about scheduling) — end to end, every heuristic:
+     sequentially on one warm context, procedure-per-task on the flat
+     pool, and as the footprint-ordered task DAG. Min of [wall_reps]
+     walls per mode; the DAG rep that sets the minimum keeps its
+     scheduler counters. The first sequential and DAG reps must agree
+     on every fingerprint (bit-identical outcomes), and the DAG wall
+     must beat the sequential one — that gate is the point of the
+     scheduler. *)
+  (* Routines a measured heuristic cannot allocate on this machine at
+     all (cost-blind Matula gives up on euler_main's call-heavy k=16
+     pressure — a known, goldened failure) would abort every mode's
+     matrix identically; probe once and time the allocatable rest. The
+     exclusions are recorded in the JSON so a new one is visible. *)
+  let all_procs =
+    List.concat_map Ra_programs.Suite.compile Ra_programs.Suite.all
   in
-  let (), par_s =
-    wall (fun () ->
-      ignore
-        (Batch.map_procs ~pool:(Some pool) machine procs ~f:(fun ctx p ->
-           List.map
-             (fun h ->
-               (Allocator.allocate ~context:ctx machine h p)
-                 .Allocator.total_spilled)
-             heuristics)))
+  let probe_ctx = Context.create ~jobs:1 machine in
+  let suite_procs, excluded =
+    List.partition
+      (fun p ->
+        List.for_all
+          (fun h ->
+            match Allocator.allocate ~context:probe_ctx machine h p with
+            | _ -> true
+            | exception Pipeline.Allocation_failure _ -> false)
+          heuristics)
+      all_procs
   in
-  (* telemetry overhead: the routine set end to end with the sink
-     disabled (the default) vs buffering every span and counter.
-     Min-of-reps on both sides; the disabled path must not be slower
-     than the enabled one beyond noise — it is a no-op by construction,
-     and this assertion is what keeps it one. *)
-  let overhead_reps = 3 in
+  let wall_reps = 3 in
   let min_wall f =
     let best = ref infinity in
-    for _ = 1 to overhead_reps do
+    for _ = 1 to wall_reps do
       let (), s = wall f in
       if s < !best then best := s
     done;
     !best
   in
+  let suite_seq () =
+    let ctx = Context.create ~jobs:1 machine in
+    List.map
+      (fun h -> Batch.allocate_all ~context:ctx machine h suite_procs)
+      heuristics
+  in
+  let seq_fps = ref [] in
+  let seq_s = ref infinity in
+  for r = 1 to wall_reps do
+    let res, s = wall suite_seq in
+    if r = 1 then seq_fps := List.map (List.map fingerprint) res;
+    if s < !seq_s then seq_s := s
+  done;
+  let seq_s = !seq_s in
+  let flat_s =
+    min_wall (fun () ->
+      ignore
+        (Batch.allocate_matrix ~sched:Batch.Flat machine heuristics
+           suite_procs))
+  in
+  let sched = Ra_support.Scheduler.create ~jobs:hw_jobs in
+  let dag_s = ref infinity in
+  let dag_stats = ref (Ra_support.Scheduler.stats sched) in
+  for r = 1 to wall_reps do
+    Ra_support.Scheduler.reset_stats sched;
+    let res, s =
+      wall (fun () ->
+        Batch.allocate_matrix ~sched:Batch.Dag ~scheduler:sched machine
+          heuristics suite_procs)
+    in
+    if r = 1 && List.map (List.map fingerprint) res <> !seq_fps then
+      divergences := "suite/dag" :: !divergences;
+    if s < !dag_s then begin
+      dag_s := s;
+      dag_stats := Ra_support.Scheduler.stats sched
+    end
+  done;
+  Ra_support.Scheduler.shutdown sched;
+  let dag_s = !dag_s and dag_stats = !dag_stats in
+  (* telemetry overhead: the routine set end to end with the sink
+     disabled (the default) vs buffering every span and counter.
+     Min-of-reps on both sides; the disabled path must not be slower
+     than the enabled one beyond noise — it is a no-op by construction,
+     and this assertion is what keeps it one. *)
   (* off/on reps interleave so slow machine drift (thermal, noisy
      neighbors) hits both sides equally instead of biasing whichever
      block ran second *)
   let tele_off_s = ref infinity and tele_on_s = ref infinity in
-  for _ = 1 to overhead_reps do
+  for _ = 1 to wall_reps do
     let (), s =
       wall (fun () ->
         alloc_all
@@ -302,7 +369,9 @@ let run ~picks () =
   (* race-check overhead: with the flag off every access hook is a
      single ref load, so the uninstrumented-off path must track the
      plain run; with it on, the suite must come back race-clean. The
-     checked rep runs on the pool so there are real tasks to order. *)
+     checked rep runs as the task DAG so the vector-clock analyzer
+     validates the footprint-derived schedule itself — every shared
+     access must be ordered by a derived edge. *)
   let race_off_s = min_wall (fun () -> alloc_all (Context.create ~jobs:1 machine)) in
   let race_errors = ref 0 in
   let race_on_s =
@@ -310,12 +379,7 @@ let run ~picks () =
       let _, diags =
         Ra_check.Race.with_check (fun () ->
           ignore
-            (Batch.map_procs ~pool:(Some pool) machine procs ~f:(fun ctx p ->
-               List.map
-                 (fun h ->
-                   (Allocator.allocate ~context:ctx machine h p)
-                     .Allocator.total_spilled)
-                 heuristics)))
+            (Batch.allocate_matrix ~sched:Batch.Dag machine heuristics procs))
       in
       race_errors := List.length (Ra_check.Diagnostic.errors diags))
   in
@@ -337,10 +401,23 @@ let run ~picks () =
     Ra_support.Telemetry.counter_total cac_tele "edge_cache.misses"
   in
   let total_scans = cache_hits_total + cache_misses_total in
+  let utilization =
+    String.concat ", "
+      (Array.to_list
+         (Array.map
+            (fun busy ->
+              Printf.sprintf "%.4f" (busy /. Float.max dag_s 1e-9))
+            dag_stats.Ra_support.Scheduler.busy_s))
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "\n  ],\n  \"jobs\": %d,\n  \"suite\": {\"routines\": %d, \
-        \"sequential_wall_s\": %.6f, \"parallel_wall_s\": %.6f},\n  \
+        \"excluded\": [%s], \"sequential_wall_s\": %.6f, \
+        \"flat_wall_s\": %.6f, \"dag_wall_s\": %.6f, \
+        \"parallel_wall_s\": %.6f,\n    \
+        \"sched\": {\"jobs\": %d, \"tasks\": %d, \"steals\": %d, \
+        \"edges\": %d, \"max_queue_depth\": %d, \
+        \"utilization\": [%s]}},\n  \
         \"telemetry\": {\"disabled_wall_s\": %.6f, \
         \"enabled_wall_s\": %.6f, \"enabled_overhead_frac\": %.4f,\n    \
         \"counters\": {%s}},\n  \
@@ -351,7 +428,17 @@ let run ~picks () =
         \"reference_scratch_builds\": %d},\n  \
         \"edge_cache\": {\"hits\": %d, \"misses\": %d, \
         \"hit_rate\": %s},\n  \"divergences\": [%s]\n}\n"
-       jobs (List.length procs) seq_s par_s tele_off_s tele_on_s
+       jobs
+       (List.length suite_procs)
+       (String.concat ", "
+          (List.map
+             (fun (p : Ra_ir.Proc.t) -> Printf.sprintf "\"%s\"" p.name)
+             excluded))
+       seq_s flat_s dag_s dag_s hw_jobs dag_stats.Ra_support.Scheduler.tasks
+       dag_stats.Ra_support.Scheduler.steals
+       dag_stats.Ra_support.Scheduler.edges
+       dag_stats.Ra_support.Scheduler.max_queue_depth utilization tele_off_s
+       tele_on_s
        ((tele_on_s -. tele_off_s) /. Float.max tele_off_s 1e-9)
        (String.concat ", "
           (List.map
@@ -372,9 +459,10 @@ let run ~picks () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf
-    "wrote %s (%d benchmark entries, %d jobs, suite %.3fs seq / %.3fs par, \
-     telemetry off %.3fs / on %.3fs, cache hit rate %s, %d divergence(s))\n"
-    path !entries jobs seq_s par_s tele_off_s tele_on_s
+    "wrote %s (%d benchmark entries, %d jobs, full suite %.3fs seq / %.3fs \
+     flat / %.3fs dag, telemetry off %.3fs / on %.3fs, cache hit rate %s, %d \
+     divergence(s))\n"
+    path !entries jobs seq_s flat_s dag_s tele_off_s tele_on_s
     (if total_scans = 0 then "n/a"
      else
        Printf.sprintf "%.1f%%"
@@ -393,5 +481,14 @@ let run ~picks () =
     List.iter
       (fun d -> Printf.eprintf "divergence: modes disagree for %s\n" d)
       (List.rev !divergences);
+    exit 1
+  end;
+  (* the scheduler's reason to exist: the DAG dispatch of the full suite
+     must beat allocating it sequentially, or the PR regressed *)
+  if dag_s >= seq_s then begin
+    Printf.eprintf
+      "suite: DAG wall %.6fs >= sequential wall %.6fs — the task-DAG \
+       schedule is not paying for itself\n"
+      dag_s seq_s;
     exit 1
   end

@@ -93,6 +93,20 @@ let trace_arg =
                (about://tracing / Perfetto), or JSON lines when PATH \
                ends in .jsonl (same as setting RA_TRACE=PATH)")
 
+let sched_arg =
+  Arg.(value & opt (some (enum [ "dag", Ra_core.Batch.Dag;
+                                 "flat", Ra_core.Batch.Flat ]))
+         None
+       & info [ "sched" ] ~docv:"MODE"
+           ~doc:"Multi-procedure scheduling: 'dag' (default) runs every \
+                 pipeline stage as a footprint-ordered task on the \
+                 work-stealing scheduler, sharing each procedure's \
+                 first-pass graph build across heuristics; 'flat' \
+                 dispatches whole procedures onto the domain pool (same \
+                 as RA_SCHED). Results are bit-identical either way.")
+
+let apply_sched sched = Option.iter Ra_core.Batch.set_sched_mode sched
+
 (* None = follow the RA_EDGE_CACHE default; Some false = --no-edge-cache *)
 let edge_cache_opt no_cache = if no_cache then Some false else None
 
@@ -120,6 +134,20 @@ let apply_jobs jobs =
   (match jobs with Some j -> Ra_support.Pool.set_default_jobs j | None -> ());
   if Ra_support.Pool.default_jobs () > 1 then Some (Ra_support.Pool.global ())
   else None
+
+(* One heuristic over a procedure batch under the selected scheduling
+   mode: the DAG matrix (stage tasks, shared first-pass builds) by
+   default, the flat procedure-per-task pool under --sched flat. *)
+let allocate_batch ?edge_cache ?verify ~pool machine h procs =
+  match Ra_core.Batch.sched_mode () with
+  | Ra_core.Batch.Dag ->
+    (match
+       Ra_core.Batch.allocate_matrix ?edge_cache ?verify machine [ h ] procs
+     with
+     | [ results ] -> results
+     | _ -> assert false)
+  | Ra_core.Batch.Flat ->
+    Ra_core.Batch.allocate_all ~pool ?edge_cache ?verify machine h procs
 
 let select_procs procs = function
   | None -> procs
@@ -157,15 +185,16 @@ let dump_cmd =
 
 let alloc_cmd =
   let run file proc heuristic k verbose optimize verify jobs no_cache race
-      trace =
+      trace sched =
     apply_trace trace;
+    apply_sched sched;
     let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
     let procs = select_procs (compile ~optimize file) proc in
     let results =
       race_scope race (fun () ->
-        Ra_core.Batch.allocate_all ~pool
+        allocate_batch ~pool
           ?edge_cache:(edge_cache_opt no_cache)
           ?verify:(if verify then Some true else None)
           machine h procs)
@@ -189,7 +218,7 @@ let alloc_cmd =
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
           $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg $ race_arg
-          $ trace_arg)
+          $ trace_arg $ sched_arg)
 
 (* ---- run ---- *)
 
@@ -205,8 +234,9 @@ let parse_value s =
 
 let run_cmd =
   let run file entry args heuristic allocate k optimize verify jobs no_cache
-      race trace =
+      race trace sched =
     apply_trace trace;
+    apply_sched sched;
     let pool = apply_jobs jobs in
     let procs = compile ~optimize file in
     let procs =
@@ -216,7 +246,7 @@ let run_cmd =
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
           (race_scope race (fun () ->
-             Ra_core.Batch.allocate_all ~pool
+             allocate_batch ~pool
                ?edge_cache:(edge_cache_opt no_cache)
                ?verify:(if verify then Some true else None)
                machine h procs))
@@ -251,13 +281,14 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a procedure under the VM")
     Term.(const run $ file_arg $ entry $ args $ heuristic_arg $ allocate
           $ k_arg $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg
-          $ race_arg $ trace_arg)
+          $ race_arg $ trace_arg $ sched_arg)
 
 (* ---- suite ---- *)
 
 let suite_cmd =
-  let run name heuristic k allocate jobs no_cache race trace =
+  let run name heuristic k allocate jobs no_cache race trace sched =
     apply_trace trace;
+    apply_sched sched;
     let pool = apply_jobs jobs in
     let program =
       match
@@ -284,7 +315,7 @@ let suite_cmd =
         List.map
           (fun (r : Ra_core.Allocator.result) -> r.Ra_core.Allocator.proc)
           (race_scope race (fun () ->
-             Ra_core.Batch.allocate_all ~pool
+             allocate_batch ~pool
                ?edge_cache:(edge_cache_opt no_cache) machine h procs))
       end
       else procs
@@ -311,24 +342,29 @@ let suite_cmd =
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run a benchmark-suite program under the VM")
     Term.(const run $ prog_name $ heuristic_arg $ k_arg $ allocate $ jobs_arg
-          $ no_cache_arg $ race_arg $ trace_arg)
+          $ no_cache_arg $ race_arg $ trace_arg $ sched_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize jobs no_cache race trace =
+  let run file k optimize jobs no_cache race trace sched =
     apply_trace trace;
-    let pool = apply_jobs jobs in
+    apply_sched sched;
+    ignore (apply_jobs jobs);
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
     let results =
+      (* the comparison matrix proper: under the DAG each procedure's
+         first-pass build is shared by the two heuristic pipelines *)
       race_scope race (fun () ->
-        Ra_core.Batch.map_procs ~pool ?edge_cache:(edge_cache_opt no_cache)
-          machine procs ~f:(fun context p ->
-            ( Ra_core.Allocator.allocate ~context machine
-                Ra_core.Heuristic.Chaitin p,
-              Ra_core.Allocator.allocate ~context machine
-                Ra_core.Heuristic.Briggs p )))
+        match
+          Ra_core.Batch.allocate_matrix ?edge_cache:(edge_cache_opt no_cache)
+            machine
+            [ Ra_core.Heuristic.Chaitin; Ra_core.Heuristic.Briggs ]
+            procs
+        with
+        | [ olds; news ] -> List.combine olds news
+        | _ -> assert false)
     in
     let table =
       Ra_support.Table.create
@@ -350,7 +386,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
     Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg
-          $ race_arg $ trace_arg)
+          $ race_arg $ trace_arg $ sched_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

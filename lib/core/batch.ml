@@ -39,3 +39,101 @@ let map_procs ?pool ?context ?edge_cache machine ~f (procs : Proc.t list) =
 let allocate_all ?pool ?context ?edge_cache ?verify machine heuristic procs =
   map_procs ?pool ?context ?edge_cache machine procs ~f:(fun ctx proc ->
     Allocator.allocate ?verify ~context:ctx machine heuristic proc)
+
+(* ---- the scheduling mode (RA_SCHED) ---- *)
+
+type sched_mode =
+  | Dag (* footprint-ordered stage tasks on the work-stealing scheduler *)
+  | Flat (* procedure-per-task batches on the domain pool (the escape hatch) *)
+
+let sched_mode_env () =
+  match Sys.getenv_opt "RA_SCHED" with
+  | Some "flat" -> Flat
+  | None | Some _ -> Dag
+
+(* Set once by drivers with a [--sched] flag; results are bit-identical
+   either way, so this only moves work between domains. *)
+let sched_override = ref None
+
+let set_sched_mode m = sched_override := Some m
+
+let sched_mode () =
+  match !sched_override with Some m -> m | None -> sched_mode_env ()
+
+let verify_default =
+  match Sys.getenv_opt "RA_VERIFY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+(* Transpose a per-procedure list of per-heuristic cells into the
+   per-heuristic result lists the callers want. *)
+let transpose ~n_heuristics rows =
+  List.init n_heuristics (fun j -> List.map (fun row -> List.nth row j) rows)
+
+let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
+    ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
+    ?(verify = verify_default) ?edge_cache ?sched ?scheduler machine heuristics
+    (procs : Proc.t list) : Allocator.result list list =
+  let mode = match sched with Some m -> m | None -> sched_mode () in
+  match mode with
+  | Flat ->
+    (* one batch per heuristic over the flat pool: the pre-DAG shape *)
+    List.map
+      (fun heuristic ->
+        allocate_all ?edge_cache ~verify machine heuristic procs)
+      heuristics
+  | Dag ->
+    let open Ra_support in
+    let cfgn =
+      { Pipeline.coalesce; max_passes; spill_base; rematerialize; verify }
+    in
+    let sched =
+      match scheduler with Some s -> s | None -> Scheduler.global ()
+    in
+    let tele = Telemetry.ambient () in
+    if Telemetry.enabled tele then Scheduler.set_telemetry sched tele;
+    (* the shared build's block scan shards onto the same scheduler via
+       the pool façade, interleaving with the stage tasks *)
+    let bpool =
+      if Scheduler.jobs sched > 1 then Some (Scheduler.pool sched) else None
+    in
+    let rows =
+      Scheduler.run sched (fun () ->
+        List.map
+          (fun proc ->
+            (* per-pipeline contexts are single-threaded and private:
+               their scratch graphs, buckets and edge caches are the
+               stage chain's only mutable state besides its proc copy *)
+            let pipelines =
+              List.map
+                (fun h ->
+                  h, Context.create ?edge_cache ~verify ~jobs:1 ~tele machine)
+                heuristics
+            in
+            Pipeline.submit_dag sched cfgn machine ~tele ?bpool ?edge_cache
+              ~pipelines proc)
+          procs)
+    in
+    let rows =
+      List.map
+        (List.map (fun slot ->
+           match !slot with
+           | Some (o : Pipeline.outcome) -> o
+           | None -> invalid_arg "Batch.allocate_matrix: pipeline never ran"))
+        rows
+    in
+    transpose ~n_heuristics:(List.length heuristics) rows
+    |> List.map2
+         (fun heuristic col ->
+           List.map
+             (fun (o : Pipeline.outcome) ->
+               { Allocator.proc = o.Pipeline.proc;
+                 heuristic;
+                 machine;
+                 passes = o.Pipeline.passes;
+                 live_ranges = o.Pipeline.live_ranges;
+                 total_spilled = o.Pipeline.total_spilled;
+                 total_spill_cost = o.Pipeline.total_spill_cost;
+                 moves_removed = o.Pipeline.moves_removed })
+             col)
+         heuristics

@@ -98,6 +98,13 @@ let begin_proc t =
   t.prev <- None;
   Option.iter Build.Edge_cache.clear t.edge_cache
 
+(* The DAG driver's seam: a pipeline whose first pass was served by a
+   shared build (one Build fanned out to several heuristics) plants that
+   build as this context's previous pass, so the next spill pass patches
+   it exactly as if the context had built it itself. *)
+let adopt_prev t ~cfg ~built =
+  if t.incremental then t.prev <- Some { p_cfg = cfg; p_built = built }
+
 let div fmt = Format.kasprintf (fun m -> raise (Divergence m)) fmt
 
 (* ---- the incremental == from-scratch cross-check (RA_VERIFY) ---- *)

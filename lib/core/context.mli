@@ -97,6 +97,13 @@ val stats : t -> stats
     procedure; the buffers stay warm. *)
 val begin_proc : t -> unit
 
+(** [adopt_prev t ~cfg ~built] records an externally built first pass
+    (the DAG driver's shared build, fanned out to several heuristics) as
+    this context's previous pass, so the next {!build_pass} with an
+    [edit] patches it incrementally instead of rebuilding from scratch.
+    A no-op when incrementality is off. *)
+val adopt_prev : t -> cfg:Ra_ir.Cfg.t -> built:Build.t -> unit
+
 (** [build_pass t proc ~is_spill_vreg ~coalesce ~edit] produces the CFG,
     webs and coalesced interference graphs for the current pass. [edit]
     is the {!Spill.result} of the previous pass's spill insertion ([None]

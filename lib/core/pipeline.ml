@@ -417,6 +417,253 @@ let rec run_pass st pass_index ~edit =
         run_pass st (pass_index + 1) ~edit:(Some sp)
       end)
 
+(* ---- the DAG decomposition (RA_SCHED=dag) ----
+
+   The same stage modules, restructured as dependency-carrying tasks on
+   a {!Scheduler}: per procedure, ONE shared first-pass Build fans out
+   to one pipeline per heuristic, and each pipeline advances as a chain
+   of stage tasks (color → spill → build → color → ... → rewrite) that
+   submit their successor from inside themselves — the spill-driven
+   pass loop needs no upfront unrolling.
+
+   Dependencies are declared, not wired: every stage task of a pipeline
+   writes that pipeline's [State] token (so the chain serializes in
+   submission order) and reads the procedure's shared-build token (so
+   the fan-out waits for the shared build); tasks of different
+   procedures and different pipelines share no token and run freely.
+
+   What makes the shared fan-out sound: after the first pass, pipelines
+   only *read* the shared structures — coloring reads the class graphs
+   into private scratch, spill grouping and rewrite resolve the alias
+   forest (pre-compressed below, so [Union_find.find] can at worst
+   rewrite a parent link with the value it already holds), and the
+   incremental second pass copies ([Liveness.update ~old]) or rebuilds
+   ([Webs.rebuild ~old]) rather than patching in place. Everything a
+   pipeline mutates — its procedure copy, its context's scratch graphs
+   and edge cache — is private to it.
+
+   Outcomes are engineered to be bit-identical to the sequential
+   driver's: the stages run in the same relative order within a
+   pipeline, on the same structures (the shared build is exactly the
+   scratch build every pipeline's pass 1 would have produced — same
+   code, same webs, no spill temps yet), so [RA_SCHED=flat] is a pure
+   scheduling escape hatch, not a different allocator. *)
+
+type shared_build = {
+  sb_cfg : Cfg.t;
+  sb_webs : Webs.t;
+  sb_built : Build.t;
+  sb_costs_int : float array;
+  sb_costs_flt : float array;
+  sb_build_time : float;
+    (* the build's timer seconds; charged to each consuming pipeline's
+       pass-1 record — per allocation, "the build this pass used took
+       this long", even though the fan-out ran it once *)
+}
+
+let build_shared cfgn machine ~tele ?pool ?cache (proc : Proc.t) =
+  (* input lint once: byte-identical input for every pipeline of the
+     fan-out, so one verdict serves them all *)
+  if cfgn.verify then
+    Telemetry.span tele Phase.Lint
+      ~args:(fun () -> [ "stage", "input lint" ])
+      (fun () ->
+        fail_on_errors
+          ~stage:(proc.Proc.name ^ ": input lint")
+          (Ra_check.Lint.run proc));
+  let timer = Timer.create () in
+  let cfg, webs, built =
+    Telemetry.span tele ~timer Phase.Build (fun () ->
+      let cfg = Cfg.build proc.Proc.code in
+      let webs = Webs.build proc cfg ~is_spill_vreg:(fun _ -> false) in
+      let built =
+        Build.build machine proc cfg ~webs ~coalesce:cfgn.coalesce ?pool
+          ?cache ~verify:cfgn.verify ~tele ()
+      in
+      cfg, webs, built)
+  in
+  let costs_int, costs_flt =
+    Telemetry.span tele ~timer Phase.Build (fun () ->
+      ( Build.node_costs ~base:cfgn.spill_base built proc Reg.Int_reg,
+        Build.node_costs ~base:cfgn.spill_base built proc Reg.Flt_reg ))
+  in
+  (* Fully compress the alias forest while we are its only owner: the
+     concurrent pipelines' [Union_find.find]s (spill grouping, node
+     lookup) then follow one-link paths, and the only write any of them
+     can issue is storing a parent link's existing value back — benign
+     under the OCaml memory model, and invisible to the outcome. *)
+  for w = 0 to Union_find.size built.Build.alias - 1 do
+    ignore (Union_find.find built.Build.alias w)
+  done;
+  { sb_cfg = cfg;
+    sb_webs = webs;
+    sb_built = built;
+    sb_costs_int = costs_int;
+    sb_costs_flt = costs_flt;
+    sb_build_time = Timer.elapsed timer ~phase:Phase.Build }
+
+(* [State] tokens name serialization, not storage: one per shared build
+   (read by its fan-out), one per pipeline (written by every stage of
+   the chain). Process-unique so unrelated procedures never alias. *)
+let next_state_token = Atomic.make 0
+
+type dag_pipe = {
+  dp_st : state;
+  dp_sched : Scheduler.t;
+  dp_fp : Footprint.t; (* reads its shared build, writes its pipeline *)
+  dp_label : string; (* "<proc>:<heuristic>" *)
+  dp_k_int : int;
+  dp_k_flt : int;
+  dp_slot : outcome option ref;
+}
+
+let dag_submit dp ~stage fn =
+  ignore
+    (Scheduler.submit dp.dp_sched
+       ~name:(stage ^ ":" ^ dp.dp_label)
+       ~footprint:dp.dp_fp fn)
+
+(* The stage tasks. Control flow mirrors [run_pass] exactly — same
+   stages, same order, same failure points — but each arrow of the
+   chain is a task submission instead of a call. *)
+let rec dag_color dp pass_index ~timer ~cfg ~webs ~built ~costs_int
+    ~costs_flt =
+  let st = dp.dp_st in
+  if pass_index > st.cfgn.max_passes then
+    fail "%s: no convergence after %d passes" st.proc.Proc.name
+      st.cfgn.max_passes;
+  if pass_index = 1 then st.live_ranges <- Webs.n_webs webs;
+  let out_int = Color_pass.run st ~timer built Reg.Int_reg ~costs:costs_int in
+  let out_flt = Color_pass.run st ~timer built Reg.Flt_reg ~costs:costs_flt in
+  let groups_int, cost_int =
+    Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int
+  in
+  let groups_flt, cost_flt =
+    Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt
+  in
+  let n_spilled = List.length groups_int + List.length groups_flt in
+  if n_spilled = 0 then begin
+    match out_int, out_flt with
+    | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
+      dag_submit dp ~stage:"rewrite" (fun () ->
+        dag_rewrite dp ~timer ~pass_index ~cfg ~webs ~built ~colors_int
+          ~colors_flt)
+    | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
+  end
+  else begin
+    let spill_cost = cost_int +. cost_flt in
+    Spill_elect.check_spillable st ~pass_index ~k_int:dp.dp_k_int
+      ~k_flt:dp.dp_k_flt ~spill_cost (costs_int, out_int)
+      (costs_flt, out_flt);
+    st.total_spilled <- st.total_spilled + n_spilled;
+    st.total_spill_cost <- st.total_spill_cost +. spill_cost;
+    Telemetry.counter st.tele "alloc.spilled" n_spilled;
+    dag_submit dp ~stage:"spill" (fun () ->
+      dag_spill dp pass_index ~timer ~webs ~built ~n_spilled ~spill_cost
+        ~groups_int ~groups_flt)
+  end
+
+and dag_spill dp pass_index ~timer ~webs ~built ~n_spilled ~spill_cost
+    ~groups_int ~groups_flt =
+  let st = dp.dp_st in
+  Spill_insert.emit_dump st ~pass_index ~webs ~n_spilled ~spill_cost
+    ~k_int:dp.dp_k_int ~k_flt:dp.dp_k_flt ~groups_int ~groups_flt;
+  let sp = Spill_insert.run st ~timer webs ~groups:(groups_int @ groups_flt) in
+  record_pass st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
+    ~k_flt:dp.dp_k_flt ~spilled:n_spilled ~spill_cost;
+  dag_submit dp ~stage:"build" (fun () -> dag_build dp (pass_index + 1) ~edit:sp)
+
+and dag_build dp pass_index ~edit =
+  let st = dp.dp_st in
+  let timer = Timer.create () in
+  let cfg, webs, built, costs_int, costs_flt =
+    Build_pass.run st ~timer ~edit:(Some edit)
+  in
+  dag_submit dp ~stage:"color" (fun () ->
+    dag_color dp pass_index ~timer ~cfg ~webs ~built ~costs_int ~costs_flt)
+
+and dag_rewrite dp ~timer ~pass_index ~cfg ~webs ~built ~colors_int
+    ~colors_flt =
+  let st = dp.dp_st in
+  record_pass st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
+    ~k_flt:dp.dp_k_flt ~spilled:0 ~spill_cost:0.0;
+  let allocated, moves_removed =
+    Rewrite_pass.run st ~cfg ~built ~colors_int ~colors_flt
+  in
+  Verify_pass.run st allocated;
+  Telemetry.counter st.tele "alloc.moves_removed" moves_removed;
+  dp.dp_slot :=
+    Some
+      { proc = allocated;
+        passes = List.rev st.passes_rev;
+        live_ranges = st.live_ranges;
+        total_spilled = st.total_spilled;
+        total_spill_cost = st.total_spill_cost;
+        moves_removed }
+
+let dag_start dp shared =
+  let st = dp.dp_st in
+  Telemetry.counter st.tele "alloc.procs" 1;
+  (* plant the shared build as this context's previous pass, so a spill
+     pass patches it incrementally — exactly what a sequential pass 1
+     would have left behind *)
+  Context.adopt_prev st.ctx ~cfg:shared.sb_cfg ~built:shared.sb_built;
+  let timer = Timer.create () in
+  Timer.add timer ~phase:Phase.Build shared.sb_build_time;
+  dag_color dp 1 ~timer ~cfg:shared.sb_cfg ~webs:shared.sb_webs
+    ~built:shared.sb_built ~costs_int:shared.sb_costs_int
+    ~costs_flt:shared.sb_costs_flt
+
+let submit_dag sched cfgn machine ~tele ?bpool ?(edge_cache = true)
+    ~pipelines (original : Proc.t) =
+  let sb_token = Atomic.fetch_and_add next_state_token 1 in
+  let cell = ref None in
+  let cache = if edge_cache then Some (Build.Edge_cache.create ()) else None in
+  ignore
+    (Scheduler.submit sched
+       ~name:("build:" ^ original.Proc.name)
+       ~footprint:
+         { Footprint.reads = [];
+           writes = [ Footprint.State sb_token; Footprint.Telemetry ] }
+       (fun () ->
+         cell := Some (build_shared cfgn machine ~tele ?pool:bpool ?cache original)));
+  List.map
+    (fun (heuristic, ctx) ->
+      let pipe_token = Atomic.fetch_and_add next_state_token 1 in
+      let slot = ref None in
+      let st =
+        { cfgn;
+          machine;
+          heuristic;
+          ctx;
+          tele = Context.telemetry ctx;
+          proc = copy_proc original;
+          spill_vreg_ids = Hashtbl.create 16;
+          live_ranges = 0;
+          total_spilled = 0;
+          total_spill_cost = 0.0;
+          passes_rev = [] }
+      in
+      let dp =
+        { dp_st = st;
+          dp_sched = sched;
+          dp_fp =
+            { Footprint.reads = [ Footprint.State sb_token ];
+              writes = [ Footprint.State pipe_token; Footprint.Telemetry ] };
+          dp_label = original.Proc.name ^ ":" ^ Heuristic.name heuristic;
+          dp_k_int = Machine.regs machine Reg.Int_reg;
+          dp_k_flt = Machine.regs machine Reg.Flt_reg;
+          dp_slot = slot }
+      in
+      dag_submit dp ~stage:"color" (fun () ->
+        match !cell with
+        | Some shared -> dag_start dp shared
+        | None ->
+          (* the State edge guarantees the shared build ran first *)
+          assert false);
+      slot)
+    pipelines
+
 let run cfgn ~context machine heuristic (original : Proc.t) : outcome =
   let tele = Context.telemetry context in
   Telemetry.span tele Phase.Alloc

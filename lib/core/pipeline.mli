@@ -71,3 +71,29 @@ val spill_groups : Build.t -> Ra_ir.Reg.cls -> int list -> int list list
 val run :
   config -> context:Context.t -> Machine.t -> Heuristic.t -> Ra_ir.Proc.t ->
   outcome
+
+(** The DAG decomposition ([RA_SCHED=dag]): submit, into the open
+    {!Ra_support.Scheduler.run} scope of [sched], one shared first-pass
+    Build task for the procedure plus one stage-task chain per
+    [pipelines] entry (a heuristic with its own single-threaded
+    context), all dependency-ordered through declared
+    {!Ra_support.Footprint.State} tokens. Returns one result slot per
+    pipeline, filled by its rewrite task — read them only after the
+    scheduler scope has drained. Outcomes are bit-identical to {!run}
+    on the same inputs.
+
+    [tele] is the shared build task's sink; each pipeline reports into
+    its context's sink as usual. [bpool] (typically
+    {!Ra_support.Scheduler.pool}) shards the shared build's edge scan;
+    [edge_cache] (default on) gives the shared build a private cache
+    for its coalescing rounds. *)
+val submit_dag :
+  Ra_support.Scheduler.t ->
+  config ->
+  Machine.t ->
+  tele:Ra_support.Telemetry.t ->
+  ?bpool:Ra_support.Pool.t ->
+  ?edge_cache:bool ->
+  pipelines:(Heuristic.t * Context.t) list ->
+  Ra_ir.Proc.t ->
+  outcome option ref list

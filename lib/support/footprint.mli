@@ -19,6 +19,11 @@ type resource =
   | Igraph_rows of { id : int; lo : int; hi : int }
   | Edge_cache_blocks of { id : int; lo : int; hi : int }
   | Liveness of int
+  | State of int
+    (** an abstract serialization token from {!fresh_uid}: tasks sharing
+        mutable state the hook vocabulary cannot name declare a write on
+        one [State] id and the DAG scheduler serializes them. No access
+        hook ever observes it, so it never fails conformance. *)
   | Telemetry
 
 (** An observed access point, as the instrumentation hooks record it.
@@ -57,6 +62,10 @@ val covered_by : resource list -> key -> bool
 (** [conflict a b] is the first (write of [a], read∪write of [b])
     overlapping pair, if any. Not symmetric: check both orders. *)
 val conflict : t -> t -> (resource * resource) option
+
+(** [conflicts a b]: either order has a write/read∪write overlap — the
+    symmetric test the DAG scheduler derives dependency edges from. *)
+val conflicts : t -> t -> bool
 
 val resource_to_string : resource -> string
 val key_to_string : key -> string

@@ -12,10 +12,11 @@ type t =
   | Spill_insert
   | Rewrite
   | Verify
+  | Task
 
 let all =
   [ Alloc; Pass; Lint; Build; Liveness; Coalesce; Scan; Simplify; Color;
-    Spill_elect; Spill_insert; Rewrite; Verify ]
+    Spill_elect; Spill_insert; Rewrite; Verify; Task ]
 
 let count = List.length all
 
@@ -33,6 +34,7 @@ let index = function
   | Spill_insert -> 10
   | Rewrite -> 11
   | Verify -> 12
+  | Task -> 13
 
 let name = function
   | Alloc -> "alloc"
@@ -48,5 +50,6 @@ let name = function
   | Spill_insert -> "spill-insert"
   | Rewrite -> "rewrite"
   | Verify -> "verify"
+  | Task -> "task"
 
 let of_name s = List.find_opt (fun p -> name p = s) all

@@ -6,11 +6,15 @@ Checks, in order:
   2. every complete ("ph": "X") span nests properly within its
      per-thread (per-domain) track — spans on one tid either disjoint
      or strictly contained, never partially overlapping;
-  3. the trace covers the allocator's documented stages: an `alloc`
-     root, at least one `pass`, and `build` / `simplify` / `color`
-     spans under it (spill phases appear only when something spills);
-  4. when more than one domain participated, at least one pooled
-     `scan` span is tagged with a non-main tid.
+  3. the trace covers the allocator's documented stages. Two shapes:
+     the flat pipeline (RA_SCHED=flat, or a single-routine alloc) has an
+     `alloc` root with at least one `pass` and `build` / `simplify` /
+     `color` spans under it; the task-DAG schedule (RA_SCHED=dag) wraps
+     every stage in a `task` span instead — `task` spans plus the same
+     stage spans, and at least one `sched.tasks`-family counter sample
+     (spill phases appear only when something spills in either shape);
+  4. when more than one domain participated, at least one pooled `scan`
+     or stolen `task` span is tagged with a non-main tid.
 
 Exit status 0 on success; 1 with a message on the first violation.
 Usage: check_trace.py TRACE.json
@@ -69,22 +73,37 @@ def main(path):
             stack.append(end)
 
     names = {e["name"] for e in spans}
-    for required in ("alloc", "pass", "build", "simplify", "color"):
-        if required not in names:
-            fail(f"no {required!r} span in the trace (have: {sorted(names)})")
+    dag = "task" in names
+    required = (
+        ("task", "build", "simplify", "color")
+        if dag
+        else ("alloc", "pass", "build", "simplify", "color")
+    )
+    for name in required:
+        if name not in names:
+            fail(f"no {name!r} span in the trace (have: {sorted(names)})")
+    if dag:
+        sched_counters = [
+            e
+            for e in events
+            if e.get("ph") == "C" and str(e.get("name", "")).startswith("sched.")
+        ]
+        if not sched_counters:
+            fail("DAG trace ('task' spans) has no 'sched.*' counter samples")
 
     tids = {e["tid"] for e in spans}
     if len(tids) > 1:
-        main_tid = min(
-            e["tid"] for e in spans if e["name"] == "alloc"
-        )
-        pooled = [
-            e for e in spans if e["name"] == "scan" and e["tid"] != main_tid
+        root = "task" if dag else "alloc"
+        main_tid = min(e["tid"] for e in spans if e["name"] == root)
+        offloaded = [
+            e
+            for e in spans
+            if e["name"] in ("scan", "task") and e["tid"] != main_tid
         ]
-        if not pooled:
+        if not offloaded:
             fail(
-                f"{len(tids)} domains emitted spans but no pooled 'scan' "
-                "span carries a worker tid"
+                f"{len(tids)} domains emitted spans but no pooled 'scan' or "
+                "stolen 'task' span carries a worker tid"
             )
 
     n_counters = sum(1 for e in events if e.get("ph") == "C")
