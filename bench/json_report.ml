@@ -69,6 +69,19 @@ let fingerprint (r : Allocator.result) =
 
 let buf_time b t = Buffer.add_string b (Printf.sprintf "%.6f" t)
 
+(* allocator diagnostics go into JSON strings verbatim *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* cost-blind Matula assigns infinite spill costs; JSON has no inf *)
 let json_cost c =
   if Float.is_finite c then Printf.sprintf "%.1f" c
@@ -276,21 +289,32 @@ let run ~picks () =
   (* Routines a measured heuristic cannot allocate on this machine at
      all (cost-blind Matula gives up on euler_main's call-heavy k=16
      pressure — a known, goldened failure) would abort every mode's
-     matrix identically; probe once and time the allocatable rest. The
-     exclusions are recorded in the JSON so a new one is visible. *)
+     matrix identically; probe every (routine, heuristic) cell once and
+     time the allocatable rest. Each failing cell is recorded in the
+     JSON with the allocator's own diagnostic, so a new exclusion — or
+     a changed reason for a known one — is visible in the artifact. *)
   let all_procs =
     List.concat_map Ra_programs.Suite.compile Ra_programs.Suite.all
   in
   let probe_ctx = Context.create ~jobs:1 machine in
-  let suite_procs, excluded =
-    List.partition
-      (fun p ->
-        List.for_all
+  let probe_failures =
+    List.concat_map
+      (fun (p : Ra_ir.Proc.t) ->
+        List.filter_map
           (fun h ->
             match Allocator.allocate ~context:probe_ctx machine h p with
-            | _ -> true
-            | exception Pipeline.Allocation_failure _ -> false)
+            | _ -> None
+            | exception Pipeline.Allocation_failure reason ->
+              Some (p.Ra_ir.Proc.name, Heuristic.name h, reason))
           heuristics)
+      all_procs
+  in
+  let suite_procs =
+    List.filter
+      (fun (p : Ra_ir.Proc.t) ->
+        not
+          (List.exists (fun (name, _, _) -> name = p.Ra_ir.Proc.name)
+             probe_failures))
       all_procs
   in
   let wall_reps = 3 in
@@ -401,6 +425,9 @@ let run ~picks () =
     Ra_support.Telemetry.counter_total cac_tele "edge_cache.misses"
   in
   let total_scans = cache_hits_total + cache_misses_total in
+  (* the speculative-coloring section: synthetic graphs, sequential
+     baseline vs engine at widths 1/2/4/8, with its own gates *)
+  let par_color_json, par_color_fails = Synth_bench.section () in
   let utilization =
     String.concat ", "
       (Array.to_list
@@ -427,13 +454,18 @@ let run ~picks () =
         \"scratch_builds\": %d, \"verified_builds\": %d, \
         \"reference_scratch_builds\": %d},\n  \
         \"edge_cache\": {\"hits\": %d, \"misses\": %d, \
-        \"hit_rate\": %s},\n  \"divergences\": [%s]\n}\n"
+        \"hit_rate\": %s},\n  \
+        \"par_color\": %s,\n  \"divergences\": [%s]\n}\n"
        jobs
        (List.length suite_procs)
        (String.concat ", "
           (List.map
-             (fun (p : Ra_ir.Proc.t) -> Printf.sprintf "\"%s\"" p.name)
-             excluded))
+             (fun (routine, heuristic, reason) ->
+               Printf.sprintf
+                 "{\"routine\": \"%s\", \"heuristic\": \"%s\", \
+                  \"reason\": \"%s\"}"
+                 routine heuristic (json_escape reason))
+             probe_failures))
        seq_s flat_s dag_s dag_s hw_jobs dag_stats.Ra_support.Scheduler.tasks
        dag_stats.Ra_support.Scheduler.steals
        dag_stats.Ra_support.Scheduler.edges
@@ -452,6 +484,7 @@ let run ~picks () =
         else
           Printf.sprintf "%.4f"
             (float cache_hits_total /. float total_scans))
+       par_color_json
        (String.concat ", "
           (List.rev_map (Printf.sprintf "\"%s\"") !divergences)));
   let path = "BENCH_alloc.json" in
@@ -490,5 +523,12 @@ let run ~picks () =
       "suite: DAG wall %.6fs >= sequential wall %.6fs — the task-DAG \
        schedule is not paying for itself\n"
       dag_s seq_s;
+    exit 1
+  end;
+  (* the speculative engine's gates: bit-identical everywhere, width 1
+     never regresses, and width >= 2 beats the baseline outright on the
+     big synthetic graphs *)
+  if par_color_fails <> [] then begin
+    List.iter (fun f -> Printf.eprintf "%s\n" f) par_color_fails;
     exit 1
   end

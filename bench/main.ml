@@ -46,7 +46,8 @@ let available =
     "fig6", Fig6.run;
     "fig7", Fig7.run;
     "ablation", Ablation.run;
-    "micro", Micro.run ]
+    "micro", Micro.run;
+    "synth", Synth_bench.run ]
 
 let () =
   let args =

@@ -1,0 +1,235 @@
+(* Synthetic-graph races: the speculative parallel Select engine
+   ({!Ra_core.Par_color}) against its faithful sequential baseline on
+   graphs far past anything the paper's suite produces.
+
+   [RA_SYNTH_WEBS] (default "100000,1000000") picks the node counts;
+   each count is generated twice — a power-law (preferential-attachment)
+   graph, whose hubs are speculation's worst case, and a geometric
+   (unit-square radius) graph, whose locality is its best case. Every
+   graph is colored by the baseline and by the engine at widths 1, 2, 4
+   and 8; walls keep the min over [reps] runs and every engine run must
+   reproduce the baseline's colors and spill set bit for bit.
+
+   Two gates feed the bench exit code (via {!section}'s failure list):
+   - width 1 must never regress past the baseline (tolerance below) —
+     at width 1 the engine is its tuned sequential pass, so a
+     regression means the dispatch itself grew a cost;
+   - on graphs of at least [beat_floor] webs, the best width >= 2 wall
+     must beat the baseline outright — the engine's reason to exist.
+     Smaller smoke graphs (CI runs RA_SYNTH_WEBS=10000) skip the beat
+     gate: speculation is not expected to pay under the engagement
+     threshold's natural scale. *)
+
+open Ra_core
+
+let kinds =
+  [ "power_law", Synth_graph.power_law; "geometric", Synth_graph.geometric ]
+
+let widths = [ 1; 2; 4; 8 ]
+let k = 16
+let avg_degree = 8
+let n_precolored = 32
+let reps = 3
+let beat_floor = 100_000
+
+(* width-1 tolerance: 10% plus 5ms of timer noise *)
+let w1_slack s = (s *. 1.10) +. 0.005
+
+let webs_of_env () =
+  let spec =
+    match Sys.getenv_opt "RA_SYNTH_WEBS" with
+    | None | Some "" -> "100000,1000000"
+    | Some s -> s
+  in
+  List.filter_map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some n when n > n_precolored -> Some n
+      | Some _ | None -> None)
+    (String.split_on_char ',' spec)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+type width_run = {
+  width : int;
+  spec_wall : float;
+  rounds : int;
+  deferrals : int;
+  identical : bool;
+}
+
+type graph_run = {
+  kind : string;
+  webs : int;
+  edges : int;
+  digest : string;
+  deterministic : bool; (* regeneration reproduced the digest *)
+  seq_wall : float;
+  per_width : width_run list;
+}
+
+let measure_graph ~kind ~gen ~webs =
+  let seed = 0xC0FFEE + webs in
+  let make () =
+    gen ~seed ~n_nodes:webs ~n_precolored ~avg_degree
+  in
+  let g = make () in
+  let digest = Synth_graph.digest g in
+  let deterministic = Synth_graph.digest (make ()) = digest in
+  let view = Synth_graph.view g in
+  let order = Synth_graph.natural_order g in
+  let min_wall f =
+    let best = ref infinity in
+    let out = ref None in
+    for _ = 1 to reps do
+      let r, s = wall f in
+      if s < !best then best := s;
+      out := Some r
+    done;
+    Option.get !out, !best
+  in
+  let (base_colors, base_unc), seq_wall =
+    min_wall (fun () -> Par_color.select_view_seq view ~k ~order)
+  in
+  let per_width =
+    List.map
+      (fun width ->
+        let pool = Ra_support.Pool.create ~jobs:width in
+        let stats = ref Par_color.no_stats in
+        let (colors, unc), spec_wall =
+          min_wall (fun () ->
+            Par_color.select_view ~pool ~stats view ~k ~order)
+        in
+        Ra_support.Pool.shutdown pool;
+        { width;
+          spec_wall;
+          rounds = !stats.Par_color.rounds;
+          deferrals = !stats.Par_color.suspects;
+          identical = colors = base_colors && unc = base_unc })
+      widths
+  in
+  { kind; webs; edges = Synth_graph.n_edges g; digest; deterministic;
+    seq_wall; per_width }
+
+let measure () =
+  List.concat_map
+    (fun webs ->
+      List.map (fun (kind, gen) -> measure_graph ~kind ~gen ~webs) kinds)
+    (webs_of_env ())
+
+let gate_failures runs =
+  List.concat_map
+    (fun r ->
+      let where = Printf.sprintf "%s/%d" r.kind r.webs in
+      let id =
+        List.filter_map
+          (fun w ->
+            if w.identical then None
+            else
+              Some
+                (Printf.sprintf "par_color %s: width %d diverged from the \
+                                 sequential baseline" where w.width))
+          r.per_width
+      in
+      let det =
+        if r.deterministic then []
+        else [ Printf.sprintf "par_color %s: regeneration changed the \
+                               graph digest" where ]
+      in
+      let w1 =
+        List.concat_map
+          (fun w ->
+            if w.width = 1 && w.spec_wall > w1_slack r.seq_wall then
+              [ Printf.sprintf
+                  "par_color %s: width-1 wall %.6fs regresses past the \
+                   baseline %.6fs"
+                  where w.spec_wall r.seq_wall ]
+            else [])
+          r.per_width
+      in
+      let beat =
+        if r.webs < beat_floor then []
+        else
+          let best =
+            List.fold_left
+              (fun acc w ->
+                if w.width >= 2 then Float.min acc w.spec_wall else acc)
+              infinity r.per_width
+          in
+          if best < r.seq_wall then []
+          else
+            [ Printf.sprintf
+                "par_color %s: best width>=2 wall %.6fs does not beat the \
+                 baseline %.6fs"
+                where best r.seq_wall ]
+      in
+      id @ det @ w1 @ beat)
+    runs
+
+(* the "par_color" object of BENCH_alloc.json *)
+let json_of runs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"k\": ";
+  Buffer.add_string b (string_of_int k);
+  Buffer.add_string b (Printf.sprintf ", \"avg_degree\": %d, \"reps\": %d, \
+                                       \"beat_floor\": %d,\n    \"graphs\": ["
+                         avg_degree reps beat_floor);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n      {\"kind\": \"%s\", \"webs\": %d, \"edges\": %d, \
+            \"digest\": \"%s\", \"deterministic\": %b,\n       \
+            \"sequential_wall_s\": %.6f, \"widths\": ["
+           r.kind r.webs r.edges r.digest r.deterministic r.seq_wall);
+      List.iteri
+        (fun j w ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n         {\"width\": %d, \"wall_s\": %.6f, \
+                \"speedup\": %.4f, \"rounds\": %d, \"deferrals\": %d, \
+                \"identical\": %b}"
+               w.width w.spec_wall
+               (r.seq_wall /. Float.max w.spec_wall 1e-9)
+               w.rounds w.deferrals w.identical))
+        r.per_width;
+      Buffer.add_string b "]}")
+    runs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* machine-readable entry point for {!Json_report}: the JSON fragment
+   plus the gate failures that must flip the exit code *)
+let section () =
+  let runs = measure () in
+  json_of runs, gate_failures runs
+
+(* human-readable entry point for `bench/main.exe synth` *)
+let run () =
+  Common.section "Synthetic graphs -- speculative vs sequential Select";
+  let runs = measure () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %8d webs %9d edges  digest %s  seq %.4fs\n"
+        r.kind r.webs r.edges r.digest r.seq_wall;
+      List.iter
+        (fun w ->
+          Printf.printf
+            "    width %d: %.4fs (%.2fx)  rounds %d  deferrals %d  %s\n"
+            w.width w.spec_wall
+            (r.seq_wall /. Float.max w.spec_wall 1e-9)
+            w.rounds w.deferrals
+            (if w.identical then "identical" else "DIVERGED"))
+        r.per_width)
+    runs;
+  (match gate_failures runs with
+   | [] -> print_endline "gates: all pass"
+   | fails ->
+     List.iter (fun f -> Printf.printf "GATE FAIL: %s\n" f) fails;
+     exit 1);
+  print_newline ()

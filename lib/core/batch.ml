@@ -97,10 +97,30 @@ let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
     let bpool =
       if Scheduler.jobs sched > 1 then Some (Scheduler.pool sched) else None
     in
+    (* Largest routine first: submission order is the ready-queue order
+       for independent stage chains, so seeding the DAG with the longest
+       routines keeps their (longest) critical paths off the tail of the
+       schedule — the classic LPT bound. Result rows are re-sorted back
+       to textual order below; only the schedule moves. *)
+    let by_size =
+      List.stable_sort
+        (fun (_, a) (_, b) ->
+          compare
+            (Array.length b.Proc.code)
+            (Array.length a.Proc.code))
+        (List.mapi (fun i p -> i, p) procs)
+    in
+    if Telemetry.enabled tele then begin
+      let displaced = ref 0 in
+      List.iteri
+        (fun rank (orig, _) -> if rank <> orig then incr displaced)
+        by_size;
+      Telemetry.counter tele "sched.lpt_displaced" !displaced
+    end;
     let rows =
       Scheduler.run sched (fun () ->
         List.map
-          (fun proc ->
+          (fun (orig, proc) ->
             (* per-pipeline contexts are single-threaded and private:
                their scratch graphs, buckets and edge caches are the
                stage chain's only mutable state besides its proc copy *)
@@ -110,9 +130,14 @@ let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
                   h, Context.create ?edge_cache ~verify ~jobs:1 ~tele machine)
                 heuristics
             in
-            Pipeline.submit_dag sched cfgn machine ~tele ?bpool ?edge_cache
-              ~pipelines proc)
-          procs)
+            ( orig,
+              Pipeline.submit_dag sched cfgn machine ~tele ?bpool ?edge_cache
+                ~pipelines proc ))
+          by_size)
+    in
+    let rows =
+      List.map snd
+        (List.sort (fun (a, _) (b, _) -> compare (a : int) b) rows)
     in
     let rows =
       List.map

@@ -23,9 +23,17 @@ let assert_total (g : Igraph.t) (colors : int option array) =
     assert (colors.(n) <> None)
   done
 
-let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets t g ~k ~costs :
-    outcome =
+let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets ?pool
+    ?(verify = false) t g ~k ~costs : outcome =
   let timed phase f = Ra_support.Telemetry.span tele ?timer phase f in
+  (* Select goes through the speculative engine when it can pay off
+     (pool present, graph big enough, RA_PAR_COLOR not off) — the
+     results are bit-identical, so the routing is invisible. *)
+  let select g ~k ~order =
+    if Par_color.should ~pool ~n_nodes:(Igraph.n_nodes g) then
+      Par_color.select ?pool ~verify ~tele g ~k ~order
+    else Coloring.select g ~k ~order
+  in
   match t with
   | Chaitin ->
     let { Coloring.order; marked } =
@@ -35,7 +43,7 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets t g ~k ~costs :
     if marked <> [] then Spill marked
     else begin
       let { Coloring.colors; uncolored } =
-        timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
+        timed Ra_support.Phase.Color (fun () -> select g ~k ~order)
       in
       (* simplification only removed degree-< k nodes: coloring must work *)
       assert (uncolored = []);
@@ -49,7 +57,7 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets t g ~k ~costs :
     in
     assert (marked = []);
     let { Coloring.colors; uncolored } =
-      timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
+      timed Ra_support.Phase.Color (fun () -> select g ~k ~order)
     in
     if uncolored <> [] then Spill uncolored
     else begin
@@ -62,7 +70,7 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets t g ~k ~costs :
         Coloring.smallest_last_order ?buckets g)
     in
     let { Coloring.colors; uncolored } =
-      timed Ra_support.Phase.Color (fun () -> Coloring.select g ~k ~order)
+      timed Ra_support.Phase.Color (fun () -> select g ~k ~order)
     in
     if uncolored <> [] then Spill uncolored
     else begin

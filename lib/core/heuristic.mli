@@ -31,9 +31,17 @@ val of_name : string -> t option
     under {!Ra_support.Phase.Color} (Chaitin runs no select on a pass
     that spills, exactly as the empty Color cells of Figure 7 show).
     [buckets] is a reusable degree-bucket buffer for Matula's
-    smallest-last ordering. *)
+    smallest-last ordering.
+
+    With [pool], select routes through the speculative parallel engine
+    whenever {!Par_color.should} says it can pay — the outcome is
+    bit-identical either way; [verify] additionally cross-checks that
+    engine against [Coloring.select] (raising {!Par_color.Divergence}
+    on any difference). *)
 val run :
   ?timer:Ra_support.Timer.t ->
   ?tele:Ra_support.Telemetry.t ->
   ?buckets:Ra_support.Degree_buckets.t ->
+  ?pool:Ra_support.Pool.t ->
+  ?verify:bool ->
   t -> Igraph.t -> k:int -> costs:float array -> outcome

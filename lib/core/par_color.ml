@@ -1,0 +1,351 @@
+open Ra_support
+
+exception Divergence of string
+
+type view = {
+  v_nodes : int;
+  v_precolored : int;
+  v_iter : int -> (int -> unit) -> unit;
+}
+
+let view_of_igraph g =
+  { v_nodes = Igraph.n_nodes g;
+    v_precolored = Igraph.n_precolored g;
+    v_iter = (fun n f -> Igraph.iter_neighbors g n ~f) }
+
+type stats = {
+  engaged : bool;
+  shards : int;
+  rounds : int;
+  suspects : int;
+  recolored : int;
+}
+
+let no_stats = { engaged = false; shards = 0; rounds = 0; suspects = 0; recolored = 0 }
+
+(* ---- configuration ---- *)
+
+let enabled_env =
+  match Sys.getenv_opt "RA_PAR_COLOR" with
+  | Some "0" | Some "" -> false
+  | None | Some _ -> true
+
+let enabled_override = ref None
+let set_enabled o = enabled_override := o
+let enabled () = match !enabled_override with Some b -> b | None -> enabled_env
+
+let min_nodes_env =
+  match Sys.getenv_opt "RA_PAR_COLOR_MIN" with
+  | Some s -> (match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 4096)
+  | None -> 4096
+
+let min_nodes_override = ref None
+let set_min_nodes o = min_nodes_override := o
+let min_nodes () =
+  match !min_nodes_override with Some n -> n | None -> min_nodes_env
+
+let should ~pool ~n_nodes =
+  enabled () && pool <> None && n_nodes >= min_nodes ()
+
+let seeded_footprint_overlap = ref false
+
+(* ---- shared pieces ---- *)
+
+(* A growable int buffer: per-shard suspect/changed sinks. *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create n = { a = Array.make (max n 4) 0; len = 0 }
+
+  let push t x =
+    (if t.len = Array.length t.a then begin
+       let b = Array.make (2 * t.len) 0 in
+       Array.blit t.a 0 b 0 t.len;
+       t.a <- b
+     end);
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+end
+
+let init_colors view =
+  let colors = Array.make view.v_nodes (-1) in
+  for p = 0 to view.v_precolored - 1 do
+    colors.(p) <- p
+  done;
+  colors
+
+let collect_uncolored ~colors ~order =
+  let unc = ref [] in
+  for idx = Array.length order - 1 downto 0 do
+    if colors.(order.(idx)) = -2 then unc := order.(idx) :: !unc
+  done;
+  !unc
+
+(* The tuned sequential pass: one neighbor sweep per node into a
+   stamp-versioned scratch (no reset sweep, no option boxing). In
+   coloring order only already-processed nodes and machine registers
+   have a color >= 0, so no rank test is needed. *)
+let seq_into view ~k ~(order : int array) ~(colors : int array) =
+  let in_use = Array.make (max k 1) 0 in
+  let stamp = ref 0 in
+  for idx = 0 to Array.length order - 1 do
+    let node = order.(idx) in
+    incr stamp;
+    let s = !stamp in
+    view.v_iter node (fun nb ->
+      let c = colors.(nb) in
+      if c >= 0 && c < k then in_use.(c) <- s);
+    let c = ref 0 in
+    while !c < k && in_use.(!c) = s do incr c done;
+    colors.(node) <- (if !c < k then !c else -2)
+  done
+
+let select_view_seq view ~k ~(order : int array) =
+  (* Transliteration of [Coloring.select]: option colors, a boolean
+     scratch marked then reset by a second neighbor sweep per node. *)
+  let n = view.v_nodes in
+  let colors = Array.make n None in
+  for p = 0 to view.v_precolored - 1 do
+    colors.(p) <- Some p
+  done;
+  let uncolored = ref [] in
+  let in_use = Array.make (max k 1) false in
+  for idx = 0 to Array.length order - 1 do
+    let node = order.(idx) in
+    view.v_iter node (fun nb ->
+      match colors.(nb) with
+      | Some c when c < k -> in_use.(c) <- true
+      | Some _ | None -> ());
+    let rec first_free c =
+      if c >= k then None else if in_use.(c) then first_free (c + 1) else Some c
+    in
+    (match first_free 0 with
+     | Some c -> colors.(node) <- Some c
+     | None -> uncolored := node :: !uncolored);
+    view.v_iter node (fun nb ->
+      match colors.(nb) with
+      | Some c when c < k -> in_use.(c) <- false
+      | Some _ | None -> ())
+  done;
+  let out = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    match colors.(i) with Some c -> out.(i) <- c | None -> ()
+  done;
+  List.iter (fun u -> out.(u) <- -2) !uncolored;
+  (out, List.rev !uncolored)
+
+(* ---- the speculative engine ---- *)
+
+(* Node states in [colors]: [-1] undecided, [-2] decided-blocked,
+   [>= 0] decided. The engine never publishes a speculative value: a
+   node is colored only once every earlier-rank neighbor is decided,
+   otherwise it *defers* — so every write is final, a racy read
+   returns [-1] or a final decision (OCaml int array accesses are
+   untorn), and there is nothing to repair but the deferred set. That
+   is what makes the fixpoint exactly the sequential coloring: the
+   decided prefix of the order only ever grows, and each repair round
+   decides at least its minimal-rank deferred node, whose earlier
+   neighbors are necessarily all decided. Cross-round visibility is
+   the pool join barrier. *)
+
+let min_shard_nodes = 256
+
+(* Dispatching a repair round costs a pool barrier; below this many
+   deferred nodes the recompute is cheaper inline on the caller — and
+   an inline (single-shard) pass in rank order defers nothing, so it
+   finishes the job. *)
+let par_repair_min = 1 lsl 18
+let max_rounds = 100
+
+let select_view_spec pool view ~k ~(order : int array) ~stats =
+  let n = view.v_nodes in
+  let len = Array.length order in
+  let jobs = Pool.jobs pool in
+  let colors = init_colors view in
+  (* rank = position in coloring order; machine registers rank -1
+     (earlier than everything), unordered nodes [max_int] (never read). *)
+  let rank = Array.make n max_int in
+  for p = 0 to view.v_precolored - 1 do
+    rank.(p) <- -1
+  done;
+  for idx = 0 to len - 1 do
+    rank.(order.(idx)) <- idx
+  done;
+  (* Color [seg.(lo..hi-1)] (a rank-sorted slice), deferring every node
+     with an undecided earlier-rank neighbor into [sink]. [in_use] is
+     the caller's stamp scratch (one per worker, reused across chunks). *)
+  let color_slice ~(seg : int array) ~lo ~hi ~(in_use : int array)
+      ~(stamp : int ref) ~(sink : Ivec.t) =
+    for i = lo to hi - 1 do
+      let node = seg.(i) in
+      let my_rank = rank.(node) in
+      incr stamp;
+      let st = !stamp in
+      let undecided = ref false in
+      view.v_iter node (fun nb ->
+        (* once undecided the node will defer: skip the scratch work *)
+        if (not !undecided) && rank.(nb) < my_rank then begin
+          let c = colors.(nb) in
+          if c = -1 then undecided := true
+          else if c >= 0 && c < k then in_use.(c) <- st
+        end);
+      if !undecided then Ivec.push sink node
+      else begin
+        let c = ref 0 in
+        while !c < k && in_use.(!c) = st do incr c done;
+        colors.(node) <- (if !c < k then !c else -2)
+      end
+    done
+  in
+  (* Workers claim rank-contiguous chunks off an atomic counter, so at
+     any instant the undecided region is at most [jobs] chunks wide and
+     every back edge landing before it is already decided — that claim
+     order, not luck, is what keeps the deferred set small. One
+     deferral sink per chunk (each chunk has exactly one owner), and
+     concatenating sinks in chunk order keeps the set rank-sorted. *)
+  let run_claiming ~(seg : int array) ~slen ~first_chunk ~sinks ~what =
+    let n_chunks = Array.length sinks in
+    let next = Atomic.make first_chunk in
+    let workers = max 1 (min jobs (n_chunks - first_chunk)) in
+    let tokens =
+      if !seeded_footprint_overlap then
+        let t = Footprint.fresh_uid () in
+        Array.make workers t
+      else Array.init workers (fun _ -> Footprint.fresh_uid ())
+    in
+    let meta i =
+      { Pool.tm_name = Printf.sprintf "par_color:%s%d" what i;
+        tm_footprint =
+          { Footprint.reads = []; writes = [ Footprint.State tokens.(i) ] } }
+    in
+    let worker _ =
+      let in_use = Array.make (max k 1) 0 in
+      let stamp = ref 0 in
+      let rec claim () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          color_slice ~seg ~lo:(c * min_shard_nodes)
+            ~hi:(min slen ((c + 1) * min_shard_nodes))
+            ~in_use ~stamp ~sink:sinks.(c);
+          claim ()
+        end
+      in
+      claim ()
+    in
+    if workers = 1 then worker 0
+    else Pool.run pool ~meta ~n:workers worker
+  in
+  let collect sinks =
+    let total = Array.fold_left (fun a (v : Ivec.t) -> a + v.len) 0 sinks in
+    let out = Array.make total 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun (v : Ivec.t) ->
+        Array.blit v.a 0 out !pos v.len;
+        pos := !pos + v.len)
+      sinks;
+    out
+  in
+  let total_deferrals = ref 0 in
+  let rounds = ref 1 in
+  (* Round 1. The first eighth of the order goes first, inline: its
+     earlier-rank neighbors are all inside it (or machine registers),
+     so it decides fully — and in hub-heavy graphs it holds the hubs
+     every later chunk's back edges point at, so deciding it before
+     any speculation starts removes most reasons to defer. *)
+  let n_chunks = (len + min_shard_nodes - 1) / min_shard_nodes in
+  let prefix_chunks = max 1 ((len asr 3) / min_shard_nodes) in
+  let sinks = Array.init n_chunks (fun _ -> Ivec.create 16) in
+  let scratch = Array.make (max k 1) 0 in
+  let scratch_stamp = ref 0 in
+  color_slice ~seg:order ~lo:0
+    ~hi:(min len (prefix_chunks * min_shard_nodes))
+    ~in_use:scratch ~stamp:scratch_stamp ~sink:sinks.(0);
+  run_claiming ~seg:order ~slen:len ~first_chunk:prefix_chunks ~sinks
+    ~what:"shard";
+  let d = ref (collect sinks) in
+  let repaired = Array.length !d in
+  while Array.length !d > 0 && !rounds < max_rounds do
+    incr rounds;
+    let dl = Array.length !d in
+    total_deferrals := !total_deferrals + dl;
+    if dl < par_repair_min || jobs = 1 then begin
+      (* inline: earlier deferred nodes are decided before later ones
+         read them, so one rank-ordered pass decides the whole set *)
+      let sink = Ivec.create 4 in
+      color_slice ~seg:!d ~lo:0 ~hi:dl ~in_use:scratch ~stamp:scratch_stamp
+        ~sink;
+      d := [||]
+    end
+    else begin
+      let nc = (dl + min_shard_nodes - 1) / min_shard_nodes in
+      let rsinks = Array.init nc (fun _ -> Ivec.create 16) in
+      run_claiming ~seg:!d ~slen:dl ~first_chunk:0 ~sinks:rsinks
+        ~what:"repair";
+      d := collect rsinks
+    end
+  done;
+  if Array.length !d > 0 then begin
+    (* unreachable — each round decides at least its minimal-rank
+       deferred node — but guarantee exactness under any schedule *)
+    Array.blit (init_colors view) 0 colors 0 n;
+    seq_into view ~k ~order ~colors
+  end;
+  stats :=
+    { engaged = true;
+      shards = n_chunks;
+      rounds = !rounds;
+      suspects = !total_deferrals;
+      recolored = repaired };
+  (colors, collect_uncolored ~colors ~order)
+
+let select_view ?pool ?stats view ~k ~order =
+  let stats = match stats with Some r -> r | None -> ref no_stats in
+  stats := no_stats;
+  match pool with
+  | Some pool
+    when Pool.jobs pool > 1 && Array.length order >= 2 * min_shard_nodes ->
+    select_view_spec pool view ~k ~order ~stats
+  | Some _ | None ->
+    let colors = init_colors view in
+    seq_into view ~k ~order ~colors;
+    (colors, collect_uncolored ~colors ~order)
+
+(* ---- the Coloring.select drop-in ---- *)
+
+let verify_against g ~k ~order ~colors ~uncolored =
+  let { Coloring.colors = ref_colors; uncolored = ref_unc } =
+    Coloring.select g ~k ~order
+  in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt in
+  Array.iteri
+    (fun i rc ->
+      let c = colors.(i) in
+      let same = match rc with Some rc -> c = rc | None -> c < 0 in
+      if not same then
+        fail "par_color: node %d colored %d, sequential select says %s" i c
+          (match rc with Some rc -> string_of_int rc | None -> "uncolored"))
+    ref_colors;
+  if ref_unc <> uncolored then
+    fail "par_color: uncolored set [%s] differs from sequential [%s]"
+      (String.concat ";" (List.map string_of_int uncolored))
+      (String.concat ";" (List.map string_of_int ref_unc))
+
+let select ?pool ?(verify = false) ?(tele = Telemetry.null) g ~k ~order =
+  let view = view_of_igraph g in
+  let order_a = Array.of_list (List.rev order) in
+  let stats = ref no_stats in
+  let colors, uncolored = select_view ?pool ~stats view ~k ~order:order_a in
+  if Telemetry.enabled tele then begin
+    let s = !stats in
+    if s.engaged then begin
+      Telemetry.counter tele "par_color.engaged" 1;
+      Telemetry.counter tele "par_color.rounds" s.rounds;
+      Telemetry.counter tele "par_color.suspects" s.suspects;
+      Telemetry.counter tele "par_color.recolored" s.recolored
+    end
+  end;
+  if verify then verify_against g ~k ~order ~colors ~uncolored;
+  { Coloring.colors =
+      Array.map (fun c -> if c >= 0 then Some c else None) colors;
+    uncolored }

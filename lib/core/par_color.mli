@@ -1,0 +1,126 @@
+(** Speculative parallel coloring for the Select stage.
+
+    [Coloring.select] is a greedy recurrence along the coloring order: a
+    node's color is the smallest register not used by its
+    *earlier-in-order* neighbors, so node [i]'s color depends only on
+    nodes of smaller rank. This engine exploits that shape the way
+    Rokos–Gorman–Kelly (2015) and Besta et al. (2020) color general
+    graphs: workers claim rank-contiguous chunks of the order and color
+    them concurrently — but a node that observes any still-undecided
+    earlier-rank neighbor {e defers} (publishes nothing) instead of
+    guessing. Every published color is therefore already final, and the
+    deferred nodes are repaired in rank-ordered rounds until none
+    remain.
+
+    Exactness is structural rather than a fixpoint argument: no
+    speculative value is ever visible, so a decided node's color is the
+    sequential recurrence by induction on rank, and the minimum-rank
+    deferred node can always decide — each round strictly shrinks the
+    deferred set. The result is bit-identical colors {e and}
+    bit-identical uncolored (spill) decisions at any width, on any
+    schedule. [RA_VERIFY] re-runs [Coloring.select] and cross-checks; a
+    mismatch raises {!Divergence}.
+
+    Escape hatches: [RA_PAR_COLOR=0] disables the engine entirely;
+    [RA_PAR_COLOR_MIN] (default 4096) keeps graphs below that size on
+    the plain sequential path where speculation cannot pay. *)
+
+(** Raised by the [verify] cross-check on any mismatch with
+    [Coloring.select]. Never raised when the engine is correct — it
+    exists to catch regressions, like [Build.Divergence]. *)
+exception Divergence of string
+
+(** A read-only adjacency view: the engine's whole interface to the
+    graph, so it colors [Igraph]s and million-node CSR graphs
+    ({!Synth_graph}) with the same code. [v_iter n f] must call [f] on
+    each neighbor of [n]; node ids are dense in [0, v_nodes); nodes
+    below [v_precolored] are machine registers permanently colored with
+    their own id. *)
+type view = {
+  v_nodes : int;
+  v_precolored : int;
+  v_iter : int -> (int -> unit) -> unit;
+}
+
+val view_of_igraph : Igraph.t -> view
+
+(** What a run did. [engaged] is false when the sharded engine was
+    bypassed (no pool, width 1, or a short order) and the tuned
+    sequential pass ran instead; then the other fields are zero.
+    [shards] is the number of claimable chunks the order was cut into;
+    [rounds] counts coloring rounds including the optimistic first one;
+    [suspects] counts deferral events — sightings of a still-undecided
+    earlier-rank neighbor, summed over every round (schedule-dependent —
+    the *result* never is); [recolored] counts the distinct nodes the
+    first round left deferred, i.e. how much of the graph needed a
+    repair round at all. *)
+type stats = {
+  engaged : bool;
+  shards : int;
+  rounds : int;
+  suspects : int;
+  recolored : int;
+}
+
+val no_stats : stats
+
+(** [select_view ?pool ?stats view ~k ~order] colors [view] greedily
+    along [order] (a coloring order: element 0 is colored first; must
+    not contain precolored nodes or duplicates) and returns
+    [(colors, uncolored)]: [colors.(n)] is the assigned register, [-1]
+    for nodes never ordered, [-2] for ordered nodes that found no free
+    register — those are also listed in [uncolored], in order. With a
+    pool of width > 1 and a long enough order the speculative sharded
+    engine runs; otherwise a tuned sequential pass. Results are
+    bit-identical either way, and equal to {!select_view_seq}. *)
+val select_view :
+  ?pool:Ra_support.Pool.t ->
+  ?stats:stats ref ->
+  view ->
+  k:int ->
+  order:int array ->
+  int array * int list
+
+(** A faithful transliteration of [Coloring.select] (option array,
+    mark/reset neighbor sweeps) over a view — the honest sequential
+    baseline the benches race the engine against, and the oracle the
+    identity tests compare with. *)
+val select_view_seq : view -> k:int -> order:int array -> int array * int list
+
+(** Drop-in replacement for [Coloring.select]: same contract ([order]
+    is the *removal* order, reinserted in reverse), same result type,
+    bit-identical output. [verify] re-runs [Coloring.select] and raises
+    {!Divergence} on any difference. Telemetry counters:
+    [par_color.engaged], [par_color.rounds], [par_color.suspects],
+    [par_color.recolored]. *)
+val select :
+  ?pool:Ra_support.Pool.t ->
+  ?verify:bool ->
+  ?tele:Ra_support.Telemetry.t ->
+  Igraph.t ->
+  k:int ->
+  order:int list ->
+  Coloring.select_result
+
+(** [RA_PAR_COLOR] unset or anything but ["0"]/[""] — unless overridden
+    by {!set_enabled}. *)
+val enabled : unit -> bool
+
+(** Driver/test override; [None] restores the environment's answer. *)
+val set_enabled : bool option -> unit
+
+(** Engagement threshold on node count: [RA_PAR_COLOR_MIN] (default
+    4096) unless overridden by {!set_min_nodes}. *)
+val min_nodes : unit -> int
+
+val set_min_nodes : int option -> unit
+
+(** Should {!Heuristic.run} route Select through this engine? True when
+    enabled, a pool exists, and the graph reaches {!min_nodes}. *)
+val should : pool:Ra_support.Pool.t option -> n_nodes:int -> bool
+
+(** Test hook: when set, every shard task of a round declares a write on
+    the {e same} [Footprint.State] token instead of a private one, so
+    the dispatch-time footprint validator must reject the batch — the
+    proof that the race-detection layer really covers these tasks. *)
+val seeded_footprint_overlap : bool ref

@@ -150,7 +150,7 @@ module Color_pass = struct
   let run st ~timer built cls ~costs =
     let k = Machine.regs st.machine cls in
     Heuristic.run ~timer ~tele:st.tele ~buckets:(Context.buckets st.ctx)
-      st.heuristic
+      ?pool:(Context.pool st.ctx) ~verify:st.cfgn.verify st.heuristic
       (Build.graph_of_class built cls)
       ~k ~costs
 end
@@ -186,11 +186,26 @@ module Spill_elect = struct
        && all_infinite costs_int out_int
        && all_infinite costs_flt out_flt
     then
+      (* Matula reaches this state on routines the cost-aware orders
+         allocate fine (euler_main is the tracked case): smallest-last
+         ordering never consults spill costs, so it keeps electing the
+         infinite-cost spill temporaries earlier passes introduced —
+         the degradation §2.3 of the paper warns a cost-blind order
+         invites. Name that in the diagnostic instead of implying the
+         routine is unallocatable. *)
+      let hint =
+        match st.heuristic with
+        | Heuristic.Matula ->
+          " (matula's cost-blind smallest-last order re-elects \
+           unspillable spill temporaries; chaitin/briggs, which weigh \
+           spill costs, may still allocate this routine)"
+        | Heuristic.Chaitin | Heuristic.Briggs -> ""
+      in
       fail
         "%s: only unspillable live ranges remain at pass %d -- some \
          program point (likely a call site) needs more than the %d int / \
-         %d flt registers available"
-        st.proc.Proc.name pass_index k_int k_flt
+         %d flt registers available%s"
+        st.proc.Proc.name pass_index k_int k_flt hint
 end
 
 module Spill_insert = struct

@@ -1,0 +1,22 @@
+(** Deterministic random MFL programs — synthetic workloads for the
+    allocator.
+
+    Every generated program is well-formed and terminating by
+    construction (literal-bound [for] loops only, clamped array
+    indices, non-zero divisors, all variables initialized), so it can
+    be run through the whole pipeline and its observable behavior
+    compared before/after allocation. The same [seed] always yields
+    the same bytes, on any run, at any [RA_JOBS] width. *)
+
+(** [program ~seed ~size] is a self-contained compile unit: a [helper]
+    routine plus a [main() : float] whose body holds roughly [size]
+    random statements and returns a checksum over every variable. *)
+val program : seed:int -> size:int -> string
+
+(** [many ~seed ~size ~routines] is a compile unit with [routines]
+    generated procedures [synth0 .. synth{n-1}] (each shaped like
+    [program]'s [main], with an independent seed derived from [seed])
+    and a [main] that sums their checksums — a whole synthetic
+    "benchmark" for exercising {!Ra_core.Batch} across many routines.
+    [routines] must be at least 1. *)
+val many : seed:int -> size:int -> routines:int -> string

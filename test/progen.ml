@@ -1,189 +1,6 @@
-(* A generator of random, well-formed, terminating MFL programs.
+(* The random-program generator now lives in the library proper
+   ({!Ra_programs.Synth}) so the bench harness and the [rralloc synth]
+   CLI can share it; this alias keeps the test suite's historical
+   entry point. *)
 
-   Used by the property tests that assert the whole pipeline preserves
-   semantics: codegen -> (optimize) -> allocate(heuristic, k) must produce
-   code whose observable behavior (printed output and result) is identical
-   to the virtual-register code.
-
-   Guarantees by construction:
-   - termination: the only loops are [for] loops with literal bounds;
-   - memory safety: every index is [abs(mod(e, len)) + 1];
-   - no division or remainder by values that can be zero (divisors are
-     non-zero literals or [abs(e) + 1]);
-   - every variable is initialized before the statements run. *)
-
-let int_vars = [ "i0"; "i1"; "i2"; "i3" ]
-let flt_vars = [ "f0"; "f1"; "f2"; "f3" ]
-let arr_len = 16
-
-type ctx = {
-  rng : Ra_support.Lcg.t;
-  buf : Buffer.t;
-  mutable indent : int;
-  mutable budget : int; (* remaining statements *)
-  mutable loop_depth : int;
-}
-
-let pick ctx l = List.nth l (Ra_support.Lcg.int ctx.rng (List.length l))
-
-let line ctx fmt =
-  Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
-  Format.kasprintf
-    (fun s ->
-      Buffer.add_string ctx.buf s;
-      Buffer.add_char ctx.buf '\n')
-    fmt
-
-let rec int_expr ctx depth =
-  if depth <= 0 then
-    match Ra_support.Lcg.int ctx.rng 3 with
-    | 0 -> string_of_int (Ra_support.Lcg.int_in ctx.rng ~lo:(-9) ~hi:9)
-    | 1 -> pick ctx int_vars
-    | _ -> Printf.sprintf "brr[%s]" (index ctx (depth - 1))
-  else
-    match Ra_support.Lcg.int ctx.rng 6 with
-    | 0 -> Printf.sprintf "(%s + %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
-    | 1 -> Printf.sprintf "(%s - %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
-    | 2 -> Printf.sprintf "(%s * %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
-    | 3 ->
-      Printf.sprintf "mod(%s, %d)" (int_expr ctx (depth - 1))
-        (1 + Ra_support.Lcg.int ctx.rng 20)
-    | 4 -> Printf.sprintf "abs(%s)" (int_expr ctx (depth - 1))
-    | _ ->
-      Printf.sprintf "min(%s, max(%s, %d))"
-        (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
-        (Ra_support.Lcg.int_in ctx.rng ~lo:(-5) ~hi:5)
-
-and index ctx depth =
-  Printf.sprintf "(abs(mod(%s, %d)) + 1)" (int_expr ctx depth) arr_len
-
-let rec flt_expr ctx depth =
-  if depth <= 0 then
-    match Ra_support.Lcg.int ctx.rng 3 with
-    | 0 -> Printf.sprintf "%d.%d" (Ra_support.Lcg.int ctx.rng 4) (Ra_support.Lcg.int ctx.rng 100)
-    | 1 -> pick ctx flt_vars
-    | _ -> Printf.sprintf "arr[%s]" (index ctx 0)
-  else
-    match Ra_support.Lcg.int ctx.rng 6 with
-    | 0 -> Printf.sprintf "(%s + %s)" (flt_expr ctx (depth - 1)) (flt_expr ctx (depth - 1))
-    | 1 -> Printf.sprintf "(%s - %s)" (flt_expr ctx (depth - 1)) (flt_expr ctx (depth - 1))
-    | 2 -> Printf.sprintf "(%s * %s)" (flt_expr ctx (depth - 1)) (flt_expr ctx (depth - 1))
-    | 3 -> Printf.sprintf "sqrt(abs(%s))" (flt_expr ctx (depth - 1))
-    | 4 -> Printf.sprintf "float(%s)" (int_expr ctx (depth - 1))
-    | _ ->
-      Printf.sprintf "sign(%s, %s)" (flt_expr ctx (depth - 1))
-        (flt_expr ctx (depth - 1))
-
-let cond ctx depth =
-  let rel () =
-    if Ra_support.Lcg.bool ctx.rng then
-      Printf.sprintf "%s %s %s" (int_expr ctx depth)
-        (pick ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ])
-        (int_expr ctx depth)
-    else
-      Printf.sprintf "%s %s %s" (flt_expr ctx depth)
-        (pick ctx [ "<"; "<="; ">"; ">=" ])
-        (flt_expr ctx depth)
-  in
-  match Ra_support.Lcg.int ctx.rng 4 with
-  | 0 -> Printf.sprintf "%s && %s" (rel ()) (rel ())
-  | 1 -> Printf.sprintf "%s || %s" (rel ()) (rel ())
-  | 2 -> Printf.sprintf "!(%s)" (rel ())
-  | _ -> rel ()
-
-let rec stmt ctx =
-  ctx.budget <- ctx.budget - 1;
-  match Ra_support.Lcg.int ctx.rng 10 with
-  | 0 | 1 ->
-    line ctx "%s = %s;" (pick ctx int_vars) (int_expr ctx 2)
-  | 2 | 3 ->
-    line ctx "%s = %s;" (pick ctx flt_vars) (flt_expr ctx 2)
-  | 4 ->
-    line ctx "arr[%s] = %s;" (index ctx 1) (flt_expr ctx 2)
-  | 5 ->
-    line ctx "brr[%s] = %s;" (index ctx 1) (int_expr ctx 2)
-  | 6 ->
-    line ctx "if (%s) {" (cond ctx 1);
-    ctx.indent <- ctx.indent + 1;
-    block ctx (1 + Ra_support.Lcg.int ctx.rng 3);
-    ctx.indent <- ctx.indent - 1;
-    if Ra_support.Lcg.bool ctx.rng then begin
-      line ctx "} else {";
-      ctx.indent <- ctx.indent + 1;
-      block ctx (1 + Ra_support.Lcg.int ctx.rng 3);
-      ctx.indent <- ctx.indent - 1
-    end;
-    line ctx "}"
-  | 7 when ctx.loop_depth < 2 ->
-    (* one counter per nesting level: reusing the counter of an enclosing
-       loop would reset it and could loop forever *)
-    let v = if ctx.loop_depth = 0 then "k0" else "k1" in
-    let lo = 1 + Ra_support.Lcg.int ctx.rng 2 in
-    let hi = lo + Ra_support.Lcg.int ctx.rng 4 in
-    if Ra_support.Lcg.bool ctx.rng then
-      line ctx "for %s = %d to %d {" v lo hi
-    else
-      line ctx "for %s = %d downto %d {" v hi lo;
-    ctx.indent <- ctx.indent + 1;
-    ctx.loop_depth <- ctx.loop_depth + 1;
-    block ctx (1 + Ra_support.Lcg.int ctx.rng 4);
-    ctx.loop_depth <- ctx.loop_depth - 1;
-    ctx.indent <- ctx.indent - 1;
-    line ctx "}"
-  | 8 ->
-    line ctx "print_int(%s);" (int_expr ctx 1)
-  | _ ->
-    line ctx "%s = helper(%s, %s, arr);" (pick ctx flt_vars)
-      (int_expr ctx 1) (flt_expr ctx 1)
-
-and block ctx n =
-  for _ = 1 to n do
-    if ctx.budget > 0 then stmt ctx
-  done
-
-(** [generate ~seed ~size] is a deterministic random program whose entry
-    point is [main()] returning a float checksum. *)
-let generate ~seed ~size =
-  let ctx =
-    { rng = Ra_support.Lcg.create ~seed;
-      buf = Buffer.create 1024;
-      indent = 1;
-      budget = size;
-      loop_depth = 0 }
-  in
-  let b = Buffer.create 2048 in
-  Buffer.add_string b
-    {|proc helper(n: int, x: float, a: array float) : float {
-  var acc : float = 0.0;
-  var i : int;
-  for i = 1 to abs(mod(n, 8)) + 1 {
-    acc = acc + a[i] * x + float(i);
-  }
-  return acc;
-}
-
-proc main() : float {
-  var i0 : int = 1;  var i1 : int = -2;  var i2 : int = 3;  var i3 : int = 0;
-  var f0 : float = 0.5;  var f1 : float = -1.25;  var f2 : float = 2.0;
-  var f3 : float = 0.0;
-  var k0 : int;  var k1 : int;
-  var arr : array float[16];
-  var brr : array int[16];
-  var check : float;
-  var ci : int;
-  for ci = 1 to 16 {
-    arr[ci] = float(ci) / 4.0;
-    brr[ci] = ci * 3 - 20;
-  }
-|};
-  block ctx (max 1 size);
-  Buffer.add_string b (Buffer.contents ctx.buf);
-  Buffer.add_string b
-    {|  check = f0 + f1 + f2 + f3 + float(i0 + i1 + i2 + i3);
-  for ci = 1 to 16 {
-    check = check + arr[ci] + float(brr[ci]) / 16.0;
-  }
-  return check;
-}
-|};
-  Buffer.contents b
+let generate = Ra_programs.Synth.program

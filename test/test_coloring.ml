@@ -265,6 +265,33 @@ let prop_select_respects_order_contract =
       && List.for_all (fun m -> colors.(m) = None) marked
       && List.for_all (fun o -> colors.(o) <> None) order)
 
+let prop_par_select_is_drop_in =
+  (* the speculative engine's allocator-facing wrapper must be a drop-in
+     for Coloring.select under every heuristic: colors AND spill
+     decisions unchanged. Graphs this small stay on the engine's tuned
+     sequential path (the sharded path needs a long order — exercised
+     in Test_synth); what this property pins down is the wrapper's
+     contract, with verify cross-checking against Coloring.select on
+     every run. *)
+  QCheck.Test.make
+    ~name:"par_color select is a drop-in for Coloring.select" ~count:60
+    (QCheck.pair graph_arb (QCheck.make QCheck.Gen.(int_range 2 8)))
+    (fun ((seed, n, density), k) ->
+      let g = random_graph seed n density in
+      let costs = Array.init n (fun i -> float_of_int (1 + (i * 7 mod 13))) in
+      let pool = Ra_support.Pool.create ~jobs:2 in
+      Par_color.set_min_nodes (Some 1);
+      Fun.protect
+        ~finally:(fun () ->
+          Par_color.set_min_nodes None;
+          Ra_support.Pool.shutdown pool)
+        (fun () ->
+          List.for_all
+            (fun h ->
+              Heuristic.run h g ~k ~costs
+              = Heuristic.run ~pool ~verify:true h g ~k ~costs)
+            [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]))
+
 let suites =
   [ ( "core.igraph",
       [ Alcotest.test_case "basics" `Quick igraph_basics;
@@ -293,4 +320,5 @@ let suites =
       [ qtest prop_briggs_subset_of_chaitin;
         qtest prop_colorings_always_proper;
         qtest prop_matula_colors_low_degeneracy;
-        qtest prop_select_respects_order_contract ] ) ]
+        qtest prop_select_respects_order_contract;
+        qtest prop_par_select_is_drop_in ] ) ]

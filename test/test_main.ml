@@ -21,4 +21,5 @@ let () =
     @ Test_manyargs.suites
     @ Test_vm.suites
     @ Test_programs.suites
+    @ Test_synth.suites
     @ Test_shapes.suites)
