@@ -365,6 +365,46 @@ let run ~picks () =
   done;
   Ra_support.Scheduler.shutdown sched;
   let dag_s = !dag_s and dag_stats = !dag_stats in
+  (* DAG engagement: the lent wide_pool is only worth its plumbing if a
+     DAG suite run actually enters both speculative Color-stage engines.
+     Suite graphs sit under the engines' production node floors (those
+     exist to keep small routines sequential), so the floors drop to 1
+     for this one run — the engines' structural chunk minima still
+     decide per graph — and the run's own telemetry sink is read back
+     for the engagement counters. The outcomes must still fingerprint
+     identically to the sequential suite. *)
+  let eng_tele = Ra_support.Telemetry.create () in
+  (* sized to [jobs], not [hw_jobs]: this asserts the engagement
+     plumbing, not a speedup, and must exercise it on 1-core runners *)
+  let eng_sched = Ra_support.Scheduler.create ~jobs in
+  let eng_res =
+    Fun.protect
+      ~finally:(fun () ->
+        Par_color.set_min_nodes None;
+        Par_simplify.set_min_nodes None;
+        Ra_support.Scheduler.shutdown eng_sched)
+      (fun () ->
+        Par_color.set_min_nodes (Some 1);
+        Par_simplify.set_min_nodes (Some 1);
+        Batch.allocate_matrix ~sched:Batch.Dag ~scheduler:eng_sched
+          ~tele:eng_tele machine heuristics suite_procs)
+  in
+  let eng_color =
+    Ra_support.Telemetry.counter_total eng_tele "par_color.engaged"
+  in
+  let eng_simplify =
+    Ra_support.Telemetry.counter_total eng_tele "par_simplify.engaged"
+  in
+  let eng_identical = List.map (List.map fingerprint) eng_res = !seq_fps in
+  if not eng_identical then
+    divergences := "suite/dag-engagement" :: !divergences;
+  if eng_color = 0 then
+    divergences :=
+      "dag engagement: par_color never engaged on the suite" :: !divergences;
+  if eng_simplify = 0 then
+    divergences :=
+      "dag engagement: par_simplify never engaged on the suite"
+      :: !divergences;
   (* telemetry overhead: the routine set end to end with the sink
      disabled (the default) vs buffering every span and counter.
      Min-of-reps on both sides; the disabled path must not be slower
@@ -425,9 +465,31 @@ let run ~picks () =
     Ra_support.Telemetry.counter_total cac_tele "edge_cache.misses"
   in
   let total_scans = cache_hits_total + cache_misses_total in
+  (* analysis-cache behaviour: the dominator/loop cache is consumed by
+     the verify-gated lints (and the incremental build's adoption
+     check), so none of the verify-off walls above touch it. Run the
+     routine set once through a verify-enabled incremental context and
+     read the cache's own counters — hits come from loop-depth lints
+     reusing the dominator entry, repeat heuristics on a routine, and
+     re-keyed entries surviving spill-patch passes. *)
+  let aca_ctx = Context.create ~incremental:true ~verify:true ~jobs:1 machine in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun h ->
+          ignore (Allocator.allocate ~verify:true ~context:aca_ctx machine h p))
+        heuristics)
+    suite_procs;
+  let aca = Context.analysis_cache aca_ctx in
+  let aca_hits = Ra_analysis.Analysis_cache.hits aca in
+  let aca_misses = Ra_analysis.Analysis_cache.misses aca in
+  let aca_lookups = aca_hits + aca_misses in
   (* the speculative-coloring section: synthetic graphs, sequential
      baseline vs engine at widths 1/2/4/8, with its own gates *)
   let par_color_json, par_color_fails = Synth_bench.section () in
+  (* the speculative-Simplify section: same synthetic graphs, peeling
+     engine vs the faithful sequential baseline, its own gates *)
+  let par_simplify_json, par_simplify_fails = Par_simplify_bench.section () in
   let utilization =
     String.concat ", "
       (Array.to_list
@@ -455,7 +517,12 @@ let run ~picks () =
         \"reference_scratch_builds\": %d},\n  \
         \"edge_cache\": {\"hits\": %d, \"misses\": %d, \
         \"hit_rate\": %s},\n  \
-        \"par_color\": %s,\n  \"divergences\": [%s]\n}\n"
+        \"analysis_cache\": {\"hits\": %d, \"misses\": %d, \
+        \"hit_rate\": %s},\n  \
+        \"dag_engagement\": {\"par_color_engaged\": %d, \
+        \"par_simplify_engaged\": %d, \"identical\": %b},\n  \
+        \"par_color\": %s,\n  \
+        \"par_simplify\": %s,\n  \"divergences\": [%s]\n}\n"
        jobs
        (List.length suite_procs)
        (String.concat ", "
@@ -484,7 +551,10 @@ let run ~picks () =
         else
           Printf.sprintf "%.4f"
             (float cache_hits_total /. float total_scans))
-       par_color_json
+       aca_hits aca_misses
+       (if aca_lookups = 0 then "null"
+        else Printf.sprintf "%.4f" (float aca_hits /. float aca_lookups))
+       eng_color eng_simplify eng_identical par_color_json par_simplify_json
        (String.concat ", "
           (List.rev_map (Printf.sprintf "\"%s\"") !divergences)));
   let path = "BENCH_alloc.json" in
@@ -530,5 +600,11 @@ let run ~picks () =
      big synthetic graphs *)
   if par_color_fails <> [] then begin
     List.iter (fun f -> Printf.eprintf "%s\n" f) par_color_fails;
+    exit 1
+  end;
+  (* same gates for the peeling Simplify engine: bit-identical at every
+     width, width 1 within the slack, width >= 2 wins at scale *)
+  if par_simplify_fails <> [] then begin
+    List.iter (fun f -> Printf.eprintf "%s\n" f) par_simplify_fails;
     exit 1
   end

@@ -1,0 +1,282 @@
+(* Synthetic-graph races for the speculative parallel Simplify engine
+   ({!Ra_core.Par_simplify}) against its faithful sequential baseline —
+   the Simplify-side companion of {!Synth_bench}.
+
+   The same [RA_SYNTH_WEBS] node counts apply.  Two graph regimes run,
+   each with its own role:
+
+   - [geometric] at average degree 4 is frontier-dominated — nearly
+     every web sits below k, which is the regime the engine targets
+     (straight-line code whose pressure stays under the register
+     count).  Its sequential run is one long decrement cascade the
+     engine proves unobservable and skips, so this is where the
+     speedup gate applies.
+   - [power_law] at average degree 8 is contention-rich — its hubs sit
+     near k, so chunks race on the borderline nodes and the defer/
+     repair machinery carries most of the work.  Defer-only
+     speculation cannot beat the baseline here (every deferral pays
+     speculation *and* repair); the kind stays in the bench to gate
+     bit-identity and width-1 behavior under maximal contention, not
+     speed.
+
+   Every graph is simplified by the sequential baseline and by the
+   peeling engine at widths 1, 2, 4 and 8 under Briggs's optimistic
+   policy; walls keep the min over [reps] runs and every engine run
+   must reproduce the baseline's removal order and marks bit for bit.
+
+   Gates (via {!section}'s failure list, same shape as Synth_bench):
+   - width 1 must never regress past the baseline beyond the slack;
+   - on beat-gated kinds with at least [beat_floor] webs, the best
+     width >= 2 wall must beat the baseline outright. *)
+
+open Ra_core
+
+type kind_spec = {
+  kind_name : string;
+  gen :
+    seed:int -> n_nodes:int -> n_precolored:int -> avg_degree:int ->
+    Synth_graph.t;
+  kind_degree : int;
+  beat_gated : bool;
+}
+
+let kinds =
+  [ { kind_name = "geometric"; gen = Synth_graph.geometric;
+      kind_degree = 4; beat_gated = true };
+    { kind_name = "power_law"; gen = Synth_graph.power_law;
+      kind_degree = 8; beat_gated = false } ]
+
+let widths = [ 1; 2; 4; 8 ]
+let k = 16
+let n_precolored = 32
+let reps = 5
+let beat_floor = 100_000
+
+(* Width-1 tolerance: a width-1 pool dispatches straight to
+   [simplify_view_seq] — the very function being raced — so this gate
+   guards only the dispatch check itself and any future width-1 code
+   split; the observed spread between two runs of the identical
+   function on a loaded single-core box reaches ~20% at 10^6 nodes
+   (allocator/GC history), so the bound is generous where a real
+   regression would still be caught. *)
+let w1_slack s = (s *. 1.25) +. 0.010
+
+let webs_of_env () =
+  let spec =
+    match Sys.getenv_opt "RA_SYNTH_WEBS" with
+    | None | Some "" -> "100000,1000000"
+    | Some s -> s
+  in
+  List.filter_map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some n when n > n_precolored -> Some n
+      | Some _ | None -> None)
+    (String.split_on_char ',' spec)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+(* deterministic spill costs with a sprinkle of unspillable nodes *)
+let mk_costs n =
+  Array.init n (fun i ->
+    if i mod 97 = 0 then infinity else float_of_int (1 + (i * 7 mod 13)))
+
+type width_run = {
+  width : int;
+  spec_wall : float;
+  rounds : int;
+  peeled : int;
+  deferrals : int;
+  repaired : int;
+  identical : bool;
+}
+
+type graph_run = {
+  kind : string;
+  webs : int;
+  edges : int;
+  avg_degree : int;
+  beat_gated : bool;
+  seq_wall : float;
+  per_width : width_run list;
+}
+
+let measure_graph spec ~webs =
+  let seed = 0xC0FFEE + webs in
+  let g =
+    spec.gen ~seed ~n_nodes:webs ~n_precolored ~avg_degree:spec.kind_degree
+  in
+  let view = Synth_graph.view g in
+  let degree = Synth_graph.degree g in
+  let costs = mk_costs webs in
+  let policy = Coloring.Defer_to_select in
+  (* Reps interleave baseline and engine runs (seq, w1, w2, ... per
+     cycle) rather than exhausting one mode's reps before the next:
+     every run churns O(webs) of heap, so back-to-back mode blocks
+     would hand later modes a drifted allocator state and the width-1
+     gate — the same code path as the baseline — would measure GC
+     history, not the engine. *)
+  let n_widths = List.length widths in
+  let seq_wall = ref infinity in
+  let base = ref None in
+  let pools =
+    List.map (fun w -> w, Ra_support.Pool.create ~jobs:w) widths
+  in
+  let walls = Array.make n_widths infinity in
+  let outcomes = Array.make n_widths None in
+  for _ = 1 to reps do
+    let r, s =
+      wall (fun () ->
+        Par_simplify.simplify_view_seq ~degree view ~k ~costs ~policy)
+    in
+    if s < !seq_wall then seq_wall := s;
+    if !base = None then base := Some r;
+    List.iteri
+      (fun i (_, pool) ->
+        let stats = ref Par_simplify.no_stats in
+        let res, s =
+          wall (fun () ->
+            Par_simplify.simplify_view ~degree ~pool ~stats view ~k ~costs
+              ~policy)
+        in
+        if s < walls.(i) then walls.(i) <- s;
+        if outcomes.(i) = None then outcomes.(i) <- Some (res, !stats))
+      pools
+  done;
+  List.iter (fun (_, pool) -> Ra_support.Pool.shutdown pool) pools;
+  let base = Option.get !base in
+  let seq_wall = !seq_wall in
+  let per_width =
+    List.mapi
+      (fun i width ->
+        let res, stats = Option.get outcomes.(i) in
+        { width;
+          spec_wall = walls.(i);
+          rounds = stats.Par_simplify.rounds;
+          peeled = stats.Par_simplify.peeled;
+          deferrals = stats.Par_simplify.defers;
+          repaired = stats.Par_simplify.repaired;
+          identical = res = base })
+      widths
+  in
+  { kind = spec.kind_name; webs; edges = Synth_graph.n_edges g;
+    avg_degree = spec.kind_degree; beat_gated = spec.beat_gated; seq_wall;
+    per_width }
+
+let measure () =
+  List.concat_map
+    (fun webs -> List.map (fun spec -> measure_graph spec ~webs) kinds)
+    (webs_of_env ())
+
+let gate_failures runs =
+  List.concat_map
+    (fun r ->
+      let where = Printf.sprintf "%s/%d" r.kind r.webs in
+      let id =
+        List.filter_map
+          (fun w ->
+            if w.identical then None
+            else
+              Some
+                (Printf.sprintf
+                   "par_simplify %s: width %d diverged from the sequential \
+                    baseline"
+                   where w.width))
+          r.per_width
+      in
+      let w1 =
+        List.concat_map
+          (fun w ->
+            if w.width = 1 && w.spec_wall > w1_slack r.seq_wall then
+              [ Printf.sprintf
+                  "par_simplify %s: width-1 wall %.6fs regresses past the \
+                   baseline %.6fs"
+                  where w.spec_wall r.seq_wall ]
+            else [])
+          r.per_width
+      in
+      let beat =
+        if (not r.beat_gated) || r.webs < beat_floor then []
+        else
+          let best =
+            List.fold_left
+              (fun acc w ->
+                if w.width >= 2 then Float.min acc w.spec_wall else acc)
+              infinity r.per_width
+          in
+          if best < r.seq_wall then []
+          else
+            [ Printf.sprintf
+                "par_simplify %s: best width>=2 wall %.6fs does not beat \
+                 the baseline %.6fs"
+                where best r.seq_wall ]
+      in
+      id @ w1 @ beat)
+    runs
+
+(* the "par_simplify" object of BENCH_alloc.json *)
+let json_of runs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"k\": %d, \"reps\": %d, \"beat_floor\": %d,\n    \"graphs\": ["
+       k reps beat_floor);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n      {\"kind\": \"%s\", \"webs\": %d, \"edges\": %d, \
+            \"avg_degree\": %d, \"beat_gated\": %b,\n       \
+            \"sequential_wall_s\": %.6f, \"widths\": ["
+           r.kind r.webs r.edges r.avg_degree r.beat_gated r.seq_wall);
+      List.iteri
+        (fun j w ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n         {\"width\": %d, \"wall_s\": %.6f, \
+                \"speedup\": %.4f, \"rounds\": %d, \"peeled\": %d, \
+                \"deferrals\": %d, \"repaired\": %d, \"identical\": %b}"
+               w.width w.spec_wall
+               (r.seq_wall /. Float.max w.spec_wall 1e-9)
+               w.rounds w.peeled w.deferrals w.repaired w.identical))
+        r.per_width;
+      Buffer.add_string b "]}")
+    runs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* machine-readable entry point for {!Json_report} *)
+let section () =
+  let runs = measure () in
+  json_of runs, gate_failures runs
+
+(* human-readable entry point for `bench/main.exe par_simplify` *)
+let run () =
+  Common.section "Synthetic graphs -- speculative vs sequential Simplify";
+  let runs = measure () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %8d webs %9d edges  seq %.4fs\n" r.kind r.webs
+        r.edges r.seq_wall;
+      List.iter
+        (fun w ->
+          Printf.printf
+            "    width %d: %.4fs (%.2fx)  rounds %d  peeled %d  deferrals \
+             %d  repaired %d  %s\n"
+            w.width w.spec_wall
+            (r.seq_wall /. Float.max w.spec_wall 1e-9)
+            w.rounds w.peeled w.deferrals w.repaired
+            (if w.identical then "identical" else "DIVERGED"))
+        r.per_width)
+    runs;
+  (match gate_failures runs with
+   | [] -> print_endline "gates: all pass"
+   | fails ->
+     List.iter (fun f -> Printf.printf "GATE FAIL: %s\n" f) fails;
+     exit 1);
+  print_newline ()

@@ -105,6 +105,16 @@ let no_par_color_arg =
 let apply_par_color no_par =
   if no_par then Ra_core.Par_color.set_enabled (Some false)
 
+let no_par_simplify_arg =
+  Arg.(value & flag & info [ "no-par-simplify" ]
+         ~doc:"Keep the Simplify stage on the plain sequential path \
+               instead of the speculative parallel peeling engine \
+               (same as RA_PAR_SIMPLIFY=0). Results are bit-identical \
+               either way; this only moves work off the pool.")
+
+let apply_par_simplify no_par =
+  if no_par then Ra_core.Par_simplify.set_enabled (Some false)
+
 let sched_arg =
   Arg.(value & opt (some (enum [ "dag", Ra_core.Batch.Dag;
                                  "flat", Ra_core.Batch.Flat ]))
@@ -197,10 +207,11 @@ let dump_cmd =
 
 let alloc_cmd =
   let run file proc heuristic k verbose optimize verify jobs no_cache race
-      trace sched no_par =
+      trace sched no_par no_par_simplify =
     apply_trace trace;
     apply_sched sched;
     apply_par_color no_par;
+    apply_par_simplify no_par_simplify;
     let pool = apply_jobs jobs in
     let machine = machine_of_k k in
     let h = heuristic_of_name heuristic in
@@ -231,7 +242,7 @@ let alloc_cmd =
   Cmd.v (Cmd.info "alloc" ~doc:"Register-allocate and report statistics")
     Term.(const run $ file_arg $ proc_arg $ heuristic_arg $ k_arg $ verbose
           $ opt_arg $ verify_arg $ jobs_arg $ no_cache_arg $ race_arg
-          $ trace_arg $ sched_arg $ no_par_color_arg)
+          $ trace_arg $ sched_arg $ no_par_color_arg $ no_par_simplify_arg)
 
 (* ---- run ---- *)
 
@@ -461,10 +472,12 @@ let synth_cmd =
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run file k optimize jobs no_cache race trace sched no_par =
+  let run file k optimize jobs no_cache race trace sched no_par
+      no_par_simplify =
     apply_trace trace;
     apply_sched sched;
     apply_par_color no_par;
+    apply_par_simplify no_par_simplify;
     ignore (apply_jobs jobs);
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
@@ -501,7 +514,8 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
     Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg
-          $ race_arg $ trace_arg $ sched_arg $ no_par_color_arg)
+          $ race_arg $ trace_arg $ sched_arg $ no_par_color_arg
+          $ no_par_simplify_arg)
 
 let () =
   let info = Cmd.info "rralloc" ~doc:"Briggs-style graph-coloring register allocator" in

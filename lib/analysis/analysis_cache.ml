@@ -1,0 +1,84 @@
+open Ra_ir
+
+exception Divergence of string
+
+(* One cached CFG with its spill-independent analyses.  [e_cfg] is the
+   key; [e_loops] is computed lazily because most consumers only need
+   dominators. *)
+type entry = {
+  mutable e_cfg : Cfg.t;
+  e_doms : Dominators.t;
+  mutable e_loops : Loops.t option;
+}
+
+type t = {
+  (* most-recently-used first, at most two entries: one unallocated
+     (pre-rewrite) and one allocated CFG per procedure is the working
+     set the pipeline actually exhibits *)
+  mutable entries : entry list;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { entries = []; hits = 0; misses = 0 }
+let hits t = t.hits
+let misses t = t.misses
+let clear t = t.entries <- []
+
+(* Keys match physically or structurally: consumers (lint, the
+   pipeline) each build their own Cfg.t from the same code, and
+   Cfg.build is deterministic, so structural equality identifies "the
+   same CFG" across them. *)
+let find t cfg =
+  List.find_opt (fun e -> e.e_cfg == cfg || e.e_cfg = cfg) t.entries
+
+let promote t e =
+  match t.entries with
+  | x :: _ when x == e -> ()
+  | es -> t.entries <- e :: List.filter (fun x -> x != e) es
+
+let entry t cfg =
+  match find t cfg with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    promote t e;
+    e
+  | None ->
+    t.misses <- t.misses + 1;
+    let e = { e_cfg = cfg; e_doms = Dominators.compute cfg; e_loops = None } in
+    t.entries <-
+      (e :: (match t.entries with x :: _ -> [ x ] | [] -> []));
+    e
+
+let dominators t cfg = (entry t cfg).e_doms
+
+let loops t cfg =
+  let e = entry t cfg in
+  match e.e_loops with
+  | Some l -> l
+  | None ->
+    let l = Loops.compute e.e_cfg e.e_doms in
+    e.e_loops <- Some l;
+    l
+
+let equal_doms cfg a b =
+  let ok = ref true in
+  for b_i = 0 to Cfg.n_blocks cfg - 1 do
+    if Dominators.idom a b_i <> Dominators.idom b b_i then ok := false
+  done;
+  !ok
+
+let adopt t ~prev ~next ~verify =
+  match find t prev with
+  | None -> ()
+  | Some e ->
+    e.e_cfg <- next;
+    promote t e;
+    if verify then begin
+      let fresh = Dominators.compute next in
+      if not (equal_doms next fresh e.e_doms) then
+        raise
+          (Divergence
+             "Analysis_cache.adopt: dominator tree changed across \
+              Cfg.patch_insertions")
+    end

@@ -1,0 +1,43 @@
+(** Cross-pass cache for spill-independent CFG analyses.
+
+    Dominators and natural loops depend only on block topology, and
+    {!Ra_ir.Cfg.patch_insertions} preserves block indices, edges and
+    predecessor order across spill passes — so a procedure's dominator
+    tree and loop nest are invariant over the whole Figure-4 loop, yet
+    were historically recomputed from scratch by every consumer (the
+    lint's reachability and dominance checks, the loop-depth
+    cross-check).  A context carries one of these caches so each
+    analysis is computed once per CFG and shared.
+
+    Keys are CFGs, matched physically or structurally: independent
+    consumers build their own [Cfg.t] from the same code, and
+    {!Ra_ir.Cfg.build} is deterministic, so structural equality means
+    "same control flow".  The cache keeps the two most recent CFGs —
+    the pre-rewrite and allocated shapes of the current procedure. *)
+
+exception Divergence of string
+
+type t
+
+val create : unit -> t
+
+(** Dominators of [cfg], computed on first request. *)
+val dominators : t -> Ra_ir.Cfg.t -> Dominators.t
+
+(** Natural-loop nest of [cfg] (computes dominators if needed). *)
+val loops : t -> Ra_ir.Cfg.t -> Loops.t
+
+(** [adopt t ~prev ~next ~verify] re-keys the entry cached for [prev]
+    to [next] after a {!Ra_ir.Cfg.patch_insertions} produced [next]
+    from [prev] — the analyses themselves are preserved, because the
+    patch preserves block structure.  With [verify] the dominator tree
+    is recomputed on [next] and compared; a mismatch raises
+    {!Divergence} (it would mean the patch invariant broke).  A no-op
+    when [prev] is not cached. *)
+val adopt : t -> prev:Ra_ir.Cfg.t -> next:Ra_ir.Cfg.t -> verify:bool -> unit
+
+val hits : t -> int
+val misses : t -> int
+
+(** Drop all entries (the counters survive). *)
+val clear : t -> unit

@@ -333,7 +333,29 @@ let check_dom_use_before_def (proc : Proc.t) (cfg : Cfg.t) doms add =
              "%s may be read before definition: a definition-free path from               entry reaches this use, so none of its definitions dominates               this block"
              (Reg.to_string (reg_of_index v))))
 
-let run (proc : Proc.t) : Diagnostic.t list =
+(* The spill-cost estimator weights every site by the syntactic
+   loop-nesting depth codegen records on the instruction; the natural-
+   loop analysis recomputes the same nesting from the CFG. Disagreement
+   means spill costs are weighing a site wrongly — the allocation is
+   still correct (depth is advisory), so this is a warning, not an
+   error. Only meaningful pre-allocation: optimization and spill
+   insertion both maintain the recorded depths. *)
+let check_loop_depths (proc : Proc.t) cfg loops add =
+  Array.iteri
+    (fun i (nd : Proc.node) ->
+      match nd.Proc.ins with
+      | Instr.Label _ -> ()
+      | _ ->
+        let d = Loops.instr_depth loops ~cfg i in
+        if nd.Proc.depth <> d then
+          add
+            (warn ~check:"loop-depth" ~proc:proc.name ~instr:i
+               "instruction records syntactic depth %d but sits at \
+                loop-nesting depth %d"
+               nd.Proc.depth d))
+    proc.code
+
+let run ?cache (proc : Proc.t) : Diagnostic.t list =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   if Array.length proc.code = 0 then
@@ -345,7 +367,11 @@ let run (proc : Proc.t) : Diagnostic.t list =
     if labels_ok then begin
       match Cfg.build proc.code with
       | cfg ->
-        let doms = Dominators.compute cfg in
+        let doms =
+          match cache with
+          | Some c -> Analysis_cache.dominators c cfg
+          | None -> Dominators.compute cfg
+        in
         let reachable = check_cfg proc cfg doms add in
         check_rets proc cfg reachable add;
         (* Physical registers are reused across disjoint live ranges, so
@@ -354,7 +380,13 @@ let run (proc : Proc.t) : Diagnostic.t list =
            storage-location granularity. *)
         if not proc.allocated then begin
           check_def_before_use proc cfg add;
-          check_dom_use_before_def proc cfg doms add
+          check_dom_use_before_def proc cfg doms add;
+          let loops =
+            match cache with
+            | Some c -> Analysis_cache.loops c cfg
+            | None -> Loops.compute cfg doms
+          in
+          check_loop_depths proc cfg loops add
         end
       | exception Invalid_argument msg ->
         add (err ~check:"cfg-build" ~proc:proc.name "%s" msg)

@@ -23,6 +23,16 @@
       reaching definitions — the entry definition of a non-argument
       register reaching a use means a definition-free path from entry
       reaches that read; the dominator tree sharpens the message
-      (never defined vs defined on no dominating path). *)
+      (never defined vs defined on no dominating path);
+    - ["loop-depth"] (warning, virtual code only): the syntactic
+      loop-nesting depth codegen recorded on each instruction — the
+      spill-cost estimator's weight input — agrees with the natural-loop
+      nesting recomputed from the CFG.
 
-val run : Ra_ir.Proc.t -> Diagnostic.t list
+    [cache], when given, serves the dominator tree and loop nest from a
+    cross-pass {!Ra_analysis.Analysis_cache} instead of recomputing
+    them per call (the pipeline passes its context's cache; results are
+    identical either way). *)
+
+val run :
+  ?cache:Ra_analysis.Analysis_cache.t -> Ra_ir.Proc.t -> Diagnostic.t list

@@ -14,21 +14,29 @@ let map_procs ?pool ?context ?edge_cache machine ~f (procs : Proc.t list) =
        over it — the context's own pool still parallelizes each build *)
     List.map (f ctx) procs
   | None, Some pool when Ra_support.Pool.jobs pool > 1 && several ->
-    (* procedure-level dispatch: each routine is one pool task with a
+    (* Procedure-level dispatch: each routine is one pool task with a
        context of its own (contexts are single-threaded); the result
-       list keeps routine order. The per-routine contexts are pinned to
-       [jobs:1] — parallelism is spent at procedure granularity here,
-       and nesting block-sharded builds inside procedure tasks would
-       queue [jobs × jobs] tasks on the same pool for no extra width.
-       Each task's context, graphs and cache are its own creations; the
-       only shared resource it touches is the telemetry sink. *)
+       list keeps routine order. The width hint is scheduler-aware
+       rather than a hard pin: build-stage block scans stay at
+       [jobs:1] — nesting block-sharded builds inside procedure tasks
+       would queue [jobs × jobs] tasks on the same pool for no extra
+       width — but the pool is lent to each context as [wide_pool], so
+       a routine whose interference graph clears the engines'
+       node-count floors can still go wide inside Simplify/Select
+       (Pool.run is re-entrant: a task that fans out simply has its
+       subtasks interleaved on the same domains, never oversubscribing,
+       while small routines never touch the lent pool and so never
+       starve the procedure-level tasks). Each task's context, graphs
+       and cache are its own creations; the shared resources it touches
+       are the telemetry sink and the lent pool. *)
     Ra_support.Pool.map_list pool
       ~meta:(fun proc ->
         { Ra_support.Pool.tm_name = "alloc:" ^ proc.Proc.name;
           tm_footprint =
             { Ra_support.Footprint.reads = [];
               writes = [ Ra_support.Footprint.Telemetry ] } })
-      (fun proc -> f (Context.create ?edge_cache ~jobs:1 machine) proc)
+      (fun proc ->
+        f (Context.create ?edge_cache ~jobs:1 ~wide_pool:pool machine) proc)
       procs
   | None, (Some _ | None) ->
     (* zero or one routine (or a width-1 pool): spend the pool on
@@ -72,8 +80,8 @@ let transpose ~n_heuristics rows =
 
 let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
     ?(spill_base = Spill_costs.default_base) ?(rematerialize = true)
-    ?(verify = verify_default) ?edge_cache ?sched ?scheduler machine heuristics
-    (procs : Proc.t list) : Allocator.result list list =
+    ?(verify = verify_default) ?edge_cache ?sched ?scheduler ?tele machine
+    heuristics (procs : Proc.t list) : Allocator.result list list =
   let mode = match sched with Some m -> m | None -> sched_mode () in
   match mode with
   | Flat ->
@@ -90,7 +98,9 @@ let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
     let sched =
       match scheduler with Some s -> s | None -> Scheduler.global ()
     in
-    let tele = Telemetry.ambient () in
+    let tele =
+      match tele with Some t -> t | None -> Telemetry.ambient ()
+    in
     if Telemetry.enabled tele then Scheduler.set_telemetry sched tele;
     (* the shared build's block scan shards onto the same scheduler via
        the pool façade, interleaving with the stage tasks *)
@@ -121,13 +131,20 @@ let allocate_matrix ?(coalesce = true) ?(max_passes = 32)
       Scheduler.run sched (fun () ->
         List.map
           (fun (orig, proc) ->
-            (* per-pipeline contexts are single-threaded and private:
+            (* Per-pipeline contexts are single-threaded and private:
                their scratch graphs, buckets and edge caches are the
-               stage chain's only mutable state besides its proc copy *)
+               stage chain's only mutable state besides its proc copy.
+               Build scans stay at jobs:1 (procedure-level parallelism
+               owns the domains), but the scheduler's pool façade is
+               lent as [wide_pool] so large Color stages can peel and
+               select in parallel — the engines' floors gate the
+               engagement on web count. *)
             let pipelines =
               List.map
                 (fun h ->
-                  h, Context.create ?edge_cache ~verify ~jobs:1 ~tele machine)
+                  h,
+                  Context.create ?edge_cache ~verify ~jobs:1 ?wide_pool:bpool
+                    ~tele machine)
                 heuristics
             in
             ( orig,

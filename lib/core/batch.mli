@@ -69,7 +69,9 @@ val set_sched_mode : sched_mode -> unit
     under {!Flat} it degenerates to one {!allocate_all} per heuristic.
     The allocation options mirror {!Allocator.allocate}'s and apply to
     every cell. [scheduler] (for {!Dag}) overrides the process-global
-    scheduler — tests sweep widths with private instances. *)
+    scheduler — tests sweep widths with private instances. [tele] (for
+    {!Dag}) overrides the ambient telemetry sink, so harnesses can
+    collect the run's counters without configuring [RA_TRACE]. *)
 val allocate_matrix :
   ?coalesce:bool ->
   ?max_passes:int ->
@@ -79,6 +81,7 @@ val allocate_matrix :
   ?edge_cache:bool ->
   ?sched:sched_mode ->
   ?scheduler:Ra_support.Scheduler.t ->
+  ?tele:Ra_support.Telemetry.t ->
   Machine.t ->
   Heuristic.t list ->
   Ra_ir.Proc.t list ->

@@ -961,10 +961,18 @@ let web_of_node t cls node =
 
 let node_of t w = t.node_of_web.(Union_find.find t.alias w)
 
-let node_costs ?(base = Spill_costs.default_base) t proc cls =
+let rep_costs ?(base = Spill_costs.default_base) t proc =
+  Spill_costs.rep_costs ~base proc t.webs ~alias:t.alias
+
+let node_costs ?(base = Spill_costs.default_base) ?rep_costs:shared t proc cls
+    =
   let g = graph_of_class t cls in
   let k = Igraph.n_precolored g in
-  let rep_costs = Spill_costs.rep_costs ~base proc t.webs ~alias:t.alias in
+  let rep_costs =
+    match shared with
+    | Some c -> c
+    | None -> Spill_costs.rep_costs ~base proc t.webs ~alias:t.alias
+  in
   Array.init (Igraph.n_nodes g) (fun n ->
     if n < k then infinity
     else rep_costs.(web_of_node t cls n))

@@ -183,7 +183,20 @@ val web_of_node : t -> Ra_ir.Reg.cls -> int -> int
 (** Node of a web (any member; resolved through [alias]). *)
 val node_of : t -> int -> int
 
+(** Per-representative-web spill costs ({!Spill_costs.rep_costs} with
+    this build's webs and aliases) — class-independent, so callers
+    costing both class graphs compute it once and pass it to
+    {!node_costs}. *)
+val rep_costs : ?base:float -> t -> Ra_ir.Proc.t -> float array
+
 (** Spill costs per node of a class graph (physical nodes get
-    [infinity]); [base] is the per-loop-depth weight (default 10). *)
+    [infinity]); [base] is the per-loop-depth weight (default 10).
+    [rep_costs] supplies the shared per-web costs (defaults to
+    recomputing them, in which case [base] applies). *)
 val node_costs :
-  ?base:float -> t -> Ra_ir.Proc.t -> Ra_ir.Reg.cls -> float array
+  ?base:float ->
+  ?rep_costs:float array ->
+  t ->
+  Ra_ir.Proc.t ->
+  Ra_ir.Reg.cls ->
+  float array

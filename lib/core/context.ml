@@ -21,6 +21,8 @@ type t = {
   verify : bool;
   tele : Telemetry.t;
   pool : Pool.t option;
+  wide_pool : Pool.t option;
+  acache : Analysis_cache.t;
   par : Build.par_scratch;
   touched : Bitset.t;
   scratch_int : Igraph.t;
@@ -47,7 +49,7 @@ let edge_cache_default =
   | None | Some _ -> true
 
 let create ?(incremental = incremental_default) ?(verify = verify_default)
-    ?(edge_cache = edge_cache_default) ?tele ?jobs ?pool machine =
+    ?(edge_cache = edge_cache_default) ?tele ?jobs ?pool ?wide_pool machine =
   (* every context installs the dispatch-time footprint validator, so
      any meta-carrying batch submitted through allocation is statically
      checked for write-set disjointness (idempotent, one ref store) *)
@@ -71,11 +73,18 @@ let create ?(incremental = incremental_default) ?(verify = verify_default)
   (match pool with
    | Some p when Telemetry.enabled tele -> Pool.set_telemetry p tele
    | Some _ | None -> ());
+  let wide_pool =
+    match wide_pool with
+    | Some p when Pool.jobs p > 1 -> Some p
+    | Some _ | None -> None
+  in
   { machine;
     incremental;
     verify;
     tele;
     pool;
+    wide_pool;
+    acache = Analysis_cache.create ();
     par = Build.par_scratch ();
     touched = Bitset.create 0;
     scratch_int = Igraph.create ~n_nodes:0 ~n_precolored:0;
@@ -89,6 +98,8 @@ let machine t = t.machine
 let telemetry t = t.tele
 let incremental_enabled t = t.incremental
 let pool t = t.pool
+let wide_pool t = t.wide_pool
+let analysis_cache t = t.acache
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
 let buckets t = t.buckets
 let stats t = t.stats
@@ -195,6 +206,9 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
     Cfg.patch_insertions prev.p_cfg ~inserted_before:sp.Spill.inserted_before
       ~inserted_after:sp.Spill.inserted_after
   in
+  (* the patch preserves block topology, so dominators/loops cached on
+     the previous pass's CFG carry over to the patched one as-is *)
+  Analysis_cache.adopt t.acache ~prev:prev.p_cfg ~next:cfg ~verify:t.verify;
   let webs, old_to_new =
     Webs.rebuild proc ~old:prev.p_built.Build.webs sp.Spill.edit
   in

@@ -34,11 +34,18 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets ?pool
       Par_color.select ?pool ~verify ~tele g ~k ~order
     else Coloring.select g ~k ~order
   in
+  (* Simplify likewise: the peeling engine emits the identical removal
+     order and spill decisions (RA_PAR_SIMPLIFY / _MIN gate it). *)
+  let simplify g ~k ~costs ~policy =
+    if Par_simplify.should ~pool ~n_nodes:(Igraph.n_nodes g) then
+      Par_simplify.simplify ?pool ~verify ~tele g ~k ~costs ~policy
+    else Coloring.simplify g ~k ~costs ~policy
+  in
   match t with
   | Chaitin ->
     let { Coloring.order; marked } =
       timed Ra_support.Phase.Simplify (fun () ->
-        Coloring.simplify g ~k ~costs ~policy:Coloring.Spill_during_simplify)
+        simplify g ~k ~costs ~policy:Coloring.Spill_during_simplify)
     in
     if marked <> [] then Spill marked
     else begin
@@ -53,7 +60,7 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets ?pool
   | Briggs ->
     let { Coloring.order; marked } =
       timed Ra_support.Phase.Simplify (fun () ->
-        Coloring.simplify g ~k ~costs ~policy:Coloring.Defer_to_select)
+        simplify g ~k ~costs ~policy:Coloring.Defer_to_select)
     in
     assert (marked = []);
     let { Coloring.colors; uncolored } =

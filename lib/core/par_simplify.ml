@@ -1,0 +1,690 @@
+(* Speculative parallel Simplify (peeling rounds).
+
+   The sequential engine in {!Coloring.simplify} is a LIFO worklist:
+   between spill elections the worklist holds a list of "seed" nodes
+   (degree < k), and popping a seed drains its whole removal cascade
+   depth-first before the next seed is touched.  Two structural facts
+   make that loop parallelizable without changing a single emitted
+   position:
+
+   - a seed is never removed by another seed's cascade (it is already
+     on the worklist, so cascades never re-push it, and only popped or
+     elected nodes are removed);
+   - the emission order is therefore a concatenation of per-seed
+     cascades, each of which depends only on the graph state at the
+     point its seed is popped.
+
+   So the engine splits each segment's seed list into contiguous
+   chunks, lets workers *speculatively* run the exact sequential
+   cascade of each chunk against a frozen snapshot of the global
+   degree/removal state, and then commits chunks sequentially in seed
+   order.  The commit scan detects, per chunk, whether any earlier
+   chunk's removals could have changed what this chunk would have done
+   (a removal racing with a neighbor's concurrent removal); a clean
+   chunk's emissions are appended verbatim, a dirty chunk is discarded
+   and re-run sequentially against the true state — the defer-only
+   discipline of {!Par_color}, applied to Simplify.  Either way the
+   emitted stack is byte-identical to the sequential engine at any
+   width (see DESIGN.md "Parallel simplify: speculative peeling
+   rounds" for the commit-rule proof).
+
+   Spill elections stay sequential: they are a global argmin over the
+   remaining nodes and are rare compared to peeling work. *)
+
+open Ra_support
+
+exception Divergence of string
+
+type stats = {
+  engaged : bool;
+  rounds : int; (* parallel peeling rounds (segments run speculatively) *)
+  chunks : int; (* chunks speculated across all rounds *)
+  peeled : int; (* nodes committed straight from speculation *)
+  defers : int; (* chunks discarded and repaired sequentially *)
+  repaired : int; (* nodes emitted by the sequential repairs *)
+  elections : int; (* spill elections (all sequential) *)
+}
+
+let no_stats =
+  { engaged = false; rounds = 0; chunks = 0; peeled = 0; defers = 0;
+    repaired = 0; elections = 0 }
+
+(* ---- configuration ---- *)
+
+let enabled_env =
+  match Sys.getenv_opt "RA_PAR_SIMPLIFY" with
+  | Some "0" | Some "" -> false
+  | None | Some _ -> true
+
+let enabled_override = ref None
+let set_enabled v = enabled_override := v
+
+let enabled () =
+  match !enabled_override with Some v -> v | None -> enabled_env
+
+let min_nodes_env =
+  match Sys.getenv_opt "RA_PAR_SIMPLIFY_MIN" with
+  | Some s ->
+    (match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 4096)
+  | None -> 4096
+
+let min_nodes_override = ref None
+let set_min_nodes v = min_nodes_override := v
+
+let min_nodes () =
+  match !min_nodes_override with Some n -> n | None -> min_nodes_env
+
+let should ~pool ~n_nodes =
+  enabled () && pool <> None && n_nodes >= min_nodes ()
+
+(* Test hook: collapse every worker's write token onto one shared
+   token, so the dispatch-time footprint validator must reject the
+   batch (proves the race-detection layer covers these tasks). *)
+let seeded_footprint_overlap = ref false
+
+(* seeds per speculation chunk, and the segment-size floor below which
+   speculation cannot pay for its bookkeeping *)
+let chunk_seeds = 256
+let min_par_seeds = 2 * chunk_seeds
+
+(* ---- small growable int vector ---- *)
+
+module Ivec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create cap = { a = Array.make (max cap 4) 0; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.a then begin
+      let b = Array.make (2 * t.len) 0 in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+
+  (* append [src] wholesale — a blit, not [src.len] pushes *)
+  let append t (src : t) =
+    let need = t.len + src.len in
+    if need > Array.length t.a then begin
+      let cap = ref (2 * Array.length t.a) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let b = Array.make !cap 0 in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    Array.blit src.a 0 t.a t.len src.len;
+    t.len <- need
+
+  (* append a plain array wholesale *)
+  let append_arr t (src : int array) =
+    let slen = Array.length src in
+    let need = t.len + slen in
+    if need > Array.length t.a then begin
+      let cap = ref (2 * Array.length t.a) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let b = Array.make !cap 0 in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    Array.blit src 0 t.a t.len slen;
+    t.len <- need
+end
+
+(* ---- sequential baseline over a view ---- *)
+
+let degree_fn ?degree (view : Par_color.view) =
+  match degree with
+  | Some f -> f
+  | None ->
+    fun i ->
+      let d = ref 0 in
+      view.Par_color.v_iter i (fun _ -> incr d);
+      !d
+
+let check_costs what (view : Par_color.view) costs =
+  if Array.length costs <> view.Par_color.v_nodes then
+    invalid_arg (Printf.sprintf "Par_simplify.%s: costs arity" what)
+
+(* A faithful transliteration of Coloring.simplify over a view,
+   returning the removal order and marks as arrays.  Used as the
+   width-1 path and as the oracle for the speculative engine. *)
+let simplify_view_seq ?degree (view : Par_color.view) ~k ~costs ~policy =
+  check_costs "simplify_view_seq" view costs;
+  let n = view.Par_color.v_nodes in
+  let pre = view.Par_color.v_precolored in
+  let iter = view.Par_color.v_iter in
+  let degree_of = degree_fn ?degree view in
+  let removed = Array.make n false in
+  let deg = Array.init n degree_of in
+  let low = ref [] in
+  let in_low = Array.make n false in
+  let remaining = ref 0 in
+  for i = n - 1 downto pre do
+    incr remaining;
+    if deg.(i) < k then begin
+      low := i :: !low;
+      in_low.(i) <- true
+    end
+  done;
+  let rev_order = ref [] in
+  let rev_marked = ref [] in
+  let remove node =
+    removed.(node) <- true;
+    decr remaining;
+    iter node (fun nb ->
+      if (not removed.(nb)) && nb >= pre then begin
+        deg.(nb) <- deg.(nb) - 1;
+        if deg.(nb) < k && not in_low.(nb) then begin
+          low := nb :: !low;
+          in_low.(nb) <- true
+        end
+      end)
+  in
+  let pick_spill_candidate () =
+    let best = ref (-1) in
+    let best_ratio = ref infinity in
+    let best_infinite = ref (-1) in
+    for i = pre to n - 1 do
+      if not removed.(i) then
+        if costs.(i) = infinity then begin
+          if !best_infinite < 0 then best_infinite := i
+        end
+        else begin
+          let ratio = costs.(i) /. float_of_int (max deg.(i) 1) in
+          if ratio < !best_ratio then begin
+            best_ratio := ratio;
+            best := i
+          end
+        end
+    done;
+    if !best >= 0 then !best
+    else begin
+      match policy with
+      | Coloring.Spill_during_simplify ->
+        failwith
+          "Coloring.simplify: unspillable nodes form an uncolorable core"
+      | Coloring.Defer_to_select -> !best_infinite
+    end
+  in
+  let rec loop () =
+    match !low with
+    | node :: rest ->
+      low := rest;
+      in_low.(node) <- false;
+      if not removed.(node) then begin
+        rev_order := node :: !rev_order;
+        remove node
+      end;
+      loop ()
+    | [] ->
+      if !remaining > 0 then begin
+        let node = pick_spill_candidate () in
+        (match policy with
+         | Coloring.Spill_during_simplify ->
+           rev_marked := node :: !rev_marked
+         | Coloring.Defer_to_select -> rev_order := node :: !rev_order);
+        remove node;
+        loop ()
+      end
+  in
+  loop ();
+  let rev_to_array r =
+    let len = List.length r in
+    let a = Array.make len 0 in
+    let i = ref (len - 1) in
+    List.iter (fun x -> a.(!i) <- x; decr i) r;
+    a
+  in
+  (rev_to_array !rev_order, rev_to_array !rev_marked)
+
+(* ---- the speculative engine ---- *)
+
+(* Per-worker speculation scratch.  [sv] packs a node's local delta
+   against the frozen snapshot as [dec lsl 2 | in_low | removed];
+   [ss] stamps which chunk run the packed value belongs to, so the
+   arrays never need clearing. *)
+type wscratch = {
+  sv : int array;
+  ss : int array;
+  stk : Ivec.t;
+  touch : Ivec.t;
+  mutable wst : int;
+}
+
+let simplify_view_spec pool ?degree (view : Par_color.view) ~k ~costs
+    ~policy ~(stats : stats ref) =
+  let n = view.Par_color.v_nodes in
+  let pre = view.Par_color.v_precolored in
+  let iter = view.Par_color.v_iter in
+  let jobs = Pool.jobs pool in
+  let degree_of = degree_fn ?degree view in
+  let removed = Array.make n false in
+  let deg = Array.init n degree_of in
+  let remaining = ref (n - pre) in
+  let order_v = Ivec.create (max 16 (n - pre)) in
+  let marked_v = Ivec.create 4 in
+  (* Segment-stamped marks; [seg] increments once per segment (the
+     stretch between two elections), so stale entries need no reset.
+     [seed_stamp] marks the segment's pending seeds (the sequential
+     engine's in_low for nodes already on the worklist), [dec_stamp]
+     marks nodes whose true degree was decremented this segment,
+     [inlow_stamp] is in_low for the sequential drains. *)
+  let seed_stamp = Array.make n 0 in
+  let dec_stamp = Array.make n 0 in
+  let inlow_stamp = Array.make n 0 in
+  let seg = ref 0 in
+  let gstk = Ivec.create 64 in
+  let rounds = ref 0 and chunks_total = ref 0 and peeled = ref 0 in
+  let defers = ref 0 and repaired = ref 0 and elections = ref 0 in
+  (* Exact sequential removal cascade against the true global state.
+     The visitor closure is hoisted: allocating it per removed node
+     (as the oracle's transliteration does) costs a minor-heap block
+     per removal, which at frontier scale is real money. *)
+  let rg_visit nb =
+    if (not removed.(nb)) && nb >= pre then begin
+      deg.(nb) <- deg.(nb) - 1;
+      dec_stamp.(nb) <- !seg;
+      if
+        deg.(nb) < k
+        && inlow_stamp.(nb) <> !seg
+        && seed_stamp.(nb) <> !seg
+      then begin
+        inlow_stamp.(nb) <- !seg;
+        Ivec.push gstk nb
+      end
+    end
+  in
+  let remove_global node =
+    removed.(node) <- true;
+    decr remaining;
+    iter node rg_visit
+  in
+  (* Drain seeds [lo, hi) of [sarr] exactly as the sequential engine
+     would: each seed's cascade fully, children in LIFO order. *)
+  let drain_range (sarr : int array) lo hi =
+    for i = lo to hi - 1 do
+      let s = sarr.(i) in
+      Ivec.push order_v s;
+      remove_global s;
+      while gstk.Ivec.len > 0 do
+        gstk.Ivec.len <- gstk.Ivec.len - 1;
+        let y = gstk.Ivec.a.(gstk.Ivec.len) in
+        Ivec.push order_v y;
+        remove_global y
+      done
+    done
+  in
+  (* worker-local scratch, allocated on first use and reused across
+     segments (tasks are joined between segments, so worker index wi
+     is owned by exactly one task at a time) *)
+  let scratch : wscratch option array = Array.make (max jobs 1) None in
+  let get_scratch wi =
+    match scratch.(wi) with
+    | Some ws -> ws
+    | None ->
+      let ws =
+        { sv = Array.make n 0; ss = Array.make n 0; stk = Ivec.create 64;
+          touch = Ivec.create 256; wst = 0 }
+      in
+      scratch.(wi) <- Some ws;
+      ws
+  in
+  (* Speculatively run the sequential cascade of seeds [lo, hi)
+     against the frozen snapshot (global [deg]/[removed] are read-only
+     during the parallel phase).  Emissions go to [emit] in pop order;
+     the packed local deltas of every touched node go to [logv]. *)
+  let spec_chunk ws ~(sarr : int array) ~lo ~hi ~(emit : Ivec.t)
+      ~(logv : Ivec.t) ~seg_id =
+    ws.wst <- ws.wst + 1;
+    let st = ws.wst in
+    let sv = ws.sv and ss = ws.ss in
+    ws.touch.Ivec.len <- 0;
+    (* one visitor closure per chunk, not per removed node *)
+    let visit nb =
+      (* This segment's seeds are skipped outright: a seed is removed
+         within the segment by construction, cascades never push one,
+         and its degree is dead after removal — so its decrements are
+         unobservable and need neither tracking nor committing.  On a
+         low-pressure frontier this skip is almost every neighbor. *)
+      if (not removed.(nb)) && nb >= pre && seed_stamp.(nb) <> seg_id
+      then begin
+        let v = if ss.(nb) = st then sv.(nb) else 0 in
+        if v land 1 = 0 then begin
+          let v = v + 4 in
+          if ss.(nb) <> st then begin
+            ss.(nb) <- st;
+            Ivec.push ws.touch nb
+          end;
+          if v land 2 = 0 && deg.(nb) - (v lsr 2) < k then begin
+            sv.(nb) <- v lor 2;
+            Ivec.push ws.stk nb
+          end
+          else sv.(nb) <- v
+        end
+      end
+    in
+    let spec_remove x =
+      (* x is one of this chunk's seeds or a node its cascade crossed;
+         either way it belongs in the log (the commit scan validates
+         removals through rules 1 and 2) *)
+      if ss.(x) = st then sv.(x) <- sv.(x) lor 1
+      else begin
+        ss.(x) <- st;
+        Ivec.push ws.touch x;
+        sv.(x) <- 1
+      end;
+      iter x visit
+    in
+    for i = lo to hi - 1 do
+      let s = sarr.(i) in
+      Ivec.push emit s;
+      spec_remove s;
+      while ws.stk.Ivec.len > 0 do
+        ws.stk.Ivec.len <- ws.stk.Ivec.len - 1;
+        let y = ws.stk.Ivec.a.(ws.stk.Ivec.len) in
+        Ivec.push emit y;
+        spec_remove y
+      done
+    done;
+    for t = 0 to ws.touch.Ivec.len - 1 do
+      let w = ws.touch.Ivec.a.(t) in
+      Ivec.push logv w;
+      Ivec.push logv sv.(w)
+    done
+  in
+  (* One parallel peeling round over this segment's seeds: speculate
+     all chunks in parallel, then commit in chunk order. *)
+  let par_segment (seeds : int array) =
+    incr rounds;
+    let m = Array.length seeds in
+    let n_chunks = (m + chunk_seeds - 1) / chunk_seeds in
+    chunks_total := !chunks_total + n_chunks;
+    let emis = Array.init n_chunks (fun _ -> Ivec.create (chunk_seeds * 2)) in
+    let logs = Array.init n_chunks (fun _ -> Ivec.create 64) in
+    let next = Atomic.make 0 in
+    (* Worker fleet: the requested width bounds it from above, but it
+       never exceeds the physical core count — oversubscribed domains
+       time-slice one core and pay cross-domain GC synchronization for
+       nothing.  Chunk speculation is deterministic (frozen snapshot,
+       atomic rank claiming), so the emitted stack and every stat are
+       identical at any fleet size.  The footprint-overlap test hook
+       keeps the unclamped fleet: it exists to drive Pool.run's
+       dispatch-time validator, which a one-worker run never reaches. *)
+    let hw = Domain.recommended_domain_count () in
+    let workers = max 1 (min jobs n_chunks) in
+    let workers =
+      if !seeded_footprint_overlap then workers else max 1 (min workers hw)
+    in
+    let tokens =
+      if !seeded_footprint_overlap then begin
+        let t = Footprint.fresh_uid () in
+        Array.make workers t
+      end
+      else Array.init workers (fun _ -> Footprint.fresh_uid ())
+    in
+    let meta i =
+      { Pool.tm_name = Printf.sprintf "par_simplify:peel%d" i;
+        tm_footprint =
+          { Footprint.reads = []; writes = [ Footprint.State tokens.(i) ] }
+      }
+    in
+    let seg_id = !seg in
+    let worker wi =
+      let ws = get_scratch wi in
+      let rec claim () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          spec_chunk ws ~sarr:seeds ~lo:(c * chunk_seeds)
+            ~hi:(min m ((c + 1) * chunk_seeds))
+            ~emit:emis.(c) ~logv:logs.(c) ~seg_id;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    if workers = 1 then worker 0 else Pool.run pool ~meta ~n:workers worker;
+    (* sequential commit scan: a chunk is clean iff no entry in its
+       log could have been perturbed by an earlier chunk's committed
+       removals (see DESIGN.md for why each rule below is exact) *)
+    for c = 0 to n_chunks - 1 do
+      let log = logs.(c) in
+      let conflict = ref false in
+      let i = ref 0 in
+      while (not !conflict) && !i < log.Ivec.len do
+        let w = log.Ivec.a.(!i) and v = log.Ivec.a.(!i + 1) in
+        (if removed.(w) then begin
+           (* an earlier chunk removed w: dropping pending decrements
+              on a dead node is what the sequential engine does too,
+              but speculatively removing it again is a real race *)
+           if v land 1 = 1 then conflict := true
+         end
+         else if v land 1 = 1 then begin
+           (* w was speculatively removed.  Its own seeds are removed
+              unconditionally; a cascade (crossing) removal's position
+              depends on w's degree trajectory, which earlier chunks'
+              decrements have shifted. *)
+           if dec_stamp.(w) = seg_id && seed_stamp.(w) <> seg_id then
+             conflict := true
+         end
+         else if deg.(w) - (v lsr 2) < k && seed_stamp.(w) <> seg_id then
+           (* Alive with pending decrements: the speculation proved
+              snapshot_deg - dec >= k, so crossing k here means earlier
+              chunks' decrements combined with ours would have pushed w
+              mid-cascade — the chunk's emission order is suspect.
+              Exception: this segment's own seeds.  A seed is already
+              on the worklist, every push condition excludes it, and
+              it is removed unconditionally when its chunk processes
+              it, so its degree trajectory is unobservable — crossing
+              k on a seed perturbs nothing.  Without the exemption a
+              low-k graph (every node a segment-1 seed) deferred every
+              chunk and the engine degenerated to sequential repair. *)
+           conflict := true);
+        i := !i + 2
+      done;
+      if !conflict then begin
+        incr defers;
+        let before = order_v.Ivec.len in
+        drain_range seeds (c * chunk_seeds) (min m ((c + 1) * chunk_seeds));
+        repaired := !repaired + (order_v.Ivec.len - before)
+      end
+      else begin
+        let i = ref 0 in
+        while !i < log.Ivec.len do
+          let w = log.Ivec.a.(!i) and v = log.Ivec.a.(!i + 1) in
+          if not removed.(w) then begin
+            if v land 1 = 1 then begin
+              removed.(w) <- true;
+              decr remaining
+            end
+            else begin
+              deg.(w) <- deg.(w) - (v lsr 2);
+              dec_stamp.(w) <- seg_id
+            end
+          end;
+          i := !i + 2
+        done;
+        let e = emis.(c) in
+        Ivec.append order_v e;
+        peeled := !peeled + e.Ivec.len
+      end
+    done
+  in
+  let pick_spill_candidate () =
+    let best = ref (-1) in
+    let best_ratio = ref infinity in
+    let best_infinite = ref (-1) in
+    for i = pre to n - 1 do
+      if not removed.(i) then
+        if costs.(i) = infinity then begin
+          if !best_infinite < 0 then best_infinite := i
+        end
+        else begin
+          let ratio = costs.(i) /. float_of_int (max deg.(i) 1) in
+          if ratio < !best_ratio then begin
+            best_ratio := ratio;
+            best := i
+          end
+        end
+    done;
+    if !best >= 0 then !best
+    else begin
+      match policy with
+      | Coloring.Spill_during_simplify ->
+        failwith
+          "Coloring.simplify: unspillable nodes form an uncolorable core"
+      | Coloring.Defer_to_select -> !best_infinite
+    end
+  in
+  (* Remove the elected node and collect the neighbors its removal
+     pushes below k.  At election time every alive node has degree
+     >= k, so "crossed k" is exactly "deg < k after the decrement".
+     The sequential engine prepends pushes and pops LIFO, so the next
+     segment's seed order is the reverse of iteration order. *)
+  let elect () =
+    incr elections;
+    let node = pick_spill_candidate () in
+    (match policy with
+     | Coloring.Spill_during_simplify -> Ivec.push marked_v node
+     | Coloring.Defer_to_select -> Ivec.push order_v node);
+    removed.(node) <- true;
+    decr remaining;
+    let crossed = Ivec.create 8 in
+    iter node (fun nb ->
+      if (not removed.(nb)) && nb >= pre then begin
+        deg.(nb) <- deg.(nb) - 1;
+        if deg.(nb) < k then Ivec.push crossed nb
+      end);
+    let m = crossed.Ivec.len in
+    Array.init m (fun i -> crossed.Ivec.a.(m - 1 - i))
+  in
+  (* initial seeds, in worklist pop order (ascending id) *)
+  let seeds0 =
+    let v = Ivec.create 64 in
+    for i = pre to n - 1 do
+      if deg.(i) < k then Ivec.push v i
+    done;
+    Array.sub v.Ivec.a 0 v.Ivec.len
+  in
+  let rec run (seeds : int array) =
+    incr seg;
+    let m = Array.length seeds in
+    if m > 0 then begin
+      if m = !remaining then begin
+        (* Whole-frontier short-circuit: every alive node is already on
+           the worklist.  Popping any seed removes it; its cascade can
+           only visit other alive nodes, all of which are pending seeds
+           (in_low), so no push ever fires and no decrement is ever
+           read again — the segment provably empties the graph with the
+           seed array as its exact emission.  The sequential engine
+           still performs every decrement; this path proves them
+           unobservable and skips the entire cascade machinery.  Exact,
+           not speculative — and the dominant case on low-pressure
+           graphs whose every web sits below k. *)
+        incr rounds;
+        Ivec.append_arr order_v seeds;
+        for i = 0 to m - 1 do
+          removed.(seeds.(i)) <- true
+        done;
+        remaining := 0;
+        peeled := !peeled + m
+      end
+      else begin
+        for i = 0 to m - 1 do
+          seed_stamp.(seeds.(i)) <- !seg
+        done;
+        if m < min_par_seeds then drain_range seeds 0 m
+        else par_segment seeds
+      end
+    end;
+    if !remaining > 0 then run (elect ())
+  in
+  run seeds0;
+  stats :=
+    { engaged = true; rounds = !rounds; chunks = !chunks_total;
+      peeled = !peeled; defers = !defers; repaired = !repaired;
+      elections = !elections };
+  ( Array.sub order_v.Ivec.a 0 order_v.Ivec.len,
+    Array.sub marked_v.Ivec.a 0 marked_v.Ivec.len )
+
+let simplify_view ?degree ?pool ?stats (view : Par_color.view) ~k ~costs
+    ~policy =
+  check_costs "simplify_view" view costs;
+  let stats = match stats with Some r -> r | None -> ref no_stats in
+  stats := no_stats;
+  match pool with
+  | Some pool
+    when Pool.jobs pool > 1
+         && view.Par_color.v_nodes - view.Par_color.v_precolored
+            >= min_par_seeds ->
+    simplify_view_spec pool ?degree view ~k ~costs ~policy ~stats
+  | Some _ | None -> simplify_view_seq ?degree view ~k ~costs ~policy
+
+(* ---- Igraph drop-in ---- *)
+
+let first_diff a b =
+  let rec go i a b =
+    match a, b with
+    | [], [] -> None
+    | x :: a, y :: b -> if x = y then go (i + 1) a b else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, -1)
+    | [], y :: _ -> Some (i, -1, y)
+  in
+  go 0 a b
+
+let verify_against g ~k ~costs ~policy (res : Coloring.simplify_result) =
+  let want = Coloring.simplify g ~k ~costs ~policy in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt in
+  let check what got ref_l =
+    match first_diff got ref_l with
+    | None -> ()
+    | Some (i, x, y) ->
+      fail
+        "par_simplify: %s diverges from sequential at position %d \
+         (got %d, want %d; lengths %d vs %d)"
+        what i x y (List.length got) (List.length ref_l)
+  in
+  check "removal order" res.Coloring.order want.Coloring.order;
+  check "spill marks" res.Coloring.marked want.Coloring.marked
+
+let simplify ?pool ?(verify = false) ?(tele = Telemetry.null) (g : Igraph.t)
+    ~k ~costs ~policy =
+  if Array.length costs <> Igraph.n_nodes g then
+    invalid_arg "Par_simplify.simplify: costs arity";
+  let view = Par_color.view_of_igraph g in
+  let stats = ref no_stats in
+  let engaging =
+    match pool with
+    | Some p ->
+      Pool.jobs p > 1
+      && Igraph.n_nodes g - Igraph.n_precolored g >= min_par_seeds
+    | None -> false
+  in
+  let run () =
+    simplify_view ~degree:(Igraph.degree g) ?pool ~stats view ~k ~costs
+      ~policy
+  in
+  let order, marked =
+    if engaging then Telemetry.span tele Phase.Par_simplify run else run ()
+  in
+  (if Telemetry.enabled tele then begin
+     let s = !stats in
+     if s.engaged then begin
+       Telemetry.counter tele "par_simplify.engaged" 1;
+       Telemetry.counter tele "par_simplify.rounds" s.rounds;
+       Telemetry.counter tele "par_simplify.peeled" s.peeled;
+       Telemetry.counter tele "par_simplify.defers" s.defers;
+       Telemetry.counter tele "par_simplify.repaired" s.repaired;
+       Telemetry.counter tele "par_simplify.elections" s.elections
+     end
+   end);
+  let res =
+    { Coloring.order = Array.to_list order;
+      marked = Array.to_list marked }
+  in
+  if verify then verify_against g ~k ~costs ~policy res;
+  res

@@ -1,0 +1,103 @@
+(** Speculative parallel Simplify: peeling rounds over the degree-< k
+    frontier, bit-identical to {!Coloring.simplify} at any width.
+
+    Between two spill elections the sequential worklist holds a list of
+    seed nodes whose cascades drain one after another.  The engine
+    splits that seed list into contiguous chunks, speculates every
+    chunk's exact sequential cascade in parallel against a frozen
+    snapshot of the degree/removal state, then commits chunks in seed
+    order: a chunk whose log proves it could not have been perturbed by
+    earlier chunks is appended verbatim, any other chunk is discarded
+    and re-run sequentially against the true state (defer-only repair,
+    mirroring {!Par_color}).  Spill elections remain sequential.
+
+    The emitted removal order, spill elections, and
+    [Spill_during_simplify] marks are bit-identical to the sequential
+    engine at every width; the test suite checks this per width and the
+    [verify] flag re-checks at run time.
+
+    Worker tasks declare disjoint per-worker write footprints, so the
+    dispatch validator and the [RA_RACE_CHECK] replay cover the engine;
+    {!seeded_footprint_overlap} deliberately collapses the tokens to
+    prove the coverage is real. *)
+
+(** Raised by the [verify] cross-check when the parallel engine's
+    output differs from the sequential baseline. *)
+exception Divergence of string
+
+type stats = {
+  engaged : bool;  (** did the speculative engine actually run? *)
+  rounds : int;  (** parallel peeling rounds (speculated segments) *)
+  chunks : int;  (** seed chunks speculated across all rounds *)
+  peeled : int;  (** nodes committed straight from speculation *)
+  defers : int;  (** chunks discarded and repaired sequentially *)
+  repaired : int;  (** nodes emitted by the sequential repairs *)
+  elections : int;  (** spill elections (always sequential) *)
+}
+
+val no_stats : stats
+
+(** Sequential baseline over a {!Par_color.view}: a faithful
+    transliteration of {!Coloring.simplify} returning the removal order
+    and the Chaitin marks as arrays.  [degree] supplies initial degrees
+    in O(1) when the graph representation has them (defaults to
+    counting via the view's iterator). *)
+val simplify_view_seq :
+  ?degree:(int -> int) ->
+  Par_color.view ->
+  k:int ->
+  costs:float array ->
+  policy:Coloring.spill_policy ->
+  int array * int array
+
+(** Like {!simplify_view_seq}, but peels speculatively on [pool] when
+    it has width > 1 and the graph is large enough; falls back to the
+    sequential baseline otherwise.  [stats] reports engagement and
+    per-round counters; the reported values are deterministic and
+    width-independent (chunking does not depend on the worker count).
+
+    Raises [Failure] exactly as the sequential engine does when an
+    unspillable uncolorable core is met under [Spill_during_simplify]. *)
+val simplify_view :
+  ?degree:(int -> int) ->
+  ?pool:Ra_support.Pool.t ->
+  ?stats:stats ref ->
+  Par_color.view ->
+  k:int ->
+  costs:float array ->
+  policy:Coloring.spill_policy ->
+  int array * int array
+
+(** Drop-in replacement for {!Coloring.simplify}.  With [verify:true]
+    the sequential engine is re-run on the same graph and any
+    divergence raises {!Divergence}.  When the engine engages, the run
+    is wrapped in a {!Ra_support.Phase.Par_simplify} telemetry span and
+    [par_simplify.*] counters are emitted on [tele]. *)
+val simplify :
+  ?pool:Ra_support.Pool.t ->
+  ?verify:bool ->
+  ?tele:Ra_support.Telemetry.t ->
+  Igraph.t ->
+  k:int ->
+  costs:float array ->
+  policy:Coloring.spill_policy ->
+  Coloring.simplify_result
+
+(** {1 Configuration}
+
+    [RA_PAR_SIMPLIFY=0] disables the engine ({!should} returns false);
+    [RA_PAR_SIMPLIFY_MIN] sets the node-count floor below which the
+    sequential engine is used (default 4096). *)
+
+val enabled : unit -> bool
+val set_enabled : bool option -> unit
+val min_nodes : unit -> int
+val set_min_nodes : int option -> unit
+
+(** Should the engine be used for a graph of [n_nodes] on this pool?
+    (The per-call floor on {e uncolored} nodes still applies inside.) *)
+val should : pool:Ra_support.Pool.t option -> n_nodes:int -> bool
+
+(** Test hook: collapse the workers' disjoint write tokens onto one
+    shared token so footprint validation must reject the dispatch. *)
+val seeded_footprint_overlap : bool ref

@@ -117,9 +117,19 @@ module Lint_pass = struct
       Telemetry.span st.tele phase
         ~args:(fun () -> [ "stage", stage ])
         (fun () ->
+          let cache = Context.analysis_cache st.ctx in
+          let h0 = Ra_analysis.Analysis_cache.hits cache in
+          let m0 = Ra_analysis.Analysis_cache.misses cache in
           fail_on_errors
             ~stage:(proc.Proc.name ^ ": " ^ stage)
-            (Ra_check.Lint.run proc))
+            (Ra_check.Lint.run ~cache proc);
+          if Telemetry.enabled st.tele then begin
+            let dh = Ra_analysis.Analysis_cache.hits cache - h0 in
+            let dm = Ra_analysis.Analysis_cache.misses cache - m0 in
+            if dh > 0 then Telemetry.counter st.tele "analysis_cache.hits" dh;
+            if dm > 0 then
+              Telemetry.counter st.tele "analysis_cache.misses" dm
+          end)
 end
 
 module Build_pass = struct
@@ -137,8 +147,11 @@ module Build_pass = struct
     in
     let costs_int, costs_flt =
       Telemetry.span st.tele ~timer phase (fun () ->
-        ( Build.node_costs ~base:st.cfgn.spill_base built st.proc Reg.Int_reg,
-          Build.node_costs ~base:st.cfgn.spill_base built st.proc Reg.Flt_reg ))
+        (* the per-web costs are class-independent: compute them once
+           and project both class graphs from the same array *)
+        let rep_costs = Build.rep_costs ~base:st.cfgn.spill_base built st.proc in
+        ( Build.node_costs ~rep_costs built st.proc Reg.Int_reg,
+          Build.node_costs ~rep_costs built st.proc Reg.Flt_reg ))
     in
     cfg, webs, built, costs_int, costs_flt
 end
@@ -149,8 +162,17 @@ module Color_pass = struct
      phase set. *)
   let run st ~timer built cls ~costs =
     let k = Machine.regs st.machine cls in
+    (* a context without a build pool of its own (batch drivers pin
+       jobs:1 per pipeline) may still have a borrowed wide pool for
+       the Simplify/Select engines — their node-count floors keep
+       small graphs sequential, so lending costs nothing *)
+    let pool =
+      match Context.pool st.ctx with
+      | Some _ as p -> p
+      | None -> Context.wide_pool st.ctx
+    in
     Heuristic.run ~timer ~tele:st.tele ~buckets:(Context.buckets st.ctx)
-      ?pool:(Context.pool st.ctx) ~verify:st.cfgn.verify st.heuristic
+      ?pool ~verify:st.cfgn.verify st.heuristic
       (Build.graph_of_class built cls)
       ~k ~costs
 end
@@ -499,8 +521,9 @@ let build_shared cfgn machine ~tele ?pool ?cache (proc : Proc.t) =
   in
   let costs_int, costs_flt =
     Telemetry.span tele ~timer Phase.Build (fun () ->
-      ( Build.node_costs ~base:cfgn.spill_base built proc Reg.Int_reg,
-        Build.node_costs ~base:cfgn.spill_base built proc Reg.Flt_reg ))
+      let rep_costs = Build.rep_costs ~base:cfgn.spill_base built proc in
+      ( Build.node_costs ~rep_costs built proc Reg.Int_reg,
+        Build.node_costs ~rep_costs built proc Reg.Flt_reg ))
   in
   (* Fully compress the alias forest while we are its only owner: the
      concurrent pipelines' [Union_find.find]s (spill grouping, node

@@ -12,12 +12,18 @@ Checks, in order:
      `color` spans under it; the task-DAG schedule (RA_SCHED=dag) wraps
      every stage in a `task` span instead — `task` spans plus the same
      stage spans, and at least one `sched.tasks`-family counter sample
-     (spill phases appear only when something spills in either shape);
+     (spill phases appear only when something spills in either shape;
+     `par-color` / `par-simplify` spans appear only when the parallel
+     engines clear their node-count floors and engage);
   4. when more than one domain participated, at least one pooled `scan`
-     or stolen `task` span is tagged with a non-main tid.
+     or stolen `task` span is tagged with a non-main tid;
+  5. every counter named by a --require-counter flag has at least one
+     sample and a positive final total — the way a CI job asserts "the
+     parallel engines actually engaged on this run" rather than merely
+     "the trace looked well-formed".
 
 Exit status 0 on success; 1 with a message on the first violation.
-Usage: check_trace.py TRACE.json
+Usage: check_trace.py [--require-counter NAME]... TRACE.json
 """
 
 import json
@@ -29,7 +35,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(path):
+def main(path, require_counters=()):
     try:
         with open(path) as f:
             events = json.load(f)
@@ -106,7 +112,30 @@ def main(path):
                 "stolen 'task' span carries a worker tid"
             )
 
+    # Counter samples carry the running total in args under the counter's
+    # own name; "positive total" is therefore the max across samples.
+    totals = {}
+    for e in events:
+        if e.get("ph") == "C":
+            for v in (e.get("args") or {}).values():
+                if isinstance(v, (int, float)):
+                    name = e.get("name", "")
+                    totals[name] = max(totals.get(name, 0), v)
+    for name in require_counters:
+        if name not in totals:
+            fail(
+                f"required counter {name!r} has no samples "
+                f"(counters present: {sorted(totals) or 'none'})"
+            )
+        if totals[name] <= 0:
+            fail(f"required counter {name!r} total is {totals[name]}, not positive")
+
     n_counters = sum(1 for e in events if e.get("ph") == "C")
+    if require_counters:
+        print(
+            "check_trace: required counters OK — "
+            + ", ".join(f"{n}={totals[n]}" for n in require_counters)
+        )
     print(
         f"check_trace: OK — {len(events)} events, {len(spans)} spans, "
         f"{n_counters} counter samples, {len(tids)} domain track(s), "
@@ -115,6 +144,22 @@ def main(path):
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        fail("usage: check_trace.py TRACE.json")
-    main(sys.argv[1])
+    args = sys.argv[1:]
+    require = []
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--require-counter":
+            if i + 1 >= len(args):
+                fail("--require-counter needs a NAME argument")
+            require.append(args[i + 1])
+            i += 2
+        elif args[i].startswith("--require-counter="):
+            require.append(args[i].split("=", 1)[1])
+            i += 1
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 1:
+        fail("usage: check_trace.py [--require-counter NAME]... TRACE.json")
+    main(paths[0], require)

@@ -1,0 +1,257 @@
+(* Tests for the speculative parallel Simplify engine
+   (Ra_core.Par_simplify): the emitted removal order, spill elections
+   and Chaitin marks must be bit-identical to Coloring.simplify at
+   every pool width, for every policy, on synthetic graphs, random
+   graphs and the real program suite — and the engine's worker tasks
+   must be visible to the footprint race-detection layer. *)
+
+open Ra_ir
+open Ra_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_pool ~jobs f =
+  let pool = Ra_support.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Ra_support.Pool.shutdown pool)
+    (fun () -> f pool)
+
+let make_power_law () =
+  Synth_graph.power_law ~seed:42 ~n_nodes:5000 ~n_precolored:32 ~avg_degree:8
+
+let make_geometric () =
+  Synth_graph.geometric ~seed:42 ~n_nodes:5000 ~n_precolored:32 ~avg_degree:8
+
+(* deterministic costs with a sprinkle of unspillable nodes, so both
+   the ratio argmin and the infinite-cost fallback paths are walked *)
+let mk_costs n =
+  Array.init n (fun i ->
+    if i mod 97 = 0 then infinity else float_of_int (1 + (i * 7 mod 13)))
+
+let policies =
+  [ ("chaitin", Coloring.Spill_during_simplify);
+    ("briggs", Coloring.Defer_to_select) ]
+
+(* ---- engine vs sequential baseline on synthetic graphs ---- *)
+
+let engine_identical_at_width jobs () =
+  List.iter
+    (fun g ->
+      let view = Synth_graph.view g in
+      let n = Synth_graph.n_nodes g in
+      let costs = mk_costs n in
+      let degree = Synth_graph.degree g in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun (pname, policy) ->
+              let base =
+                Par_simplify.simplify_view_seq ~degree view ~k ~costs ~policy
+              in
+              with_pool ~jobs (fun pool ->
+                let stats = ref Par_simplify.no_stats in
+                let spec =
+                  Par_simplify.simplify_view ~degree ~pool ~stats view ~k
+                    ~costs ~policy
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s k=%d width=%d identical" pname k jobs)
+                  true (spec = base);
+                if jobs > 1 then
+                  Alcotest.(check bool) "engine engaged" true
+                    !stats.Par_simplify.engaged))
+            policies)
+        [ 4; 8; 16 ])
+    [ make_power_law (); make_geometric () ]
+
+let stats_width_independent () =
+  (* chunking does not depend on the worker count, so the peel/defer
+     counters must agree between widths — they are part of the
+     deterministic story the bench reports *)
+  let g = make_power_law () in
+  let view = Synth_graph.view g in
+  let costs = mk_costs (Synth_graph.n_nodes g) in
+  let degree = Synth_graph.degree g in
+  let stats_at jobs =
+    with_pool ~jobs (fun pool ->
+      let stats = ref Par_simplify.no_stats in
+      ignore
+        (Par_simplify.simplify_view ~degree ~pool ~stats view ~k:8 ~costs
+           ~policy:Coloring.Defer_to_select);
+      !stats)
+  in
+  let s2 = stats_at 2 and s8 = stats_at 8 in
+  Alcotest.(check bool) "same counters at width 2 and 8" true (s2 = s8)
+
+(* ---- Igraph drop-in with the built-in cross-check ---- *)
+
+let igraph_drop_in_verifies () =
+  let g = Synth_graph.to_igraph (make_geometric ()) in
+  let costs = mk_costs (Igraph.n_nodes g) in
+  List.iter
+    (fun (pname, policy) ->
+      let want = Coloring.simplify g ~k:8 ~costs ~policy in
+      with_pool ~jobs:4 (fun pool ->
+        let got = Par_simplify.simplify ~pool ~verify:true g ~k:8 ~costs ~policy in
+        Alcotest.(check bool) (pname ^ " drop-in identical") true (got = want)))
+    policies
+
+(* ---- qcheck: random graphs, random widths, both policies ---- *)
+
+let qcheck_equivalence =
+  QCheck.Test.make ~count:30
+    ~name:"parallel simplify = sequential on random graphs (any width)"
+    QCheck.(pair (int_bound 100000) (int_range 0 5))
+    (fun (seed, shape) ->
+      let rng = Ra_support.Lcg.create ~seed in
+      let n = 600 + Ra_support.Lcg.int rng 400 in
+      let pre = if shape mod 2 = 0 then 0 else 8 in
+      let g = Igraph.create ~n_nodes:n ~n_precolored:pre in
+      let per_node = 3 + (shape mod 3) * 2 in
+      for a = 0 to n - 1 do
+        for _ = 1 to per_node do
+          let b = Ra_support.Lcg.int rng n in
+          if b <> a then Igraph.add_edge g a b
+        done
+      done;
+      let costs =
+        Array.init n (fun i ->
+          if (i + seed) mod 53 = 0 then infinity
+          else float_of_int (1 + Ra_support.Lcg.int rng 100))
+      in
+      let jobs = [| 2; 4; 8 |].(shape mod 3) in
+      List.for_all
+        (fun (_, policy) ->
+          let k = 4 + (shape mod 2) * 4 in
+          let want = Coloring.simplify g ~k ~costs ~policy in
+          with_pool ~jobs (fun pool ->
+            let got = Par_simplify.simplify ~pool g ~k ~costs ~policy in
+            got = want))
+        policies)
+
+(* ---- through the heuristics and the full allocator ---- *)
+
+let with_low_floors f =
+  Par_simplify.set_min_nodes (Some 1);
+  Par_color.set_min_nodes (Some 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Par_simplify.set_min_nodes None;
+      Par_color.set_min_nodes None)
+    f
+
+let engine_through_heuristics () =
+  let rng = Ra_support.Lcg.create ~seed:5 in
+  let g = Igraph.create ~n_nodes:700 ~n_precolored:0 in
+  for a = 0 to 699 do
+    for _ = 1 to 6 do
+      let b = Ra_support.Lcg.int rng 700 in
+      if b <> a then Igraph.add_edge g a b
+    done
+  done;
+  let costs = Array.init 700 (fun i -> float_of_int (1 + (i * 7 mod 13))) in
+  with_low_floors (fun () ->
+    with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun h ->
+          List.iter
+            (fun k ->
+              let seq = Heuristic.run h g ~k ~costs in
+              let par = Heuristic.run ~pool ~verify:true h g ~k ~costs in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s k=%d outcome identical" (Heuristic.name h)
+                   k)
+                true (seq = par))
+            [ 4; 8 ])
+        [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]))
+
+let strip_times (p : Allocator.pass_record) =
+  ( p.Allocator.pass_index,
+    p.Allocator.webs_initial,
+    p.Allocator.webs_coalesced,
+    p.Allocator.nodes_int,
+    p.Allocator.nodes_flt,
+    p.Allocator.edges_int,
+    p.Allocator.edges_flt,
+    p.Allocator.spilled,
+    p.Allocator.spill_cost )
+
+let fingerprint (r : Allocator.result) =
+  ( List.map strip_times r.Allocator.passes,
+    r.Allocator.live_ranges,
+    r.Allocator.total_spilled,
+    r.Allocator.total_spill_cost,
+    r.Allocator.moves_removed,
+    Proc.to_string r.Allocator.proc )
+
+let suite_allocations_unchanged () =
+  (* the whole suite through the full allocator, parallel engines
+     forced on at width 4, with and without the edge cache: every
+     fingerprint must match the sequential allocation *)
+  let machine = Machine.rt_pc in
+  with_low_floors (fun () ->
+    List.iter
+      (fun (prog : Ra_programs.Suite.program) ->
+        let procs = Ra_programs.Suite.compile prog in
+        List.iter
+          (fun (p : Proc.t) ->
+            let base =
+              Allocator.allocate
+                ~context:(Context.create ~jobs:1 machine)
+                machine Heuristic.Briggs p
+            in
+            List.iter
+              (fun edge_cache ->
+                let par =
+                  Allocator.allocate
+                    ~context:(Context.create ~edge_cache ~jobs:4 machine)
+                    machine Heuristic.Briggs p
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s cache=%b identical"
+                     prog.Ra_programs.Suite.pname p.Proc.name edge_cache)
+                  true
+                  (fingerprint par = fingerprint base))
+              [ true; false ])
+          procs)
+      [ Ra_programs.Suite.quicksort; Ra_programs.Suite.find "EULER" ])
+
+(* ---- race-detection coverage ---- *)
+
+let footprint_overlap_rejected () =
+  Ra_check.Effects.install ();
+  let g = make_power_law () in
+  let view = Synth_graph.view g in
+  let costs = mk_costs (Synth_graph.n_nodes g) in
+  Par_simplify.seeded_footprint_overlap := true;
+  Fun.protect
+    ~finally:(fun () -> Par_simplify.seeded_footprint_overlap := false)
+    (fun () ->
+      with_pool ~jobs:2 (fun pool ->
+        match
+          Par_simplify.simplify_view ~pool view ~k:8 ~costs
+            ~policy:Coloring.Defer_to_select
+        with
+        | _ -> Alcotest.fail "overlapping footprints dispatched"
+        | exception Ra_check.Effects.Conflict _ -> ()))
+
+let suites =
+  [ ( "core.par_simplify",
+      [ Alcotest.test_case "identical at width 1" `Quick
+          (engine_identical_at_width 1);
+        Alcotest.test_case "identical at width 2" `Quick
+          (engine_identical_at_width 2);
+        Alcotest.test_case "identical at width 4" `Quick
+          (engine_identical_at_width 4);
+        Alcotest.test_case "identical at width 8" `Quick
+          (engine_identical_at_width 8);
+        Alcotest.test_case "stats width-independent" `Quick
+          stats_width_independent;
+        Alcotest.test_case "igraph drop-in verifies" `Quick
+          igraph_drop_in_verifies;
+        qtest qcheck_equivalence;
+        Alcotest.test_case "heuristic outcomes unchanged" `Quick
+          engine_through_heuristics;
+        Alcotest.test_case "suite allocations unchanged" `Slow
+          suite_allocations_unchanged;
+        Alcotest.test_case "footprint overlap rejected" `Quick
+          footprint_overlap_rejected ] ) ]
