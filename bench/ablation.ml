@@ -50,11 +50,14 @@ let matula_vs_briggs () =
      -- the behavior section 2.3 warns about.)"
 
 let coalescing_ablation () =
-  Common.section "Ablation B -- aggressive coalescing on/off (Briggs)";
+  Common.section
+    "Ablation B -- coalescing: aggressive (Briggs) vs conservative worklist \
+     (irc) vs off";
   let table =
     Ra_support.Table.create
-      [ "Routine"; "Copies removed"; "Size with"; "Size without";
-        "Spilled with"; "Spilled without" ]
+      [ "Routine"; "Copies removed"; "IRC removed"; "Size with";
+        "Size irc"; "Size without"; "Spilled with"; "Spilled irc";
+        "Spilled without" ]
   in
   List.iter
     (fun (program : Ra_programs.Suite.program) ->
@@ -64,6 +67,7 @@ let coalescing_ablation () =
           if List.mem proc.Ra_ir.Proc.name program.Ra_programs.Suite.routines
           then begin
             let on = Allocator.allocate Machine.rt_pc Heuristic.Briggs proc in
+            let irc = Allocator.allocate Machine.rt_pc Heuristic.Irc proc in
             let off =
               Allocator.allocate ~coalesce:false Machine.rt_pc Heuristic.Briggs
                 proc
@@ -71,9 +75,12 @@ let coalescing_ablation () =
             Ra_support.Table.add_row table
               [ proc.Ra_ir.Proc.name;
                 string_of_int on.Allocator.moves_removed;
+                string_of_int irc.Allocator.moves_removed;
                 string_of_int (Ra_ir.Proc.object_size on.Allocator.proc);
+                string_of_int (Ra_ir.Proc.object_size irc.Allocator.proc);
                 string_of_int (Ra_ir.Proc.object_size off.Allocator.proc);
                 string_of_int on.Allocator.total_spilled;
+                string_of_int irc.Allocator.total_spilled;
                 string_of_int off.Allocator.total_spilled ]
           end)
         procs)

@@ -31,13 +31,15 @@
 
 open Ra_core
 
-let heuristics = [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
+let heuristics =
+  [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula; Heuristic.Irc ]
 
 type timed_pass = {
   counters : int * int * int * int * int * int * int * int * float;
     (* pass_index, webs, coalesced, nodes_int, nodes_flt, edges_int,
        edges_flt, spilled, spill_cost *)
-  times : float * float * float * float; (* build, simplify, color, spill *)
+  times : float * float * float * float * float;
+    (* build, coalesce, simplify, color, spill *)
 }
 
 let strip (p : Allocator.pass_record) =
@@ -53,6 +55,7 @@ let strip (p : Allocator.pass_record) =
         p.Allocator.spill_cost );
     times =
       ( p.Allocator.build_time,
+        p.Allocator.coalesce_time,
         p.Allocator.simplify_time,
         p.Allocator.color_time,
         p.Allocator.spill_time ) }
@@ -87,9 +90,11 @@ let json_cost c =
   if Float.is_finite c then Printf.sprintf "%.1f" c
   else Printf.sprintf "\"%s\"" (if c > 0.0 then "inf" else "-inf")
 
-let buf_times b label { times = bt, st, ct, spt; _ } =
+let buf_times b label { times = bt, cot, st, ct, spt; _ } =
   Buffer.add_string b (Printf.sprintf "\"%s\": {\"build\": " label);
   buf_time b bt;
+  Buffer.add_string b ", \"coalesce\": ";
+  buf_time b cot;
   Buffer.add_string b ", \"simplify\": ";
   buf_time b st;
   Buffer.add_string b ", \"color\": ";
@@ -119,6 +124,7 @@ let reps = 5
 let min_times (a : Allocator.pass_record) (b : Allocator.pass_record) =
   { a with
     Allocator.build_time = Float.min a.Allocator.build_time b.Allocator.build_time;
+    coalesce_time = Float.min a.Allocator.coalesce_time b.Allocator.coalesce_time;
     simplify_time = Float.min a.Allocator.simplify_time b.Allocator.simplify_time;
     color_time = Float.min a.Allocator.color_time b.Allocator.color_time;
     spill_time = Float.min a.Allocator.spill_time b.Allocator.spill_time }
@@ -188,7 +194,12 @@ let run ~picks () =
         (fun (proc : Ra_ir.Proc.t) ->
           List.iter
             (fun h ->
-              let inc = allocate_best ~context:inc_ctx machine h proc in
+              (* a cell the heuristic cannot allocate at all (Matula on
+                 euler_main) gets no benchmark entry; the probe pass
+                 below records it in the report's "excluded" list *)
+              match allocate_best ~context:inc_ctx machine h proc with
+              | exception Pipeline.Allocation_failure _ -> ()
+              | inc ->
               let scr = allocate_best ~context:scr_ctx machine h proc in
               let par = allocate_best ~context:par_ctx machine h proc in
               let cac = allocate_best ~context:cac_ctx machine h proc in
@@ -213,7 +224,8 @@ let run ~picks () =
                    "\n    {\"program\": \"%s\", \"routine\": \"%s\", \
                     \"heuristic\": \"%s\",\n     \"equivalent\": %b, \
                     \"live_ranges\": %d, \"passes\": %d, \"spilled\": %d, \
-                    \"spill_cost\": %s, \"moves_removed\": %d,\n     \
+                    \"spill_cost\": %s, \"moves_removed\": %d, \
+                    \"moves_coalesced\": %d,\n     \
                     \"per_pass\": ["
                    program.Ra_programs.Suite.pname proc.name
                    (Heuristic.name h) (inc_ok && par_ok && cac_ok)
@@ -221,7 +233,10 @@ let run ~picks () =
                    (List.length inc.Allocator.passes)
                    inc.Allocator.total_spilled
                    (json_cost inc.Allocator.total_spill_cost)
-                   inc.Allocator.moves_removed);
+                   inc.Allocator.moves_removed
+                   (List.fold_left
+                      (fun acc p -> acc + p.Allocator.webs_coalesced)
+                      0 inc.Allocator.passes));
               (* zip without raising when a divergence changed the pass
                  count; the shortest series bounds the table *)
               let rec zip4 a b c d =
@@ -272,7 +287,13 @@ let run ~picks () =
     List.iter
       (fun p ->
         List.iter
-          (fun h -> ignore (Allocator.allocate ~context:ctx machine h p))
+          (fun h ->
+            (* skip the goldened unallocatable cells (Matula on
+               euler_main) — both sides of every timing comparison skip
+               identically, so the walls stay comparable *)
+            match Allocator.allocate ~context:ctx machine h p with
+            | _ -> ()
+            | exception Pipeline.Allocation_failure _ -> ())
           heuristics)
       procs
   in
@@ -365,6 +386,92 @@ let run ~picks () =
   done;
   Ra_support.Scheduler.shutdown sched;
   let dag_s = !dag_s and dag_stats = !dag_stats in
+  (* per-heuristic suite figures: wall, total spills, removed/coalesced
+     moves — one warm sequential context per heuristic, min-of-reps
+     walls, first-rep results (deterministic; the fingerprint gates
+     above police that). The irc row additionally gets a coalesce-off
+     ablation run, which the IRC gates below compare against the
+     worklist run routine by routine. *)
+  let per_heuristic =
+    List.map
+      (fun h ->
+        let ctx = Context.create ~jobs:1 machine in
+        let results = ref [] in
+        let w = ref infinity in
+        for r = 1 to wall_reps do
+          let res, s =
+            wall (fun () ->
+              Batch.allocate_all ~context:ctx machine h suite_procs)
+          in
+          if r = 1 then results := res;
+          if s < !w then w := s
+        done;
+        (h, !results, !w))
+      heuristics
+  in
+  let results_of h =
+    let _, res, _ = List.find (fun (h', _, _) -> h' = h) per_heuristic in
+    res
+  in
+  let coalesced_total (r : Allocator.result) =
+    List.fold_left (fun acc p -> acc + p.Allocator.webs_coalesced) 0
+      r.Allocator.passes
+  in
+  let per_heuristic_json =
+    String.concat ","
+      (List.map
+         (fun (h, res, w) ->
+           Printf.sprintf
+             "\n    {\"heuristic\": \"%s\", \"suite_wall_s\": %.6f, \
+              \"spilled\": %d, \"moves_removed\": %d, \
+              \"moves_coalesced\": %d}"
+             (Heuristic.name h) w
+             (List.fold_left (fun a r -> a + r.Allocator.total_spilled) 0 res)
+             (List.fold_left (fun a r -> a + r.Allocator.moves_removed) 0 res)
+             (List.fold_left (fun a r -> a + coalesced_total r) 0 res))
+         per_heuristic)
+  in
+  (* The IRC acceptance gates. Spills: conservative coalescing must
+     never cost spills, so routine by routine the worklist run spills
+     no more than its coalesce-off twin (which degenerates to briggs'
+     engine exactly). Moves: on the move-heavy routines — where
+     aggressive coalescing (briggs' Build fixpoint) removes at least 10
+     copies — irc must remove at least as many on at least half of
+     them, or the conservative tests have grown too timid to justify
+     the fourth column. *)
+  let irc_on = results_of Heuristic.Irc in
+  let irc_off =
+    let ctx = Context.create ~jobs:1 machine in
+    List.map
+      (fun p ->
+        Allocator.allocate ~coalesce:false ~context:ctx machine Heuristic.Irc
+          p)
+      suite_procs
+  in
+  let spill_gate_fails =
+    List.filter_map
+      (fun ((p : Ra_ir.Proc.t), (on_r, off_r)) ->
+        if on_r.Allocator.total_spilled > off_r.Allocator.total_spilled then
+          Some
+            (Printf.sprintf "%s: irc spills %d > no-coalesce %d" p.name
+               on_r.Allocator.total_spilled off_r.Allocator.total_spilled)
+        else None)
+      (List.combine suite_procs (List.combine irc_on irc_off))
+  in
+  let briggs_res = results_of Heuristic.Briggs in
+  let move_heavy =
+    List.filter
+      (fun ((b : Allocator.result), _) -> b.Allocator.moves_removed >= 10)
+      (List.combine briggs_res irc_on)
+  in
+  let move_wins =
+    List.length
+      (List.filter
+         (fun ((b : Allocator.result), (i : Allocator.result)) ->
+           i.Allocator.moves_removed >= b.Allocator.moves_removed)
+         move_heavy)
+  in
+  let moves_gate_ok = 2 * move_wins >= List.length move_heavy in
   (* DAG engagement: the lent wide_pool is only worth its plumbing if a
      DAG suite run actually enters both speculative Color-stage engines.
      Suite graphs sit under the engines' production node floors (those
@@ -439,11 +546,22 @@ let run ~picks () =
   let race_off_s = min_wall (fun () -> alloc_all (Context.create ~jobs:1 machine)) in
   let race_errors = ref 0 in
   let race_on_s =
+    (* the matrix aborts on an unallocatable cell, so the checked rep
+       runs the probe-filtered routine set *)
+    let race_procs =
+      List.filter
+        (fun (p : Ra_ir.Proc.t) ->
+          not
+            (List.exists (fun (name, _, _) -> name = p.Ra_ir.Proc.name)
+               probe_failures))
+        procs
+    in
     min_wall (fun () ->
       let _, diags =
         Ra_check.Race.with_check (fun () ->
           ignore
-            (Batch.allocate_matrix ~sched:Batch.Dag machine heuristics procs))
+            (Batch.allocate_matrix ~sched:Batch.Dag machine heuristics
+               race_procs))
       in
       race_errors := List.length (Ra_check.Diagnostic.errors diags))
   in
@@ -507,6 +625,9 @@ let run ~picks () =
         \"sched\": {\"jobs\": %d, \"tasks\": %d, \"steals\": %d, \
         \"edges\": %d, \"max_queue_depth\": %d, \
         \"utilization\": [%s]}},\n  \
+        \"per_heuristic\": [%s\n  ],\n  \
+        \"irc_gates\": {\"spill_violations\": [%s], \
+        \"move_heavy_routines\": %d, \"move_wins\": %d},\n  \
         \"telemetry\": {\"disabled_wall_s\": %.6f, \
         \"enabled_wall_s\": %.6f, \"enabled_overhead_frac\": %.4f,\n    \
         \"counters\": {%s}},\n  \
@@ -536,7 +657,13 @@ let run ~picks () =
        seq_s flat_s dag_s dag_s hw_jobs dag_stats.Ra_support.Scheduler.tasks
        dag_stats.Ra_support.Scheduler.steals
        dag_stats.Ra_support.Scheduler.edges
-       dag_stats.Ra_support.Scheduler.max_queue_depth utilization tele_off_s
+       dag_stats.Ra_support.Scheduler.max_queue_depth utilization
+       per_heuristic_json
+       (String.concat ", "
+          (List.map
+             (fun f -> Printf.sprintf "\"%s\"" (json_escape f))
+             spill_gate_fails))
+       (List.length move_heavy) move_wins tele_off_s
        tele_on_s
        ((tele_on_s -. tele_off_s) /. Float.max tele_off_s 1e-9)
        (String.concat ", "
@@ -593,6 +720,21 @@ let run ~picks () =
       "suite: DAG wall %.6fs >= sequential wall %.6fs — the task-DAG \
        schedule is not paying for itself\n"
       dag_s seq_s;
+    exit 1
+  end;
+  (* the IRC gates: conservative coalescing must be safe (never a spill
+     worse than coalescing off) and worth having (at least half the
+     move-heavy routines coalesce no worse than aggressively) *)
+  if spill_gate_fails <> [] then begin
+    List.iter (fun f -> Printf.eprintf "irc spill gate: %s\n" f)
+      spill_gate_fails;
+    exit 1
+  end;
+  if not moves_gate_ok then begin
+    Printf.eprintf
+      "irc move gate: matched aggressive coalescing on only %d of %d \
+       move-heavy routines\n"
+      move_wins (List.length move_heavy);
     exit 1
   end;
   (* the speculative engine's gates: bit-identical everywhere, width 1

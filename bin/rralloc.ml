@@ -37,7 +37,7 @@ let heuristic_of_name name =
   match Ra_core.Heuristic.of_name name with
   | Some h -> h
   | None ->
-    Printf.eprintf "unknown heuristic %S (chaitin|briggs|matula)\n" name;
+    Printf.eprintf "unknown heuristic %S (chaitin|briggs|matula|irc)\n" name;
     exit 1
 
 (* ---- arguments ---- *)
@@ -51,7 +51,7 @@ let proc_arg =
 
 let heuristic_arg =
   Arg.(value & opt string "briggs" & info [ "heuristic"; "H" ] ~docv:"NAME"
-         ~doc:"Coloring heuristic: chaitin, briggs or matula")
+         ~doc:"Coloring heuristic: chaitin, briggs, matula or irc")
 
 let k_arg =
   Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K"
@@ -481,38 +481,104 @@ let compare_cmd =
     ignore (apply_jobs jobs);
     let machine = machine_of_k k in
     let procs = compile ~optimize file in
-    let results =
-      (* the comparison matrix proper: under the DAG each procedure's
-         first-pass build is shared by the two heuristic pipelines *)
-      race_scope race (fun () ->
-        match
-          Ra_core.Batch.allocate_matrix ?edge_cache:(edge_cache_opt no_cache)
-            machine
-            [ Ra_core.Heuristic.Chaitin; Ra_core.Heuristic.Briggs ]
-            procs
-        with
-        | [ olds; news ] -> List.combine olds news
-        | _ -> assert false)
+    let hs =
+      [ Ra_core.Heuristic.Chaitin; Ra_core.Heuristic.Briggs;
+        Ra_core.Heuristic.Matula; Ra_core.Heuristic.Irc ]
     in
+    (* Probe every (routine, heuristic) cell once on a private context:
+       a heuristic that cannot allocate a routine at all (cost-blind
+       Matula on call-heavy k=16 pressure is the goldened case) would
+       abort the shared matrix, so failing cells are recorded with the
+       allocator's own diagnostic and their routines reported from the
+       probe results instead. *)
+    let probe_ctx = Ra_core.Context.create ~jobs:1 machine in
+    let probed =
+      List.map
+        (fun p ->
+          ( p,
+            List.map
+              (fun h ->
+                match
+                  Ra_core.Allocator.allocate ~context:probe_ctx machine h p
+                with
+                | r -> Ok r
+                | exception Ra_core.Pipeline.Allocation_failure reason ->
+                  Error reason)
+              hs ))
+        procs
+    in
+    let fully_allocatable (_, cells) = List.for_all Result.is_ok cells in
+    let matrix_procs = List.filter fully_allocatable probed in
+    let matrix =
+      (* the comparison matrix proper: under the DAG each procedure's
+         first-pass build is shared by all four heuristic pipelines *)
+      race_scope race (fun () ->
+        Ra_core.Batch.allocate_matrix ?edge_cache:(edge_cache_opt no_cache)
+          machine hs
+          (List.map (fun (p, _) -> p) matrix_procs))
+    in
+    let matrix_cells = Hashtbl.create 16 in
+    List.iteri
+      (fun i ((p : Ra_ir.Proc.t), _) ->
+        Hashtbl.replace matrix_cells p.Ra_ir.Proc.name
+          (List.map (fun col -> Ok (List.nth col i)) matrix))
+      matrix_procs;
     let table =
       Ra_support.Table.create
-        [ "routine"; "live ranges"; "spilled(old)"; "spilled(new)";
-          "cost(old)"; "cost(new)" ]
+        ("routine" :: "live ranges"
+        :: (List.map
+              (fun h -> "spilled(" ^ Ra_core.Heuristic.name h ^ ")")
+              hs
+           @ List.map
+               (fun h -> "cost(" ^ Ra_core.Heuristic.name h ^ ")")
+               hs))
     in
-    List.iter2
-      (fun (p : Ra_ir.Proc.t) (old_r, new_r) ->
+    List.iter
+      (fun ((p : Ra_ir.Proc.t), probe_cells) ->
+        let cells =
+          match Hashtbl.find_opt matrix_cells p.Ra_ir.Proc.name with
+          | Some cells -> cells
+          | None -> probe_cells
+        in
+        let live =
+          match List.find_opt Result.is_ok cells with
+          | Some (Ok r) -> string_of_int r.Ra_core.Allocator.live_ranges
+          | _ -> "-"
+        in
+        let spilled =
+          List.map
+            (function
+              | Ok r -> string_of_int r.Ra_core.Allocator.total_spilled
+              | Error _ -> "-")
+            cells
+        in
+        let cost =
+          List.map
+            (function
+              | Ok (r : Ra_core.Allocator.result) ->
+                Printf.sprintf "%.0f" r.Ra_core.Allocator.total_spill_cost
+              | Error _ -> "-")
+            cells
+        in
         Ra_support.Table.add_row table
-          [ p.Ra_ir.Proc.name;
-            string_of_int old_r.Ra_core.Allocator.live_ranges;
-            string_of_int old_r.Ra_core.Allocator.total_spilled;
-            string_of_int new_r.Ra_core.Allocator.total_spilled;
-            Printf.sprintf "%.0f" old_r.Ra_core.Allocator.total_spill_cost;
-            Printf.sprintf "%.0f" new_r.Ra_core.Allocator.total_spill_cost ])
-      procs results;
-    Ra_support.Table.print table
+          (p.Ra_ir.Proc.name :: live :: (spilled @ cost)))
+      probed;
+    Ra_support.Table.print table;
+    List.iter
+      (fun ((p : Ra_ir.Proc.t), cells) ->
+        List.iter2
+          (fun h -> function
+            | Ok _ -> ()
+            | Error reason ->
+              Printf.printf "excluded: %s under %s: %s\n" p.Ra_ir.Proc.name
+                (Ra_core.Heuristic.name h) reason)
+          hs cells)
+      probed
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Chaitin vs Briggs spill statistics per procedure")
+    (Cmd.info "compare"
+       ~doc:"Per-procedure spill statistics across all four heuristics \
+             (chaitin, briggs, matula, irc)")
     Term.(const run $ file_arg $ k_arg $ opt_arg $ jobs_arg $ no_cache_arg
           $ race_arg $ trace_arg $ sched_arg $ no_par_color_arg
           $ no_par_simplify_arg)

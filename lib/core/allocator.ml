@@ -17,6 +17,7 @@ type pass_record = Pipeline.pass_record = {
   cache_hits : int;
   cache_misses : int;
   build_time : float;
+  coalesce_time : float;
   simplify_time : float;
   color_time : float;
   spill_time : float;

@@ -26,6 +26,7 @@ type pass_record = Pipeline.pass_record = {
   cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
   cache_misses : int; (* blocks rescanned (equals blocks x rounds uncached) *)
   build_time : float; (* seconds *)
+  coalesce_time : float; (* irc worklist drive; 0 for the other heuristics *)
   simplify_time : float;
   color_time : float;
   spill_time : float;
@@ -56,6 +57,12 @@ exception Allocation_failure of string
     several heuristics). [coalesce:false] disables copy coalescing (an
     ablation); [spill_base] is the per-loop-depth spill-cost weight
     (default 10, Chaitin's customary constant — another ablation axis).
+    For {!Heuristic.Irc} with coalescing on, the conservative guarantee
+    holds unconditionally: an allocation that both coalesced and spilled
+    is re-run with coalescing off and the coalesced outcome is kept only
+    if it spilled no more webs, so [~coalesce:true] never spills more
+    than [~coalesce:false] on the same input (ties keep the coalesced
+    outcome; spill-free allocations never pay for the rerun).
     Raises {!Allocation_failure} if the Build–Color cycle fails to
     converge within [max_passes] (default 32).
 

@@ -19,7 +19,14 @@ type t = {
   rounds : int;
   cache_hits : int;
   cache_misses : int;
+  moves_int : (int * int) array;
+  moves_flt : (int * int) array;
 }
+
+type coalesce_mode =
+  | Aggressive
+  | Conservative
+  | Off
 
 let cls_of_web (webs : Webs.t) w = (Webs.web webs w).cls
 
@@ -707,8 +714,44 @@ let build_graphs machine (proc : Proc.t) (cfg : Cfg.t) (webs : Webs.t)
     entry_in;
   int_graph, flt_graph, node_of_web, web_of_node_int, web_of_node_flt
 
-let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
-    (int_graph : Igraph.t) (flt_graph : Igraph.t) ~touched =
+(* Briggs' conservative test against the *current round's* graph: the
+   merged node has fewer than [k] neighbors of significant degree, so
+   the merge keeps a simplifiable graph simplifiable. Degrees are the
+   precise post-merge ones — a neighbor shared by both endpoints loses
+   an edge when they fuse, so it is counted at [degree - 1]. Precolored
+   neighbors are always significant. Because the fixpoint rebuilds the
+   graph after every merge round, each round's test sees exact degrees
+   and exact (copy-shrunk) interference, which is what lets the
+   build-time pass coalesce pairs the static in-Simplify tests must
+   refuse. *)
+let briggs_safe (g : Igraph.t) ~k nd ns =
+  let np = Igraph.n_precolored g in
+  let seen = Hashtbl.create 16 in
+  let significant = ref 0 in
+  let count other t =
+    if not (Hashtbl.mem seen t) then begin
+      Hashtbl.add seen t ();
+      if t < np then incr significant
+      else begin
+        let d = Igraph.degree g t in
+        let d = if Igraph.interferes g t other then d - 1 else d in
+        if d >= k then incr significant
+      end
+    end
+  in
+  Igraph.iter_neighbors g nd ~f:(count ns);
+  (* a second-list neighbor already seen was shared and discounted
+     above; an unseen one cannot be adjacent to [nd] *)
+  Igraph.iter_neighbors g ns ~f:(fun t ->
+    if not (Hashtbl.mem seen t) then begin
+      Hashtbl.add seen t ();
+      if t < np || Igraph.degree g t >= k then incr significant
+    end);
+  !significant < k
+
+let find_coalescable machine (proc : Proc.t) (webs : Webs.t) alias
+    node_of_web (int_graph : Igraph.t) (flt_graph : Igraph.t) ~conservative
+    ~touched =
   let find = Union_find.find alias in
   let merged = ref 0 in
   (* The graph describes the aliasing we entered the scan with, so within
@@ -727,12 +770,17 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
         then begin
           let spill_temp w = (Webs.web webs w).Webs.spill_temp in
           if (not (spill_temp wd)) && not (spill_temp ws) then begin
+            let cls = cls_of_web webs wd in
             let g =
-              match cls_of_web webs wd with
+              match cls with
               | Reg.Int_reg -> int_graph
               | Reg.Flt_reg -> flt_graph
             in
-            if not (Igraph.interferes g node_of_web.(wd) node_of_web.(ws))
+            let nd = node_of_web.(wd) and ns = node_of_web.(ws) in
+            if
+              (not (Igraph.interferes g nd ns))
+              && ((not conservative)
+                  || briggs_safe g ~k:(Machine.regs machine cls) nd ns)
             then begin
               ignore (Union_find.union alias wd ws);
               Bitset.add touched wd;
@@ -744,9 +792,14 @@ let find_coalescable (proc : Proc.t) (webs : Webs.t) alias node_of_web
     proc.code;
   !merged
 
-let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
-    ?pool ?par ?touched ?cache ?(verify = false) ?(tele = Telemetry.null) () :
-    t =
+let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?coalesce_mode
+    ?live0 ?scratch ?pool ?par ?touched ?cache ?(verify = false)
+    ?(tele = Telemetry.null) () : t =
+  let mode =
+    match coalesce_mode with
+    | Some m -> m
+    | None -> if coalesce then Aggressive else Off
+  in
   let n_webs = Webs.n_webs webs in
   let alias = Union_find.create (max n_webs 1) in
   let base = Webs.numbering webs in
@@ -922,11 +975,16 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
         in
         check_same_graph (proc.name ^ ": int graph") ig ig_s;
         check_same_graph (proc.name ^ ": flt graph") fg fg_s);
-    if not coalesce then ig, fg, now, wni, wnf, total, rounds
+    if mode = Off then ig, fg, now, wni, wnf, total, rounds
     else begin
+      (* [Conservative] runs the same rebuild-between-rounds fixpoint
+         but gates every merge on the Briggs test, so the pre-pass only
+         takes the merges the worklist drive could never regret; the
+         moves it leaves behind become the staged IRC worklist below. *)
       let merged =
         Telemetry.span tele Phase.Coalesce (fun () ->
-          find_coalescable proc webs alias now ig fg ~touched)
+          find_coalescable machine proc webs alias now ig fg
+            ~conservative:(mode = Conservative) ~touched)
       in
       if merged = 0 then ig, fg, now, wni, wnf, total, rounds
       else
@@ -938,6 +996,60 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
       moves_coalesced, rounds =
     fixpoint 0 ~first:true ~rounds:1 ~prev_rep:[||] ~prev_live:base_live
   in
+  (* The distinct move pairs still live under the final aliasing, as
+     node-id pairs per class. [Conservative] *stages* them — they become
+     the IRC worklist, coalescing deferred to the Simplify-interleaved
+     conservative tests — and every staged pair is deduplicated on its
+     normalized rep pair, with spill-temp endpoints excluded exactly as
+     the aggressive scan excludes them. For [Aggressive] the same scan
+     only feeds the [coalesce.moves_remaining] counter (what the
+     fixpoint left behind), making the two paths comparable in traces. *)
+  let stage_remaining_moves () =
+    let find = Union_find.find alias in
+    let spill_temp w = (Webs.web webs w).Webs.spill_temp in
+    let seen = Hashtbl.create 64 in
+    let rev_int = ref [] and rev_flt = ref [] in
+    Array.iteri
+      (fun i (node : Proc.node) ->
+        match Instr.move_of node.ins with
+        | None -> ()
+        | Some (dreg, sreg) ->
+          let wd = find (Webs.def_web webs i dreg) in
+          let ws = find (Webs.use_web webs i sreg) in
+          if wd <> ws && (not (spill_temp wd)) && not (spill_temp ws)
+          then begin
+            let key = if wd < ws then (wd, ws) else (ws, wd) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              match cls_of_web webs wd with
+              | Reg.Int_reg ->
+                rev_int := (node_of_web.(wd), node_of_web.(ws)) :: !rev_int
+              | Reg.Flt_reg ->
+                rev_flt := (node_of_web.(wd), node_of_web.(ws)) :: !rev_flt
+            end
+          end)
+      proc.code;
+    Array.of_list (List.rev !rev_int), Array.of_list (List.rev !rev_flt)
+  in
+  let moves_int, moves_flt =
+    match mode with
+    | Conservative -> stage_remaining_moves ()
+    | Aggressive | Off -> [||], [||]
+  in
+  (match mode with
+   | Off -> ()
+   | Conservative ->
+     Telemetry.counter tele "coalesce.rounds" rounds;
+     Telemetry.counter tele "coalesce.moves_remaining"
+       (Array.length moves_int + Array.length moves_flt)
+   | Aggressive ->
+     if Telemetry.enabled tele then begin
+       (* the counting scan is only worth running when someone listens *)
+       let mi, mf = stage_remaining_moves () in
+       Telemetry.counter tele "coalesce.rounds" rounds;
+       Telemetry.counter tele "coalesce.moves_remaining"
+         (Array.length mi + Array.length mf)
+     end);
   let cache_hits, cache_misses =
     match cache with
     | Some ec -> Edge_cache.hits ec, Edge_cache.misses ec
@@ -945,7 +1057,7 @@ let build machine (proc : Proc.t) cfg ~webs ?(coalesce = true) ?live0 ?scratch
   in
   { webs; alias; int_graph; flt_graph; node_of_web;
     web_of_node_int; web_of_node_flt; moves_coalesced; base_live;
-    rounds; cache_hits; cache_misses }
+    rounds; cache_hits; cache_misses; moves_int; moves_flt }
 
 let graph_of_class t = function
   | Reg.Int_reg -> t.int_graph

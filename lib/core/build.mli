@@ -55,7 +55,28 @@ type t = {
   rounds : int; (* edge-scan rounds this build ran (1 + re-coalesces) *)
   cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
   cache_misses : int; (* blocks rescanned, all rounds (0 without cache) *)
+  moves_int : (int * int) array;
+    (* [Conservative] only: the distinct int-class move pairs, as
+       (dst, src) node ids of this build's graph, in first-occurrence
+       scan order, spill-temp endpoints excluded — the move worklist the
+       IRC heuristic coalesces during Simplify. [||] otherwise. *)
+  moves_flt : (int * int) array; (* likewise for the float class *)
 }
+
+(** How {!build} treats copies.
+    - [Aggressive]: Chaitin's scheme — merge any non-interfering copy and
+      rebuild until fixpoint (the seed behavior; [~coalesce:true]).
+    - [Conservative]: the same rebuild-between-rounds fixpoint, but every
+      merge is additionally gated on a Briggs safety test (< k significant
+      neighbors in the union adjacency) against that round's freshly
+      rebuilt graph — merges that cannot create spills. The move pairs
+      left unmerged at fixpoint are staged into [moves_int]/[moves_flt]
+      for the IRC heuristic to coalesce conservatively *during* Simplify.
+    - [Off]: merge nothing, stage nothing ([~coalesce:false]). *)
+type coalesce_mode =
+  | Aggressive
+  | Conservative
+  | Off
 
 (** Reusable staging buffers for the parallel scan (one per pool worker,
     grown on demand). Owned by the allocation context so they survive
@@ -134,7 +155,15 @@ val seeded_cache_race : bool ref
     Exposed for the parallel path's tests. *)
 val chunk_starts : Ra_ir.Cfg.t -> n_chunks:int -> int array
 
-(** [live0], when given, must be the liveness of [proc] under
+(** [coalesce_mode], when given, overrides the boolean [coalesce] knob
+    ([~coalesce:true] means [Aggressive], [false] means [Off]); it is how
+    the IRC pipeline requests [Conservative] staging without disturbing
+    the legacy callers. Both paths emit [coalesce.rounds] and
+    [coalesce.moves_remaining] counters on [tele] (the distinct
+    uncoalesced move pairs left at exit), so aggressive and conservative
+    coalescing are comparable in traces.
+
+    [live0], when given, must be the liveness of [proc] under
     {!Webs.numbering} of [webs] — it spares the iteration-0 solve. Later
     coalescing iterations re-solve through {!Liveness.refresh}, reusing
     the gen/kill sets of every block no merge touched. [scratch], when
@@ -163,6 +192,7 @@ val build :
   Ra_ir.Cfg.t ->
   webs:Webs.t ->
   ?coalesce:bool ->
+  ?coalesce_mode:coalesce_mode ->
   ?live0:Liveness.t ->
   ?scratch:Igraph.t * Igraph.t ->
   ?pool:Ra_support.Pool.t ->

@@ -183,25 +183,26 @@ let check_equal proc_name ~(cfg_i : Cfg.t) ~(built_i : Build.t)
    they run sequentially into fresh buffers so they share nothing with
    the build under test. *)
 let scratch_build ?(reference = false) t (proc : Proc.t) ~is_spill_vreg
-    ~coalesce ~scratch =
+    ~mode ~scratch =
   let cfg = Cfg.build proc.code in
   let webs = Webs.build proc cfg ~is_spill_vreg in
   let built =
-    if reference then Build.build t.machine proc cfg ~webs ~coalesce ()
+    if reference then
+      Build.build t.machine proc cfg ~webs ~coalesce_mode:mode ()
     else begin
       (* A scratch pass starts from a web numbering the cache knows
          nothing about (no remap ran), so whatever it holds is stale:
          drop it. Round 0 rescans everything; the cache still pays off
          within the pass, on the coalescing rounds. *)
       Option.iter Build.Edge_cache.clear t.edge_cache;
-      Build.build t.machine proc cfg ~webs ~coalesce ?scratch ?pool:t.pool
-        ~par:t.par ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify
-        ~tele:t.tele ()
+      Build.build t.machine proc cfg ~webs ~coalesce_mode:mode ?scratch
+        ?pool:t.pool ~par:t.par ~touched:t.touched ?cache:t.edge_cache
+        ~verify:t.verify ~tele:t.tele ()
     end
   in
   cfg, webs, built
 
-let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
+let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~mode =
   let cfg =
     Cfg.patch_insertions prev.p_cfg ~inserted_before:sp.Spill.inserted_before
       ~inserted_after:sp.Spill.inserted_after
@@ -232,18 +233,18 @@ let incremental_build t (proc : Proc.t) prev (sp : Spill.result) ~coalesce =
     (fun ec -> Build.Edge_cache.remap ec ~old_to_new ~dirty_blocks)
     t.edge_cache;
   let built =
-    Build.build t.machine proc cfg ~webs ~coalesce ~live0
+    Build.build t.machine proc cfg ~webs ~coalesce_mode:mode ~live0
       ~scratch:(t.scratch_int, t.scratch_flt) ?pool:t.pool ~par:t.par
       ~touched:t.touched ?cache:t.edge_cache ~verify:t.verify ~tele:t.tele ()
   in
   cfg, webs, built
 
-let build_pass t (proc : Proc.t) ~is_spill_vreg ~coalesce ~edit =
+let build_pass t (proc : Proc.t) ~is_spill_vreg ~mode ~edit =
   let cfg, webs, built =
     match edit, t.prev with
     | Some sp, Some prev when t.incremental ->
       let ((cfg_i, _, built_i) as res) =
-        incremental_build t proc prev sp ~coalesce
+        incremental_build t proc prev sp ~mode
       in
       t.stats.incremental_builds <- t.stats.incremental_builds + 1;
       if t.verify then
@@ -252,7 +253,7 @@ let build_pass t (proc : Proc.t) ~is_spill_vreg ~coalesce ~edit =
              incremental result must be indistinguishable from it, down
              to adjacency order *)
           let cfg_s, _, built_s =
-            scratch_build ~reference:true t proc ~is_spill_vreg ~coalesce
+            scratch_build ~reference:true t proc ~is_spill_vreg ~mode
               ~scratch:None
           in
           check_equal proc.Proc.name ~cfg_i ~built_i ~cfg_s ~built_s;
@@ -260,7 +261,7 @@ let build_pass t (proc : Proc.t) ~is_spill_vreg ~coalesce ~edit =
       res
     | _, _ ->
       let res =
-        scratch_build t proc ~is_spill_vreg ~coalesce
+        scratch_build t proc ~is_spill_vreg ~mode
           ~scratch:(Some (t.scratch_int, t.scratch_flt))
       in
       t.stats.scratch_builds <- t.stats.scratch_builds + 1;

@@ -118,18 +118,19 @@ val begin_proc : t -> unit
     A no-op when incrementality is off. *)
 val adopt_prev : t -> cfg:Ra_ir.Cfg.t -> built:Build.t -> unit
 
-(** [build_pass t proc ~is_spill_vreg ~coalesce ~edit] produces the CFG,
-    webs and coalesced interference graphs for the current pass. [edit]
-    is the {!Spill.result} of the previous pass's spill insertion ([None]
-    on the first pass). With a previous pass on record and incrementality
-    enabled, the structures are derived from it; otherwise they are built
-    from scratch into the context's buffers. Raises {!Divergence} if
-    verification is on and an incremental build differs from a fresh
-    one. *)
+(** [build_pass t proc ~is_spill_vreg ~mode ~edit] produces the CFG,
+    webs and interference graphs for the current pass, coalescing (or
+    staging move worklists) per [mode] — see {!Build.coalesce_mode}.
+    [edit] is the {!Spill.result} of the previous pass's spill insertion
+    ([None] on the first pass). With a previous pass on record and
+    incrementality enabled, the structures are derived from it;
+    otherwise they are built from scratch into the context's buffers.
+    Raises {!Divergence} if verification is on and an incremental build
+    differs from a fresh one. *)
 val build_pass :
   t ->
   Ra_ir.Proc.t ->
   is_spill_vreg:(Ra_ir.Reg.t -> bool) ->
-  coalesce:bool ->
+  mode:Build.coalesce_mode ->
   edit:Spill.result option ->
   Ra_ir.Cfg.t * Ra_analysis.Webs.t * Build.t

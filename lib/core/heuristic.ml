@@ -2,6 +2,7 @@ type t =
   | Chaitin
   | Briggs
   | Matula
+  | Irc
 
 type outcome =
   | Colored of int option array
@@ -11,11 +12,13 @@ let name = function
   | Chaitin -> "chaitin"
   | Briggs -> "briggs"
   | Matula -> "matula"
+  | Irc -> "irc"
 
 let of_name = function
   | "chaitin" -> Some Chaitin
   | "briggs" -> Some Briggs
   | "matula" -> Some Matula
+  | "irc" -> Some Irc
   | _ -> None
 
 let assert_total (g : Igraph.t) (colors : int option array) =
@@ -24,7 +27,8 @@ let assert_total (g : Igraph.t) (colors : int option array) =
   done
 
 let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets ?pool
-    ?(verify = false) t g ~k ~costs : outcome =
+    ?(verify = false) ?(moves = [||]) ?irc_stats ?on_coalesce t g ~k ~costs :
+    outcome =
   let timed phase f = Ra_support.Telemetry.span tele ?timer phase f in
   (* Select goes through the speculative engine when it can pay off
      (pool present, graph big enough, RA_PAR_COLOR not off) — the
@@ -82,5 +86,42 @@ let run ?timer ?(tele = Ra_support.Telemetry.null) ?buckets ?pool
     if uncolored <> [] then Spill uncolored
     else begin
       assert_total g colors;
+      Colored colors
+    end
+  | Irc ->
+    (* The speculative engines assume the frozen degree/removal state of
+       a plain Simplify and a pure rank recurrence in Select; iterated
+       coalescing mutates degrees, adjacency and aliasing mid-loop, so
+       neither engine can engage. Record the declination instead of
+       silently running at the wrong width. *)
+    let n_nodes = Igraph.n_nodes g in
+    if Par_simplify.should ~pool ~n_nodes then
+      Ra_support.Telemetry.counter tele "par_simplify.declined_irc" 1;
+    if Par_color.should ~pool ~n_nodes then
+      Ra_support.Telemetry.counter tele "par_color.declined_irc" 1;
+    let stats =
+      match irc_stats with Some s -> s | None -> Irc.fresh_stats ()
+    in
+    (* the caller's stats record accumulates across class graphs; emit
+       this run's deltas as counters *)
+    let c0 = stats.Irc.combined
+    and f0 = stats.Irc.frozen
+    and x0 = stats.Irc.constrained in
+    let { Irc.colors; uncolored; node_alias } =
+      Irc.run ?timer ~tele ~stats ?on_coalesce g ~k ~costs ~moves
+    in
+    Ra_support.Telemetry.counter tele "irc.moves_coalesced"
+      (stats.Irc.combined - c0);
+    Ra_support.Telemetry.counter tele "irc.frozen" (stats.Irc.frozen - f0);
+    Ra_support.Telemetry.counter tele "irc.constrained"
+      (stats.Irc.constrained - x0);
+    if uncolored <> [] then Spill uncolored
+    else begin
+      (* total up to coalescing: every node's surviving representative
+         carries a color; coalesced members stay [None] and resolve
+         through the aliasing the [on_coalesce] hook recorded *)
+      for i = Igraph.n_precolored g to Igraph.n_nodes g - 1 do
+        assert (colors.(node_alias.(i)) <> None)
+      done;
       Colored colors
     end

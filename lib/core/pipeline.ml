@@ -16,6 +16,7 @@ type pass_record = {
   cache_hits : int;
   cache_misses : int;
   build_time : float;
+  coalesce_time : float;
   simplify_time : float;
   color_time : float;
   spill_time : float;
@@ -45,6 +46,7 @@ type config = {
 let stages =
   [ Phase.Lint, "structural lint of the input IR (RA_VERIFY)";
     Phase.Build, "interference graphs + spill costs, once per pass";
+    Phase.Coalesce, "worklist-driven conservative coalescing (irc only)";
     Phase.Simplify, "simplify / ordering (per class graph)";
     Phase.Color, "optimistic select (per class graph)";
     Phase.Spill_elect, "expand spill decisions into slot-sharing web groups";
@@ -90,6 +92,18 @@ let spill_groups built cls nodes =
     members_of_rep []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map snd
+
+(* Which kind of coalescing this heuristic wants from Build: irc stages
+   a move worklist ([Conservative]) for its own in-Simplify conservative
+   coalescing; everyone else keeps the aggressive fixpoint pre-pass the
+   [coalesce] knob always meant. [~coalesce:false] disables both. *)
+let coalesce_mode_of (cfgn : config) (heuristic : Heuristic.t) :
+    Build.coalesce_mode =
+  match heuristic, cfgn.coalesce with
+  | Heuristic.Irc, true -> Build.Conservative
+  | (Heuristic.Chaitin | Heuristic.Briggs | Heuristic.Matula), true ->
+    Build.Aggressive
+  | _, false -> Build.Off
 
 (* ---- the state one allocation threads through its passes ---- *)
 
@@ -143,7 +157,7 @@ module Build_pass = struct
         Context.build_pass st.ctx st.proc
           ~is_spill_vreg:(fun (r : Reg.t) ->
             Hashtbl.mem st.spill_vreg_ids (r.id, r.cls))
-          ~coalesce:st.cfgn.coalesce ~edit)
+          ~mode:(coalesce_mode_of st.cfgn st.heuristic) ~edit)
     in
     let costs_int, costs_flt =
       Telemetry.span st.tele ~timer phase (fun () ->
@@ -160,7 +174,19 @@ module Color_pass = struct
   (* One class graph through the heuristic; Simplify/Color spans and
      times are emitted inside Heuristic.run from the same closed
      phase set. *)
-  let run st ~timer built cls ~costs =
+
+  (* Irc's per-merge hook: union the endpoints' webs and let the
+     union-find's rank decision pick the surviving node, so node
+     aliasing inside the engine and web aliasing in [built.Build.alias]
+     stay one partition. Spill grouping, rewrite and the edge cache all
+     resolve webs through that forest, which is exactly what makes a
+     conservatively coalesced node's members land on its color. *)
+  let on_coalesce built cls a b =
+    let wa = Build.web_of_node built cls a in
+    let wb = Build.web_of_node built cls b in
+    if Union_find.union built.Build.alias wa wb = wa then a else b
+
+  let run st ~timer ?irc ?moves built cls ~costs =
     let k = Machine.regs st.machine cls in
     (* a context without a build pool of its own (batch drivers pin
        jobs:1 per pipeline) may still have a borrowed wide pool for
@@ -171,8 +197,22 @@ module Color_pass = struct
       | Some _ as p -> p
       | None -> Context.wide_pool st.ctx
     in
+    (* [moves]/[irc_stats]/[on_coalesce] are dead weight to the three
+       classic heuristics (and the staged arrays are [||] outside a
+       Conservative build), so passing them unconditionally is safe.
+       [?moves] overrides the build's staged worklist — the spilling
+       pass's move-blind retry passes [||]. *)
+    let moves =
+      match moves with
+      | Some m -> m
+      | None ->
+        (match cls with
+         | Reg.Int_reg -> built.Build.moves_int
+         | Reg.Flt_reg -> built.Build.moves_flt)
+    in
     Heuristic.run ~timer ~tele:st.tele ~buckets:(Context.buckets st.ctx)
-      ?pool ~verify:st.cfgn.verify st.heuristic
+      ?pool ~verify:st.cfgn.verify ~moves ?irc_stats:irc
+      ~on_coalesce:(on_coalesce built cls) st.heuristic
       (Build.graph_of_class built cls)
       ~k ~costs
 end
@@ -221,7 +261,7 @@ module Spill_elect = struct
           " (matula's cost-blind smallest-last order re-elects \
            unspillable spill temporaries; chaitin/briggs, which weigh \
            spill costs, may still allocate this routine)"
-        | Heuristic.Chaitin | Heuristic.Briggs -> ""
+        | Heuristic.Chaitin | Heuristic.Briggs | Heuristic.Irc -> ""
       in
       fail
         "%s: only unspillable live ranges remain at pass %d -- some \
@@ -380,12 +420,17 @@ end
 
 (* ---- the driver ---- *)
 
-let record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt ~spilled
-    ~spill_cost =
+let record_pass ?(coalesced = 0) st ~timer ~pass_index ~webs ~built ~k_int
+    ~k_flt ~spilled ~spill_cost =
   let r =
     { pass_index;
       webs_initial = Webs.n_webs webs;
-      webs_coalesced = built.Build.moves_coalesced;
+      (* classic heuristics merge aggressively in Build
+         ([moves_coalesced]); an irc pass can contribute both the
+         Briggs-gated merges of its Conservative build fixpoint and the
+         worklist drive's merges ([coalesced]) — the sum reads as "this
+         pass's merges" either way *)
+      webs_coalesced = built.Build.moves_coalesced + coalesced;
       nodes_int = Igraph.n_nodes built.Build.int_graph - k_int;
       nodes_flt = Igraph.n_nodes built.Build.flt_graph - k_flt;
       edges_int = Igraph.n_edges built.Build.int_graph;
@@ -396,6 +441,7 @@ let record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt ~spilled
       cache_hits = built.Build.cache_hits;
       cache_misses = built.Build.cache_misses;
       build_time = Timer.elapsed timer ~phase:Phase.Build;
+      coalesce_time = Timer.elapsed timer ~phase:Phase.Coalesce;
       simplify_time = Timer.elapsed timer ~phase:Phase.Simplify;
       color_time = Timer.elapsed timer ~phase:Phase.Color;
       spill_time = Timer.elapsed timer ~phase:Phase.Spill_insert }
@@ -420,20 +466,95 @@ let rec run_pass st pass_index ~edit =
       if pass_index = 1 then st.live_ranges <- Webs.n_webs webs;
       let k_int = Machine.regs st.machine Reg.Int_reg in
       let k_flt = Machine.regs st.machine Reg.Flt_reg in
-      let out_int = Color_pass.run st ~timer built Reg.Int_reg ~costs:costs_int in
-      let out_flt = Color_pass.run st ~timer built Reg.Flt_reg ~costs:costs_flt in
+      (* irc: one stats record spans both class graphs of the pass, and a
+         snapshot of the web aliasing guards the conservative merges the
+         coloring is about to speculate into [built.Build.alias] *)
+      let irc =
+        match st.heuristic with
+        | Heuristic.Irc -> Some (Irc.fresh_stats ())
+        | Heuristic.Chaitin | Heuristic.Briggs | Heuristic.Matula -> None
+      in
+      let alias_snap =
+        match irc with
+        | Some _ -> Some (Union_find.snapshot built.Build.alias)
+        | None -> None
+      in
+      let out_int = Color_pass.run st ~timer ?irc built Reg.Int_reg ~costs:costs_int in
+      let out_flt = Color_pass.run st ~timer ?irc built Reg.Flt_reg ~costs:costs_flt in
+      let coalesced =
+        match irc with Some s -> s.Irc.combined | None -> 0
+      in
       let groups_int, cost_int =
         Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int
       in
       let groups_flt, cost_flt =
         Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt
       in
+      (* spill grouping above ran through the coalesced forest on
+         purpose: spilling a combined node spills every member web into
+         the shared slot, matching the combined cost/degree basis the
+         election used. Only *after* that does a spilling pass abandon
+         its conservative merges, so the next pass's incremental build
+         sees the pristine partition (the edge cache replays
+         web-granular pairs through this same forest). *)
+      let spilling = function
+        | Heuristic.Spill _ -> true
+        | Heuristic.Colored _ -> false
+      in
+      (match alias_snap with
+       | Some snap when spilling out_int || spilling out_flt ->
+         Union_find.restore built.Build.alias snap
+       | Some _ | None -> ());
+      (* The conservative tests guarantee merges keep a *simplifiable*
+         graph simplifiable; on a pass that spills anyway, the graph
+         was not simplifiable and the worklist merges can still degrade
+         the optimistic election. Since a spilling pass discards its
+         merges regardless, redo the coloring move-blind on the rewound
+         forest and keep it unless the coalesced election spilled
+         strictly fewer groups. This is a local improvement, not the
+         guarantee: the Conservative build's own Briggs-gated merges
+         are baked into the graph both elections color, so the elected
+         *webs* can still differ from the Off trajectory's, and later
+         passes can diverge by a spill. The whole-allocation guarantee
+         ("coalescing never costs spills") is [irc_fallback] below. *)
+      let out_int, out_flt, groups_int, cost_int, groups_flt, cost_flt,
+          coalesced =
+        match alias_snap with
+        | Some _
+          when (spilling out_int || spilling out_flt)
+               && Array.length built.Build.moves_int
+                  + Array.length built.Build.moves_flt
+                  > 0 ->
+          let out_int' =
+            Color_pass.run st ~timer ?irc ~moves:[||] built Reg.Int_reg
+              ~costs:costs_int
+          in
+          let out_flt' =
+            Color_pass.run st ~timer ?irc ~moves:[||] built Reg.Flt_reg
+              ~costs:costs_flt
+          in
+          let groups_int', cost_int' =
+            Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int'
+          in
+          let groups_flt', cost_flt' =
+            Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt'
+          in
+          if List.length groups_int' + List.length groups_flt'
+             <= List.length groups_int + List.length groups_flt
+          then out_int', out_flt', groups_int', cost_int', groups_flt',
+               cost_flt', 0
+          else out_int, out_flt, groups_int, cost_int, groups_flt,
+               cost_flt, coalesced
+        | Some _ | None ->
+          out_int, out_flt, groups_int, cost_int, groups_flt, cost_flt,
+          coalesced
+      in
       let n_spilled = List.length groups_int + List.length groups_flt in
       if n_spilled = 0 then begin
         match out_int, out_flt with
         | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
-          record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt
-            ~spilled:0 ~spill_cost:0.0;
+          record_pass ~coalesced st ~timer ~pass_index ~webs ~built ~k_int
+            ~k_flt ~spilled:0 ~spill_cost:0.0;
           Rewrite_pass.run st ~cfg ~built ~colors_int ~colors_flt
         | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
       end
@@ -449,10 +570,72 @@ let rec run_pass st pass_index ~edit =
         let sp =
           Spill_insert.run st ~timer webs ~groups:(groups_int @ groups_flt)
         in
-        record_pass st ~timer ~pass_index ~webs ~built ~k_int ~k_flt
-          ~spilled:n_spilled ~spill_cost;
+        record_pass ~coalesced st ~timer ~pass_index ~webs ~built ~k_int
+          ~k_flt ~spilled:n_spilled ~spill_cost;
         run_pass st (pass_index + 1) ~edit:(Some sp)
       end)
+
+(* One complete allocation of [original] under [cfgn]: fresh pass state,
+   fresh working copy, lint → pass loop → verify. [run] and the DAG
+   rewrite task both call it a second time for [irc_fallback]. *)
+let alloc_once cfgn ~context machine heuristic (original : Proc.t) : outcome
+    =
+  let st =
+    { cfgn;
+      machine;
+      heuristic;
+      ctx = context;
+      tele = Context.telemetry context;
+      proc = copy_proc original;
+      spill_vreg_ids = Hashtbl.create 16;
+      live_ranges = 0;
+      total_spilled = 0;
+      total_spill_cost = 0.0;
+      passes_rev = [] }
+  in
+  Lint_pass.run st ~stage:"input lint" original;
+  Context.begin_proc st.ctx;
+  let allocated, moves_removed = run_pass st 1 ~edit:None in
+  Verify_pass.run st allocated;
+  Telemetry.counter st.tele "alloc.moves_removed" moves_removed;
+  { proc = allocated;
+    passes = List.rev st.passes_rev;
+    live_ranges = st.live_ranges;
+    total_spilled = st.total_spilled;
+    total_spill_cost = st.total_spill_cost;
+    moves_removed }
+
+(* The conservative-coalescing guarantee, enforced globally. The
+   per-pass move-blind retry cannot deliver it: the Conservative build's
+   Briggs-gated merges shift spill *elections* (combined costs and
+   degrees pick different webs even at equal counts), and once spill
+   code diverges, a later pass of the coalesced run can spill a web the
+   no-coalesce run never would. So when an irc allocation that coalesced
+   also spilled, allocate once more with coalescing off — irc with an
+   Off build degenerates to plain degree-ordered simplify, exactly the
+   [~coalesce:false] baseline — and keep the coalesced outcome only if
+   it spilled no more webs. Ties prefer the coalesced outcome (it
+   removed moves). Spill-free allocations never pay for the rerun. *)
+let irc_fallback cfgn ~context machine heuristic (original : Proc.t)
+    (first : outcome) : outcome =
+  match heuristic with
+  | Heuristic.Irc when cfgn.coalesce && first.total_spilled > 0 ->
+    let tele = Context.telemetry context in
+    Telemetry.counter tele "irc.fallback_runs" 1;
+    (match
+       alloc_once { cfgn with coalesce = false } ~context machine heuristic
+         original
+     with
+     | off when off.total_spilled < first.total_spilled ->
+       Telemetry.counter tele "irc.fallback_kept" 1;
+       off
+     | _ -> first
+     | exception Allocation_failure _ ->
+       (* no baseline to compare against: the coalesced outcome stands *)
+       first)
+  | Heuristic.Irc | Heuristic.Chaitin | Heuristic.Briggs | Heuristic.Matula
+    ->
+    first
 
 (* ---- the DAG decomposition (RA_SCHED=dag) ----
 
@@ -498,7 +681,7 @@ type shared_build = {
        this long", even though the fan-out ran it once *)
 }
 
-let build_shared cfgn machine ~tele ?pool ?cache (proc : Proc.t) =
+let build_shared cfgn machine ~tele ?pool ?cache ~mode (proc : Proc.t) =
   (* input lint once: byte-identical input for every pipeline of the
      fan-out, so one verdict serves them all *)
   if cfgn.verify then
@@ -514,8 +697,8 @@ let build_shared cfgn machine ~tele ?pool ?cache (proc : Proc.t) =
       let cfg = Cfg.build proc.Proc.code in
       let webs = Webs.build proc cfg ~is_spill_vreg:(fun _ -> false) in
       let built =
-        Build.build machine proc cfg ~webs ~coalesce:cfgn.coalesce ?pool
-          ?cache ~verify:cfgn.verify ~tele ()
+        Build.build machine proc cfg ~webs ~coalesce_mode:mode ?pool ?cache
+          ~verify:cfgn.verify ~tele ()
       in
       cfg, webs, built)
   in
@@ -552,6 +735,7 @@ type dag_pipe = {
   dp_label : string; (* "<proc>:<heuristic>" *)
   dp_k_int : int;
   dp_k_flt : int;
+  dp_original : Proc.t; (* untouched input, for [irc_fallback]'s rerun *)
   dp_slot : outcome option ref;
 }
 
@@ -571,21 +755,78 @@ let rec dag_color dp pass_index ~timer ~cfg ~webs ~built ~costs_int
     fail "%s: no convergence after %d passes" st.proc.Proc.name
       st.cfgn.max_passes;
   if pass_index = 1 then st.live_ranges <- Webs.n_webs webs;
-  let out_int = Color_pass.run st ~timer built Reg.Int_reg ~costs:costs_int in
-  let out_flt = Color_pass.run st ~timer built Reg.Flt_reg ~costs:costs_flt in
+  (* mirrors run_pass: per-pass irc stats and the alias-forest snapshot
+     guarding the conservative merges (irc pipelines own their build
+     privately — see submit_dag — so the mutation is race-free) *)
+  let irc =
+    match st.heuristic with
+    | Heuristic.Irc -> Some (Irc.fresh_stats ())
+    | Heuristic.Chaitin | Heuristic.Briggs | Heuristic.Matula -> None
+  in
+  let alias_snap =
+    match irc with
+    | Some _ -> Some (Union_find.snapshot built.Build.alias)
+    | None -> None
+  in
+  let out_int = Color_pass.run st ~timer ?irc built Reg.Int_reg ~costs:costs_int in
+  let out_flt = Color_pass.run st ~timer ?irc built Reg.Flt_reg ~costs:costs_flt in
+  let coalesced = match irc with Some s -> s.Irc.combined | None -> 0 in
   let groups_int, cost_int =
     Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int
   in
   let groups_flt, cost_flt =
     Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt
   in
+  (* as in run_pass: group through the coalesced forest (a spilled
+     combined node spills all member webs into one slot), rewind the
+     speculative merges, then give a spilling pass its move-blind
+     retry and keep whichever election spills fewer groups — a local
+     improvement; the global guarantee is [irc_fallback] at rewrite *)
+  let spilling = function
+    | Heuristic.Spill _ -> true
+    | Heuristic.Colored _ -> false
+  in
+  (match alias_snap with
+   | Some snap when spilling out_int || spilling out_flt ->
+     Union_find.restore built.Build.alias snap
+   | Some _ | None -> ());
+  let out_int, out_flt, groups_int, cost_int, groups_flt, cost_flt, coalesced =
+    match alias_snap with
+    | Some _
+      when (spilling out_int || spilling out_flt)
+           && Array.length built.Build.moves_int
+              + Array.length built.Build.moves_flt
+              > 0 ->
+      let out_int' =
+        Color_pass.run st ~timer ?irc ~moves:[||] built Reg.Int_reg
+          ~costs:costs_int
+      in
+      let out_flt' =
+        Color_pass.run st ~timer ?irc ~moves:[||] built Reg.Flt_reg
+          ~costs:costs_flt
+      in
+      let groups_int', cost_int' =
+        Spill_elect.run st ~timer built Reg.Int_reg costs_int out_int'
+      in
+      let groups_flt', cost_flt' =
+        Spill_elect.run st ~timer built Reg.Flt_reg costs_flt out_flt'
+      in
+      if List.length groups_int' + List.length groups_flt'
+         <= List.length groups_int + List.length groups_flt
+      then out_int', out_flt', groups_int', cost_int', groups_flt',
+           cost_flt', 0
+      else out_int, out_flt, groups_int, cost_int, groups_flt, cost_flt,
+           coalesced
+    | Some _ | None ->
+      out_int, out_flt, groups_int, cost_int, groups_flt, cost_flt, coalesced
+  in
   let n_spilled = List.length groups_int + List.length groups_flt in
   if n_spilled = 0 then begin
     match out_int, out_flt with
     | Heuristic.Colored colors_int, Heuristic.Colored colors_flt ->
       dag_submit dp ~stage:"rewrite" (fun () ->
-        dag_rewrite dp ~timer ~pass_index ~cfg ~webs ~built ~colors_int
-          ~colors_flt)
+        dag_rewrite dp ~timer ~pass_index ~coalesced ~cfg ~webs ~built
+          ~colors_int ~colors_flt)
     | (Heuristic.Colored _ | Heuristic.Spill _), _ -> assert false
   end
   else begin
@@ -597,17 +838,17 @@ let rec dag_color dp pass_index ~timer ~cfg ~webs ~built ~costs_int
     st.total_spill_cost <- st.total_spill_cost +. spill_cost;
     Telemetry.counter st.tele "alloc.spilled" n_spilled;
     dag_submit dp ~stage:"spill" (fun () ->
-      dag_spill dp pass_index ~timer ~webs ~built ~n_spilled ~spill_cost
-        ~groups_int ~groups_flt)
+      dag_spill dp pass_index ~timer ~coalesced ~webs ~built ~n_spilled
+        ~spill_cost ~groups_int ~groups_flt)
   end
 
-and dag_spill dp pass_index ~timer ~webs ~built ~n_spilled ~spill_cost
-    ~groups_int ~groups_flt =
+and dag_spill dp pass_index ~timer ~coalesced ~webs ~built ~n_spilled
+    ~spill_cost ~groups_int ~groups_flt =
   let st = dp.dp_st in
   Spill_insert.emit_dump st ~pass_index ~webs ~n_spilled ~spill_cost
     ~k_int:dp.dp_k_int ~k_flt:dp.dp_k_flt ~groups_int ~groups_flt;
   let sp = Spill_insert.run st ~timer webs ~groups:(groups_int @ groups_flt) in
-  record_pass st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
+  record_pass ~coalesced st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
     ~k_flt:dp.dp_k_flt ~spilled:n_spilled ~spill_cost;
   dag_submit dp ~stage:"build" (fun () -> dag_build dp (pass_index + 1) ~edit:sp)
 
@@ -620,24 +861,32 @@ and dag_build dp pass_index ~edit =
   dag_submit dp ~stage:"color" (fun () ->
     dag_color dp pass_index ~timer ~cfg ~webs ~built ~costs_int ~costs_flt)
 
-and dag_rewrite dp ~timer ~pass_index ~cfg ~webs ~built ~colors_int
-    ~colors_flt =
+and dag_rewrite dp ~timer ~pass_index ~coalesced ~cfg ~webs ~built
+    ~colors_int ~colors_flt =
   let st = dp.dp_st in
-  record_pass st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
+  record_pass ~coalesced st ~timer ~pass_index ~webs ~built ~k_int:dp.dp_k_int
     ~k_flt:dp.dp_k_flt ~spilled:0 ~spill_cost:0.0;
   let allocated, moves_removed =
     Rewrite_pass.run st ~cfg ~built ~colors_int ~colors_flt
   in
   Verify_pass.run st allocated;
   Telemetry.counter st.tele "alloc.moves_removed" moves_removed;
+  let first =
+    { proc = allocated;
+      passes = List.rev st.passes_rev;
+      live_ranges = st.live_ranges;
+      total_spilled = st.total_spilled;
+      total_spill_cost = st.total_spill_cost;
+      moves_removed }
+  in
+  (* the fallback rerun is ordinary sequential allocation inside this
+     task — it touches only the pipeline's private context and its own
+     fresh copy of the input, so the fan-out's sharing argument and the
+     declared footprint both still hold *)
   dp.dp_slot :=
     Some
-      { proc = allocated;
-        passes = List.rev st.passes_rev;
-        live_ranges = st.live_ranges;
-        total_spilled = st.total_spilled;
-        total_spill_cost = st.total_spill_cost;
-        moves_removed }
+      (irc_fallback st.cfgn ~context:st.ctx st.machine st.heuristic
+         dp.dp_original first)
 
 let dag_start dp shared =
   let st = dp.dp_st in
@@ -654,19 +903,48 @@ let dag_start dp shared =
 
 let submit_dag sched cfgn machine ~tele ?bpool ?(edge_cache = true)
     ~pipelines (original : Proc.t) =
-  let sb_token = Atomic.fetch_and_add next_state_token 1 in
-  let cell = ref None in
-  let cache = if edge_cache then Some (Build.Edge_cache.create ()) else None in
-  ignore
-    (Scheduler.submit sched
-       ~name:("build:" ^ original.Proc.name)
-       ~footprint:
-         { Footprint.reads = [];
-           writes = [ Footprint.State sb_token; Footprint.Telemetry ] }
-       (fun () ->
-         cell := Some (build_shared cfgn machine ~tele ?pool:bpool ?cache original)));
+  (* One aggressive build fans out to every classic pipeline. Irc
+     pipelines cannot join the fan-out: they need a Conservative build
+     (staged move worklists instead of fixpoint merging), and their
+     conservative coalescing unions the build's alias forest mid-color —
+     a write into what the sharing argument requires to be read-only. So
+     each irc pipeline gets its own build task, private cache included,
+     and chains off that token instead of the shared one. *)
+  let submit_build ~label ~mode =
+    let token = Atomic.fetch_and_add next_state_token 1 in
+    let cell = ref None in
+    let cache =
+      if edge_cache then Some (Build.Edge_cache.create ()) else None
+    in
+    ignore
+      (Scheduler.submit sched ~name:("build:" ^ label)
+         ~footprint:
+           { Footprint.reads = [];
+             writes = [ Footprint.State token; Footprint.Telemetry ] }
+         (fun () ->
+           cell :=
+             Some
+               (build_shared cfgn machine ~tele ?pool:bpool ?cache ~mode
+                  original)));
+    token, cell
+  in
+  let shared =
+    if List.exists (fun (h, _) -> h <> Heuristic.Irc) pipelines then
+      Some
+        (submit_build ~label:original.Proc.name
+           ~mode:(if cfgn.coalesce then Build.Aggressive else Build.Off))
+    else None
+  in
   List.map
     (fun (heuristic, ctx) ->
+      let sb_token, cell =
+        match heuristic, shared with
+        | Heuristic.Irc, _ | _, None ->
+          submit_build
+            ~label:(original.Proc.name ^ ":" ^ Heuristic.name heuristic)
+            ~mode:(coalesce_mode_of cfgn heuristic)
+        | _, Some shared -> shared
+      in
       let pipe_token = Atomic.fetch_and_add next_state_token 1 in
       let slot = ref None in
       let st =
@@ -691,6 +969,7 @@ let submit_dag sched cfgn machine ~tele ?bpool ?(edge_cache = true)
           dp_label = original.Proc.name ^ ":" ^ Heuristic.name heuristic;
           dp_k_int = Machine.regs machine Reg.Int_reg;
           dp_k_flt = Machine.regs machine Reg.Flt_reg;
+          dp_original = original;
           dp_slot = slot }
       in
       dag_submit dp ~stage:"color" (fun () ->
@@ -708,28 +987,6 @@ let run cfgn ~context machine heuristic (original : Proc.t) : outcome =
     ~args:(fun () ->
       [ "proc", original.Proc.name; "heuristic", Heuristic.name heuristic ])
     (fun () ->
-      let st =
-        { cfgn;
-          machine;
-          heuristic;
-          ctx = context;
-          tele;
-          proc = copy_proc original;
-          spill_vreg_ids = Hashtbl.create 16;
-          live_ranges = 0;
-          total_spilled = 0;
-          total_spill_cost = 0.0;
-          passes_rev = [] }
-      in
-      Lint_pass.run st ~stage:"input lint" original;
-      Context.begin_proc st.ctx;
       Telemetry.counter tele "alloc.procs" 1;
-      let allocated, moves_removed = run_pass st 1 ~edit:None in
-      Verify_pass.run st allocated;
-      Telemetry.counter tele "alloc.moves_removed" moves_removed;
-      { proc = allocated;
-        passes = List.rev st.passes_rev;
-        live_ranges = st.live_ranges;
-        total_spilled = st.total_spilled;
-        total_spill_cost = st.total_spill_cost;
-        moves_removed })
+      let first = alloc_once cfgn ~context machine heuristic original in
+      irc_fallback cfgn ~context machine heuristic original first)

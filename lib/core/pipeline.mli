@@ -19,7 +19,12 @@
 type pass_record = {
   pass_index : int; (* 1-based *)
   webs_initial : int; (* webs found by renumbering, before coalescing *)
-  webs_coalesced : int; (* moves coalesced away during Build *)
+  webs_coalesced : int;
+    (* moves coalesced away this pass. Classic heuristics: aggressively
+       during Build. Irc: the Briggs-gated merges of the conservative
+       Build fixpoint PLUS the worklist drive's conservative merges —
+       an irc pass can contribute both kinds (telemetry splits them:
+       [coalesce.*] from Build, [irc.*] from the engine) *)
   nodes_int : int; (* non-precolored nodes in each class graph *)
   nodes_flt : int;
   edges_int : int;
@@ -30,6 +35,10 @@ type pass_record = {
   cache_hits : int; (* blocks replayed from the edge cache, all rounds *)
   cache_misses : int; (* blocks rescanned (equals blocks x rounds uncached) *)
   build_time : float; (* seconds *)
+  coalesce_time : float;
+    (* irc's worklist drive (simplify interleaved with conservative
+       coalescing); 0 elsewhere — the aggressive pre-pass's merge scans
+       are part of Build's accounting, matching the paper's *)
   simplify_time : float;
   color_time : float;
   spill_time : float;
@@ -67,7 +76,16 @@ val spill_groups : Build.t -> Ra_ir.Reg.cls -> int list -> int list list
 (** Run the pipeline on a *copy* of the procedure (the input is
     untouched) over the given context's buffers, reporting into the
     context's telemetry sink. Raises {!Allocation_failure} as
-    documented on {!Allocator.allocate}. *)
+    documented on {!Allocator.allocate}.
+
+    For {!Heuristic.Irc} with [config.coalesce] on, an allocation that
+    spilled is re-run with coalescing off (one extra sequential
+    allocation, counted as [irc.fallback_runs] on the telemetry sink)
+    and the no-coalesce outcome is kept when it spilled strictly fewer
+    webs ([irc.fallback_kept]) — conservative coalescing never costs
+    spills, whole-allocation, not merely per pass. {!submit_dag}'s
+    rewrite task applies the same fallback, so both drivers stay
+    bit-identical. *)
 val run :
   config -> context:Context.t -> Machine.t -> Heuristic.t -> Ra_ir.Proc.t ->
   outcome

@@ -36,6 +36,19 @@ let union t a b =
 
 let same t a b = find t a = find t b
 
+type snapshot = {
+  s_parent : int array;
+  s_rank : int array;
+}
+
+let snapshot t = { s_parent = Array.copy t.parent; s_rank = Array.copy t.rank }
+
+let restore t s =
+  if Array.length s.s_parent <> Array.length t.parent then
+    invalid_arg "Union_find.restore: snapshot from a different universe";
+  Array.blit s.s_parent 0 t.parent 0 (Array.length t.parent);
+  Array.blit s.s_rank 0 t.rank 0 (Array.length t.rank)
+
 let classes t =
   let tbl = Hashtbl.create 16 in
   for x = size t - 1 downto 0 do

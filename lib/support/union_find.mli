@@ -22,6 +22,24 @@ val union : t -> int -> int -> int
 (** [same t a b] iff [a] and [b] are in the same class. *)
 val same : t -> int -> int -> bool
 
+(** A frozen copy of the forest's state. Snapshots are cheap ([O(n)]
+    array copies) relative to the graph rebuild they avoid: speculative
+    unions made during coalescing can be rolled back on a spill-pass
+    restart instead of reconstructing the webs from scratch. *)
+type snapshot
+
+(** [snapshot t] captures the current partition (and ranks) of [t]. The
+    snapshot is immutable: later unions or path compressions on [t] do
+    not affect it. *)
+val snapshot : t -> snapshot
+
+(** [restore t s] rewinds [t] to the partition captured by [s]. Unions
+    performed since the snapshot are undone; classes that existed at
+    snapshot time keep their representatives (path-compression state may
+    differ, which is unobservable through [find]/[same]). Raises
+    [Invalid_argument] if [s] was taken from a forest of another size. *)
+val restore : t -> snapshot -> unit
+
 (** [classes t] groups the universe by representative: an association from
     each representative to the sorted members of its class. *)
 val classes : t -> (int * int list) list

@@ -19,6 +19,10 @@ let compile src =
 
 let heuristics = [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
 
+(* the classic three plus the worklist-driven fourth; [heuristics] keeps
+   its original order because [Golden_alloc.expected] interleaves on it *)
+let all_heuristics = heuristics @ [ Heuristic.Irc ]
+
 (* ---- golden: the whole suite against the pre-refactor seed ---- *)
 
 (* Re-allocate every suite routine x heuristic x +/-coalesce and render
@@ -67,6 +71,49 @@ let golden () =
   Alcotest.(check (list string))
     "every routine x heuristic x coalesce matches the seed allocator"
     Golden_alloc.expected (List.rev !got)
+
+(* The same sweep for the irc heuristic against its own pinned block.
+   Beyond drift detection this encodes two invariants: coalesce=false
+   lines equal the briggs block of [Golden_alloc.expected] line for line
+   (the worklist engine with no moves degenerates to briggs exactly),
+   and no coalesce=true line spills more than its coalesce=false twin
+   (conservative coalescing never costs spills). The run is verified
+   end to end: RA_VERIFY-grade lint/assignment checks on every cell. *)
+let golden_irc () =
+  let machine = Machine.rt_pc in
+  let got = ref [] in
+  List.iter
+    (fun (program : Ra_programs.Suite.program) ->
+      let procs = Ra_programs.Suite.compile program in
+      List.iter
+        (fun (proc : Proc.t) ->
+          List.iter
+            (fun coalesce ->
+              let ctx = Context.create machine in
+              let line =
+                match
+                  Allocator.allocate ~coalesce ~verify:true ~context:ctx
+                    machine Heuristic.Irc proc
+                with
+                | r ->
+                  Printf.sprintf
+                    "%s/%s/irc/coalesce=%b passes=%d live=%d spilled=%d \
+                     cost=%g moves=%d"
+                    program.Ra_programs.Suite.pname proc.Proc.name coalesce
+                    (List.length r.Allocator.passes)
+                    r.Allocator.live_ranges r.Allocator.total_spilled
+                    r.Allocator.total_spill_cost r.Allocator.moves_removed
+                | exception Allocator.Allocation_failure m ->
+                  Printf.sprintf "%s/%s/irc/coalesce=%b FAIL %s"
+                    program.Ra_programs.Suite.pname proc.Proc.name coalesce m
+              in
+              got := line :: !got)
+            [ true; false ])
+        procs)
+    Ra_programs.Suite.all;
+  Alcotest.(check (list string))
+    "every routine x irc x coalesce matches the pinned outcomes"
+    Golden_alloc.expected_irc (List.rev !got)
 
 (* ---- spill-group determinism ---- *)
 
@@ -147,17 +194,17 @@ let facade_equals_pipeline () =
     (via_allocator.Allocator.passes
      |> List.map2
           (fun (a : Pipeline.pass_record) (b : Allocator.pass_record) ->
-            { a with Pipeline.build_time = 0.;
+            { a with Pipeline.build_time = 0.; coalesce_time = 0.;
               simplify_time = 0.; color_time = 0.; spill_time = 0. }
-            = { b with Allocator.build_time = 0.;
+            = { b with Allocator.build_time = 0.; coalesce_time = 0.;
                 simplify_time = 0.; color_time = 0.; spill_time = 0. })
           via_pipeline.Pipeline.passes
      |> List.for_all Fun.id);
   Alcotest.(check bool) "stage list covers the documented chain" true
     (List.map fst Pipeline.stages
      = Ra_support.Phase.
-         [ Lint; Build; Simplify; Color; Spill_elect; Spill_insert; Rewrite;
-           Verify ])
+         [ Lint; Build; Coalesce; Simplify; Color; Spill_elect; Spill_insert;
+           Rewrite; Verify ])
 
 (* ---- cross-mode identity ---- *)
 
@@ -223,7 +270,45 @@ let prop_pipeline_mode_invariant =
                   | first :: rest -> List.for_all (( = ) first) rest)
                 procs)
             [ true; false ])
-        heuristics)
+        all_heuristics)
+
+let prop_irc_conservative_never_spills_more =
+  (* The conservative-coalescing guarantee, as a property over synthetic
+     programs (the suite half is encoded in the irc golden block): for
+     the irc heuristic, coalescing on never spills more than coalescing
+     off on the same program. The pipeline enforces this globally with
+     its no-coalesce fallback rerun (the per-pass move-blind retry alone
+     is not enough: Conservative-build merges shift which webs get
+     elected, and diverged spill code can cost a spill on a later pass —
+     a shrunk generator program found exactly that). Verification is on,
+     so every allocation in the sample is also RA_VERIFY-checked end to
+     end. *)
+  QCheck.Test.make
+    ~name:
+      "irc with coalescing never spills more than --no-coalesce \
+       (synthetics, verified)"
+    ~count:10
+    QCheck.(triple (int_bound 1000000) (int_range 5 30) (int_range 3 10))
+    (fun (seed, size, k) ->
+      let k = max 3 k and size = max 1 size in
+      let src = Progen.generate ~seed ~size in
+      let procs = compile src in
+      let machine = machine_k ~flt:4 k in
+      List.for_all
+        (fun p ->
+          let alloc coalesce =
+            match
+              Allocator.allocate ~coalesce ~verify:true
+                ~context:(Context.create ~jobs:1 machine) machine
+                Heuristic.Irc p
+            with
+            | r -> Some r.Allocator.total_spilled
+            | exception Allocator.Allocation_failure _ -> None
+          in
+          match alloc true, alloc false with
+          | Some w, Some wo -> w <= wo
+          | (Some _ | None), _ -> true)
+        procs)
 
 (* The one (routine, heuristic) cell of the benchmark suite that cannot
    allocate: cost-blind Matula on EULER's euler_main. Smallest-last
@@ -256,7 +341,7 @@ let matula_euler_main_expected_failure () =
       | exception Pipeline.Allocation_failure m ->
         Alcotest.failf "%s unexpectedly failed on euler_main: %s"
           (Heuristic.name h) m)
-    [ Heuristic.Chaitin; Heuristic.Briggs ];
+    [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Irc ];
   match
     Allocator.allocate ~context:(Context.create ~jobs:1 machine) machine
       Heuristic.Matula proc
@@ -277,10 +362,13 @@ let suites =
   [ ( "core.pipeline",
       [ Alcotest.test_case "golden: suite matches pre-refactor seed" `Slow
           golden;
+        Alcotest.test_case "golden: suite x irc matches pinned outcomes"
+          `Slow golden_irc;
         Alcotest.test_case "matula x euler_main tracked failure" `Quick
           matula_euler_main_expected_failure;
         Alcotest.test_case "spill groups deterministic by construction"
           `Quick spill_groups_sorted;
         Alcotest.test_case "allocator facade equals pipeline" `Quick
           facade_equals_pipeline;
-        qtest prop_pipeline_mode_invariant ] ) ]
+        qtest prop_pipeline_mode_invariant;
+        qtest prop_irc_conservative_never_spills_more ] ) ]

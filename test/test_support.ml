@@ -42,6 +42,65 @@ let uf_classes_partition () =
   let sizes = List.map (fun (_, m) -> List.length m) classes |> List.sort compare in
   Alcotest.(check (list int)) "sizes" [ 1; 1; 2; 3 ] sizes
 
+let uf_snapshot_restore () =
+  let uf = Union_find.create 8 in
+  let _ = Union_find.union uf 0 1 in
+  let _ = Union_find.union uf 2 3 in
+  let snap = Union_find.snapshot uf in
+  let rep_before = List.init 8 (Union_find.find uf) in
+  (* speculative unions on top of the snapshot *)
+  let _ = Union_find.union uf 1 2 in
+  let _ = Union_find.union uf 4 5 in
+  Alcotest.(check bool) "speculative union observable" true
+    (Union_find.same uf 0 3);
+  Union_find.restore uf snap;
+  Alcotest.(check int) "classes rewound" 6 (Union_find.count_classes uf);
+  Alcotest.(check bool) "0~1 kept" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "0!~3 again" false (Union_find.same uf 0 3);
+  Alcotest.(check bool) "4!~5 again" false (Union_find.same uf 4 5);
+  Alcotest.(check (list int)) "representatives stable across rollback"
+    rep_before
+    (List.init 8 (Union_find.find uf));
+  (* the snapshot is reusable: restore is not a one-shot *)
+  let _ = Union_find.union uf 6 7 in
+  Union_find.restore uf snap;
+  Alcotest.(check bool) "6!~7 after second restore" false
+    (Union_find.same uf 6 7)
+
+let uf_snapshot_immutable () =
+  let uf = Union_find.create 4 in
+  let snap = Union_find.snapshot uf in
+  let _ = Union_find.union uf 0 1 in
+  let _ = Union_find.union uf 1 2 in
+  (* path-compress through finds, then mutate more: the snapshot must
+     still describe the all-singletons state *)
+  ignore (Union_find.find uf 2);
+  Union_find.restore uf snap;
+  Alcotest.(check int) "all singletons again" 4
+    (Union_find.count_classes uf);
+  Alcotest.(check bool) "size mismatch rejected" true
+    (match Union_find.restore (Union_find.create 5) snap with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let uf_prop_snapshot_roundtrip =
+  QCheck.Test.make
+    ~name:"union_find snapshot/restore rewinds any speculative unions"
+    ~count:200
+    QCheck.(
+      triple (int_bound 30)
+        (list (pair (int_bound 30) (int_bound 30)))
+        (list (pair (int_bound 30) (int_bound 30))))
+    (fun (extra, committed, speculative) ->
+      let n = 31 + extra in
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) committed;
+      let snap = Union_find.snapshot uf in
+      let before = List.init n (Union_find.find uf) in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) speculative;
+      Union_find.restore uf snap;
+      List.init n (Union_find.find uf) = before)
+
 let uf_prop_transitive =
   QCheck.Test.make ~name:"union_find transitivity under random unions"
     ~count:200
@@ -412,7 +471,14 @@ let timer_record_returns () =
 let timer_record_reraises () =
   let t = Timer.create () in
   Alcotest.check_raises "exn propagates" Exit (fun () ->
-    Timer.record t ~phase:Phase.Spill_insert (fun () -> raise Exit));
+    Timer.record t ~phase:Phase.Spill_insert (fun () ->
+      (* spin until the CPU clock ticks: a bare raise can complete
+         within one [Sys.time] granule, recording a 0.0 slice that
+         [Timer.phases] filters out — the assertion below needs the
+         slice to be nonzero, not the raise to be slow *)
+      let t0 = Sys.time () in
+      while Sys.time () = t0 do () done;
+      raise Exit));
   Alcotest.(check bool) "still recorded" true
     (List.mem_assoc Phase.Spill_insert (Timer.phases t))
 
@@ -471,7 +537,12 @@ let suites =
         Alcotest.test_case "union basic" `Quick uf_union_basic;
         Alcotest.test_case "union idempotent" `Quick uf_union_idempotent;
         Alcotest.test_case "classes partition" `Quick uf_classes_partition;
-        qtest uf_prop_transitive ] );
+        Alcotest.test_case "snapshot/restore rewinds speculative unions" `Quick
+          uf_snapshot_restore;
+        Alcotest.test_case "snapshot immutability and size check" `Quick
+          uf_snapshot_immutable;
+        qtest uf_prop_transitive;
+        qtest uf_prop_snapshot_roundtrip ] );
     ( "support.bit_matrix",
       [ Alcotest.test_case "basic" `Quick bm_basic;
         Alcotest.test_case "diagonal and bounds" `Quick bm_diagonal_and_bounds;

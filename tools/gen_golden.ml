@@ -1,0 +1,60 @@
+(* Regenerate the golden allocation lines of [Golden_alloc]: every suite
+   routine x heuristic x +/-coalesce in the exact line format
+   [Test_pipeline.golden] checks. Run with a heuristic-name argument to
+   emit one heuristic's block (e.g. `gen_golden irc` for
+   [Golden_alloc.expected_irc]); with no argument, the classic three.
+
+   The output is OCaml list elements, ready to paste into
+   test/golden_alloc.ml. Regenerate ONLY when an intentional allocator
+   change shifts outcomes; the diff is the review artifact. *)
+
+open Ra_core
+
+let () =
+  let heuristics =
+    match Sys.argv with
+    | [| _ |] -> [ Heuristic.Chaitin; Heuristic.Briggs; Heuristic.Matula ]
+    | [| _; name |] ->
+      (match Heuristic.of_name name with
+       | Some h -> [ h ]
+       | None ->
+         Printf.eprintf "unknown heuristic %S\n" name;
+         exit 1)
+    | _ ->
+      Printf.eprintf "usage: gen_golden [heuristic]\n";
+      exit 1
+  in
+  let machine = Machine.rt_pc in
+  List.iter
+    (fun (program : Ra_programs.Suite.program) ->
+      let procs = Ra_programs.Suite.compile program in
+      List.iter
+        (fun (proc : Ra_ir.Proc.t) ->
+          List.iter
+            (fun h ->
+              List.iter
+                (fun coalesce ->
+                  let ctx = Context.create machine in
+                  let line =
+                    match
+                      Allocator.allocate ~coalesce ~context:ctx machine h proc
+                    with
+                    | r ->
+                      Printf.sprintf
+                        "%s/%s/%s/coalesce=%b passes=%d live=%d spilled=%d \
+                         cost=%g moves=%d"
+                        program.Ra_programs.Suite.pname proc.Ra_ir.Proc.name
+                        (Heuristic.name h) coalesce
+                        (List.length r.Allocator.passes)
+                        r.Allocator.live_ranges r.Allocator.total_spilled
+                        r.Allocator.total_spill_cost r.Allocator.moves_removed
+                    | exception Allocator.Allocation_failure m ->
+                      Printf.sprintf "%s/%s/%s/coalesce=%b FAIL %s"
+                        program.Ra_programs.Suite.pname proc.Ra_ir.Proc.name
+                        (Heuristic.name h) coalesce m
+                  in
+                  Printf.printf "  %S;\n" line)
+                [ true; false ])
+            heuristics)
+        procs)
+    Ra_programs.Suite.all
